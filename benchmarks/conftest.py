@@ -1,0 +1,49 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Every benchmark regenerates one figure of the paper's evaluation section at
+a reduced scale (smaller network, shorter horizon, fewer trials and sweep
+points) so the whole suite runs in minutes on a laptop.  The *shape* of the
+results — which policy wins, how the curves move with the swept parameter —
+is asserted inside the benchmarks; reproducing the paper-scale numbers is a
+matter of swapping in ``ExperimentConfig.paper()`` (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+def bench_config() -> ExperimentConfig:
+    """The reduced-scale configuration used by the figure benchmarks."""
+    return ExperimentConfig(
+        num_nodes=10,
+        horizon=20,
+        total_budget=500.0,      # keeps C/T = 25, the paper's per-slot share
+        trials=1,
+        max_pairs=4,
+        gibbs_iterations=20,
+        num_candidate_routes=3,
+        trade_off_v=2500.0,
+        initial_queue=10.0,
+        gamma=500.0,
+        base_seed=2024,
+    )
+
+
+def sweep_config() -> ExperimentConfig:
+    """An even smaller configuration for the parameter-sweep benchmarks."""
+    return bench_config().with_overrides(horizon=12, num_nodes=9)
+
+
+@pytest.fixture(scope="session")
+def figure_config() -> ExperimentConfig:
+    """Session-scoped benchmark configuration (Figs. 3 and 4)."""
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def parameter_sweep_config() -> ExperimentConfig:
+    """Session-scoped configuration for the sweep benchmarks (Figs. 5-8)."""
+    return sweep_config()

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the reproduction's performance-critical components.
+
+These do not correspond to a paper figure; they track the cost of the two
+inner loops that dominate the runtime of every experiment — the continuous
+relaxation solve (Algorithm 2) and one full per-slot P2 solve — so that
+performance regressions are caught before they make the figure benchmarks
+unusable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.per_slot import PerSlotSolver
+from repro.core.problem import SlotContext
+from repro.network.routes import build_candidate_routes
+from repro.network.topology import waxman_topology
+from repro.solvers.allocation_problem import build_allocation_problem
+from repro.solvers.relaxed import DualDecompositionSolver
+from repro.workload.requests import SDPair
+
+
+def _allocation_instance(num_vars: int = 12, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    successes = rng.uniform(0.4, 0.7, size=num_vars)
+    entries = [(f"v{i}", float(p)) for i, p in enumerate(successes)]
+    groups = {}
+    for g in range(num_vars // 2):
+        members = sorted(rng.choice(num_vars, size=3, replace=False).tolist())
+        groups[f"c{g}"] = (members, float(rng.uniform(6, 14)))
+    return build_allocation_problem(entries, groups, utility_weight=2500.0, cost_weight=12.0)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_dual_solver(benchmark):
+    problem = _allocation_instance()
+    solver = DualDecompositionSolver()
+    solution = benchmark(solver.solve, problem)
+    assert solution.feasible
+
+
+def _slot_context(seed: int = 3):
+    graph = waxman_topology(num_nodes=12, seed=seed)
+    requests = [
+        SDPair(source=graph.nodes[0], destination=graph.nodes[-1], request_id=0),
+        SDPair(source=graph.nodes[1], destination=graph.nodes[-2], request_id=1),
+        SDPair(source=graph.nodes[2], destination=graph.nodes[-3], request_id=2),
+    ]
+    candidates = build_candidate_routes(graph, [r.endpoints for r in requests], num_routes=3)
+    return SlotContext(
+        t=0,
+        graph=graph,
+        snapshot=graph.full_snapshot(),
+        requests=tuple(requests),
+        candidate_routes={r: tuple(candidates[r.endpoints]) for r in requests},
+    )
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_per_slot_solve(benchmark):
+    context = _slot_context()
+    solver = PerSlotSolver(gibbs_iterations=20)
+    solution = benchmark.pedantic(
+        solver.solve,
+        kwargs={"context": context, "utility_weight": 2500.0, "cost_weight": 10.0, "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert solution.decision.num_served >= 1

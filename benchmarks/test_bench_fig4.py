@@ -1,0 +1,36 @@
+"""Benchmark: Figure 4 — distribution of per-SD-pair EC success rates.
+
+Paper finding reproduced: OSCAR's success-rate distribution is concentrated
+at high values and is at least as fair (Jain index) as the myopic baselines'.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4_distribution
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_success_rate_distribution(benchmark, figure_config):
+    result = benchmark.pedantic(
+        fig4_distribution.run,
+        kwargs={"config": figure_config, "bins": 10, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Histograms are proper distributions.
+    for fractions in result.histograms.values():
+        assert sum(fractions) == pytest.approx(1.0, abs=1e-9)
+
+    # OSCAR places at least as much mass in the top bins as MF.
+    oscar_top = sum(result.histograms["OSCAR"][-3:])
+    mf_top = sum(result.histograms["MF"][-3:])
+    assert oscar_top >= mf_top - 0.05
+
+    # Fairness: OSCAR's Jain index is not worse than MF's.
+    assert result.fairness["OSCAR"] >= result.fairness["MF"] - 0.02
+
+    print()
+    print(result.format_tables())

@@ -1,0 +1,45 @@
+"""Benchmark: Figure 5 — impact of the qubit budget C.
+
+Paper findings reproduced: every policy's success rate is non-decreasing in
+the budget, OSCAR dominates the baselines at every budget level, and the
+OSCAR-vs-MF gap narrows as the budget grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5_budget
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_budget_sweep(benchmark, parameter_sweep_config):
+    budgets = [
+        0.6 * parameter_sweep_config.total_budget,
+        1.0 * parameter_sweep_config.total_budget,
+        1.6 * parameter_sweep_config.total_budget,
+    ]
+    result = benchmark.pedantic(
+        fig5_budget.run,
+        kwargs={"config": parameter_sweep_config, "budgets": budgets, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+
+    # OSCAR is at least as good as MF at every budget level.
+    for oscar, mf in zip(result.success_rate["OSCAR"], result.success_rate["MF"]):
+        assert oscar >= mf - 0.02
+
+    # Success rates improve (weakly) with more budget for OSCAR.
+    oscar_rates = result.success_rate["OSCAR"]
+    assert oscar_rates[-1] >= oscar_rates[0] - 0.02
+
+    # The advantage over MF shrinks (weakly) as resources stop being scarce.
+    advantage = result.oscar_advantage("MF")
+    assert advantage[-1] <= advantage[0] + 0.05
+
+    # Total spending grows with the available budget for OSCAR.
+    assert result.total_cost["OSCAR"][-1] >= result.total_cost["OSCAR"][0] - 1e-9
+
+    print()
+    print(result.format_tables())

@@ -1,0 +1,35 @@
+"""Benchmark: Figure 6 — impact of the network size (average degree held ≈ 4).
+
+Paper findings reproduced: EC success rates decline as the network grows
+(routes get longer for the same budget) and OSCAR stays ahead of MF at every
+size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig6_network_size
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_network_size_sweep(benchmark, parameter_sweep_config):
+    sizes = (8, 12, 16)
+    result = benchmark.pedantic(
+        fig6_network_size.run,
+        kwargs={"config": parameter_sweep_config, "sizes": sizes, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+
+    # OSCAR dominates MF at every network size.
+    for oscar, mf in zip(result.success_rate["OSCAR"], result.success_rate["MF"]):
+        assert oscar >= mf - 0.02
+
+    # Larger networks do not get easier: the largest size is no better than
+    # the smallest for OSCAR (longer routes under the same budget).
+    oscar_rates = result.success_rate["OSCAR"]
+    assert oscar_rates[-1] <= oscar_rates[0] + 0.03
+
+    print()
+    print(result.format_tables())

@@ -1,0 +1,39 @@
+"""Benchmark: Figure 7 — impact of the Lyapunov control parameter V.
+
+Paper findings reproduced: a larger V yields a (weakly) higher utility and
+success rate but (weakly) more qubit usage / budget violation; the measured
+time-averaged violation stays below the Theorem-1 bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig7_control_v
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_control_parameter_v(benchmark, parameter_sweep_config):
+    v_values = (250.0, 2500.0, 25000.0)
+    result = benchmark.pedantic(
+        fig7_control_v.run,
+        kwargs={"config": parameter_sweep_config, "v_values": v_values, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Spending (and hence potential violation) is non-decreasing in V.
+    assert result.total_cost[-1] >= result.total_cost[0] - 1e-9
+    assert result.budget_violation[-1] >= result.budget_violation[0] - 1e-9
+
+    # Utility is non-decreasing in V (the algorithm cares more about it).
+    assert result.average_utility[-1] >= result.average_utility[0] - 0.05
+
+    # The measured per-slot budget violation respects the Theorem-1 bound.
+    horizon = parameter_sweep_config.horizon
+    for violation, bound in zip(result.budget_violation, result.theorem1_bounds):
+        if bound == bound:  # not NaN
+            assert violation / horizon <= bound + 1e-6
+
+    print()
+    print(result.format_tables())

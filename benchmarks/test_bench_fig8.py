@@ -1,0 +1,33 @@
+"""Benchmark: Figure 8 — impact of the initial virtual-queue length q0.
+
+Paper findings reproduced: a larger q0 reduces early-slot spending (the
+algorithm starts cautious) and total spending, while an excessively large q0
+costs utility; a small positive q0 barely hurts utility.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8_initial_queue
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_initial_queue(benchmark, parameter_sweep_config):
+    q0_values = (0.0, 25.0, 250.0)
+    result = benchmark.pedantic(
+        fig8_initial_queue.run,
+        kwargs={"config": parameter_sweep_config, "q0_values": q0_values, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Early spending shrinks as q0 grows.
+    assert result.early_cost[-1] <= result.early_cost[0] + 1e-9
+    # Total spending also shrinks (weakly).
+    assert result.total_cost[-1] <= result.total_cost[0] + 1e-9
+    # A huge q0 cannot *improve* utility.
+    assert result.average_utility[-1] <= result.average_utility[0] + 0.05
+
+    print()
+    print(result.format_tables())

@@ -1,0 +1,103 @@
+"""Multiple users sharing one quantum data network.
+
+The paper models "other users" of the QDN as an exogenous process that
+occupies part of the hardware.  With the multi-user simulator the other
+users are real: every tenant runs its own policy against the resources the
+earlier tenants left over in that slot (the service order rotates every slot
+so that average priority is equal).  The example compares a deployment where
+every tenant runs OSCAR against one where every tenant runs the naive
+shortest-route heuristic, and reports both the per-tenant quality and the
+provider-side utilisation.
+
+Run it with::
+
+    python examples/multi_tenant_qdn.py
+"""
+
+from __future__ import annotations
+
+from repro.core.baselines import ShortestRouteUniformPolicy
+from repro.core.multiuser import MultiUserSimulator, QDNUser
+from repro.core.oscar import OscarPolicy
+from repro.experiments.reporting import format_table
+from repro.network.topology import waxman_topology_with_degree
+from repro.workload.requests import HotspotRequestProcess, UniformRequestProcess
+
+
+def build_users(kind: str, horizon: int, budget: float):
+    """Three tenants with different workloads, all running the same policy kind."""
+
+    def make_policy():
+        if kind == "oscar":
+            return OscarPolicy(
+                total_budget=budget, horizon=horizon, trade_off_v=2500.0,
+                gamma=500.0, gibbs_iterations=20,
+            )
+        return ShortestRouteUniformPolicy(total_budget=budget, horizon=horizon)
+
+    return [
+        QDNUser(
+            name="dqc-lab",
+            policy=make_policy(),
+            request_process=UniformRequestProcess(min_pairs=1, max_pairs=3),
+            total_budget=budget,
+        ),
+        QDNUser(
+            name="hpc-centre",
+            policy=make_policy(),
+            request_process=HotspotRequestProcess(min_pairs=1, max_pairs=2, hotspot_probability=0.8),
+            total_budget=budget,
+        ),
+        QDNUser(
+            name="startup",
+            policy=make_policy(),
+            request_process=UniformRequestProcess(min_pairs=0, max_pairs=2),
+            total_budget=budget,
+        ),
+    ]
+
+
+def main() -> None:
+    horizon = 25
+    budget = 400.0
+    graph = waxman_topology_with_degree(num_nodes=14, target_degree=4.0, seed=31)
+    print(f"Shared network: {graph.describe()}\n")
+
+    for kind, label in (("oscar", "every tenant runs OSCAR"),
+                        ("naive", "every tenant runs the naive heuristic")):
+        simulator = MultiUserSimulator(
+            graph=graph, users=build_users(kind, horizon, budget), horizon=horizon
+        )
+        outcome = simulator.run(seed=32)
+        rows = []
+        for name, result in outcome.user_results.items():
+            rows.append([
+                name,
+                round(result.average_success_rate(), 4),
+                round(result.served_fraction(), 3),
+                round(result.total_cost, 1),
+            ])
+        utilisation = outcome.provider_average_utilisation()
+        print(format_table(
+            ["tenant", "avg EC success", "served fraction", "qubits spent"],
+            rows,
+            title=f"{label} (budget {budget:g} each, {horizon} slots)",
+        ))
+        print(
+            f"provider view: qubit utilisation {utilisation['qubits']:.1%}, "
+            f"channel utilisation {utilisation['channels']:.1%}, "
+            f"overall served fraction {outcome.total_served_fraction():.1%}\n"
+        )
+
+    print("Reading the two tables: OSCAR tenants get far more out of the requests")
+    print("they serve (higher success rates for the uniform-workload tenants), but")
+    print("they also allocate more channels per EC, so a tenant whose traffic is")
+    print("concentrated on a contended hotspot can see more of its requests crowded")
+    print("out than under the frugal naive policy.  Per-user optimisation alone does")
+    print("not manage that interference — which is precisely why the paper models")
+    print("other users as an exogenous availability process and why provider-side")
+    print("admission control is a natural follow-up to the user-centric problem.")
+
+
+if __name__ == "__main__":
+    main()

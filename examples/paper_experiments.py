@@ -1,0 +1,84 @@
+"""Regenerate the paper's figures from the command line.
+
+Usage::
+
+    python examples/paper_experiments.py fig3 [--scale paper|small|tiny]
+    python examples/paper_experiments.py all  --scale small
+
+``--scale paper`` uses the exact configuration of Section V-A (20 nodes,
+T=200, C=5000, 5 trials) and takes a long time; ``small`` (default) keeps
+the per-slot budget and all algorithm parameters but shrinks the horizon,
+network and trial count so every figure regenerates in seconds to minutes;
+``tiny`` is for smoke-testing the pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    fig3_time_evolving,
+    fig4_distribution,
+    fig5_budget,
+    fig6_network_size,
+    fig7_control_v,
+    fig8_initial_queue,
+)
+from repro.experiments.config import ExperimentConfig
+
+FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations")
+
+
+def config_for_scale(scale: str) -> ExperimentConfig:
+    """The experiment configuration for a given --scale value."""
+    if scale == "paper":
+        return ExperimentConfig.paper()
+    if scale == "small":
+        return ExperimentConfig.small()
+    if scale == "tiny":
+        return ExperimentConfig.tiny()
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def run_figure(name: str, config: ExperimentConfig) -> str:
+    """Run one figure module and return its plain-text report."""
+    if name == "fig3":
+        return fig3_time_evolving.run(config).format_tables()
+    if name == "fig4":
+        return fig4_distribution.run(config).format_tables()
+    if name == "fig5":
+        return fig5_budget.run(config).format_tables()
+    if name == "fig6":
+        return fig6_network_size.run(config).format_tables()
+    if name == "fig7":
+        return fig7_control_v.run(config).format_tables()
+    if name == "fig8":
+        return fig8_initial_queue.run(config).format_tables()
+    if name == "ablations":
+        return ablations.run_all(config)
+    raise ValueError(f"unknown figure {name!r}; choose from {FIGURES} or 'all'")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figure", choices=list(FIGURES) + ["all"],
+                        help="which figure of the paper to regenerate")
+    parser.add_argument("--scale", default="small", choices=["paper", "small", "tiny"],
+                        help="experiment scale (default: small)")
+    arguments = parser.parse_args(argv)
+
+    config = config_for_scale(arguments.scale)
+    targets = list(FIGURES) if arguments.figure == "all" else [arguments.figure]
+    for target in targets:
+        started = time.time()
+        print(f"=== {target} (scale={arguments.scale}) ===")
+        print(run_figure(target, config))
+        print(f"--- {target} done in {time.time() - started:.1f} s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

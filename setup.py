@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works in offline environments where the
+``wheel`` package (needed by the PEP 517 editable-install path) is not
+available — pip then falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Reproduction of *Adaptive User-Centric Entanglement Routing in Quantum Data
+Networks* (ICDCS 2024).
+
+The package implements the paper's contribution — the OSCAR online
+entanglement-routing algorithm — together with every substrate it depends on:
+
+* :mod:`repro.network` — the quantum data network (QDN) model: graphs,
+  topology generators, channel physics, candidate routes, and time-varying
+  resource availability.
+* :mod:`repro.physics` — a small quantum-information substrate (qubits, Bell
+  pairs, entanglement generation, swapping, teleportation, decoherence and
+  fidelity models).
+* :mod:`repro.simulation` — slotted and event-driven simulators, including an
+  attempt-level Monte-Carlo link layer.
+* :mod:`repro.solvers` — the continuous-relaxation allocation solvers, the
+  rounding procedure and a generic Gibbs sampler.
+* :mod:`repro.core` — OSCAR itself (virtual queue, per-slot problem, qubit
+  allocation, route selection) and the myopic baselines.
+* :mod:`repro.workload` — EC request processes, budgets and traces.
+* :mod:`repro.analysis` — metrics, statistics and the paper's theoretical
+  bounds.
+* :mod:`repro.experiments` — the configuration, runner and one module per
+  figure of the paper's evaluation section.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

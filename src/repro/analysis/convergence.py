@@ -1,0 +1,106 @@
+"""Convergence diagnostics for the Gibbs route-selection sampler.
+
+The paper argues (Sec. IV-B2 remarks) that the Gibbs sampler converges to
+the per-slot optimum as the temperature shrinks, and that simultaneous
+updates of resource-disjoint SD pairs speed convergence.  These helpers turn
+a :class:`~repro.solvers.gibbs.GibbsResult` objective trace into the numbers
+one needs to check those claims empirically: when the best value was
+reached, how much each phase of the run improved, and how two samplers'
+traces compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.solvers.gibbs import GibbsResult
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary of a single Gibbs run's objective trace."""
+
+    iterations: int
+    best_objective: float
+    first_hit_iteration: Optional[int]
+    improvement: float
+    acceptance_rate: float
+    tail_fraction_at_best: float
+
+    @property
+    def converged_early(self) -> bool:
+        """Whether the best value was found in the first half of the run."""
+        if self.first_hit_iteration is None or self.iterations == 0:
+            return False
+        return self.first_hit_iteration <= self.iterations / 2
+
+
+def analyse_trace(result: GibbsResult, tolerance: float = 1e-9) -> ConvergenceReport:
+    """Convergence statistics of a Gibbs run (requires ``track_trace=True``)."""
+    trace = list(result.objective_trace)
+    if not trace:
+        raise ValueError(
+            "the GibbsResult has no objective trace; run the sampler with track_trace=True"
+        )
+    best = result.best_objective
+    first_hit = None
+    for index, value in enumerate(trace):
+        if value >= best - tolerance:
+            first_hit = index
+            break
+    finite = [v for v in trace if v == v and v not in (float("inf"), float("-inf"))]
+    improvement = (finite[-1] - finite[0]) if len(finite) >= 2 else 0.0
+    at_best = sum(1 for v in trace if v >= best - tolerance)
+    return ConvergenceReport(
+        iterations=result.iterations,
+        best_objective=best,
+        first_hit_iteration=first_hit,
+        improvement=improvement,
+        acceptance_rate=result.acceptance_rate,
+        tail_fraction_at_best=at_best / len(trace),
+    )
+
+
+def iterations_to_reach(
+    result: GibbsResult, target: float
+) -> Optional[int]:
+    """First iteration whose objective reaches ``target`` (``None`` if never)."""
+    for index, value in enumerate(result.objective_trace):
+        if value >= target:
+            return index
+    return None
+
+
+def improvement_curve(result: GibbsResult) -> List[float]:
+    """Running best objective after each iteration (monotone non-decreasing)."""
+    curve: List[float] = []
+    best = float("-inf")
+    for value in result.objective_trace:
+        best = max(best, value)
+        curve.append(best)
+    return curve
+
+
+def compare_runs(
+    baseline: GibbsResult, candidate: GibbsResult, tolerance: float = 1e-9
+) -> dict:
+    """Compare two Gibbs runs on the same problem (e.g. sequential vs parallel).
+
+    Returns a dictionary with the objective difference, which run reached its
+    own best value first, and both acceptance rates.
+    """
+    baseline_report = analyse_trace(baseline, tolerance)
+    candidate_report = analyse_trace(candidate, tolerance)
+    return {
+        "objective_difference": candidate.best_objective - baseline.best_objective,
+        "baseline_first_hit": baseline_report.first_hit_iteration,
+        "candidate_first_hit": candidate_report.first_hit_iteration,
+        "baseline_acceptance_rate": baseline_report.acceptance_rate,
+        "candidate_acceptance_rate": candidate_report.acceptance_rate,
+        "candidate_faster": (
+            candidate_report.first_hit_iteration is not None
+            and baseline_report.first_hit_iteration is not None
+            and candidate_report.first_hit_iteration < baseline_report.first_hit_iteration
+        ),
+    }

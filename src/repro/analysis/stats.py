@@ -1,0 +1,105 @@
+"""Aggregation of multi-trial experiment results.
+
+The paper reports results averaged over 5 trial simulations; these helpers
+aggregate scalar metrics and whole time series across trials and attach
+confidence intervals so the benchmark output can state how stable each
+number is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class TrialAggregate:
+    """Mean, standard deviation and confidence half-width of a scalar metric."""
+
+    mean: float
+    std: float
+    count: int
+    confidence: float
+    half_width: float
+
+    @property
+    def low(self) -> float:
+        """Lower end of the confidence interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper end of the confidence interval."""
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.4f} ± {self.half_width:.4f} (n={self.count})"
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Two-sided Student-t confidence interval of the mean of ``values``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot compute a confidence interval of nothing")
+    mean = float(np.mean(array))
+    if array.size == 1:
+        return (mean, mean)
+    sem = float(scipy_stats.sem(array))
+    if sem == 0 or math.isnan(sem):
+        return (mean, mean)
+    half = float(sem * scipy_stats.t.ppf((1.0 + confidence) / 2.0, array.size - 1))
+    return (mean - half, mean + half)
+
+
+def aggregate_scalar(values: Sequence[float], confidence: float = 0.95) -> TrialAggregate:
+    """Aggregate one scalar metric across trials."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot aggregate an empty sequence")
+    low, high = confidence_interval(array, confidence)
+    mean = float(np.mean(array))
+    return TrialAggregate(
+        mean=mean,
+        std=float(np.std(array, ddof=1)) if array.size > 1 else 0.0,
+        count=int(array.size),
+        confidence=confidence,
+        half_width=float(high - mean),
+    )
+
+
+def aggregate_series(
+    series: Sequence[Sequence[float]],
+) -> Tuple[List[float], List[float]]:
+    """Element-wise mean and standard deviation of several equal-length series.
+
+    Series of unequal length are truncated to the shortest one (a trial that
+    ended early should not silently extend the average with zeros).
+    """
+    if not series:
+        raise ValueError("cannot aggregate an empty collection of series")
+    length = min(len(s) for s in series)
+    if length == 0:
+        return [], []
+    matrix = np.asarray([list(s)[:length] for s in series], dtype=float)
+    means = list(map(float, matrix.mean(axis=0)))
+    stds = list(map(float, matrix.std(axis=0, ddof=1) if matrix.shape[0] > 1 else np.zeros(length)))
+    return means, stds
+
+
+def downsample(series: Sequence[float], points: int) -> List[float]:
+    """Pick ``points`` evenly spaced samples from a series (for compact reports)."""
+    if points <= 0:
+        raise ValueError(f"points must be positive, got {points}")
+    values = list(series)
+    if len(values) <= points:
+        return [float(v) for v in values]
+    indices = np.linspace(0, len(values) - 1, points).round().astype(int)
+    return [float(values[i]) for i in indices]

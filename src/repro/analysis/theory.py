@@ -1,0 +1,106 @@
+"""The paper's theoretical performance guarantees.
+
+* Proposition 2: the relax-and-round allocation is Δ-optimal with
+  ``Δ = V · F · L · log(2 − p_min)``.
+* Theorem 1: the time-averaged budget violation is bounded by
+  ``sqrt(q0²/T² + 2D/T) − q0/T`` with ``D = Δ + B − V·F·L·log(p_min)``.
+* Theorem 2: the achieved time-averaged objective is within
+  ``(Δ + B)/V + q0²/(2VT)`` of the offline optimum.
+
+These functions are used by the test suite (to check the simulated
+behaviour against the bounds) and by the experiment reports (to print the
+bound next to the measured value, as a sanity check of the reproduction).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+
+def delta_optimality_gap(
+    trade_off_v: float, max_pairs: int, max_route_length: int, min_slot_success: float
+) -> float:
+    """Proposition 2: ``Δ = V · F · L · log(2 − p_min)``."""
+    check_positive(trade_off_v, "trade_off_v")
+    check_positive(max_pairs, "max_pairs")
+    check_positive(max_route_length, "max_route_length")
+    check_probability(min_slot_success, "min_slot_success", allow_zero=False)
+    return trade_off_v * max_pairs * max_route_length * math.log(2.0 - min_slot_success)
+
+
+def drift_constant_bound(max_slot_cost: float, per_slot_budget: float) -> float:
+    """The constant ``B`` of Eq. (17): ``B >= (c_t − C/T)² / 2`` for every slot.
+
+    ``B`` exists because the per-slot cost is bounded by the total capacity;
+    the worst case is either spending the full capacity or spending nothing.
+    """
+    check_non_negative(max_slot_cost, "max_slot_cost")
+    check_non_negative(per_slot_budget, "per_slot_budget")
+    worst = max(abs(max_slot_cost - per_slot_budget), per_slot_budget)
+    return 0.5 * worst**2
+
+
+def theorem1_violation_bound(
+    horizon: int,
+    initial_queue: float,
+    trade_off_v: float,
+    max_pairs: int,
+    max_route_length: int,
+    min_slot_success: float,
+    drift_constant: float,
+    delta: float = None,
+) -> float:
+    """Theorem 1: bound on the time-averaged budget violation ``(1/T)Σc_t − C/T``.
+
+    ``delta`` defaults to the Proposition-2 value computed from the same
+    parameters.
+    """
+    check_positive(horizon, "horizon")
+    check_non_negative(initial_queue, "initial_queue")
+    check_probability(min_slot_success, "min_slot_success", allow_zero=False)
+    check_non_negative(drift_constant, "drift_constant")
+    if delta is None:
+        delta = delta_optimality_gap(
+            trade_off_v, max_pairs, max_route_length, min_slot_success
+        )
+    d_constant = delta + drift_constant - trade_off_v * max_pairs * max_route_length * math.log(
+        min_slot_success
+    )
+    if d_constant < 0:
+        raise ValueError("the drift constant D must be positive; check the inputs")
+    return (
+        math.sqrt((initial_queue**2) / (horizon**2) + 2.0 * d_constant / horizon)
+        - initial_queue / horizon
+    )
+
+
+def theorem2_optimality_gap(
+    horizon: int,
+    initial_queue: float,
+    trade_off_v: float,
+    drift_constant: float,
+    delta: float,
+) -> float:
+    """Theorem 2: the gap ``(Δ + B)/V + q0²/(2VT)`` to the offline optimum."""
+    check_positive(horizon, "horizon")
+    check_non_negative(initial_queue, "initial_queue")
+    check_positive(trade_off_v, "trade_off_v")
+    check_non_negative(drift_constant, "drift_constant")
+    check_non_negative(delta, "delta")
+    return (delta + drift_constant) / trade_off_v + (initial_queue**2) / (
+        2.0 * trade_off_v * horizon
+    )
+
+
+def minimum_feasible_budget(max_pairs: int, max_route_length: int, horizon: int) -> float:
+    """Assumption 1: the budget must satisfy ``C >= F · L · T``.
+
+    This guarantees at least one channel per edge of one route per pair in
+    every slot.
+    """
+    check_positive(max_pairs, "max_pairs")
+    check_positive(max_route_length, "max_route_length")
+    check_positive(horizon, "horizon")
+    return float(max_pairs * max_route_length * horizon)

@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the most common workflows without
+writing any Python:
+
+* ``python -m repro info`` — print the paper's default configuration and the
+  derived quantities (per-slot budget, link success probabilities).
+* ``python -m repro figure fig3 --scale small`` — regenerate one figure of
+  the paper (``fig3`` … ``fig8`` or ``ablations``) and optionally save the
+  plain-text report with ``--output``.
+* ``python -m repro compare --scale tiny`` — run the OSCAR / MA / MF
+  comparison and print the summary table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.metrics import compare_summaries
+from repro.experiments import (
+    ablations,
+    fig3_time_evolving,
+    fig4_distribution,
+    fig5_budget,
+    fig6_network_size,
+    fig7_control_v,
+    fig8_initial_queue,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import save_text_report
+from repro.experiments.reporting import format_summary, format_table
+from repro.experiments.runner import run_comparison
+from repro.network.channels import per_slot_success
+from repro.version import __version__
+
+FIGURE_RUNNERS = {
+    "fig3": lambda config: fig3_time_evolving.run(config).format_tables(),
+    "fig4": lambda config: fig4_distribution.run(config).format_tables(),
+    "fig5": lambda config: fig5_budget.run(config).format_tables(),
+    "fig6": lambda config: fig6_network_size.run(config).format_tables(),
+    "fig7": lambda config: fig7_control_v.run(config).format_tables(),
+    "fig8": lambda config: fig8_initial_queue.run(config).format_tables(),
+    "ablations": lambda config: ablations.run_all(config),
+}
+
+SCALES = {
+    "paper": ExperimentConfig.paper,
+    "small": ExperimentConfig.small,
+    "tiny": ExperimentConfig.tiny,
+}
+
+
+def _config_from_args(arguments: argparse.Namespace) -> ExperimentConfig:
+    """Build the experiment configuration selected on the command line."""
+    config = SCALES[arguments.scale]()
+    overrides = {}
+    if getattr(arguments, "trials", None) is not None:
+        overrides["trials"] = arguments.trials
+    if getattr(arguments, "seed", None) is not None:
+        overrides["base_seed"] = arguments.seed
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
+
+
+def command_info(arguments: argparse.Namespace) -> int:
+    """Print the selected configuration and its derived quantities."""
+    config = _config_from_args(arguments)
+    rows = [[key, value] for key, value in sorted(config.describe().items())]
+    print(format_table(["parameter", "value"], rows, title=f"repro {__version__} — configuration ({arguments.scale})"))
+    print()
+    slot_p = per_slot_success(config.attempt_success, config.attempts_per_slot)
+    derived = [
+        ["per-slot budget C/T", config.per_slot_budget],
+        ["single-channel slot success p_e", round(slot_p, 4)],
+        ["edge success with 3 channels", round(1 - (1 - slot_p) ** 3, 4)],
+    ]
+    print(format_table(["derived quantity", "value"], derived))
+    return 0
+
+
+def command_figure(arguments: argparse.Namespace) -> int:
+    """Regenerate one of the paper's figures."""
+    config = _config_from_args(arguments)
+    started = time.time()
+    report = FIGURE_RUNNERS[arguments.name](config)
+    elapsed = time.time() - started
+    print(report)
+    print(f"\n[{arguments.name} at scale={arguments.scale} in {elapsed:.1f} s]")
+    if arguments.output:
+        path = save_text_report(Path(arguments.output), report)
+        print(f"[report written to {path}]")
+    return 0
+
+
+def command_compare(arguments: argparse.Namespace) -> int:
+    """Run the OSCAR / MA / MF comparison and print the aggregate summary."""
+    config = _config_from_args(arguments)
+    comparison = run_comparison(config)
+    print(format_summary(comparison.summary(), title="Policy comparison (mean over trials)"))
+    if arguments.output:
+        from repro.experiments.persistence import save_comparison
+
+        path = save_comparison(comparison, Path(arguments.output))
+        print(f"[comparison written to {path}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Adaptive User-Centric Entanglement Routing in Quantum Data Networks' (ICDCS 2024)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--scale", default="small", choices=sorted(SCALES.keys()),
+                         help="experiment scale (default: small)")
+        sub.add_argument("--trials", type=int, default=None, help="override the number of trials")
+        sub.add_argument("--seed", type=int, default=None, help="override the base random seed")
+
+    info = subparsers.add_parser("info", help="print the configuration and derived quantities")
+    add_common(info)
+    info.set_defaults(handler=command_info)
+
+    figure = subparsers.add_parser("figure", help="regenerate one figure of the paper")
+    figure.add_argument("name", choices=sorted(FIGURE_RUNNERS.keys()))
+    figure.add_argument("--output", default=None, help="write the plain-text report to this file")
+    add_common(figure)
+    figure.set_defaults(handler=command_figure)
+
+    compare = subparsers.add_parser("compare", help="run the OSCAR / MA / MF comparison")
+    compare.add_argument("--output", default=None, help="write the full comparison (JSON) to this file")
+    add_common(compare)
+    compare.set_defaults(handler=command_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

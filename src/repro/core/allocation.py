@@ -1,0 +1,180 @@
+"""Algorithm 2 — qubit allocation for a fixed route selection.
+
+Given a slot context and a route for every served request, the allocator
+
+1. builds the :class:`~repro.solvers.allocation_problem.AllocationProblem`
+   (one variable per (request, edge-on-route), node constraints from Eq. 4,
+   edge constraints from Eq. 5, optionally a per-slot budget cap used by the
+   myopic baselines),
+2. solves its continuous relaxation with a pluggable
+   :class:`~repro.solvers.relaxed.RelaxedSolver`, and
+3. rounds with the paper's "down-round and allocate surplus" procedure.
+
+The result carries both the integer allocation (what is deployed) and the
+relaxed solution (used by the Δ-optimality diagnostics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.problem import AllocationKey, SlotContext
+from repro.network.graph import EdgeKey
+from repro.network.routes import Route
+from repro.solvers.allocation_problem import (
+    AllocationProblem,
+    AllocationVariable,
+    CapacityConstraint,
+    ContinuousSolution,
+    IntegerSolution,
+)
+from repro.solvers.relaxed import DualDecompositionSolver, RelaxedSolver
+from repro.solvers.rounding import round_down_with_surplus
+from repro.utils.validation import check_non_negative
+from repro.workload.requests import SDPair
+
+
+@dataclass(frozen=True)
+class AllocationOutcome:
+    """Result of one allocation call.
+
+    ``allocation`` maps (request, edge) to the deployed integer channel
+    count; ``objective`` is the P2 objective value of the integer
+    allocation; ``feasible`` is false when even one channel per edge does
+    not fit in the slot's resources (in which case the allocation should be
+    discarded and the route combination rejected).
+    """
+
+    allocation: Mapping[AllocationKey, int]
+    objective: float
+    feasible: bool
+    cost: int
+    integer_solution: Optional[IntegerSolution] = None
+    relaxed_solution: Optional[ContinuousSolution] = None
+
+    def edge_allocation(self, request: SDPair) -> Dict[EdgeKey, int]:
+        """The per-edge allocation of one request."""
+        return {
+            key: value
+            for (req, key), value in self.allocation.items()
+            if req == request
+        }
+
+
+@dataclass
+class QubitAllocator:
+    """Builds and solves the per-slot allocation problem (Algorithm 2)."""
+
+    solver: RelaxedSolver = field(default_factory=DualDecompositionSolver)
+
+    # ------------------------------------------------------------------ #
+    # Problem construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def build_problem(
+        context: SlotContext,
+        selection: Mapping[SDPair, Route],
+        utility_weight: float,
+        cost_weight: float,
+        budget_cap: Optional[float] = None,
+    ) -> Tuple[AllocationProblem, List[AllocationKey]]:
+        """Assemble the :class:`AllocationProblem` for a fixed route selection.
+
+        Returns the problem and the ordered list of allocation keys matching
+        the problem's variable order.
+        """
+        check_non_negative(utility_weight, "utility_weight")
+        check_non_negative(cost_weight, "cost_weight")
+        graph = context.graph
+        snapshot = context.snapshot
+
+        keys: List[AllocationKey] = []
+        variables: List[AllocationVariable] = []
+        node_members: Dict[object, List[int]] = {}
+        edge_members: Dict[EdgeKey, List[int]] = {}
+        for request, route in selection.items():
+            for edge in route.edges:
+                index = len(variables)
+                keys.append((request, edge))
+                variables.append(
+                    AllocationVariable(
+                        key=(request, edge),
+                        slot_success=graph.slot_success(edge),
+                    )
+                )
+                for endpoint in edge:
+                    node_members.setdefault(endpoint, []).append(index)
+                edge_members.setdefault(edge, []).append(index)
+
+        constraints: List[CapacityConstraint] = []
+        for node, members in node_members.items():
+            constraints.append(
+                CapacityConstraint(
+                    name=f"node:{node}",
+                    members=tuple(members),
+                    capacity=float(snapshot.available_qubits(node)),
+                )
+            )
+        for edge, members in edge_members.items():
+            constraints.append(
+                CapacityConstraint(
+                    name=f"edge:{edge}",
+                    members=tuple(members),
+                    capacity=float(snapshot.available_channels(edge)),
+                )
+            )
+        if budget_cap is not None:
+            check_non_negative(budget_cap, "budget_cap")
+            constraints.append(
+                CapacityConstraint(
+                    name="slot-budget",
+                    members=tuple(range(len(variables))),
+                    capacity=float(budget_cap),
+                )
+            )
+
+        problem = AllocationProblem(
+            variables=variables,
+            constraints=constraints,
+            utility_weight=utility_weight,
+            cost_weight=cost_weight,
+        )
+        return problem, keys
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def allocate(
+        self,
+        context: SlotContext,
+        selection: Mapping[SDPair, Route],
+        utility_weight: float = 1.0,
+        cost_weight: float = 0.0,
+        budget_cap: Optional[float] = None,
+    ) -> AllocationOutcome:
+        """Run Algorithm 2 for the given route selection.
+
+        An empty selection yields an empty, feasible allocation with zero
+        objective (nothing to serve costs nothing).
+        """
+        if not selection:
+            return AllocationOutcome(
+                allocation={}, objective=0.0, feasible=True, cost=0
+            )
+        problem, keys = self.build_problem(
+            context, selection, utility_weight, cost_weight, budget_cap
+        )
+        relaxed = self.solver.solve(problem)
+        rounded = round_down_with_surplus(problem, relaxed)
+        allocation = {
+            key: int(value) for key, value in zip(keys, rounded.values)
+        }
+        return AllocationOutcome(
+            allocation=allocation,
+            objective=rounded.objective,
+            feasible=rounded.feasible,
+            cost=int(sum(rounded.values)) if rounded.feasible else 0,
+            integer_solution=rounded,
+            relaxed_solution=relaxed,
+        )

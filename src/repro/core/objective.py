@@ -1,0 +1,111 @@
+"""Objective functions of the user-centric entanglement-routing problem.
+
+These are the analytical quantities of Section III of the paper:
+
+* ``P_e(n_e)`` — per-edge success probability with ``n_e`` channels (Eq. 1),
+  provided by :mod:`repro.network.channels`.
+* ``P(r, N(r)) = Π_e P_e(n_e(r))`` — EC success probability of a route under
+  an allocation (Eq. 2).
+* ``u(r_t, N_t) = Σ_ϕ log P(r_t(ϕ), N_t(r_t(ϕ)))`` — the proportional-fair
+  slot utility (the inner sum of Eq. 3).
+* the drift-plus-penalty objective of P2:
+  ``V · u(r_t, N_t) − q_t · c_t``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+from repro.network.graph import EdgeKey, QDNGraph
+from repro.network.routes import Route
+from repro.utils.validation import check_non_negative
+
+
+def route_success_probability(
+    graph: QDNGraph, route: Route, allocation: Mapping[EdgeKey, float]
+) -> float:
+    """``P(r, N(r))``: product of per-edge success probabilities (paper Eq. 2).
+
+    ``allocation`` maps each edge of the route to its channel count; edges
+    missing from the mapping are treated as having zero channels (success
+    probability zero).
+    """
+    probability = 1.0
+    for key in route.edges:
+        channels = float(allocation.get(key, 0.0))
+        probability *= graph.link_success(key, channels)
+    return probability
+
+
+def route_log_success(
+    graph: QDNGraph, route: Route, allocation: Mapping[EdgeKey, float]
+) -> float:
+    """``log P(r, N(r))`` computed as a sum of per-edge log terms."""
+    total = 0.0
+    for key in route.edges:
+        channels = float(allocation.get(key, 0.0))
+        probability = graph.link_success(key, channels)
+        if probability <= 0.0:
+            return float("-inf")
+        total += math.log(probability)
+    return total
+
+
+def pair_success_probability(
+    graph: QDNGraph,
+    route: Optional[Route],
+    allocation: Optional[Mapping[EdgeKey, float]] = None,
+) -> float:
+    """EC success probability of one SD pair; 0 when the pair is unserved."""
+    if route is None:
+        return 0.0
+    return route_success_probability(graph, route, allocation or {})
+
+def slot_utility(
+    graph: QDNGraph,
+    routes: Sequence[Route],
+    allocations: Sequence[Mapping[EdgeKey, float]],
+) -> float:
+    """``u(r, N) = Σ_ϕ log P(r(ϕ), N(r(ϕ)))`` over the served SD pairs."""
+    if len(routes) != len(allocations):
+        raise ValueError("routes and allocations must have the same length")
+    total = 0.0
+    for route, allocation in zip(routes, allocations):
+        total += route_log_success(graph, route, allocation)
+    return total
+
+
+def slot_cost(allocations: Sequence[Mapping[EdgeKey, float]]) -> float:
+    """``c_t = Σ_ϕ Σ_e n_e``: the total qubit/channel cost of the slot."""
+    return float(sum(sum(allocation.values()) for allocation in allocations))
+
+
+def drift_plus_penalty_objective(
+    utility: float, cost: float, utility_weight: float, queue_length: float
+) -> float:
+    """The per-slot P2 objective ``V · u − q_t · c_t``.
+
+    ``utility_weight`` is the Lyapunov parameter ``V`` and ``queue_length``
+    the current virtual-queue value ``q_t``.
+    """
+    check_non_negative(utility_weight, "utility_weight")
+    check_non_negative(queue_length, "queue_length")
+    return utility_weight * utility - queue_length * cost
+
+
+def proportional_fairness_utility(success_probabilities: Sequence[float]) -> float:
+    """Proportional-fair utility ``Σ log p`` of a set of success probabilities.
+
+    Returns ``-inf`` if any probability is zero, mirroring the paper's
+    logarithmic objective (Eq. 3) which strongly penalises starving any SD
+    pair.
+    """
+    total = 0.0
+    for probability in success_probabilities:
+        if probability < 0 or probability > 1:
+            raise ValueError(f"invalid probability {probability}")
+        if probability == 0:
+            return float("-inf")
+        total += math.log(probability)
+    return total

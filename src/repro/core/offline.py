@@ -1,0 +1,231 @@
+"""Offline (oracle) planners.
+
+Theorem 2 of the paper compares OSCAR against an *offline* optimum that
+knows the complete statistics of all ``T`` slots.  Such an oracle cannot be
+deployed (it needs the future), but it is invaluable for evaluation: the gap
+between OSCAR and the oracle is the empirical counterpart of the
+``(Δ + B)/V + q0²/(2VT)`` bound.
+
+The offline problem differs from the per-slot problem only through the
+single coupling constraint ``Σ_t c_t <= C``.  Dualising that one constraint
+with a multiplier ``λ`` decomposes the problem into independent per-slot
+problems of exactly the P2 form (utility weight 1, cost price ``λ``), and
+the optimal ``λ*`` is the smallest price at which the total spending drops
+to the budget.  Because total spending is non-increasing in ``λ``, a simple
+bisection finds ``λ*``; this is the classic Lagrangian water-filling
+argument and gives (up to the integrality gap already bounded by Prop. 2)
+the offline optimum.
+
+Two artefacts are provided:
+
+* :func:`plan_offline` — given a frozen workload trace, compute the optimal
+  price ``λ*`` and the per-slot decisions of the oracle.
+* :class:`OfflineOraclePolicy` — wraps a pre-computed plan in the
+  :class:`~repro.core.policy.RoutingPolicy` interface so the oracle can be
+  dropped into the same simulator and comparison harness as OSCAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.per_slot import PerSlotSolver
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import SlotContext, SlotDecision
+from repro.network.graph import QDNGraph
+from repro.utils.rng import SeedLike, as_generator, derive_seed
+from repro.utils.validation import check_non_negative, check_positive
+from repro.workload.traces import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class OfflinePlan:
+    """The oracle's pre-computed decisions for a whole workload trace."""
+
+    price: float
+    decisions: Tuple[SlotDecision, ...]
+    total_cost: float
+    total_utility: float
+    iterations: int
+
+    @property
+    def horizon(self) -> int:
+        """Number of planned slots."""
+        return len(self.decisions)
+
+    def average_utility(self) -> float:
+        """Mean per-slot utility of the plan."""
+        if not self.decisions:
+            return 0.0
+        return self.total_utility / len(self.decisions)
+
+
+def _contexts_from_trace(graph: QDNGraph, trace: WorkloadTrace) -> List[SlotContext]:
+    """Materialise a slot context per trace slot (identical to the simulator's)."""
+    contexts = []
+    for slot in trace.slots:
+        contexts.append(
+            SlotContext(
+                t=slot.t,
+                graph=graph,
+                snapshot=slot.snapshot,
+                requests=slot.requests,
+                candidate_routes={
+                    request: tuple(trace.routes_for(request)) for request in slot.requests
+                },
+            )
+        )
+    return contexts
+
+
+def _solve_all_slots(
+    contexts: Sequence[SlotContext],
+    solver: PerSlotSolver,
+    price: float,
+    graph: QDNGraph,
+    seed: SeedLike,
+) -> Tuple[List[SlotDecision], float, float]:
+    """Solve every slot at a fixed qubit price; return decisions, cost, utility."""
+    rng = as_generator(seed)
+    decisions: List[SlotDecision] = []
+    total_cost = 0.0
+    total_utility = 0.0
+    for context in contexts:
+        solution = solver.solve(
+            context, utility_weight=1.0, cost_weight=price, seed=rng
+        )
+        decisions.append(solution.decision)
+        total_cost += solution.decision.cost()
+        utility = solution.decision.utility(graph)
+        if utility == utility and utility != float("-inf"):  # finite
+            total_utility += utility
+    return decisions, total_cost, total_utility
+
+
+def plan_offline(
+    graph: QDNGraph,
+    trace: WorkloadTrace,
+    total_budget: float,
+    solver: Optional[PerSlotSolver] = None,
+    price_upper_bound: float = 64.0,
+    tolerance: float = 0.01,
+    max_iterations: int = 20,
+    seed: SeedLike = None,
+) -> OfflinePlan:
+    """Compute the Lagrangian offline plan for a frozen trace.
+
+    The price ``λ`` is bisected until the plan's total cost is within
+    ``tolerance`` (relative) of the budget or uses less than the budget at
+    price zero (in which case the budget is simply not binding).
+    ``price_upper_bound`` is doubled automatically until spending falls
+    below the budget, so the initial value only matters for speed.
+    """
+    check_non_negative(total_budget, "total_budget")
+    check_positive(tolerance, "tolerance")
+    solver = solver or PerSlotSolver(gibbs_iterations=30)
+    contexts = _contexts_from_trace(graph, trace)
+    base_seed = derive_seed(None if seed is None else int(as_generator(seed).integers(2**31)), "offline")
+
+    iterations = 0
+
+    # Price zero: the unconstrained (capacity-only) plan.
+    decisions, cost, utility = _solve_all_slots(contexts, solver, 0.0, graph, base_seed)
+    iterations += 1
+    if cost <= total_budget:
+        return OfflinePlan(
+            price=0.0,
+            decisions=tuple(decisions),
+            total_cost=cost,
+            total_utility=utility,
+            iterations=iterations,
+        )
+
+    # Find an upper price at which spending drops below the budget.
+    high = price_upper_bound
+    high_result = _solve_all_slots(contexts, solver, high, graph, base_seed)
+    iterations += 1
+    while high_result[1] > total_budget and iterations < max_iterations:
+        high *= 2.0
+        high_result = _solve_all_slots(contexts, solver, high, graph, base_seed)
+        iterations += 1
+
+    low = 0.0
+    best = high_result  # feasible (within budget) fallback
+    best_price = high
+    while iterations < max_iterations:
+        mid = 0.5 * (low + high)
+        mid_result = _solve_all_slots(contexts, solver, mid, graph, base_seed)
+        iterations += 1
+        mid_cost = mid_result[1]
+        if mid_cost <= total_budget:
+            # Feasible: remember it and try a lower price (spend more).
+            if best is None or mid_result[2] > best[2]:
+                best = mid_result
+                best_price = mid
+            high = mid
+        else:
+            low = mid
+        if total_budget > 0 and abs(mid_cost - total_budget) / total_budget <= tolerance:
+            if mid_cost <= total_budget:
+                best = mid_result
+                best_price = mid
+            break
+
+    decisions, cost, utility = best
+    return OfflinePlan(
+        price=best_price,
+        decisions=tuple(decisions),
+        total_cost=cost,
+        total_utility=utility,
+        iterations=iterations,
+    )
+
+
+@dataclass
+class OfflineOraclePolicy(RoutingPolicy):
+    """A policy that replays a pre-computed offline plan.
+
+    Build it with :meth:`for_trace` (which runs the Lagrangian planner) and
+    pass it to the same :class:`~repro.simulation.engine.SlottedSimulator`
+    as the online policies; because the plan was computed on the exact same
+    trace, the replayed decisions are feasible in every slot.
+    """
+
+    plan: OfflinePlan
+    name: str = "Oracle"
+    _cursor: int = field(default=0, repr=False)
+
+    @classmethod
+    def for_trace(
+        cls,
+        graph: QDNGraph,
+        trace: WorkloadTrace,
+        total_budget: float,
+        solver: Optional[PerSlotSolver] = None,
+        seed: SeedLike = None,
+    ) -> "OfflineOraclePolicy":
+        """Plan offline for ``trace`` and wrap the plan as a policy."""
+        plan = plan_offline(graph, trace, total_budget, solver=solver, seed=seed)
+        return cls(plan=plan)
+
+    def reset(self, graph: QDNGraph, horizon: int) -> None:
+        if horizon != self.plan.horizon:
+            raise ValueError(
+                f"offline plan covers {self.plan.horizon} slots but the run has {horizon}"
+            )
+        self._cursor = 0
+
+    def decide(self, context: SlotContext, seed: SeedLike = None) -> SlotDecision:
+        if self._cursor >= self.plan.horizon:
+            raise RuntimeError("offline plan exhausted; reset() before reuse")
+        decision = self.plan.decisions[self._cursor]
+        self._cursor += 1
+        return decision
+
+    def diagnostics(self) -> dict:
+        return {
+            "price": self.plan.price,
+            "planned_cost": self.plan.total_cost,
+            "planned_utility": self.plan.total_utility,
+        }

@@ -1,0 +1,181 @@
+"""The per-slot problem P2 and its solver.
+
+P2 asks, for the current slot only: choose a route for every EC request and
+an integer channel allocation on every edge of the chosen routes so that
+
+    V · Σ_ϕ log P(r(ϕ), N(r(ϕ)))  −  q_t · Σ_ϕ Σ_e n_e
+
+is maximised subject to the slot's node/edge capacity constraints (and,
+for the myopic baselines, a per-slot budget cap).  The solver combines the
+route selectors of :mod:`repro.core.route_selection` with the allocator of
+:mod:`repro.core.allocation`, picking exhaustive search when the combination
+space is small and Gibbs sampling otherwise, exactly as the paper suggests.
+
+When even one channel per edge does not fit (a situation the paper's
+Assumption 1 rules out but which can arise under heavy exogenous resource
+occupancy), the solver degrades gracefully: requests are dropped, longest
+candidate route first, until the remaining set becomes feasible.  Dropped
+requests are reported as ``unserved`` so the metrics layer can account for
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.allocation import QubitAllocator
+from repro.core.problem import SlotContext, SlotDecision
+from repro.core.route_selection import (
+    ExhaustiveRouteSelector,
+    GibbsRouteSelector,
+    RouteSelectionResult,
+)
+from repro.solvers.relaxed import RelaxedSolver
+from repro.utils.rng import SeedLike, as_generator
+from repro.workload.requests import SDPair
+
+
+@dataclass(frozen=True)
+class PerSlotSolution:
+    """Outcome of solving P2 for one slot."""
+
+    decision: SlotDecision
+    objective: float
+    evaluations: int
+    used_exhaustive: bool
+    dropped_requests: Tuple[SDPair, ...] = ()
+
+    @property
+    def cost(self) -> int:
+        """Total qubit/channel cost of the decision."""
+        return self.decision.cost()
+
+
+@dataclass
+class PerSlotSolver:
+    """Solves the per-slot problem P2 (route selection + qubit allocation).
+
+    ``selector_mode`` is one of ``"auto"`` (default: exhaustive when the
+    number of route combinations is at most ``exhaustive_limit``, Gibbs
+    otherwise), ``"exhaustive"`` or ``"gibbs"``.
+    """
+
+    selector_mode: str = "auto"
+    exhaustive_limit: int = 64
+    gamma: float = 500.0
+    gibbs_iterations: int = 60
+    parallel_updates: bool = False
+    relaxed_solver: Optional[RelaxedSolver] = None
+    _allocator: QubitAllocator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.selector_mode not in ("auto", "exhaustive", "gibbs"):
+            raise ValueError(
+                f"selector_mode must be 'auto', 'exhaustive' or 'gibbs', got {self.selector_mode!r}"
+            )
+        if self.exhaustive_limit < 1:
+            raise ValueError("exhaustive_limit must be at least 1")
+        if self.relaxed_solver is not None:
+            self._allocator = QubitAllocator(solver=self.relaxed_solver)
+        else:
+            self._allocator = QubitAllocator()
+
+    @property
+    def allocator(self) -> QubitAllocator:
+        """The Algorithm-2 allocator used for every combination evaluation."""
+        return self._allocator
+
+    def _select(
+        self,
+        context: SlotContext,
+        requests: Sequence[SDPair],
+        utility_weight: float,
+        cost_weight: float,
+        budget_cap: Optional[float],
+        seed: SeedLike,
+    ) -> Tuple[RouteSelectionResult, bool]:
+        """Run the configured route selector; returns (result, used_exhaustive)."""
+        exhaustive = ExhaustiveRouteSelector(allocator=self._allocator)
+        combinations = exhaustive.combination_count(context, requests)
+        use_exhaustive = self.selector_mode == "exhaustive" or (
+            self.selector_mode == "auto" and combinations <= self.exhaustive_limit
+        )
+        if use_exhaustive:
+            result = exhaustive.select(
+                context, requests, utility_weight, cost_weight, budget_cap, seed
+            )
+            return result, True
+        gibbs = GibbsRouteSelector(
+            allocator=self._allocator,
+            gamma=self.gamma,
+            iterations=self.gibbs_iterations,
+            parallel_updates=self.parallel_updates,
+        )
+        result = gibbs.select(
+            context, requests, utility_weight, cost_weight, budget_cap, seed
+        )
+        return result, True if combinations <= 1 else False
+
+    def solve(
+        self,
+        context: SlotContext,
+        utility_weight: float = 1.0,
+        cost_weight: float = 0.0,
+        budget_cap: Optional[float] = None,
+        seed: SeedLike = None,
+    ) -> PerSlotSolution:
+        """Solve P2 for ``context`` and return the slot decision.
+
+        ``utility_weight`` is ``V`` (use 1 for the plain utility), and
+        ``cost_weight`` the virtual-queue price ``q_t`` (use 0 when the cost
+        is controlled by ``budget_cap`` instead, as the baselines do).
+        """
+        rng = as_generator(seed)
+        servable = list(context.servable_requests())
+        no_routes = tuple(r for r in context.requests if r not in set(servable))
+
+        dropped: List[SDPair] = []
+        evaluations = 0
+        used_exhaustive = True
+        while True:
+            result, used_exhaustive = self._select(
+                context, servable, utility_weight, cost_weight, budget_cap, rng
+            )
+            evaluations += result.evaluations
+            if result.feasible or not servable:
+                break
+            # Infeasible even for the best combination: drop the request with
+            # the longest shortest-candidate route (it consumes the most
+            # resources at the minimum allocation) and retry.
+            def min_hops(request: SDPair) -> int:
+                routes = context.routes_for(request)
+                return min(route.hops for route in routes)
+
+            victim = max(servable, key=min_hops)
+            servable.remove(victim)
+            dropped.append(victim)
+
+        unserved = tuple(no_routes) + tuple(dropped)
+        if not result.selection:
+            decision = SlotDecision.empty(unserved=unserved)
+            return PerSlotSolution(
+                decision=decision,
+                objective=0.0,
+                evaluations=evaluations,
+                used_exhaustive=used_exhaustive,
+                dropped_requests=tuple(dropped),
+            )
+
+        decision = SlotDecision(
+            selection=dict(result.selection),
+            allocation=dict(result.outcome.allocation),
+            unserved=unserved,
+        )
+        return PerSlotSolution(
+            decision=decision,
+            objective=result.objective,
+            evaluations=evaluations,
+            used_exhaustive=used_exhaustive,
+            dropped_requests=tuple(dropped),
+        )

@@ -1,0 +1,256 @@
+"""Algorithm 3 — route selection.
+
+For every served request a route must be chosen from its candidate set; the
+quality of a joint choice is the P2 objective of the *allocated* routes
+(Algorithm 2 is invoked for every evaluated combination).  Two selectors are
+provided:
+
+* :class:`ExhaustiveRouteSelector` — enumerates every combination; exact but
+  exponential in the number of requests, so only suitable when ``|Φ_t|`` or
+  the candidate sets are small (the paper notes these special cases are
+  practically relevant).
+* :class:`GibbsRouteSelector` — the paper's Gibbs-sampling selector: in each
+  iteration one request's route is re-proposed and accepted with the
+  logistic probability of Eq. (15) (with the corrected sign — see
+  :mod:`repro.solvers.gibbs`).  Optionally, requests whose candidate routes
+  never share a node are updated simultaneously (the paper's remark on
+  parallel evolution).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.allocation import AllocationOutcome, QubitAllocator
+from repro.core.problem import SlotContext
+from repro.network.routes import Route
+from repro.solvers.gibbs import GibbsSampler, exhaustive_optimise
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+from repro.workload.requests import SDPair
+
+
+@dataclass(frozen=True)
+class RouteSelectionResult:
+    """Joint outcome of route selection and qubit allocation for one slot."""
+
+    selection: Mapping[SDPair, Route]
+    outcome: AllocationOutcome
+    objective: float
+    evaluations: int
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the selected combination admits a feasible allocation."""
+        return self.outcome.feasible
+
+
+class _CombinationEvaluator:
+    """Caches Algorithm-2 evaluations of route combinations.
+
+    Both selectors repeatedly evaluate combinations; the Gibbs sampler in
+    particular revisits its current combination every iteration.  Caching by
+    the tuple of route indices keeps the number of allocation solves equal to
+    the number of *distinct* combinations visited.
+    """
+
+    def __init__(
+        self,
+        context: SlotContext,
+        requests: Sequence[SDPair],
+        candidate_routes: Sequence[Sequence[Route]],
+        allocator: QubitAllocator,
+        utility_weight: float,
+        cost_weight: float,
+        budget_cap: Optional[float],
+    ) -> None:
+        self._context = context
+        self._requests = list(requests)
+        self._candidates = [list(routes) for routes in candidate_routes]
+        self._allocator = allocator
+        self._utility_weight = utility_weight
+        self._cost_weight = cost_weight
+        self._budget_cap = budget_cap
+        self._cache: Dict[Tuple[int, ...], AllocationOutcome] = {}
+        self.evaluations = 0
+
+    def selection_for(self, assignment: Tuple[int, ...]) -> Dict[SDPair, Route]:
+        """The route mapping corresponding to an index assignment."""
+        return {
+            request: self._candidates[i][choice]
+            for i, (request, choice) in enumerate(zip(self._requests, assignment))
+        }
+
+    def outcome_for(self, assignment: Tuple[int, ...]) -> AllocationOutcome:
+        """Allocate qubits for the combination, with caching."""
+        key = tuple(assignment)
+        if key not in self._cache:
+            outcome = self._allocator.allocate(
+                self._context,
+                self.selection_for(key),
+                utility_weight=self._utility_weight,
+                cost_weight=self._cost_weight,
+                budget_cap=self._budget_cap,
+            )
+            self._cache[key] = outcome
+            self.evaluations += 1
+        return self._cache[key]
+
+    def objective(self, assignment: Tuple[int, ...]) -> float:
+        """P2 objective of the combination; ``-inf`` when infeasible."""
+        outcome = self.outcome_for(assignment)
+        if not outcome.feasible:
+            return float("-inf")
+        return outcome.objective
+
+
+@dataclass
+class ExhaustiveRouteSelector:
+    """Brute-force route selection (exact, exponential in ``|Φ_t|``)."""
+
+    allocator: QubitAllocator = field(default_factory=QubitAllocator)
+
+    def select(
+        self,
+        context: SlotContext,
+        requests: Sequence[SDPair],
+        utility_weight: float = 1.0,
+        cost_weight: float = 0.0,
+        budget_cap: Optional[float] = None,
+        seed: SeedLike = None,
+    ) -> RouteSelectionResult:
+        """Evaluate every route combination and return the best one."""
+        requests = [r for r in requests if len(context.routes_for(r)) > 0]
+        if not requests:
+            empty = AllocationOutcome(allocation={}, objective=0.0, feasible=True, cost=0)
+            return RouteSelectionResult(selection={}, outcome=empty, objective=0.0, evaluations=0)
+        candidates = [list(context.routes_for(r)) for r in requests]
+        evaluator = _CombinationEvaluator(
+            context, requests, candidates, self.allocator,
+            utility_weight, cost_weight, budget_cap,
+        )
+        sizes = [len(routes) for routes in candidates]
+        best_assignment, best_objective = exhaustive_optimise(sizes, evaluator.objective)
+        outcome = evaluator.outcome_for(best_assignment)
+        return RouteSelectionResult(
+            selection=evaluator.selection_for(best_assignment),
+            outcome=outcome,
+            objective=best_objective,
+            evaluations=evaluator.evaluations,
+        )
+
+    def combination_count(self, context: SlotContext, requests: Sequence[SDPair]) -> int:
+        """Number of route combinations an exhaustive search would evaluate."""
+        count = 1
+        for request in requests:
+            routes = context.routes_for(request)
+            if routes:
+                count *= len(routes)
+        return count
+
+
+@dataclass
+class GibbsRouteSelector:
+    """The paper's Gibbs-sampling route selector (Algorithm 3).
+
+    ``iterations`` proposals are made; ``gamma`` controls exploration
+    (paper default 500).  With ``parallel_updates=True`` requests whose
+    candidate routes are node-disjoint are grouped and updated in the same
+    iteration, as suggested by the paper's remark on simultaneous evolution.
+    """
+
+    allocator: QubitAllocator = field(default_factory=QubitAllocator)
+    gamma: float = 500.0
+    iterations: int = 60
+    parallel_updates: bool = False
+    paper_sign: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.gamma, "gamma")
+        check_positive(self.iterations, "iterations")
+
+    def _disjoint_groups(
+        self, candidates: Sequence[Sequence[Route]]
+    ) -> List[List[int]]:
+        """Group request indices whose candidate routes share no node.
+
+        A simple greedy colouring: requests are added to the first group in
+        which they conflict with nobody; conflicting requests end up in
+        different groups, and groups can safely evolve simultaneously.
+        """
+        node_sets = [
+            set().union(*[set(route.nodes) for route in routes]) if routes else set()
+            for routes in candidates
+        ]
+        groups: List[List[int]] = []
+        group_nodes: List[set] = []
+        for index, nodes in enumerate(node_sets):
+            placed = False
+            for group, used in zip(groups, group_nodes):
+                if not (nodes & used):
+                    group.append(index)
+                    used |= nodes
+                    placed = True
+                    break
+            if not placed:
+                groups.append([index])
+                group_nodes.append(set(nodes))
+        return groups
+
+    def select(
+        self,
+        context: SlotContext,
+        requests: Sequence[SDPair],
+        utility_weight: float = 1.0,
+        cost_weight: float = 0.0,
+        budget_cap: Optional[float] = None,
+        seed: SeedLike = None,
+    ) -> RouteSelectionResult:
+        """Run the Gibbs sampler and return the best combination visited."""
+        rng = as_generator(seed)
+        requests = [r for r in requests if len(context.routes_for(r)) > 0]
+        if not requests:
+            empty = AllocationOutcome(allocation={}, objective=0.0, feasible=True, cost=0)
+            return RouteSelectionResult(selection={}, outcome=empty, objective=0.0, evaluations=0)
+        candidates = [list(context.routes_for(r)) for r in requests]
+        evaluator = _CombinationEvaluator(
+            context, requests, candidates, self.allocator,
+            utility_weight, cost_weight, budget_cap,
+        )
+        sizes = [len(routes) for routes in candidates]
+
+        # Initial selection: the first (shortest) candidate route of each
+        # request, which mirrors a sensible warm start and keeps runs
+        # reproducible; the sampler then explores from there.
+        initial = tuple(0 for _ in sizes)
+
+        parallel_groups = None
+        if self.parallel_updates:
+            # Requests inside one group touch disjoint node sets, so they can
+            # evolve their route choices simultaneously without interacting.
+            parallel_groups = self._disjoint_groups(candidates)
+
+        sampler = GibbsSampler(
+            gamma=self.gamma,
+            iterations=self.iterations,
+            paper_sign=self.paper_sign,
+            parallel_groups=parallel_groups,
+        )
+        result = sampler.optimise(sizes, evaluator.objective, seed=rng, initial=initial)
+
+        best_assignment = result.best_assignment
+        best_objective = result.best_objective
+        if math.isinf(best_objective) and best_objective < 0:
+            # Every visited combination was infeasible; fall back to the
+            # initial combination so callers get a well-formed (if
+            # infeasible) outcome to inspect.
+            best_assignment = initial
+        outcome = evaluator.outcome_for(best_assignment)
+        return RouteSelectionResult(
+            selection=evaluator.selection_for(best_assignment),
+            outcome=outcome,
+            objective=evaluator.objective(best_assignment),
+            evaluations=evaluator.evaluations,
+        )

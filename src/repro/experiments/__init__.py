@@ -1,0 +1,26 @@
+"""The experiment harness: paper configuration, runner and one module per figure."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ComparisonResult, run_comparison
+from repro.experiments import (
+    fig3_time_evolving,
+    fig4_distribution,
+    fig5_budget,
+    fig6_network_size,
+    fig7_control_v,
+    fig8_initial_queue,
+    ablations,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ComparisonResult",
+    "run_comparison",
+    "fig3_time_evolving",
+    "fig4_distribution",
+    "fig5_budget",
+    "fig6_network_size",
+    "fig7_control_v",
+    "fig8_initial_queue",
+    "ablations",
+]

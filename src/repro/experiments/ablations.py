@@ -1,0 +1,245 @@
+"""Ablation studies (beyond the paper's figures).
+
+Three design choices of the reproduction are checked explicitly:
+
+* **Route selection** — the Gibbs sampler (Algorithm 3) versus exhaustive
+  search on slots where exhaustive search is tractable: how close does
+  Gibbs get to the exact per-slot optimum, and how many allocation solves
+  does each need?
+* **Relaxation solver** — the fast dual-decomposition solver versus the
+  scipy SLSQP reference on the same allocation instances.
+* **Link model** — the analytic edge success probability ``P_e(n)`` of
+  Eq. (1) versus an attempt-level Monte-Carlo estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.allocation import QubitAllocator
+from repro.core.problem import SlotContext
+from repro.core.route_selection import ExhaustiveRouteSelector, GibbsRouteSelector
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.physics.entanglement import EntanglementGenerator
+from repro.solvers.relaxed import DualDecompositionSolver, SLSQPSolver
+from repro.solvers.rounding import round_down_with_surplus
+from repro.utils.rng import SeedLike, as_generator, derive_seed
+
+
+@dataclass
+class RouteSelectionAblation:
+    """Gibbs vs exhaustive route selection on tractable slots."""
+
+    slots_compared: int
+    mean_objective_gap: float
+    max_objective_gap: float
+    mean_gibbs_evaluations: float
+    mean_exhaustive_evaluations: float
+
+    def format_table(self) -> str:
+        return format_table(
+            ["metric", "value"],
+            [
+                ["slots compared", self.slots_compared],
+                ["mean objective gap (exhaustive - gibbs)", self.mean_objective_gap],
+                ["max objective gap", self.max_objective_gap],
+                ["mean allocation solves (gibbs)", self.mean_gibbs_evaluations],
+                ["mean allocation solves (exhaustive)", self.mean_exhaustive_evaluations],
+            ],
+            title="Ablation: Gibbs vs exhaustive route selection",
+        )
+
+
+@dataclass
+class SolverAblation:
+    """Dual-decomposition vs SLSQP on per-slot allocation instances."""
+
+    instances: int
+    mean_relative_gap: float
+    max_relative_gap: float
+
+    def format_table(self) -> str:
+        return format_table(
+            ["metric", "value"],
+            [
+                ["allocation instances", self.instances],
+                ["mean relative objective gap", self.mean_relative_gap],
+                ["max relative objective gap", self.max_relative_gap],
+            ],
+            title="Ablation: dual-decomposition vs SLSQP relaxation solver",
+        )
+
+
+@dataclass
+class LinkModelAblation:
+    """Analytic Eq. (1) vs Monte-Carlo edge success probabilities."""
+
+    channel_counts: List[int]
+    analytic: List[float]
+    monte_carlo: List[float]
+
+    def max_absolute_error(self) -> float:
+        return max(abs(a - m) for a, m in zip(self.analytic, self.monte_carlo))
+
+    def format_table(self) -> str:
+        rows = [
+            [n, a, m, abs(a - m)]
+            for n, a, m in zip(self.channel_counts, self.analytic, self.monte_carlo)
+        ]
+        return format_table(
+            ["channels", "analytic P(n)", "monte-carlo", "abs error"],
+            rows,
+            title="Ablation: analytic edge success (Eq. 1) vs attempt-level Monte-Carlo",
+        )
+
+
+def _sample_contexts(
+    config: ExperimentConfig, num_slots: int, seed: SeedLike
+) -> List[SlotContext]:
+    """Draw a handful of per-slot contexts from the configured workload."""
+    rng = as_generator(seed)
+    graph = config.build_graph(seed=derive_seed(config.base_seed, "ablation-graph"))
+    trace = config.build_trace(graph, seed=derive_seed(config.base_seed, "ablation-trace"))
+    contexts = []
+    for slot_trace in trace.slots[:num_slots]:
+        contexts.append(
+            SlotContext(
+                t=slot_trace.t,
+                graph=graph,
+                snapshot=slot_trace.snapshot,
+                requests=slot_trace.requests,
+                candidate_routes={
+                    request: tuple(trace.routes_for(request))
+                    for request in slot_trace.requests
+                },
+            )
+        )
+    return contexts
+
+
+def run_route_selection_ablation(
+    config: Optional[ExperimentConfig] = None,
+    num_slots: int = 10,
+    seed: int = 7,
+) -> RouteSelectionAblation:
+    """Compare Gibbs against exhaustive search on a few tractable slots."""
+    config = config or ExperimentConfig.small()
+    contexts = _sample_contexts(config, num_slots, seed)
+    exhaustive = ExhaustiveRouteSelector()
+    gibbs = GibbsRouteSelector(
+        gamma=config.gamma, iterations=config.gibbs_iterations
+    )
+    gaps: List[float] = []
+    gibbs_evaluations: List[int] = []
+    exhaustive_evaluations: List[int] = []
+    rng = as_generator(seed)
+    for context in contexts:
+        requests = list(context.servable_requests())
+        if not requests:
+            continue
+        combos = exhaustive.combination_count(context, requests)
+        if combos > 256:
+            continue
+        exact = exhaustive.select(
+            context, requests, utility_weight=config.trade_off_v, cost_weight=10.0
+        )
+        sampled = gibbs.select(
+            context, requests, utility_weight=config.trade_off_v, cost_weight=10.0, seed=rng
+        )
+        if not exact.feasible or not sampled.feasible:
+            continue
+        gaps.append(exact.objective - sampled.objective)
+        gibbs_evaluations.append(sampled.evaluations)
+        exhaustive_evaluations.append(exact.evaluations)
+    if not gaps:
+        raise RuntimeError("no comparable slots found for the route-selection ablation")
+    return RouteSelectionAblation(
+        slots_compared=len(gaps),
+        mean_objective_gap=float(np.mean(gaps)),
+        max_objective_gap=float(np.max(gaps)),
+        mean_gibbs_evaluations=float(np.mean(gibbs_evaluations)),
+        mean_exhaustive_evaluations=float(np.mean(exhaustive_evaluations)),
+    )
+
+
+def run_solver_ablation(
+    config: Optional[ExperimentConfig] = None,
+    num_slots: int = 10,
+    seed: int = 11,
+) -> SolverAblation:
+    """Compare the dual solver against SLSQP on real per-slot instances."""
+    config = config or ExperimentConfig.small()
+    contexts = _sample_contexts(config, num_slots, seed)
+    dual_allocator = QubitAllocator(solver=DualDecompositionSolver())
+    slsqp_allocator = QubitAllocator(solver=SLSQPSolver())
+    gaps: List[float] = []
+    for context in contexts:
+        requests = list(context.servable_requests())
+        if not requests:
+            continue
+        selection = {
+            request: context.routes_for(request)[0] for request in requests
+        }
+        dual = dual_allocator.allocate(
+            context, selection, utility_weight=config.trade_off_v, cost_weight=10.0
+        )
+        slsqp = slsqp_allocator.allocate(
+            context, selection, utility_weight=config.trade_off_v, cost_weight=10.0
+        )
+        if not dual.feasible or not slsqp.feasible:
+            continue
+        reference = max(abs(slsqp.objective), 1e-9)
+        gaps.append(abs(dual.objective - slsqp.objective) / reference)
+    if not gaps:
+        raise RuntimeError("no comparable instances found for the solver ablation")
+    return SolverAblation(
+        instances=len(gaps),
+        mean_relative_gap=float(np.mean(gaps)),
+        max_relative_gap=float(np.max(gaps)),
+    )
+
+
+def run_link_model_ablation(
+    attempt_success: float = 2.0e-4,
+    attempts_per_slot: int = 4000,
+    channel_counts: Tuple[int, ...] = (1, 2, 3, 4, 6),
+    trials: int = 20000,
+    seed: int = 13,
+) -> LinkModelAblation:
+    """Validate Eq. (1) against attempt-level Monte-Carlo sampling."""
+    generator = EntanglementGenerator(
+        attempt_success=attempt_success, attempts_per_slot=attempts_per_slot
+    )
+    analytic = [generator.edge_success_probability(n) for n in channel_counts]
+    monte_carlo = [
+        generator.empirical_success_rate(n, trials=trials, seed=derive_seed(seed, n))
+        for n in channel_counts
+    ]
+    return LinkModelAblation(
+        channel_counts=list(channel_counts),
+        analytic=analytic,
+        monte_carlo=monte_carlo,
+    )
+
+
+def run_all(config: Optional[ExperimentConfig] = None) -> str:
+    """Run every ablation and return the combined plain-text report."""
+    config = config or ExperimentConfig.small()
+    sections = [
+        run_route_selection_ablation(config).format_table(),
+        run_solver_ablation(config).format_table(),
+        run_link_model_ablation().format_table(),
+    ]
+    return "\n\n".join(sections)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_all())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

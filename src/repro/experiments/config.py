@@ -1,0 +1,242 @@
+"""Experiment configuration.
+
+:class:`ExperimentConfig` captures every parameter of the paper's default
+simulation setup (Sec. V-A) in one frozen-ish dataclass, provides factory
+methods for the network, the workload and the policies, and offers scaled
+presets: :meth:`ExperimentConfig.paper` reproduces the published setting
+(20 nodes, T=200, C=5000, 5 trials) while :meth:`ExperimentConfig.small`
+and :meth:`ExperimentConfig.tiny` shrink the horizon and network so the
+full pipeline can run inside unit tests and CI benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.baselines import (
+    MyopicAdaptivePolicy,
+    MyopicFixedPolicy,
+    ShortestRouteUniformPolicy,
+    UnconstrainedPolicy,
+)
+from repro.core.oscar import OscarPolicy
+from repro.core.policy import RoutingPolicy
+from repro.network.graph import QDNGraph
+from repro.network.resources import ResourceProcess, StaticResources
+from repro.network.topology import CapacityRanges, waxman_topology_with_degree
+from repro.utils.rng import SeedLike, derive_seed
+from repro.utils.validation import check_positive
+from repro.workload.requests import RequestProcess, UniformRequestProcess
+from repro.workload.traces import WorkloadTrace, generate_trace
+
+
+@dataclass
+class ExperimentConfig:
+    """All knobs of one experiment, defaulting to the paper's Section V-A values."""
+
+    # --- topology (Sec. V-A1/A2) ---------------------------------------- #
+    num_nodes: int = 20
+    area: float = 100.0
+    waxman_alpha: float = 0.5
+    target_degree: float = 4.0
+    qubit_capacity_min: int = 10
+    qubit_capacity_max: int = 16
+    channel_capacity_min: int = 5
+    channel_capacity_max: int = 8
+
+    # --- link physics (Sec. V-A2) ---------------------------------------- #
+    attempt_success: float = 2.0e-4
+    attempts_per_slot: int = 4000
+
+    # --- workload and budget (Sec. V-A2) --------------------------------- #
+    horizon: int = 200
+    total_budget: float = 5000.0
+    min_pairs: int = 1
+    max_pairs: int = 5
+
+    # --- candidate routes ------------------------------------------------- #
+    num_candidate_routes: int = 4
+    max_extra_hops: int = 2
+
+    # --- OSCAR parameters (Sec. V-A2) ------------------------------------- #
+    trade_off_v: float = 2500.0
+    initial_queue: float = 10.0
+    gamma: float = 500.0
+    gibbs_iterations: int = 60
+    exhaustive_limit: int = 64
+
+    # --- experiment bookkeeping ------------------------------------------- #
+    trials: int = 5
+    base_seed: int = 2024
+    realize: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_nodes, "num_nodes")
+        check_positive(self.horizon, "horizon")
+        check_positive(self.trials, "trials")
+
+    # ------------------------------------------------------------------ #
+    # Presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The paper's default configuration (Sec. V-A2)."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "ExperimentConfig":
+        """A scaled-down configuration for benchmarks (minutes → seconds).
+
+        The budget-per-slot ratio, Lyapunov parameters and workload
+        intensity match the paper; only the horizon, network size and trial
+        count shrink.
+        """
+        return cls(
+            num_nodes=12,
+            horizon=40,
+            total_budget=1000.0,
+            trials=2,
+            gibbs_iterations=25,
+            max_pairs=4,
+            trade_off_v=2500.0,
+            gamma=500.0,
+        )
+
+    @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """The smallest end-to-end configuration, for unit tests."""
+        return cls(
+            num_nodes=8,
+            horizon=10,
+            total_budget=250.0,
+            trials=1,
+            gibbs_iterations=10,
+            max_pairs=3,
+            num_candidate_routes=3,
+        )
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        """A copy of this configuration with selected fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------ #
+    # Derived factories
+    # ------------------------------------------------------------------ #
+    @property
+    def per_slot_budget(self) -> float:
+        """``C / T``."""
+        return self.total_budget / self.horizon
+
+    def capacity_ranges(self) -> CapacityRanges:
+        """The qubit/channel capacity sampling ranges."""
+        return CapacityRanges(
+            qubit_min=self.qubit_capacity_min,
+            qubit_max=self.qubit_capacity_max,
+            channel_min=self.channel_capacity_min,
+            channel_max=self.channel_capacity_max,
+        )
+
+    def build_graph(self, seed: SeedLike = None) -> QDNGraph:
+        """Generate one Waxman topology with the configured parameters."""
+        if seed is None:
+            seed = derive_seed(self.base_seed, "topology")
+        return waxman_topology_with_degree(
+            num_nodes=self.num_nodes,
+            target_degree=self.target_degree,
+            alpha=self.waxman_alpha,
+            area=self.area,
+            capacities=self.capacity_ranges(),
+            attempts_per_slot=self.attempts_per_slot,
+            seed=seed,
+        )
+
+    def request_process(self) -> RequestProcess:
+        """The paper's uniform EC request process."""
+        return UniformRequestProcess(min_pairs=self.min_pairs, max_pairs=self.max_pairs)
+
+    def resource_process(self) -> ResourceProcess:
+        """Resource availability process (full availability by default)."""
+        return StaticResources()
+
+    def build_trace(self, graph: QDNGraph, seed: SeedLike = None) -> WorkloadTrace:
+        """Sample one frozen workload trace for ``graph``."""
+        if seed is None:
+            seed = derive_seed(self.base_seed, "trace")
+        return generate_trace(
+            graph,
+            horizon=self.horizon,
+            request_process=self.request_process(),
+            resource_process=self.resource_process(),
+            num_candidate_routes=self.num_candidate_routes,
+            max_extra_hops=self.max_extra_hops,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Policies
+    # ------------------------------------------------------------------ #
+    def make_oscar(self, **overrides) -> OscarPolicy:
+        """The OSCAR policy configured per this experiment."""
+        parameters = dict(
+            total_budget=self.total_budget,
+            horizon=self.horizon,
+            trade_off_v=self.trade_off_v,
+            initial_queue=self.initial_queue,
+            gamma=self.gamma,
+            gibbs_iterations=self.gibbs_iterations,
+            exhaustive_limit=self.exhaustive_limit,
+        )
+        parameters.update(overrides)
+        return OscarPolicy(**parameters)
+
+    def make_myopic_fixed(self, **overrides) -> MyopicFixedPolicy:
+        """The MF baseline configured per this experiment."""
+        parameters = dict(
+            total_budget=self.total_budget,
+            horizon=self.horizon,
+            gamma=self.gamma,
+            gibbs_iterations=self.gibbs_iterations,
+            exhaustive_limit=self.exhaustive_limit,
+        )
+        parameters.update(overrides)
+        return MyopicFixedPolicy(**parameters)
+
+    def make_myopic_adaptive(self, **overrides) -> MyopicAdaptivePolicy:
+        """The MA baseline configured per this experiment."""
+        parameters = dict(
+            total_budget=self.total_budget,
+            horizon=self.horizon,
+            gamma=self.gamma,
+            gibbs_iterations=self.gibbs_iterations,
+            exhaustive_limit=self.exhaustive_limit,
+        )
+        parameters.update(overrides)
+        return MyopicAdaptivePolicy(**parameters)
+
+    def make_unconstrained(self, **overrides) -> UnconstrainedPolicy:
+        """The budget-oblivious reference policy."""
+        parameters = dict(
+            total_budget=self.total_budget,
+            horizon=self.horizon,
+            gamma=self.gamma,
+            gibbs_iterations=self.gibbs_iterations,
+            exhaustive_limit=self.exhaustive_limit,
+        )
+        parameters.update(overrides)
+        return UnconstrainedPolicy(**parameters)
+
+    def make_shortest_uniform(self, **overrides) -> ShortestRouteUniformPolicy:
+        """The naive shortest-route / uniform-spread heuristic."""
+        parameters = dict(total_budget=self.total_budget, horizon=self.horizon)
+        parameters.update(overrides)
+        return ShortestRouteUniformPolicy(**parameters)
+
+    def default_policies(self) -> List[RoutingPolicy]:
+        """The three policies compared throughout the paper: OSCAR, MA, MF."""
+        return [self.make_oscar(), self.make_myopic_adaptive(), self.make_myopic_fixed()]
+
+    def describe(self) -> Dict[str, object]:
+        """A flat description of the configuration (for reports and logs)."""
+        return dataclasses.asdict(self)

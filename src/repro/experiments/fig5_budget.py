@@ -1,0 +1,106 @@
+"""Figure 5 — impact of the qubit budget C.
+
+The paper sweeps the total budget and reports (a) the average EC success
+rate and (b) the average qubit usage of OSCAR, MA and MF.  Findings to
+reproduce: every method improves with a larger budget, OSCAR dominates at
+every budget level, and the gap to the baselines *narrows* as the budget
+grows (resources stop being the bottleneck).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_series_table
+from repro.experiments.runner import ComparisonResult, run_comparison
+
+#: Budget sweep used when reproducing the paper-scale experiment.
+PAPER_BUDGETS = (3000.0, 4000.0, 5000.0, 6000.0, 7000.0, 8000.0)
+
+
+@dataclass
+class Figure5Result:
+    """Average success rate and qubit usage as a function of the budget."""
+
+    config: ExperimentConfig
+    budgets: List[float]
+    success_rate: Dict[str, List[float]]
+    total_cost: Dict[str, List[float]]
+    comparisons: List[ComparisonResult] = field(default_factory=list, repr=False)
+
+    def oscar_advantage(self, baseline: str = "MF") -> List[float]:
+        """OSCAR-minus-baseline success-rate gap at each budget (should shrink)."""
+        return [
+            oscar - other
+            for oscar, other in zip(self.success_rate["OSCAR"], self.success_rate[baseline])
+        ]
+
+    def format_tables(self) -> str:
+        """Both panels of Fig. 5 as plain-text tables."""
+        return "\n\n".join(
+            [
+                format_series_table(
+                    "budget C",
+                    self.budgets,
+                    self.success_rate,
+                    title="Fig. 5(a) Average EC success rate vs. budget",
+                ),
+                format_series_table(
+                    "budget C",
+                    self.budgets,
+                    self.total_cost,
+                    title="Fig. 5(b) Average total qubit usage vs. budget",
+                ),
+            ]
+        )
+
+
+def sweep_budgets_for(config: ExperimentConfig) -> List[float]:
+    """The budget sweep, scaled to the configuration's default budget.
+
+    At paper scale this is 3000…8000; for the scaled-down configurations the
+    same relative range (0.6x to 1.6x the default budget) is used.
+    """
+    factors = [b / 5000.0 for b in PAPER_BUDGETS]
+    return [round(config.total_budget * factor, 2) for factor in factors]
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    budgets: Optional[Sequence[float]] = None,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Figure5Result:
+    """Run the budget sweep and collect per-policy success rates and usage."""
+    config = config or ExperimentConfig.paper()
+    budgets = list(budgets) if budgets is not None else sweep_budgets_for(config)
+
+    success_rate: Dict[str, List[float]] = {}
+    total_cost: Dict[str, List[float]] = {}
+    comparisons: List[ComparisonResult] = []
+    for budget in budgets:
+        swept = config.with_overrides(total_budget=float(budget))
+        comparison = run_comparison(swept, trials=trials, seed=seed)
+        comparisons.append(comparison)
+        summary = comparison.summary()
+        for name, metrics in summary.items():
+            success_rate.setdefault(name, []).append(metrics["average_success_rate"].mean)
+            total_cost.setdefault(name, []).append(metrics["total_cost"].mean)
+    return Figure5Result(
+        config=config,
+        budgets=[float(b) for b in budgets],
+        success_rate=success_rate,
+        total_cost=total_cost,
+        comparisons=comparisons,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run(ExperimentConfig.small(), budgets=None, trials=1)
+    print(result.format_tables())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,96 @@
+"""Figure 6 — impact of the network size.
+
+The paper sweeps the number of nodes while tuning the Waxman parameters so
+the average node degree stays near 4, and reports (a) the average EC success
+rate and (b) the average qubit usage under the *same* total budget.
+Findings to reproduce: success rates drop with network size (routes get
+longer), and OSCAR stays ahead of MA and MF at every size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_series_table
+from repro.experiments.runner import ComparisonResult, run_comparison
+
+#: Node-count sweep used at paper scale.
+PAPER_SIZES = (10, 15, 20, 25, 30)
+
+
+@dataclass
+class Figure6Result:
+    """Average success rate and qubit usage as a function of network size."""
+
+    config: ExperimentConfig
+    sizes: List[int]
+    success_rate: Dict[str, List[float]]
+    total_cost: Dict[str, List[float]]
+    comparisons: List[ComparisonResult] = field(default_factory=list, repr=False)
+
+    def format_tables(self) -> str:
+        """Both panels of Fig. 6 as plain-text tables."""
+        return "\n\n".join(
+            [
+                format_series_table(
+                    "nodes",
+                    self.sizes,
+                    self.success_rate,
+                    title="Fig. 6(a) Average EC success rate vs. network size",
+                ),
+                format_series_table(
+                    "nodes",
+                    self.sizes,
+                    self.total_cost,
+                    title="Fig. 6(b) Average total qubit usage vs. network size",
+                ),
+            ]
+        )
+
+
+def sweep_sizes_for(config: ExperimentConfig) -> List[int]:
+    """The node-count sweep, scaled to the configuration's default size."""
+    factors = [size / 20.0 for size in PAPER_SIZES]
+    sizes = sorted({max(6, int(round(config.num_nodes * factor))) for factor in factors})
+    return sizes
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    sizes: Optional[Sequence[int]] = None,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Figure6Result:
+    """Run the network-size sweep with the average degree held near 4."""
+    config = config or ExperimentConfig.paper()
+    sizes = list(sizes) if sizes is not None else sweep_sizes_for(config)
+
+    success_rate: Dict[str, List[float]] = {}
+    total_cost: Dict[str, List[float]] = {}
+    comparisons: List[ComparisonResult] = []
+    for size in sizes:
+        swept = config.with_overrides(num_nodes=int(size))
+        comparison = run_comparison(swept, trials=trials, seed=seed)
+        comparisons.append(comparison)
+        summary = comparison.summary()
+        for name, metrics in summary.items():
+            success_rate.setdefault(name, []).append(metrics["average_success_rate"].mean)
+            total_cost.setdefault(name, []).append(metrics["total_cost"].mean)
+    return Figure6Result(
+        config=config,
+        sizes=[int(s) for s in sizes],
+        success_rate=success_rate,
+        total_cost=total_cost,
+        comparisons=comparisons,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    result = run(ExperimentConfig.small(), sizes=(8, 12, 16), trials=1)
+    print(result.format_tables())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

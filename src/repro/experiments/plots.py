@@ -1,0 +1,125 @@
+"""Dependency-free ASCII plots.
+
+The reproduction deliberately avoids a plotting dependency; these helpers
+render time series and histograms as ASCII charts so the figure reports can
+still convey *shape* (crossovers, saturation, tails) in a terminal or a CI
+log.  They complement — not replace — the exact numeric tables produced by
+:mod:`repro.experiments.reporting`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.utils.validation import check_positive
+
+#: Characters used to distinguish series in a combined chart, in order.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line sparkline of ``values`` using block characters."""
+    check_positive(width, "width")
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    low, high = min(values), max(values)
+    blocks = "▁▂▃▄▅▆▇█"
+    if high == low:
+        return blocks[0] * len(values)
+    scale = (len(blocks) - 1) / (high - low)
+    return "".join(blocks[int(round((v - low) * scale))] for v in values)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+    y_format: str = "{:.3f}",
+) -> str:
+    """A multi-series ASCII line chart (one marker character per series).
+
+    All series are resampled to ``width`` columns and share one y-axis; the
+    legend maps marker characters to series names.  Points from different
+    series that fall on the same cell show the marker of the later series.
+    """
+    check_positive(height, "height")
+    check_positive(width, "width")
+    names = list(series.keys())
+    if not names:
+        return title
+    resampled: Dict[str, List[float]] = {}
+    for name in names:
+        values = [float(v) for v in series[name]]
+        if not values:
+            values = [0.0]
+        if len(values) > width:
+            step = len(values) / width
+            values = [values[int(i * step)] for i in range(width)]
+        resampled[name] = values
+
+    all_values = [v for values in resampled.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0
+    scale = (height - 1) / (high - low)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, name in enumerate(names):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        values = resampled[name]
+        for column, value in enumerate(values[:width]):
+            row = height - 1 - int(round((value - low) * scale))
+            grid[row][column] = marker
+
+    label_high = y_format.format(high)
+    label_low = y_format.format(low)
+    label_width = max(len(label_high), len(label_low))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = label_high.rjust(label_width)
+        elif row_index == height - 1:
+            label = label_low.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    legend = "  ".join(
+        f"{SERIES_MARKERS[i % len(SERIES_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    bin_edges: Sequence[float],
+    fractions: Mapping[str, Sequence[float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal-bar ASCII histogram, one row per (bin, series)."""
+    check_positive(width, "width")
+    names = list(fractions.keys())
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(
+        (value for values in fractions.values() for value in values), default=0.0
+    )
+    scale = width / peak if peak > 0 else 0.0
+    for index in range(len(bin_edges) - 1):
+        label = f"[{bin_edges[index]:.1f},{bin_edges[index + 1]:.1f})"
+        for series_index, name in enumerate(names):
+            values = fractions[name]
+            value = values[index] if index < len(values) else 0.0
+            bar = "#" * int(round(value * scale))
+            prefix = label if series_index == 0 else " " * len(label)
+            lines.append(f"{prefix} {name:>8} |{bar} {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Plain-text reporting helpers.
+
+The reproduction does not depend on plotting libraries; every figure module
+emits the series/rows it would plot as aligned plain-text tables (and the
+benchmarks write them to stdout), which is enough to compare shapes against
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_cell(value: object, precision: int = 4) -> str:
+    """Human-friendly formatting of one table cell."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_line([str(h) for h in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render several series sharing the same x-axis as one table."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        row: List[object] = [x]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def format_summary(summary: Mapping[str, Mapping[str, object]], title: str = "") -> str:
+    """Render a policy-by-metric summary (values may be aggregates or floats)."""
+    if not summary:
+        return title
+    metric_names = list(next(iter(summary.values())).keys())
+    headers = ["policy"] + metric_names
+    rows = []
+    for policy, metrics in summary.items():
+        row: List[object] = [policy]
+        for metric in metric_names:
+            value = metrics[metric]
+            mean = getattr(value, "mean", value)
+            row.append(mean)
+        rows.append(row)
+    return format_table(headers, rows, title=title)

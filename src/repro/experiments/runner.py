@@ -1,0 +1,140 @@
+"""Multi-trial experiment runner.
+
+The paper reports averages over 5 independent trials.  A trial consists of
+sampling one topology and one workload trace, then running every policy on
+that identical trace.  :func:`run_comparison` performs the trials and
+returns a :class:`ComparisonResult` from which the figure modules extract
+their series and tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import jain_fairness_index
+from repro.analysis.stats import TrialAggregate, aggregate_scalar, aggregate_series
+from repro.core.policy import RoutingPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.simulation.engine import simulate_policies
+from repro.simulation.results import SimulationResult
+from repro.utils.rng import derive_seed
+
+PolicyFactory = Callable[[ExperimentConfig], Sequence[RoutingPolicy]]
+
+
+def default_policy_factory(config: ExperimentConfig) -> Sequence[RoutingPolicy]:
+    """The paper's policy line-up: OSCAR, Myopic-Adaptive, Myopic-Fixed."""
+    return config.default_policies()
+
+
+@dataclass
+class ComparisonResult:
+    """Results of every policy over every trial of one experiment."""
+
+    config: ExperimentConfig
+    trials: List[Dict[str, SimulationResult]] = field(default_factory=list)
+
+    @property
+    def policy_names(self) -> List[str]:
+        """Names of the compared policies (order of the first trial)."""
+        if not self.trials:
+            return []
+        return list(self.trials[0].keys())
+
+    def results_for(self, policy_name: str) -> List[SimulationResult]:
+        """All trial results of one policy."""
+        return [trial[policy_name] for trial in self.trials]
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def aggregate_metric(
+        self, policy_name: str, metric: Callable[[SimulationResult], float]
+    ) -> TrialAggregate:
+        """Aggregate an arbitrary scalar metric of one policy across trials."""
+        return aggregate_scalar([metric(result) for result in self.results_for(policy_name)])
+
+    def summary(self) -> Dict[str, Dict[str, TrialAggregate]]:
+        """Mean ± CI of the headline metrics for every policy."""
+        metrics: Dict[str, Callable[[SimulationResult], float]] = {
+            "average_utility": lambda r: r.average_utility(),
+            "average_success_rate": lambda r: r.average_success_rate(),
+            "realized_success_rate": lambda r: r.realized_success_rate(),
+            "total_cost": lambda r: r.total_cost,
+            "budget_utilisation": lambda r: r.budget_utilisation,
+            "budget_violation": lambda r: r.budget_violation,
+            "served_fraction": lambda r: r.served_fraction(),
+            "fairness": lambda r: jain_fairness_index(
+                r.all_success_probabilities(include_unserved=True)
+            ),
+        }
+        return {
+            name: {
+                metric_name: self.aggregate_metric(name, metric)
+                for metric_name, metric in metrics.items()
+            }
+            for name in self.policy_names
+        }
+
+    def mean_series(self, policy_name: str, kind: str) -> List[float]:
+        """Across-trial mean of a per-slot series of one policy.
+
+        ``kind`` is one of ``"running_utility"``, ``"running_success"``,
+        ``"cumulative_cost"`` or ``"queue_length"``.
+        """
+        extractors = {
+            "running_utility": lambda r: r.running_average_utility(),
+            "running_success": lambda r: r.running_average_success_rate(),
+            "cumulative_cost": lambda r: r.cumulative_costs(),
+            "per_slot_cost": lambda r: [float(c) for c in r.per_slot_costs()],
+        }
+        if kind not in extractors:
+            raise ValueError(f"unknown series kind {kind!r}")
+        series = [extractors[kind](result) for result in self.results_for(policy_name)]
+        means, _ = aggregate_series(series)
+        return means
+
+    def success_probability_pool(self, policy_name: str) -> List[float]:
+        """All per-request success probabilities of a policy, pooled over trials."""
+        pool: List[float] = []
+        for result in self.results_for(policy_name):
+            pool.extend(result.all_success_probabilities(include_unserved=True))
+        return pool
+
+
+def run_comparison(
+    config: ExperimentConfig,
+    policy_factory: Optional[PolicyFactory] = None,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ComparisonResult:
+    """Run the multi-trial comparison defined by ``config``.
+
+    Every trial draws a fresh topology and workload trace; every policy runs
+    on the identical trace within a trial.  ``policy_factory`` may replace
+    the default OSCAR/MA/MF line-up (it is called once per trial so that
+    policies start from clean state).
+    """
+    policy_factory = policy_factory or default_policy_factory
+    trials = trials if trials is not None else config.trials
+    seed = seed if seed is not None else config.base_seed
+
+    comparison = ComparisonResult(config=config)
+    for trial in range(trials):
+        graph_seed = derive_seed(seed, "graph", trial)
+        trace_seed = derive_seed(seed, "trace", trial)
+        run_seed = derive_seed(seed, "run", trial)
+        graph = config.build_graph(seed=graph_seed)
+        trace = config.build_trace(graph, seed=trace_seed)
+        policies = list(policy_factory(config))
+        results = simulate_policies(
+            graph,
+            trace,
+            policies,
+            total_budget=config.total_budget,
+            realize=config.realize,
+            seed=run_seed,
+        )
+        comparison.trials.append(results)
+    return comparison

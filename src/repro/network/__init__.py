@@ -1,0 +1,76 @@
+"""Quantum Data Network (QDN) model.
+
+This subpackage provides the network substrate on which entanglement routing
+operates:
+
+* :mod:`repro.network.graph` — the QDN graph (nodes with qubit capacity,
+  edges with quantum-channel capacity) and per-slot availability snapshots.
+* :mod:`repro.network.channels` — channel physics: per-attempt success
+  probability from fibre length, per-slot link success, multi-channel
+  success.
+* :mod:`repro.network.topology` — topology generators (the paper's Waxman
+  graph plus grid / ring / star / line / complete topologies).
+* :mod:`repro.network.routes` — candidate route computation (Dijkstra,
+  Yen's k-shortest paths, hop-bounded enumeration).
+* :mod:`repro.network.resources` — exogenous time-varying resource
+  availability processes producing the paper's ``Q_t^v`` and ``W_t^e``.
+"""
+
+from repro.network.graph import (
+    EdgeKey,
+    QuantumEdge,
+    QuantumNode,
+    QDNGraph,
+    ResourceSnapshot,
+    edge_key,
+)
+from repro.network.channels import (
+    ChannelModel,
+    ConstantLossChannel,
+    FiberLossChannel,
+    multi_channel_success,
+    per_slot_success,
+)
+from repro.network.routes import (
+    Route,
+    CandidateRouteSet,
+    build_candidate_routes,
+    k_shortest_routes,
+    shortest_route,
+)
+from repro.network.resources import (
+    ResourceProcess,
+    StaticResources,
+    UniformOccupancy,
+    MarkovOccupancy,
+)
+from repro.network.io import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.network import topology
+
+__all__ = [
+    "EdgeKey",
+    "QuantumEdge",
+    "QuantumNode",
+    "QDNGraph",
+    "ResourceSnapshot",
+    "edge_key",
+    "ChannelModel",
+    "ConstantLossChannel",
+    "FiberLossChannel",
+    "multi_channel_success",
+    "per_slot_success",
+    "Route",
+    "CandidateRouteSet",
+    "build_candidate_routes",
+    "k_shortest_routes",
+    "shortest_route",
+    "ResourceProcess",
+    "StaticResources",
+    "UniformOccupancy",
+    "MarkovOccupancy",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "topology",
+]

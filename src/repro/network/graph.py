@@ -1,0 +1,308 @@
+"""The Quantum Data Network graph model.
+
+The QDN is an undirected graph ``G = <V, E>`` (paper, Sec. III-A).  Every
+quantum node ``v`` owns ``Q_v`` qubits of quantum memory and every edge ``e``
+owns ``W_e`` quantum channels (physical fibres).  The *available* amounts in
+a given slot, ``Q_t^v`` and ``W_t^e``, can be smaller because other users
+occupy part of the hardware; availability snapshots are produced by the
+resource processes in :mod:`repro.network.resources`.
+
+Edges are identified by a canonical, order-independent :data:`EdgeKey` so
+that allocations, capacities and probabilities can be stored in plain
+dictionaries without worrying about ``(u, v)`` versus ``(v, u)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.network.channels import (
+    DEFAULT_ATTEMPTS_PER_SLOT,
+    multi_channel_success,
+    per_slot_success,
+)
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+NodeName = Hashable
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+def edge_key(u: NodeName, v: NodeName) -> EdgeKey:
+    """Canonical, order-independent identifier of the undirected edge ``{u, v}``."""
+    if u == v:
+        raise ValueError(f"self-loop edges are not allowed (node {u!r})")
+    a, b = sorted((u, v), key=repr)
+    return (a, b)
+
+
+@dataclass(frozen=True)
+class QuantumNode:
+    """A quantum node: either a quantum computer (QC) or a quantum repeater (QR)."""
+
+    name: NodeName
+    qubit_capacity: int
+    position: Optional[Tuple[float, float]] = None
+    is_repeater: bool = False
+
+    def __post_init__(self) -> None:
+        if self.qubit_capacity < 0:
+            raise ValueError(
+                f"qubit_capacity must be non-negative, got {self.qubit_capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class QuantumEdge:
+    """A quantum edge: a bundle of physical quantum channels between two nodes."""
+
+    u: NodeName
+    v: NodeName
+    channel_capacity: int
+    length: float = 1.0
+    attempt_success: float = 2.0e-4
+
+    def __post_init__(self) -> None:
+        if self.u == self.v:
+            raise ValueError(f"self-loop edges are not allowed (node {self.u!r})")
+        if self.channel_capacity < 0:
+            raise ValueError(
+                f"channel_capacity must be non-negative, got {self.channel_capacity}"
+            )
+        check_non_negative(self.length, "length")
+        check_probability(self.attempt_success, "attempt_success")
+
+    @property
+    def key(self) -> EdgeKey:
+        """Canonical identifier of this edge."""
+        return edge_key(self.u, self.v)
+
+
+@dataclass(frozen=True)
+class ResourceSnapshot:
+    """Per-slot availability of qubits and channels (``Q_t^v`` and ``W_t^e``)."""
+
+    qubits: Mapping[NodeName, int]
+    channels: Mapping[EdgeKey, int]
+
+    def available_qubits(self, node: NodeName) -> int:
+        """Available qubits at ``node`` in this slot."""
+        return int(self.qubits[node])
+
+    def available_channels(self, key: EdgeKey) -> int:
+        """Available channels on the edge identified by ``key`` in this slot."""
+        return int(self.channels[key])
+
+    def restricted_to(
+        self, nodes: Iterable[NodeName], edges: Iterable[EdgeKey]
+    ) -> "ResourceSnapshot":
+        """A snapshot containing only the given nodes and edges."""
+        node_set = set(nodes)
+        edge_set = set(edges)
+        return ResourceSnapshot(
+            qubits={n: q for n, q in self.qubits.items() if n in node_set},
+            channels={e: w for e, w in self.channels.items() if e in edge_set},
+        )
+
+
+class QDNGraph:
+    """The quantum data network: nodes, edges, capacities and link physics.
+
+    The class is a thin, domain-specific wrapper around
+    :class:`networkx.Graph`; the underlying graph is exposed via
+    :attr:`nx_graph` for algorithms (shortest paths, connectivity) while the
+    wrapper keeps capacities, lengths and per-attempt probabilities strongly
+    typed and validated.
+    """
+
+    def __init__(self, attempts_per_slot: int = DEFAULT_ATTEMPTS_PER_SLOT) -> None:
+        check_positive(attempts_per_slot, "attempts_per_slot")
+        self._graph = nx.Graph()
+        self._nodes: Dict[NodeName, QuantumNode] = {}
+        self._edges: Dict[EdgeKey, QuantumEdge] = {}
+        self._attempts_per_slot = int(attempts_per_slot)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: QuantumNode) -> None:
+        """Add a quantum node; replaces any existing node with the same name."""
+        self._nodes[node.name] = node
+        self._graph.add_node(node.name)
+
+    def add_edge(self, edge: QuantumEdge) -> None:
+        """Add a quantum edge; both endpoints must already exist."""
+        for endpoint in (edge.u, edge.v):
+            if endpoint not in self._nodes:
+                raise KeyError(f"cannot add edge: node {endpoint!r} not in graph")
+        self._edges[edge.key] = edge
+        self._graph.add_edge(*edge.key)
+
+    def remove_edge(self, u: NodeName, v: NodeName) -> None:
+        """Remove the edge ``{u, v}`` (raises ``KeyError`` if absent)."""
+        key = edge_key(u, v)
+        if key not in self._edges:
+            raise KeyError(f"edge {key} not in graph")
+        del self._edges[key]
+        self._graph.remove_edge(*key)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nx_graph(self) -> nx.Graph:
+        """The underlying :class:`networkx.Graph` (read-only by convention)."""
+        return self._graph
+
+    @property
+    def attempts_per_slot(self) -> int:
+        """Number of entanglement attempts per channel per slot (paper: 4000)."""
+        return self._attempts_per_slot
+
+    @property
+    def nodes(self) -> List[NodeName]:
+        """Node names, in insertion order."""
+        return list(self._nodes.keys())
+
+    @property
+    def edges(self) -> List[EdgeKey]:
+        """Canonical edge keys, in insertion order."""
+        return list(self._edges.keys())
+
+    def __contains__(self, name: NodeName) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: NodeName) -> QuantumNode:
+        """The :class:`QuantumNode` with the given name."""
+        return self._nodes[name]
+
+    def edge(self, u: NodeName, v: NodeName = None) -> QuantumEdge:
+        """The :class:`QuantumEdge` between ``u`` and ``v``.
+
+        Also accepts a single :data:`EdgeKey` argument for convenience.
+        """
+        if v is None:
+            key = u  # type: ignore[assignment]
+        else:
+            key = edge_key(u, v)
+        return self._edges[key]
+
+    def has_edge(self, u: NodeName, v: NodeName) -> bool:
+        """Whether an edge exists between ``u`` and ``v``."""
+        if u == v:
+            return False
+        return edge_key(u, v) in self._edges
+
+    def neighbors(self, name: NodeName) -> List[NodeName]:
+        """Neighbors of ``name``."""
+        return list(self._graph.neighbors(name))
+
+    def degree(self, name: NodeName) -> int:
+        """Degree of ``name``."""
+        return int(self._graph.degree(name))
+
+    def average_degree(self) -> float:
+        """Average node degree of the network."""
+        if len(self._nodes) == 0:
+            return 0.0
+        return 2.0 * len(self._edges) / len(self._nodes)
+
+    def is_connected(self) -> bool:
+        """Whether the network is a single connected component."""
+        if len(self._nodes) == 0:
+            return False
+        return nx.is_connected(self._graph)
+
+    def edges_incident(self, name: NodeName) -> List[EdgeKey]:
+        """Canonical keys of every edge incident to ``name``."""
+        return [edge_key(name, other) for other in self._graph.neighbors(name)]
+
+    def iter_edge_objects(self) -> Iterator[QuantumEdge]:
+        """Iterate over the :class:`QuantumEdge` objects."""
+        return iter(self._edges.values())
+
+    # ------------------------------------------------------------------ #
+    # Capacities and physics
+    # ------------------------------------------------------------------ #
+    def qubit_capacity(self, name: NodeName) -> int:
+        """Hardware qubit capacity ``Q_v`` of node ``name``."""
+        return self._nodes[name].qubit_capacity
+
+    def channel_capacity(self, key: EdgeKey) -> int:
+        """Hardware channel capacity ``W_e`` of the edge identified by ``key``."""
+        return self._edges[key].channel_capacity
+
+    def attempt_success(self, key: EdgeKey) -> float:
+        """Per-attempt success probability ``p̃_e`` of the edge."""
+        return self._edges[key].attempt_success
+
+    def slot_success(self, key: EdgeKey, attempts: Optional[int] = None) -> float:
+        """Per-slot, single-channel success probability ``p_e`` of the edge."""
+        if attempts is None:
+            attempts = self._attempts_per_slot
+        return per_slot_success(self._edges[key].attempt_success, attempts)
+
+    def link_success(
+        self, key: EdgeKey, channels: float, attempts: Optional[int] = None
+    ) -> float:
+        """Edge success probability ``P_e(n_e)`` with ``channels`` channels (Eq. 1)."""
+        return multi_channel_success(self.slot_success(key, attempts), channels)
+
+    def min_slot_success(self) -> float:
+        """``p_min = min_e p_e`` (used by the theoretical bounds)."""
+        if not self._edges:
+            raise ValueError("graph has no edges")
+        return min(self.slot_success(key) for key in self._edges)
+
+    def euclidean_length(self, u: NodeName, v: NodeName) -> float:
+        """Euclidean distance between two placed nodes (requires positions)."""
+        pu = self._nodes[u].position
+        pv = self._nodes[v].position
+        if pu is None or pv is None:
+            raise ValueError("both nodes must have positions to compute distance")
+        return math.dist(pu, pv)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+    def full_snapshot(self) -> ResourceSnapshot:
+        """A snapshot in which every resource is fully available."""
+        return ResourceSnapshot(
+            qubits={name: node.qubit_capacity for name, node in self._nodes.items()},
+            channels={key: e.channel_capacity for key, e in self._edges.items()},
+        )
+
+    def scaled_copy(self, qubit_scale: float = 1.0, channel_scale: float = 1.0) -> "QDNGraph":
+        """A copy of the graph with capacities scaled (and floored at zero).
+
+        Handy for what-if dimensioning studies and for tests.
+        """
+        check_non_negative(qubit_scale, "qubit_scale")
+        check_non_negative(channel_scale, "channel_scale")
+        clone = QDNGraph(attempts_per_slot=self._attempts_per_slot)
+        for node in self._nodes.values():
+            clone.add_node(
+                replace(node, qubit_capacity=int(node.qubit_capacity * qubit_scale))
+            )
+        for edge in self._edges.values():
+            clone.add_edge(
+                replace(edge, channel_capacity=int(edge.channel_capacity * channel_scale))
+            )
+        return clone
+
+    def describe(self) -> str:
+        """A short human-readable description of the network."""
+        return (
+            f"QDNGraph(nodes={len(self._nodes)}, edges={len(self._edges)}, "
+            f"avg_degree={self.average_degree():.2f}, "
+            f"attempts_per_slot={self._attempts_per_slot})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

@@ -1,0 +1,119 @@
+"""Serialisation of QDN topologies.
+
+Real deployments (and long reproduction campaigns) need to pin the exact
+network a result was produced on.  This module converts a
+:class:`~repro.network.graph.QDNGraph` to and from a plain dictionary /
+JSON file, preserving node positions, capacities, edge lengths and
+per-attempt success probabilities, so a topology generated once can be
+shared, versioned and reloaded bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+from repro.network.graph import QDNGraph, QuantumEdge, QuantumNode
+
+PathLike = Union[str, Path]
+
+#: Format identifier stored in every serialised topology.
+FORMAT_NAME = "repro-qdn-topology"
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: QDNGraph) -> Dict:
+    """A JSON-serialisable representation of a QDN graph."""
+    nodes: List[Dict] = []
+    for name in graph.nodes:
+        node = graph.node(name)
+        nodes.append(
+            {
+                "name": node.name,
+                "qubit_capacity": node.qubit_capacity,
+                "position": list(node.position) if node.position is not None else None,
+                "is_repeater": node.is_repeater,
+            }
+        )
+    edges: List[Dict] = []
+    for key in graph.edges:
+        edge = graph.edge(key)
+        edges.append(
+            {
+                "u": edge.u,
+                "v": edge.v,
+                "channel_capacity": edge.channel_capacity,
+                "length": edge.length,
+                "attempt_success": edge.attempt_success,
+            }
+        )
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "attempts_per_slot": graph.attempts_per_slot,
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def graph_from_dict(payload: Mapping) -> QDNGraph:
+    """Rebuild a QDN graph from :func:`graph_to_dict` output."""
+    if payload.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"not a serialised QDN topology (format={payload.get('format')!r})"
+        )
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported topology format version {version!r}")
+
+    graph = QDNGraph(attempts_per_slot=int(payload["attempts_per_slot"]))
+    for entry in payload["nodes"]:
+        position = entry.get("position")
+        graph.add_node(
+            QuantumNode(
+                name=entry["name"],
+                qubit_capacity=int(entry["qubit_capacity"]),
+                position=tuple(position) if position is not None else None,
+                is_repeater=bool(entry.get("is_repeater", False)),
+            )
+        )
+    for entry in payload["edges"]:
+        graph.add_edge(
+            QuantumEdge(
+                u=entry["u"],
+                v=entry["v"],
+                channel_capacity=int(entry["channel_capacity"]),
+                length=float(entry.get("length", 1.0)),
+                attempt_success=float(entry["attempt_success"]),
+            )
+        )
+    return graph
+
+
+def save_graph(graph: QDNGraph, path: PathLike) -> Path:
+    """Write a topology to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(graph_to_dict(graph), indent=2))
+    return path
+
+
+def load_graph(path: PathLike) -> QDNGraph:
+    """Load a topology previously written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def graphs_equal(first: QDNGraph, second: QDNGraph) -> bool:
+    """Structural equality of two QDN graphs (nodes, edges, capacities, physics)."""
+    if first.attempts_per_slot != second.attempts_per_slot:
+        return False
+    if set(first.nodes) != set(second.nodes) or set(first.edges) != set(second.edges):
+        return False
+    for name in first.nodes:
+        if first.node(name) != second.node(name):
+            return False
+    for key in first.edges:
+        if first.edge(key) != second.edge(key):
+            return False
+    return True

@@ -1,0 +1,186 @@
+"""Time-varying resource availability.
+
+The paper stresses that the *available* qubits ``Q_t^v`` and channels
+``W_t^e`` vary over time because other users of the QDN occupy part of the
+hardware; this occupancy is an exogenous process outside the user's control
+(Sec. III-A).  The classes here model that exogenous process and produce a
+:class:`~repro.network.graph.ResourceSnapshot` per slot.
+
+Three processes are provided:
+
+* :class:`StaticResources` — full capacity every slot (the paper's default
+  evaluation setting, where the drawn capacities are the available amounts).
+* :class:`UniformOccupancy` — every slot an independent uniform fraction of
+  each resource is occupied by other users.
+* :class:`MarkovOccupancy` — each resource unit is governed by a two-state
+  (busy/free) Markov chain, giving temporally correlated availability,
+  closer to a real multi-tenant facility.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.network.graph import EdgeKey, NodeName, QDNGraph, ResourceSnapshot
+from repro.utils.validation import check_in_range, check_probability
+
+
+class ResourceProcess(ABC):
+    """Produces the per-slot availability snapshot of a QDN."""
+
+    @abstractmethod
+    def snapshot(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> ResourceSnapshot:
+        """Availability of every node and edge at slot ``t``."""
+
+    def reset(self) -> None:
+        """Clear any internal state (called at the start of a simulation run)."""
+
+
+class StaticResources(ResourceProcess):
+    """Every resource is fully available in every slot."""
+
+    def snapshot(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> ResourceSnapshot:
+        return graph.full_snapshot()
+
+
+@dataclass
+class UniformOccupancy(ResourceProcess):
+    """Independently each slot, a uniform fraction of each resource is occupied.
+
+    ``min_fraction``/``max_fraction`` bound the *available* fraction; e.g.
+    ``UniformOccupancy(0.6, 1.0)`` means between 60% and 100% of each node's
+    qubits (and each edge's channels) are available each slot.  At least
+    ``min_available`` units are always kept available so that routing remains
+    feasible.
+    """
+
+    min_fraction: float = 0.5
+    max_fraction: float = 1.0
+    min_available: int = 1
+
+    def __post_init__(self) -> None:
+        check_probability(self.min_fraction, "min_fraction")
+        check_probability(self.max_fraction, "max_fraction")
+        if self.max_fraction < self.min_fraction:
+            raise ValueError("max_fraction must be >= min_fraction")
+        if self.min_available < 0:
+            raise ValueError("min_available must be non-negative")
+
+    def _available(self, capacity: int, fraction: float) -> int:
+        available = int(np.floor(capacity * fraction))
+        return max(min(capacity, available), min(self.min_available, capacity))
+
+    def snapshot(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> ResourceSnapshot:
+        qubits: Dict[NodeName, int] = {}
+        channels: Dict[EdgeKey, int] = {}
+        for name in graph.nodes:
+            fraction = rng.uniform(self.min_fraction, self.max_fraction)
+            qubits[name] = self._available(graph.qubit_capacity(name), fraction)
+        for key in graph.edges:
+            fraction = rng.uniform(self.min_fraction, self.max_fraction)
+            channels[key] = self._available(graph.channel_capacity(key), fraction)
+        return ResourceSnapshot(qubits=qubits, channels=channels)
+
+
+@dataclass
+class MarkovOccupancy(ResourceProcess):
+    """Two-state Markov (busy/free) occupancy per resource unit.
+
+    Each individual qubit and channel flips between *free* and *busy* with
+    transition probabilities ``p_become_busy`` and ``p_become_free`` per
+    slot.  This produces temporally correlated availability, unlike
+    :class:`UniformOccupancy`.  At least ``min_available`` units per resource
+    are forced to stay free.
+    """
+
+    p_become_busy: float = 0.1
+    p_become_free: float = 0.3
+    min_available: int = 1
+    _node_busy: Dict[NodeName, np.ndarray] = field(default_factory=dict, repr=False)
+    _edge_busy: Dict[EdgeKey, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_become_busy, "p_become_busy")
+        check_probability(self.p_become_free, "p_become_free")
+        if self.min_available < 0:
+            raise ValueError("min_available must be non-negative")
+
+    def reset(self) -> None:
+        self._node_busy.clear()
+        self._edge_busy.clear()
+
+    def stationary_busy_fraction(self) -> float:
+        """Long-run fraction of each resource that is busy."""
+        total = self.p_become_busy + self.p_become_free
+        if total == 0:
+            return 0.0
+        return self.p_become_busy / total
+
+    def _evolve(self, state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        draws = rng.random(state.shape)
+        become_busy = (~state) & (draws < self.p_become_busy)
+        become_free = state & (draws < self.p_become_free)
+        return (state | become_busy) & ~become_free
+
+    def _available_count(self, busy: np.ndarray, capacity: int) -> int:
+        available = int(capacity - busy.sum())
+        return max(available, min(self.min_available, capacity))
+
+    def snapshot(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> ResourceSnapshot:
+        qubits: Dict[NodeName, int] = {}
+        channels: Dict[EdgeKey, int] = {}
+        for name in graph.nodes:
+            capacity = graph.qubit_capacity(name)
+            state = self._node_busy.get(name)
+            if state is None or state.shape != (capacity,):
+                state = np.zeros(capacity, dtype=bool)
+            state = self._evolve(state, rng)
+            self._node_busy[name] = state
+            qubits[name] = self._available_count(state, capacity)
+        for key in graph.edges:
+            capacity = graph.channel_capacity(key)
+            state = self._edge_busy.get(key)
+            if state is None or state.shape != (capacity,):
+                state = np.zeros(capacity, dtype=bool)
+            state = self._evolve(state, rng)
+            self._edge_busy[key] = state
+            channels[key] = self._available_count(state, capacity)
+        return ResourceSnapshot(qubits=qubits, channels=channels)
+
+
+@dataclass(frozen=True)
+class ScaledResources(ResourceProcess):
+    """Deterministically scale availability to a fixed fraction of capacity.
+
+    Useful for stress tests and ablations (e.g. "what if only 70% of the QDN
+    is ever available to this user?").
+    """
+
+    fraction: float = 1.0
+    min_available: int = 1
+
+    def __post_init__(self) -> None:
+        check_in_range(self.fraction, 0.0, 1.0, "fraction")
+        if self.min_available < 0:
+            raise ValueError("min_available must be non-negative")
+
+    def snapshot(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> ResourceSnapshot:
+        qubits = {
+            name: max(
+                int(graph.qubit_capacity(name) * self.fraction),
+                min(self.min_available, graph.qubit_capacity(name)),
+            )
+            for name in graph.nodes
+        }
+        channels = {
+            key: max(
+                int(graph.channel_capacity(key) * self.fraction),
+                min(self.min_available, graph.channel_capacity(key)),
+            )
+            for key in graph.edges
+        }
+        return ResourceSnapshot(qubits=qubits, channels=channels)

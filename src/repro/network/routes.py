@@ -1,0 +1,254 @@
+"""Candidate route computation.
+
+For every SD pair ``ϕ`` the paper assumes a pre-computed set of candidate
+routes ``R(ϕ)`` of bounded size ``R`` and bounded hop count ``L``
+(Sec. III-C).  The paper suggests constructing it from shortest paths, e.g.
+via Dijkstra's algorithm.  This module provides:
+
+* :class:`Route` — an immutable route with its node sequence and canonical
+  edge keys.
+* :func:`shortest_route` — Dijkstra shortest path (hop count or physical
+  length).
+* :func:`k_shortest_routes` — Yen's k-shortest loopless paths.
+* :func:`hop_bounded_routes` — exhaustive enumeration of simple paths up to
+  a hop bound (useful on small graphs and in tests).
+* :func:`build_candidate_routes` — the candidate-set constructor used by the
+  experiment harness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.network.graph import EdgeKey, NodeName, QDNGraph, edge_key
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Route:
+    """A loop-free route through the QDN.
+
+    ``nodes`` is the ordered node sequence from source to destination and
+    ``edges`` the corresponding canonical edge keys.  Routes are hashable so
+    they can be used as dictionary keys by the allocation and route-selection
+    code.
+    """
+
+    nodes: Tuple[NodeName, ...]
+    edges: Tuple[EdgeKey, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise ValueError("a route must contain at least two nodes")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"route visits a node twice: {self.nodes}")
+        expected = tuple(edge_key(u, v) for u, v in zip(self.nodes[:-1], self.nodes[1:]))
+        if self.edges == ():
+            object.__setattr__(self, "edges", expected)
+        elif tuple(self.edges) != expected:
+            raise ValueError("edges do not match the node sequence")
+
+    @classmethod
+    def from_nodes(cls, nodes: Sequence[NodeName]) -> "Route":
+        """Build a route from an ordered node sequence."""
+        return cls(nodes=tuple(nodes))
+
+    @property
+    def source(self) -> NodeName:
+        """First node of the route."""
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> NodeName:
+        """Last node of the route."""
+        return self.nodes[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of edges in the route."""
+        return len(self.edges)
+
+    def physical_length(self, graph: QDNGraph) -> float:
+        """Total physical length of the route in the given graph."""
+        return sum(graph.edge(key).length for key in self.edges)
+
+    def uses_edge(self, key: EdgeKey) -> bool:
+        """Whether the route traverses the edge identified by ``key``."""
+        return key in self.edges
+
+    def shares_resources_with(self, other: "Route") -> bool:
+        """Whether two routes share any node (and hence any qubit pool or edge).
+
+        Used by the parallel-Gibbs optimisation (paper, Sec. IV-B2 remark 2):
+        SD pairs whose candidate routes never share resources can update
+        their selections simultaneously.
+        """
+        return bool(set(self.nodes) & set(other.nodes))
+
+    def is_valid_in(self, graph: QDNGraph) -> bool:
+        """Whether every edge of the route exists in ``graph``."""
+        return all(key in set(graph.edges) for key in self.edges)
+
+    def __len__(self) -> int:
+        return self.hops
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " -> ".join(str(node) for node in self.nodes)
+
+
+#: Mapping from an SD pair to its candidate routes.
+CandidateRouteSet = Dict["object", List[Route]]
+
+
+def _weight_function(graph: QDNGraph, metric: str):
+    """Edge-weight callable for networkx shortest-path algorithms."""
+    if metric == "hops":
+        return lambda u, v, data: 1.0
+    if metric == "length":
+        return lambda u, v, data: graph.edge(edge_key(u, v)).length
+    if metric == "neg_log_success":
+        # Favors edges with higher single-channel success probability.
+        import math
+
+        return lambda u, v, data: -math.log(max(graph.slot_success(edge_key(u, v)), 1e-300))
+    raise ValueError(f"unknown route metric {metric!r}")
+
+
+def shortest_route(
+    graph: QDNGraph,
+    source: NodeName,
+    destination: NodeName,
+    metric: str = "hops",
+) -> Route:
+    """Dijkstra shortest route between ``source`` and ``destination``.
+
+    ``metric`` selects the edge weight: ``"hops"`` (default), ``"length"``
+    (physical length) or ``"neg_log_success"`` (maximise single-channel route
+    success probability).
+    """
+    if source == destination:
+        raise ValueError("source and destination must differ")
+    weight = _weight_function(graph, metric)
+    try:
+        nodes = nx.dijkstra_path(graph.nx_graph, source, destination, weight=weight)
+    except nx.NetworkXNoPath as error:
+        raise nx.NetworkXNoPath(
+            f"no route between {source!r} and {destination!r}"
+        ) from error
+    return Route.from_nodes(nodes)
+
+
+def k_shortest_routes(
+    graph: QDNGraph,
+    source: NodeName,
+    destination: NodeName,
+    k: int,
+    metric: str = "hops",
+    max_hops: Optional[int] = None,
+) -> List[Route]:
+    """Yen's k-shortest loopless routes between ``source`` and ``destination``.
+
+    At most ``k`` routes are returned, ordered by increasing weight; routes
+    longer than ``max_hops`` edges are skipped.  If the pair is disconnected
+    an empty list is returned.
+    """
+    check_positive(k, "k")
+    if source == destination:
+        raise ValueError("source and destination must differ")
+    weight = _weight_function(graph, metric)
+    routes: List[Route] = []
+    try:
+        generator = nx.shortest_simple_paths(graph.nx_graph, source, destination, weight=weight)
+        for nodes in generator:
+            route = Route.from_nodes(nodes)
+            if max_hops is not None and route.hops > max_hops:
+                # Paths arrive in non-decreasing weight order only for the
+                # chosen metric; a long-hop path may still be followed by
+                # shorter-hop ones under the "length" metric, so keep scanning.
+                continue
+            routes.append(route)
+            if len(routes) >= k:
+                break
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        # Disconnected endpoints (or unknown nodes): no candidate routes.
+        return []
+    return routes
+
+
+def hop_bounded_routes(
+    graph: QDNGraph,
+    source: NodeName,
+    destination: NodeName,
+    max_hops: int,
+) -> List[Route]:
+    """All simple routes between ``source`` and ``destination`` with ≤ ``max_hops`` edges."""
+    check_positive(max_hops, "max_hops")
+    if source == destination:
+        raise ValueError("source and destination must differ")
+    routes = [
+        Route.from_nodes(nodes)
+        for nodes in nx.all_simple_paths(graph.nx_graph, source, destination, cutoff=max_hops)
+    ]
+    routes.sort(key=lambda route: (route.hops, route.nodes))
+    return routes
+
+
+def build_candidate_routes(
+    graph: QDNGraph,
+    sd_pairs: Iterable[Tuple[NodeName, NodeName]],
+    num_routes: int = 4,
+    metric: str = "hops",
+    max_extra_hops: Optional[int] = 2,
+    max_hops: Optional[int] = None,
+) -> Dict[Tuple[NodeName, NodeName], List[Route]]:
+    """Construct the candidate route set ``R(ϕ)`` for each SD pair.
+
+    For each pair the ``num_routes`` shortest loopless routes are computed;
+    routes more than ``max_extra_hops`` hops longer than the shortest route
+    are discarded (the paper recommends keeping candidate routes short to
+    bound ``L`` and the search space).  ``max_hops`` additionally caps the
+    absolute route length.
+    """
+    check_positive(num_routes, "num_routes")
+    candidates: Dict[Tuple[NodeName, NodeName], List[Route]] = {}
+    for source, destination in sd_pairs:
+        routes = k_shortest_routes(
+            graph, source, destination, k=num_routes, metric=metric, max_hops=max_hops
+        )
+        if routes and max_extra_hops is not None:
+            shortest_hops = min(route.hops for route in routes)
+            routes = [r for r in routes if r.hops <= shortest_hops + max_extra_hops]
+        candidates[(source, destination)] = routes
+    return candidates
+
+
+def route_diversity(routes: Sequence[Route]) -> float:
+    """Average pairwise edge-disjointness of a set of routes, in [0, 1].
+
+    1.0 means every pair of candidate routes is edge-disjoint; 0.0 means all
+    routes share all their edges.  Used by topology studies and tests.
+    """
+    routes = list(routes)
+    if len(routes) < 2:
+        return 1.0
+    scores = []
+    for a, b in itertools.combinations(routes, 2):
+        edges_a, edges_b = set(a.edges), set(b.edges)
+        union = edges_a | edges_b
+        if not union:
+            continue
+        scores.append(1.0 - len(edges_a & edges_b) / len(union))
+    return sum(scores) / len(scores) if scores else 1.0
+
+
+def max_route_length(candidates: Mapping[object, Sequence[Route]]) -> int:
+    """The bound ``L`` — the longest route across all candidate sets."""
+    longest = 0
+    for routes in candidates.values():
+        for route in routes:
+            longest = max(longest, route.hops)
+    return longest

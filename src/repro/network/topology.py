@@ -1,0 +1,334 @@
+"""Topology generators for quantum data networks.
+
+The paper benchmarks on random Waxman graphs: nodes are scattered uniformly
+in a 100x100 unit square and an edge between ``u`` and ``v`` exists with
+probability ``beta * exp(-d(u, v) / (alpha * d_max))`` (Sec. V-A1).  The
+default parameters (20 nodes, alpha = beta = 0.5) give an average degree of
+about 4, and for the network-size sweep (Fig. 6) the Waxman parameters are
+adjusted so that the average degree stays near 4.
+
+Besides the Waxman generator this module also provides the regular
+topologies studied by earlier entanglement-routing work cited in the paper
+(grid, ring, star, line, complete), which are useful for unit tests,
+examples and topology-sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.network.channels import ChannelModel, ConstantLossChannel
+from repro.network.graph import QDNGraph, QuantumEdge, QuantumNode
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class CapacityRanges:
+    """Inclusive uniform ranges for node-qubit and edge-channel capacities.
+
+    The paper's default configuration draws qubit capacities from U[10, 16]
+    and channel capacities from U[5, 8] (Sec. V-A2).
+    """
+
+    qubit_min: int = 10
+    qubit_max: int = 16
+    channel_min: int = 5
+    channel_max: int = 8
+
+    def __post_init__(self) -> None:
+        if self.qubit_min < 0 or self.channel_min < 0:
+            raise ValueError("capacity minima must be non-negative")
+        if self.qubit_max < self.qubit_min:
+            raise ValueError("qubit_max must be >= qubit_min")
+        if self.channel_max < self.channel_min:
+            raise ValueError("channel_max must be >= channel_min")
+
+    def sample_qubits(self, rng: np.random.Generator) -> int:
+        """Draw one qubit capacity."""
+        return int(rng.integers(self.qubit_min, self.qubit_max + 1))
+
+    def sample_channels(self, rng: np.random.Generator) -> int:
+        """Draw one channel capacity."""
+        return int(rng.integers(self.channel_min, self.channel_max + 1))
+
+
+DEFAULT_CAPACITIES = CapacityRanges()
+
+
+def _build_graph(
+    positions: Sequence[Tuple[float, float]],
+    edges: Sequence[Tuple[int, int]],
+    rng: np.random.Generator,
+    capacities: CapacityRanges,
+    channel_model: ChannelModel,
+    attempts_per_slot: int,
+) -> QDNGraph:
+    """Assemble a :class:`QDNGraph` from node positions and an edge list."""
+    graph = QDNGraph(attempts_per_slot=attempts_per_slot)
+    for index, position in enumerate(positions):
+        graph.add_node(
+            QuantumNode(
+                name=index,
+                qubit_capacity=capacities.sample_qubits(rng),
+                position=(float(position[0]), float(position[1])),
+            )
+        )
+    for u, v in edges:
+        length = math.dist(positions[u], positions[v])
+        graph.add_edge(
+            QuantumEdge(
+                u=u,
+                v=v,
+                channel_capacity=capacities.sample_channels(rng),
+                length=length,
+                attempt_success=channel_model.attempt_success_probability(length),
+            )
+        )
+    return graph
+
+
+def _connect_components(
+    graph_edges: set, positions: Sequence[Tuple[float, float]]
+) -> set:
+    """Add the shortest inter-component edges until the graph is connected."""
+    n = len(positions)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(graph_edges)
+    while not nx.is_connected(g):
+        components = [list(c) for c in nx.connected_components(g)]
+        base = components[0]
+        best: Optional[Tuple[float, int, int]] = None
+        for other in components[1:]:
+            for u in base:
+                for v in other:
+                    distance = math.dist(positions[u], positions[v])
+                    if best is None or distance < best[0]:
+                        best = (distance, u, v)
+        assert best is not None  # there are >= 2 components, so a pair exists
+        _, u, v = best
+        g.add_edge(u, v)
+        graph_edges.add((min(u, v), max(u, v)))
+    return graph_edges
+
+
+def waxman_topology(
+    num_nodes: int = 20,
+    alpha: float = 0.5,
+    beta: float = 0.5,
+    area: float = 100.0,
+    capacities: CapacityRanges = DEFAULT_CAPACITIES,
+    channel_model: Optional[ChannelModel] = None,
+    attempts_per_slot: int = 4000,
+    ensure_connected: bool = True,
+    seed: SeedLike = None,
+) -> QDNGraph:
+    """Generate a random Waxman QDN topology (the paper's generator).
+
+    Nodes are placed uniformly at random in an ``area x area`` square and an
+    edge ``{u, v}`` is created with probability
+    ``beta * exp(-d(u, v) / (alpha * d_max))``.  When ``ensure_connected`` is
+    true, the closest pairs across disconnected components are linked so the
+    returned network always supports routing between any SD pair.
+    """
+    check_positive(num_nodes, "num_nodes")
+    check_positive(alpha, "alpha")
+    check_probability(beta, "beta", allow_zero=False)
+    check_positive(area, "area")
+    rng = as_generator(seed)
+    channel_model = channel_model or ConstantLossChannel()
+
+    positions = [(float(x), float(y)) for x, y in rng.uniform(0.0, area, size=(num_nodes, 2))]
+    if num_nodes == 1:
+        return _build_graph(positions, [], rng, capacities, channel_model, attempts_per_slot)
+
+    d_max = max(
+        math.dist(positions[u], positions[v])
+        for u, v in itertools.combinations(range(num_nodes), 2)
+    )
+    d_max = max(d_max, 1e-12)
+
+    edges = set()
+    for u, v in itertools.combinations(range(num_nodes), 2):
+        distance = math.dist(positions[u], positions[v])
+        probability = beta * math.exp(-distance / (alpha * d_max))
+        if rng.random() < probability:
+            edges.add((u, v))
+
+    if ensure_connected:
+        edges = _connect_components(edges, positions)
+
+    return _build_graph(positions, sorted(edges), rng, capacities, channel_model, attempts_per_slot)
+
+
+def waxman_topology_with_degree(
+    num_nodes: int,
+    target_degree: float = 4.0,
+    alpha: float = 0.5,
+    area: float = 100.0,
+    capacities: CapacityRanges = DEFAULT_CAPACITIES,
+    channel_model: Optional[ChannelModel] = None,
+    attempts_per_slot: int = 4000,
+    seed: SeedLike = None,
+    tolerance: float = 0.5,
+    max_iterations: int = 30,
+) -> QDNGraph:
+    """Waxman topology whose average degree is tuned to ``target_degree``.
+
+    The paper's Fig. 6 sweeps the network size while "adjusting the Waxman
+    graph parameter to ensure an average node degree of approximately 4".
+    This helper bisects on ``beta`` until the generated topology's average
+    degree is within ``tolerance`` of the target (or the iteration limit is
+    reached, in which case the closest topology found is returned).
+    """
+    check_positive(target_degree, "target_degree")
+    rng = as_generator(seed)
+    low, high = 0.01, 1.0
+    best_graph: Optional[QDNGraph] = None
+    best_error = float("inf")
+    for iteration in range(max_iterations):
+        beta = 0.5 * (low + high)
+        candidate = waxman_topology(
+            num_nodes=num_nodes,
+            alpha=alpha,
+            beta=beta,
+            area=area,
+            capacities=capacities,
+            channel_model=channel_model,
+            attempts_per_slot=attempts_per_slot,
+            ensure_connected=True,
+            seed=rng,
+        )
+        error = candidate.average_degree() - target_degree
+        if abs(error) < best_error:
+            best_error = abs(error)
+            best_graph = candidate
+        if abs(error) <= tolerance:
+            return candidate
+        if error < 0:
+            low = beta
+        else:
+            high = beta
+    assert best_graph is not None
+    return best_graph
+
+
+def grid_topology(
+    rows: int,
+    cols: int,
+    spacing: float = 10.0,
+    capacities: CapacityRanges = DEFAULT_CAPACITIES,
+    channel_model: Optional[ChannelModel] = None,
+    attempts_per_slot: int = 4000,
+    seed: SeedLike = None,
+) -> QDNGraph:
+    """A ``rows x cols`` grid topology (studied in Pant et al., cited as [15])."""
+    check_positive(rows, "rows")
+    check_positive(cols, "cols")
+    check_positive(spacing, "spacing")
+    rng = as_generator(seed)
+    channel_model = channel_model or ConstantLossChannel()
+    positions = [(c * spacing, r * spacing) for r in range(rows) for c in range(cols)]
+
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((index(r, c), index(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((index(r, c), index(r + 1, c)))
+    return _build_graph(positions, edges, rng, capacities, channel_model, attempts_per_slot)
+
+
+def ring_topology(
+    num_nodes: int,
+    radius: float = 50.0,
+    capacities: CapacityRanges = DEFAULT_CAPACITIES,
+    channel_model: Optional[ChannelModel] = None,
+    attempts_per_slot: int = 4000,
+    seed: SeedLike = None,
+) -> QDNGraph:
+    """A ring topology (studied in Chakraborty et al., cited as [16])."""
+    if num_nodes < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {num_nodes}")
+    rng = as_generator(seed)
+    channel_model = channel_model or ConstantLossChannel()
+    positions = [
+        (
+            radius * math.cos(2.0 * math.pi * i / num_nodes) + radius,
+            radius * math.sin(2.0 * math.pi * i / num_nodes) + radius,
+        )
+        for i in range(num_nodes)
+    ]
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    edges = [(min(u, v), max(u, v)) for u, v in edges]
+    return _build_graph(positions, sorted(set(edges)), rng, capacities, channel_model, attempts_per_slot)
+
+
+def star_topology(
+    num_leaves: int,
+    radius: float = 50.0,
+    capacities: CapacityRanges = DEFAULT_CAPACITIES,
+    channel_model: Optional[ChannelModel] = None,
+    attempts_per_slot: int = 4000,
+    seed: SeedLike = None,
+) -> QDNGraph:
+    """A star topology: one central switch node connected to ``num_leaves`` leaves.
+
+    Models the entanglement-switch setting of Vardoyan et al. (cited as [17]).
+    Node 0 is the hub.
+    """
+    check_positive(num_leaves, "num_leaves")
+    rng = as_generator(seed)
+    channel_model = channel_model or ConstantLossChannel()
+    positions = [(radius, radius)]
+    for i in range(num_leaves):
+        angle = 2.0 * math.pi * i / num_leaves
+        positions.append((radius + radius * math.cos(angle), radius + radius * math.sin(angle)))
+    edges = [(0, i + 1) for i in range(num_leaves)]
+    return _build_graph(positions, edges, rng, capacities, channel_model, attempts_per_slot)
+
+
+def line_topology(
+    num_nodes: int,
+    spacing: float = 10.0,
+    capacities: CapacityRanges = DEFAULT_CAPACITIES,
+    channel_model: Optional[ChannelModel] = None,
+    attempts_per_slot: int = 4000,
+    seed: SeedLike = None,
+) -> QDNGraph:
+    """A line (repeater-chain) topology: the canonical swapping scenario."""
+    if num_nodes < 2:
+        raise ValueError(f"a line needs at least 2 nodes, got {num_nodes}")
+    rng = as_generator(seed)
+    channel_model = channel_model or ConstantLossChannel()
+    positions = [(i * spacing, 0.0) for i in range(num_nodes)]
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    return _build_graph(positions, edges, rng, capacities, channel_model, attempts_per_slot)
+
+
+def complete_topology(
+    num_nodes: int,
+    area: float = 100.0,
+    capacities: CapacityRanges = DEFAULT_CAPACITIES,
+    channel_model: Optional[ChannelModel] = None,
+    attempts_per_slot: int = 4000,
+    seed: SeedLike = None,
+) -> QDNGraph:
+    """A complete graph over randomly placed nodes (every pair directly linked)."""
+    check_positive(num_nodes, "num_nodes")
+    rng = as_generator(seed)
+    channel_model = channel_model or ConstantLossChannel()
+    positions = [(float(x), float(y)) for x, y in rng.uniform(0.0, area, size=(num_nodes, 2))]
+    edges = list(itertools.combinations(range(num_nodes), 2))
+    return _build_graph(positions, edges, rng, capacities, channel_model, attempts_per_slot)

@@ -1,0 +1,141 @@
+"""Qubits, Bell states and entangled pairs.
+
+A qubit is represented by its complex amplitude pair ``(α, β)`` with
+``|α|² + |β|² = 1`` (paper, Sec. II-1).  Entangled pairs are tracked at the
+level the routing layer needs: which two nodes hold the halves, which Bell
+state they (nominally) share, when the pair was created and with what
+fidelity.  Full multi-qubit state vectors are only materialised where they
+are actually required (the teleportation protocol).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_non_negative
+
+
+class BellState(enum.Enum):
+    """The four maximally entangled two-qubit Bell states."""
+
+    PHI_PLUS = "phi+"    # (|00> + |11>)/sqrt(2)
+    PHI_MINUS = "phi-"   # (|00> - |11>)/sqrt(2)
+    PSI_PLUS = "psi+"    # (|01> + |10>)/sqrt(2)
+    PSI_MINUS = "psi-"   # (|01> - |10>)/sqrt(2)
+
+    def state_vector(self) -> np.ndarray:
+        """The 4-dimensional state vector in the computational basis |00>,|01>,|10>,|11>."""
+        inv_sqrt2 = 1.0 / math.sqrt(2.0)
+        vectors = {
+            BellState.PHI_PLUS: np.array([1, 0, 0, 1], dtype=complex) * inv_sqrt2,
+            BellState.PHI_MINUS: np.array([1, 0, 0, -1], dtype=complex) * inv_sqrt2,
+            BellState.PSI_PLUS: np.array([0, 1, 1, 0], dtype=complex) * inv_sqrt2,
+            BellState.PSI_MINUS: np.array([0, 1, -1, 0], dtype=complex) * inv_sqrt2,
+        }
+        return vectors[self]
+
+
+@dataclass(frozen=True)
+class Qubit:
+    """A single (data) qubit ``α|0> + β|1>``.
+
+    Amplitudes are normalised on construction (a zero vector is rejected).
+    """
+
+    alpha: complex = 1.0 + 0.0j
+    beta: complex = 0.0 + 0.0j
+
+    def __post_init__(self) -> None:
+        norm = math.sqrt(abs(self.alpha) ** 2 + abs(self.beta) ** 2)
+        if norm == 0:
+            raise ValueError("qubit amplitudes cannot both be zero")
+        object.__setattr__(self, "alpha", complex(self.alpha) / norm)
+        object.__setattr__(self, "beta", complex(self.beta) / norm)
+
+    @classmethod
+    def zero(cls) -> "Qubit":
+        """The computational basis state |0>."""
+        return cls(1.0, 0.0)
+
+    @classmethod
+    def one(cls) -> "Qubit":
+        """The computational basis state |1>."""
+        return cls(0.0, 1.0)
+
+    @classmethod
+    def plus(cls) -> "Qubit":
+        """The superposition state (|0> + |1>)/sqrt(2)."""
+        return cls(1.0, 1.0)
+
+    @classmethod
+    def from_bloch(cls, theta: float, phi: float) -> "Qubit":
+        """Construct from Bloch-sphere angles ``θ`` (polar) and ``φ`` (azimuth)."""
+        return cls(
+            alpha=math.cos(theta / 2.0),
+            beta=complex(math.cos(phi), math.sin(phi)) * math.sin(theta / 2.0),
+        )
+
+    def state_vector(self) -> np.ndarray:
+        """The 2-dimensional state vector ``[α, β]``."""
+        return np.array([self.alpha, self.beta], dtype=complex)
+
+    def probability_of_one(self) -> float:
+        """Probability of measuring |1>."""
+        return float(abs(self.beta) ** 2)
+
+    def fidelity_to(self, other: "Qubit") -> float:
+        """State fidelity ``|<ψ|φ>|²`` with another pure qubit state."""
+        overlap = np.vdot(self.state_vector(), other.state_vector())
+        return float(abs(overlap) ** 2)
+
+
+@dataclass(frozen=True)
+class BellPair:
+    """An entangled pair of qubits shared between two quantum nodes.
+
+    ``fidelity`` is the fidelity to the nominal ``bell_state`` (1.0 for a
+    perfect pair); ``created_at`` is the creation time in seconds, used by
+    the decoherence model.
+    """
+
+    node_a: Hashable
+    node_b: Hashable
+    bell_state: BellState = BellState.PHI_PLUS
+    fidelity: float = 1.0
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ValueError("a Bell pair must span two distinct nodes")
+        check_in_range(self.fidelity, 0.0, 1.0, "fidelity")
+        check_non_negative(abs(self.created_at), "created_at")
+
+    @property
+    def nodes(self) -> Tuple[Hashable, Hashable]:
+        """The two endpoints of the pair."""
+        return (self.node_a, self.node_b)
+
+    def involves(self, node: Hashable) -> bool:
+        """Whether ``node`` holds one half of the pair."""
+        return node in (self.node_a, self.node_b)
+
+    def other_end(self, node: Hashable) -> Hashable:
+        """The endpoint opposite ``node``."""
+        if node == self.node_a:
+            return self.node_b
+        if node == self.node_b:
+            return self.node_a
+        raise ValueError(f"node {node!r} does not hold this pair")
+
+    def with_fidelity(self, fidelity: float) -> "BellPair":
+        """A copy with a new fidelity value."""
+        return replace(self, fidelity=fidelity)
+
+    def is_usable(self, threshold: float = 0.5) -> bool:
+        """Whether the pair is still better than a classically correlated pair."""
+        return self.fidelity > threshold

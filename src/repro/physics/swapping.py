@@ -1,0 +1,103 @@
+"""Entanglement swapping.
+
+When Alice–Carol and Carol–Bob each share a Bell pair, Carol can perform a
+Bell-state measurement on her two halves, which leaves Alice and Bob sharing
+a Bell pair even though they never interacted directly (paper, Sec. II-4 and
+Fig. 2).  Chaining swaps along a route of adjacent links yields long-distance
+entanglement.  Following the paper (and its reference [13]), the swap
+operation itself is assumed to succeed with probability close to one, but a
+configurable success probability is supported so that the effect of
+imperfect swapping can be studied (the paper notes it would simply appear as
+an extra product term in Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.physics.fidelity import fidelity_after_swap
+from repro.physics.qubit import BellPair, BellState
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class SwapResult:
+    """Outcome of one entanglement swap (or a chain of swaps)."""
+
+    pair: Optional[BellPair]
+    succeeded: bool
+    swaps_performed: int
+
+    @property
+    def fidelity(self) -> float:
+        """Fidelity of the produced pair (0 when the swap failed)."""
+        return self.pair.fidelity if self.pair is not None else 0.0
+
+
+def entanglement_swap(
+    pair_ab: BellPair,
+    pair_bc: BellPair,
+    success_probability: float = 1.0,
+    seed: SeedLike = None,
+) -> SwapResult:
+    """Swap two adjacent Bell pairs sharing a common middle node.
+
+    The two pairs must share exactly one node (the swapping repeater).  The
+    resulting pair spans the two outer nodes; its fidelity follows the
+    Werner-state composition rule, and its creation time is the later of the
+    two inputs (the swap cannot happen before both pairs exist).
+    """
+    check_probability(success_probability, "success_probability")
+    common = set(pair_ab.nodes) & set(pair_bc.nodes)
+    if len(common) != 1:
+        raise ValueError(
+            f"pairs must share exactly one node, got common nodes {sorted(map(repr, common))}"
+        )
+    middle = common.pop()
+    outer_a = pair_ab.other_end(middle)
+    outer_b = pair_bc.other_end(middle)
+    if outer_a == outer_b:
+        raise ValueError("swapping these pairs would create a self-loop pair")
+
+    rng = as_generator(seed)
+    if success_probability < 1.0 and rng.random() >= success_probability:
+        return SwapResult(pair=None, succeeded=False, swaps_performed=1)
+
+    fidelity = fidelity_after_swap(pair_ab.fidelity, pair_bc.fidelity)
+    pair = BellPair(
+        node_a=outer_a,
+        node_b=outer_b,
+        bell_state=BellState.PHI_PLUS,
+        fidelity=fidelity,
+        created_at=max(pair_ab.created_at, pair_bc.created_at),
+    )
+    return SwapResult(pair=pair, succeeded=True, swaps_performed=1)
+
+
+def swap_chain(
+    pairs: Sequence[BellPair],
+    success_probability: float = 1.0,
+    seed: SeedLike = None,
+) -> SwapResult:
+    """Swap a chain of adjacent Bell pairs into one end-to-end pair.
+
+    ``pairs`` must form a path: consecutive pairs share exactly one node.
+    The swaps are applied left to right; if any individual swap fails the
+    whole chain fails (the count of performed swaps is still reported).
+    A single-pair chain is returned unchanged.
+    """
+    if not pairs:
+        raise ValueError("swap_chain needs at least one pair")
+    rng = as_generator(seed)
+    current = pairs[0]
+    swaps = 0
+    for next_pair in pairs[1:]:
+        result = entanglement_swap(current, next_pair, success_probability, rng)
+        swaps += result.swaps_performed
+        if not result.succeeded:
+            return SwapResult(pair=None, succeeded=False, swaps_performed=swaps)
+        assert result.pair is not None
+        current = result.pair
+    return SwapResult(pair=current, succeeded=True, swaps_performed=swaps)

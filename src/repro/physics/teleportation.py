@@ -1,0 +1,139 @@
+"""Quantum teleportation, simulated at the state-vector level.
+
+Teleportation is the application that motivates entanglement routing in the
+paper (Sec. II-3, Fig. 2): once Alice and Bob share a Bell pair, Alice can
+transfer the state of a data qubit to Bob by performing a Bell-state
+measurement on her data qubit and her half of the pair, sending the two
+classical outcome bits to Bob, and having Bob apply the corresponding Pauli
+correction.  This module implements the full three-qubit protocol with an
+explicit 8-dimensional state vector so tests can verify that Bob ends up
+with *exactly* Alice's original state (up to numerical precision) for every
+measurement outcome.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.physics.qubit import BellPair, BellState, Qubit
+from repro.utils.rng import SeedLike, as_generator
+
+# Single-qubit Pauli operators used for Bob's correction.
+_IDENTITY = np.eye(2, dtype=complex)
+_PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+# Hadamard and CNOT (control = qubit 0, target = qubit 1) on two qubits.
+_HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2.0)
+_CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+
+
+@dataclass(frozen=True)
+class TeleportationOutcome:
+    """Result of teleporting one data qubit.
+
+    ``classical_bits`` are the two bits Alice sends to Bob; ``received`` is
+    the state of Bob's qubit after the Pauli correction; ``fidelity`` is the
+    state fidelity between the received state and the original data qubit.
+    """
+
+    classical_bits: Tuple[int, int]
+    received: Qubit
+    fidelity: float
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the state arrived essentially intact."""
+        return self.fidelity > 1.0 - 1e-9
+
+
+def _kron3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Kronecker product of three operators/vectors."""
+    return np.kron(np.kron(a, b), c)
+
+
+def teleport(
+    data: Qubit,
+    pair: BellPair,
+    seed: SeedLike = None,
+) -> TeleportationOutcome:
+    """Teleport ``data`` from the pair's ``node_a`` side to its ``node_b`` side.
+
+    The shared pair is taken to be in its nominal Bell state (the protocol
+    with noisy pairs is studied via the Werner fidelity algebra instead, see
+    :mod:`repro.physics.fidelity`).  The measurement outcome is sampled with
+    the provided RNG; all four outcomes occur with probability 1/4 and all
+    lead to perfect state transfer after correction.
+    """
+    rng = as_generator(seed)
+
+    # Qubit order: [data (Alice), ebit_A (Alice), ebit_B (Bob)].
+    state = np.kron(data.state_vector(), pair.bell_state.state_vector())
+
+    # Alice applies CNOT(data -> ebit_A) then Hadamard on the data qubit.
+    cnot_da = np.kron(_CNOT, _IDENTITY)
+    state = cnot_da @ state
+    hadamard_d = _kron3(_HADAMARD, _IDENTITY, _IDENTITY)
+    state = hadamard_d @ state
+
+    # Measure Alice's two qubits in the computational basis.
+    amplitudes = state.reshape(2, 2, 2)
+    probabilities = np.abs(amplitudes) ** 2
+    outcome_probabilities = probabilities.sum(axis=2).reshape(4)
+    outcome = int(rng.choice(4, p=outcome_probabilities / outcome_probabilities.sum()))
+    bit_data, bit_ebit = divmod(outcome, 2)
+
+    # Collapse Bob's qubit.
+    bob_amplitudes = amplitudes[bit_data, bit_ebit, :]
+    norm = np.linalg.norm(bob_amplitudes)
+    if norm == 0:  # pragma: no cover - cannot happen for valid inputs
+        raise RuntimeError("measurement collapsed to a zero-probability branch")
+    bob_state = bob_amplitudes / norm
+
+    # Bob's Pauli correction depends on the classical bits and on which Bell
+    # state was shared; for |Φ+> the standard correction is Z^{m_data} X^{m_ebit}.
+    correction = _IDENTITY
+    if pair.bell_state in (BellState.PHI_PLUS, BellState.PHI_MINUS):
+        x_power, z_power = bit_ebit, bit_data
+    else:  # PSI states have their halves bit-flipped relative to PHI states.
+        x_power, z_power = 1 - bit_ebit, bit_data
+    if pair.bell_state in (BellState.PHI_MINUS, BellState.PSI_MINUS):
+        z_power = 1 - z_power
+    if x_power:
+        correction = _PAULI_X @ correction
+    if z_power:
+        correction = _PAULI_Z @ correction
+    corrected = correction @ bob_state
+
+    received = Qubit(alpha=corrected[0], beta=corrected[1])
+    fidelity = received.fidelity_to(data)
+    return TeleportationOutcome(
+        classical_bits=(bit_data, bit_ebit),
+        received=received,
+        fidelity=fidelity,
+    )
+
+
+def teleportation_fidelity_with_noisy_pair(pair_fidelity: float) -> float:
+    """Average teleportation fidelity achievable with a Werner pair of fidelity ``F``.
+
+    The standard relation for teleporting through a Werner channel is
+    ``F_teleport = (2F + 1) / 3`` — exposed here because it is the quantity a
+    DQC application ultimately cares about when the routing layer reports an
+    EC fidelity.
+    """
+    if not 0.0 <= pair_fidelity <= 1.0:
+        raise ValueError(f"pair_fidelity must be in [0, 1], got {pair_fidelity}")
+    return (2.0 * pair_fidelity + 1.0) / 3.0

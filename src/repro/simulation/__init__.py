@@ -1,0 +1,21 @@
+"""Simulators: a discrete-event engine, an attempt-level link layer and the
+slot-based network simulator that drives every experiment in the paper."""
+
+from repro.simulation.clock import SlotClock
+from repro.simulation.events import Event, EventQueue, EventDrivenSimulator
+from repro.simulation.link_layer import LinkLayerSimulator, RouteRealization
+from repro.simulation.results import SlotRecord, SimulationResult
+from repro.simulation.engine import SlottedSimulator, simulate_policies
+
+__all__ = [
+    "SlotClock",
+    "Event",
+    "EventQueue",
+    "EventDrivenSimulator",
+    "LinkLayerSimulator",
+    "RouteRealization",
+    "SlotRecord",
+    "SimulationResult",
+    "SlottedSimulator",
+    "simulate_policies",
+]

@@ -1,0 +1,67 @@
+"""The slot clock: converting between slots, attempts and wall-clock time.
+
+A time slot in the paper is "the entanglement duration": long enough for
+thousands of generation attempts (4000 by default, at 165 µs per attempt)
+but shorter than the ~1.46 s decoherence time, so that links generated
+within the slot can still be swapped and consumed.  The clock centralises
+these conversions so the slotted simulator, the link layer and the physics
+layer agree on times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.channels import ATTEMPT_DURATION_S, DECOHERENCE_TIME_S
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class SlotClock:
+    """Maps slot indices and attempt indices to wall-clock seconds."""
+
+    attempts_per_slot: int = 4000
+    attempt_duration: float = ATTEMPT_DURATION_S
+    guard_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.attempts_per_slot, "attempts_per_slot")
+        check_positive(self.attempt_duration, "attempt_duration")
+        check_non_negative(self.guard_time, "guard_time")
+
+    @property
+    def slot_duration(self) -> float:
+        """Duration of one slot in seconds (attempt window plus guard time)."""
+        return self.attempts_per_slot * self.attempt_duration + self.guard_time
+
+    def slot_start(self, slot: int) -> float:
+        """Wall-clock start time of ``slot``."""
+        if slot < 0:
+            raise ValueError(f"slot must be non-negative, got {slot}")
+        return slot * self.slot_duration
+
+    def slot_end(self, slot: int) -> float:
+        """Wall-clock end time of ``slot``."""
+        return self.slot_start(slot) + self.slot_duration
+
+    def attempt_time(self, slot: int, attempt: int) -> float:
+        """Wall-clock time at which attempt ``attempt`` of ``slot`` completes."""
+        if not 0 <= attempt <= self.attempts_per_slot:
+            raise ValueError(
+                f"attempt must be in [0, {self.attempts_per_slot}], got {attempt}"
+            )
+        return self.slot_start(slot) + attempt * self.attempt_duration
+
+    def slot_of_time(self, time: float) -> int:
+        """The slot index containing wall-clock ``time``."""
+        check_non_negative(time, "time")
+        return int(time // self.slot_duration)
+
+    def fits_within_decoherence(self, decoherence_time: float = DECOHERENCE_TIME_S) -> bool:
+        """Whether a whole slot fits inside the entanglement decoherence time.
+
+        The paper's parameters satisfy this (0.66 s slot vs 1.46 s memory),
+        which is what justifies treating a slot as one atomic routing round.
+        """
+        check_positive(decoherence_time, "decoherence_time")
+        return self.slot_duration <= decoherence_time

@@ -1,0 +1,153 @@
+"""The slot-based QDN simulator.
+
+This is the evaluation harness of the paper: for every slot it presents the
+policy with the slot's EC requests, resource availability and candidate
+routes (all frozen in a :class:`~repro.workload.traces.WorkloadTrace` so
+that different policies are compared on identical workloads), records the
+decision's cost and analytic success probabilities, and optionally realises
+each EC with the link-layer Monte-Carlo simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import SlotContext
+from repro.network.graph import QDNGraph
+from repro.simulation.link_layer import LinkLayerSimulator
+from repro.simulation.results import SimulationResult, SlotRecord
+from repro.utils.rng import SeedLike, as_generator, spawn_rngs
+from repro.workload.traces import WorkloadTrace
+
+
+@dataclass
+class SlottedSimulator:
+    """Runs one policy over one frozen workload trace.
+
+    Parameters
+    ----------
+    graph:
+        The QDN.
+    trace:
+        The frozen workload (requests, availability, candidate routes).
+    total_budget:
+        The user's long-term budget ``C`` (only used for reporting —
+        policies carry their own budget configuration).
+    realize:
+        Whether to also Monte-Carlo-realise every EC (adds the
+        ``realized_*`` fields to the records).
+    detailed_link_layer:
+        Use the attempt-level physics simulation instead of per-edge
+        Bernoulli draws when realising ECs (slower; mainly for validation
+        and examples).
+    """
+
+    graph: QDNGraph
+    trace: WorkloadTrace
+    total_budget: float = 5000.0
+    realize: bool = True
+    detailed_link_layer: bool = False
+
+    def run(self, policy: RoutingPolicy, seed: SeedLike = None) -> SimulationResult:
+        """Simulate ``policy`` over the whole trace and return its result."""
+        rng = as_generator(seed)
+        decision_rng, realization_rng = spawn_rngs(rng, 2)
+        link_layer = LinkLayerSimulator(graph=self.graph, detailed=self.detailed_link_layer)
+
+        policy.reset(self.graph, self.trace.horizon)
+        records: List[SlotRecord] = []
+        for slot_trace in self.trace.slots:
+            context = SlotContext(
+                t=slot_trace.t,
+                graph=self.graph,
+                snapshot=slot_trace.snapshot,
+                requests=slot_trace.requests,
+                candidate_routes={
+                    request: tuple(self.trace.routes_for(request))
+                    for request in slot_trace.requests
+                },
+            )
+            decision = policy.decide(context, seed=decision_rng)
+            if not decision.respects_snapshot(slot_trace.snapshot):
+                raise RuntimeError(
+                    f"policy {policy.name!r} violated capacity constraints in slot {slot_trace.t}"
+                )
+
+            success_probabilities = tuple(
+                decision.success_probability(self.graph, request)
+                for request in decision.served_requests
+            )
+            realized: List[bool] = []
+            fidelities: List[float] = []
+            if self.realize:
+                for request in decision.served_requests:
+                    route = decision.route_for(request)
+                    assert route is not None
+                    allocation = {
+                        key: decision.channels_for(request, key) for key in route.edges
+                    }
+                    realization = link_layer.realize_route(
+                        route,
+                        allocation,
+                        slot=slot_trace.t,
+                        seed=realization_rng,
+                    )
+                    realized.append(realization.succeeded)
+                    fidelities.append(realization.fidelity)
+                # Unserved requests trivially fail.
+                realized.extend([False] * len(decision.unserved))
+                fidelities.extend([0.0] * len(decision.unserved))
+
+            queue_length: Optional[float] = None
+            diagnostics = policy.diagnostics()
+            history = diagnostics.get("queue_history")
+            if isinstance(history, list) and history:
+                queue_length = float(history[-1])
+
+            records.append(
+                SlotRecord(
+                    t=slot_trace.t,
+                    num_requests=slot_trace.num_requests,
+                    num_served=decision.num_served,
+                    cost=decision.cost(),
+                    utility=decision.utility(self.graph),
+                    success_probabilities=success_probabilities,
+                    realized_successes=tuple(realized),
+                    realized_fidelities=tuple(fidelities),
+                    queue_length=queue_length,
+                )
+            )
+
+        return SimulationResult(
+            policy_name=policy.name,
+            horizon=self.trace.horizon,
+            total_budget=self.total_budget,
+            records=tuple(records),
+            diagnostics=policy.diagnostics(),
+        )
+
+
+def simulate_policies(
+    graph: QDNGraph,
+    trace: WorkloadTrace,
+    policies: Sequence[RoutingPolicy],
+    total_budget: float = 5000.0,
+    realize: bool = True,
+    seed: SeedLike = None,
+) -> Dict[str, SimulationResult]:
+    """Run several policies over the *same* trace and collect their results.
+
+    Each policy gets its own independent random stream (for Gibbs sampling
+    and EC realisation) derived from ``seed``, so results are reproducible
+    yet uncorrelated across policies.
+    """
+    simulator = SlottedSimulator(
+        graph=graph, trace=trace, total_budget=total_budget, realize=realize
+    )
+    rngs = spawn_rngs(seed, len(list(policies)))
+    results: Dict[str, SimulationResult] = {}
+    for policy, policy_rng in zip(policies, rngs):
+        results[policy.name] = simulator.run(policy, seed=policy_rng)
+    return results

@@ -1,0 +1,135 @@
+"""A minimal discrete-event simulation engine.
+
+The slotted simulator covers everything the paper evaluates, but the physics
+layer (attempt-level generation, swapping, decoherence) is naturally
+event-driven; this small engine lets examples and tests compose those
+pieces into protocol-level simulations without pulling in an external
+framework.  It is a standard priority-queue design: events carry a
+timestamp, a deterministic tie-breaking sequence number and a callback.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.utils.validation import check_non_negative
+
+EventCallback = Callable[["EventDrivenSimulator", "Event"], None]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled event: a timestamp, a tie-breaker and a callback."""
+
+    time: float
+    sequence: int
+    name: str = field(compare=False, default="event")
+    callback: Optional[EventCallback] = field(compare=False, default=None)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A time-ordered event queue with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        name: str = "event",
+        callback: Optional[EventCallback] = None,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule an event at ``time`` and return it."""
+        check_non_negative(time, "time")
+        event = Event(
+            time=float(time),
+            sequence=next(self._counter),
+            name=name,
+            callback=callback,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (raises ``IndexError`` if empty)."""
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it (``None`` if empty)."""
+        return self._heap[0] if self._heap else None
+
+
+class EventDrivenSimulator:
+    """Runs callbacks in event-time order.
+
+    Callbacks receive the simulator (so they can schedule follow-up events)
+    and the event itself.  The simulation stops when the queue empties, when
+    ``until`` is reached, or when ``max_events`` events have been processed.
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """The current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events processed so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        delay: float,
+        name: str = "event",
+        callback: Optional[EventCallback] = None,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule an event ``delay`` seconds after the current time."""
+        check_non_negative(delay, "delay")
+        return self.queue.push(self._now + delay, name=name, callback=callback, payload=payload)
+
+    def schedule_at(
+        self,
+        time: float,
+        name: str = "event",
+        callback: Optional[EventCallback] = None,
+        payload: Any = None,
+    ) -> Event:
+        """Schedule an event at absolute ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        return self.queue.push(time, name=name, callback=callback, payload=payload)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Process events in order; returns the number of events processed."""
+        processed_before = self._processed
+        while len(self.queue) > 0:
+            if max_events is not None and self._processed - processed_before >= max_events:
+                break
+            next_event = self.queue.peek()
+            assert next_event is not None
+            if until is not None and next_event.time > until:
+                break
+            event = self.queue.pop()
+            self._now = event.time
+            self._processed += 1
+            if event.callback is not None:
+                event.callback(self, event)
+        if until is not None and self._now < until and len(self.queue) == 0:
+            self._now = until
+        return self._processed - processed_before

@@ -1,0 +1,172 @@
+"""Per-slot records and whole-run results of a slotted simulation.
+
+Everything the paper's figures need is derivable from these records:
+per-slot utility (Fig. 3a), per-request EC success probabilities (Figs. 3b,
+4, 5a, 6a), qubit usage (Figs. 3c, 5b, 6b, 7, 8) and the policy's virtual
+queue / spending diagnostics (Figs. 7, 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Metrics of one simulated slot under one policy."""
+
+    t: int
+    num_requests: int
+    num_served: int
+    cost: int
+    utility: float
+    success_probabilities: Tuple[float, ...]
+    realized_successes: Tuple[bool, ...] = ()
+    realized_fidelities: Tuple[float, ...] = ()
+    queue_length: Optional[float] = None
+
+    @property
+    def num_unserved(self) -> int:
+        """Requests that were not served in this slot."""
+        return self.num_requests - self.num_served
+
+    @property
+    def mean_success_probability(self) -> float:
+        """Mean analytic EC success probability over this slot's requests.
+
+        Unserved requests count as probability 0 so that dropping requests
+        is never "free" in the reported success rate.
+        """
+        if self.num_requests == 0:
+            return 0.0
+        return float(sum(self.success_probabilities)) / self.num_requests
+
+    @property
+    def realized_success_rate(self) -> float:
+        """Fraction of this slot's requests whose EC actually materialised."""
+        if self.num_requests == 0:
+            return 0.0
+        return float(sum(self.realized_successes)) / self.num_requests
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Complete result of one policy run over one workload trace."""
+
+    policy_name: str
+    horizon: int
+    total_budget: float
+    records: Tuple[SlotRecord, ...]
+    diagnostics: Mapping[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Per-slot series
+    # ------------------------------------------------------------------ #
+    def per_slot_costs(self) -> List[int]:
+        """Cost ``c_t`` of every slot."""
+        return [record.cost for record in self.records]
+
+    def cumulative_costs(self) -> List[float]:
+        """Cumulative qubit usage after each slot (Fig. 3c)."""
+        return list(np.cumsum([record.cost for record in self.records], dtype=float))
+
+    def per_slot_utilities(self) -> List[float]:
+        """Utility ``u(r_t, N_t)`` of every slot."""
+        return [record.utility for record in self.records]
+
+    def running_average_utility(self) -> List[float]:
+        """Running average of per-slot utility up to each slot (Fig. 3a)."""
+        utilities = np.asarray(
+            [record.utility if math.isfinite(record.utility) else np.nan for record in self.records]
+        )
+        sums = np.nancumsum(utilities)
+        counts = np.arange(1, len(utilities) + 1)
+        return list(sums / counts)
+
+    def running_average_success_rate(self) -> List[float]:
+        """Running average of the mean EC success probability (Fig. 3b)."""
+        rates = np.asarray([record.mean_success_probability for record in self.records])
+        return list(np.cumsum(rates) / np.arange(1, len(rates) + 1))
+
+    def queue_lengths(self) -> List[Optional[float]]:
+        """The policy's virtual-queue length at each slot (None for baselines)."""
+        return [record.queue_length for record in self.records]
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cost(self) -> float:
+        """Total qubits spent over the run."""
+        return float(sum(record.cost for record in self.records))
+
+    @property
+    def budget_violation(self) -> float:
+        """``max(0, total_cost − C)``."""
+        return max(0.0, self.total_cost - self.total_budget)
+
+    @property
+    def budget_utilisation(self) -> float:
+        """Fraction of the budget consumed (can exceed 1)."""
+        if self.total_budget == 0:
+            return 0.0 if self.total_cost == 0 else float("inf")
+        return self.total_cost / self.total_budget
+
+    def average_utility(self) -> float:
+        """Mean per-slot utility over the run (finite slots only)."""
+        utilities = [r.utility for r in self.records if math.isfinite(r.utility)]
+        if not utilities:
+            return float("-inf")
+        return float(np.mean(utilities))
+
+    def average_success_rate(self) -> float:
+        """Mean analytic EC success probability over every request of the run."""
+        probabilities = self.all_success_probabilities(include_unserved=True)
+        if not probabilities:
+            return 0.0
+        return float(np.mean(probabilities))
+
+    def realized_success_rate(self) -> float:
+        """Fraction of all requests whose EC actually materialised."""
+        total_requests = sum(record.num_requests for record in self.records)
+        if total_requests == 0:
+            return 0.0
+        total_successes = sum(sum(record.realized_successes) for record in self.records)
+        return total_successes / total_requests
+
+    def all_success_probabilities(self, include_unserved: bool = True) -> List[float]:
+        """Per-request analytic success probabilities across the run (Fig. 4).
+
+        When ``include_unserved`` is true, every unserved request contributes
+        a zero.
+        """
+        values: List[float] = []
+        for record in self.records:
+            values.extend(record.success_probabilities)
+            if include_unserved:
+                values.extend([0.0] * record.num_unserved)
+        return values
+
+    def served_fraction(self) -> float:
+        """Fraction of requests that received a route and allocation."""
+        total = sum(record.num_requests for record in self.records)
+        if total == 0:
+            return 1.0
+        served = sum(record.num_served for record in self.records)
+        return served / total
+
+    def summary(self) -> Dict[str, float]:
+        """A flat summary dictionary used by the reporting layer."""
+        return {
+            "average_utility": self.average_utility(),
+            "average_success_rate": self.average_success_rate(),
+            "realized_success_rate": self.realized_success_rate(),
+            "total_cost": self.total_cost,
+            "budget_utilisation": self.budget_utilisation,
+            "budget_violation": self.budget_violation,
+            "served_fraction": self.served_fraction(),
+        }

@@ -1,0 +1,47 @@
+"""Optimisation machinery used by the per-slot entanglement-routing problem.
+
+* :mod:`repro.solvers.allocation_problem` — the continuous/integer qubit
+  allocation problem (objective, capacity constraints, feasibility checks).
+* :mod:`repro.solvers.relaxed` — solvers for the continuous relaxation: a
+  fast Lagrangian dual-decomposition solver with closed-form inner updates
+  and a scipy SLSQP cross-check solver.
+* :mod:`repro.solvers.rounding` — the paper's "down-round and allocate
+  surplus" procedure (Algorithm 2, step 4).
+* :mod:`repro.solvers.greedy` — a direct greedy integer allocator used for
+  ablations.
+* :mod:`repro.solvers.gibbs` — a generic Gibbs sampler over finite product
+  decision spaces (used by route selection, Algorithm 3).
+"""
+
+from repro.solvers.allocation_problem import (
+    AllocationProblem,
+    AllocationVariable,
+    CapacityConstraint,
+    ContinuousSolution,
+    IntegerSolution,
+    build_allocation_problem,
+)
+from repro.solvers.relaxed import (
+    DualDecompositionSolver,
+    RelaxedSolver,
+    SLSQPSolver,
+)
+from repro.solvers.rounding import round_down_with_surplus
+from repro.solvers.greedy import greedy_integer_allocation
+from repro.solvers.gibbs import GibbsSampler, GibbsResult
+
+__all__ = [
+    "AllocationProblem",
+    "AllocationVariable",
+    "CapacityConstraint",
+    "ContinuousSolution",
+    "IntegerSolution",
+    "build_allocation_problem",
+    "RelaxedSolver",
+    "DualDecompositionSolver",
+    "SLSQPSolver",
+    "round_down_with_surplus",
+    "greedy_integer_allocation",
+    "GibbsSampler",
+    "GibbsResult",
+]

@@ -1,0 +1,365 @@
+"""The per-slot qubit-allocation problem.
+
+For a *fixed* route selection ``r(Φ)`` the per-slot problem P2 reduces to
+choosing, for every (SD pair, edge-on-its-route) combination, an integer
+number of channels ``n_e(r(ϕ)) >= 1`` that maximises
+
+    Σ_i [ V · log P_i(n_i) − q · n_i ]          with P_i(n) = 1 − (1 − p_i)^n
+
+subject to linear capacity constraints: the total allocation touching a node
+must not exceed its available qubits ``Q_t^v`` (paper Eq. 4), the total
+allocation on a physical edge must not exceed its available channels
+``W_t^e`` (paper Eq. 5), and — for the myopic baselines — optionally a
+per-slot budget cap.  This module represents that problem independently of
+where it came from, so the same solvers serve OSCAR, the baselines, the
+tests and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.channels import log_multi_channel_success, multi_channel_success
+from repro.utils.validation import check_non_negative, check_probability
+
+VariableKey = Hashable
+
+
+@dataclass(frozen=True)
+class AllocationVariable:
+    """One decision variable: the number of channels for a (request, edge) pair.
+
+    ``slot_success`` is the single-channel per-slot success probability
+    ``p_e`` of the underlying edge; ``lower`` is the paper's connectivity
+    requirement (1 channel minimum), and ``upper`` is any valid upper bound
+    implied by the constraints (used to keep the relaxed subproblems
+    bounded).
+    """
+
+    key: VariableKey
+    slot_success: float
+    lower: float = 1.0
+    upper: float = math.inf
+
+    def __post_init__(self) -> None:
+        check_probability(self.slot_success, "slot_success")
+        check_non_negative(self.lower, "lower")
+        if self.upper < self.lower:
+            raise ValueError(
+                f"upper bound {self.upper} below lower bound {self.lower} for {self.key!r}"
+            )
+
+    def success(self, allocation: float) -> float:
+        """``P(n) = 1 - (1 - p)^n`` for this variable."""
+        return multi_channel_success(self.slot_success, allocation)
+
+    def log_success(self, allocation: float) -> float:
+        """``log P(n)`` for this variable (``-inf`` if zero)."""
+        return log_multi_channel_success(self.slot_success, allocation)
+
+    def marginal_log_gain(self, allocation: float) -> float:
+        """``log P(n + 1) - log P(n)``: the gain of one more channel."""
+        return self.log_success(allocation + 1.0) - self.log_success(allocation)
+
+
+@dataclass(frozen=True)
+class CapacityConstraint:
+    """A linear capacity constraint ``Σ_{i in members} x_i <= capacity``."""
+
+    name: str
+    members: Tuple[int, ...]
+    capacity: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.capacity, "capacity")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError(f"constraint {self.name!r} lists a variable twice")
+
+    def load(self, x: Sequence[float]) -> float:
+        """Total allocation of the member variables under ``x``."""
+        return float(sum(x[i] for i in self.members))
+
+    def slack(self, x: Sequence[float]) -> float:
+        """Remaining capacity under ``x`` (negative when violated)."""
+        return self.capacity - self.load(x)
+
+
+@dataclass(frozen=True)
+class ContinuousSolution:
+    """Solution of the continuous relaxation (the paper's ``ñ*``)."""
+
+    values: Tuple[float, ...]
+    objective: float
+    feasible: bool
+    iterations: int = 0
+
+    def as_array(self) -> np.ndarray:
+        """The allocation vector as a numpy array."""
+        return np.asarray(self.values, dtype=float)
+
+
+@dataclass(frozen=True)
+class IntegerSolution:
+    """Rounded integer solution (the paper's ``N*``)."""
+
+    values: Tuple[int, ...]
+    objective: float
+    feasible: bool
+
+    def as_array(self) -> np.ndarray:
+        """The allocation vector as a numpy array of ints."""
+        return np.asarray(self.values, dtype=int)
+
+    def by_key(self, problem: "AllocationProblem") -> Dict[VariableKey, int]:
+        """Map each variable key to its integer allocation."""
+        return {
+            variable.key: int(value)
+            for variable, value in zip(problem.variables, self.values)
+        }
+
+
+class AllocationProblem:
+    """A qubit-allocation instance: variables, capacity constraints, weights.
+
+    ``utility_weight`` is the Lyapunov trade-off parameter ``V`` and
+    ``cost_weight`` the virtual-queue length ``q_t`` (paper, problem P2).
+    Setting ``utility_weight=1`` and ``cost_weight=0`` recovers the pure
+    per-slot utility maximisation used by the myopic baselines.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[AllocationVariable],
+        constraints: Sequence[CapacityConstraint],
+        utility_weight: float = 1.0,
+        cost_weight: float = 0.0,
+    ) -> None:
+        check_non_negative(utility_weight, "utility_weight")
+        check_non_negative(cost_weight, "cost_weight")
+        self._variables = list(variables)
+        self._constraints = list(constraints)
+        self.utility_weight = float(utility_weight)
+        self.cost_weight = float(cost_weight)
+        self._validate()
+        self._tighten_upper_bounds()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        n = len(self._variables)
+        keys = [v.key for v in self._variables]
+        if len(set(keys)) != len(keys):
+            raise ValueError("variable keys must be unique")
+        for constraint in self._constraints:
+            for index in constraint.members:
+                if not 0 <= index < n:
+                    raise ValueError(
+                        f"constraint {constraint.name!r} references variable {index}, "
+                        f"but only {n} variables exist"
+                    )
+
+    def _tighten_upper_bounds(self) -> None:
+        """Derive finite per-variable upper bounds from the constraints.
+
+        A variable can never exceed ``capacity - Σ (other members' lower
+        bounds)`` for any constraint it belongs to; using these bounds keeps
+        the dual solver's closed-form inner step bounded even when the
+        effective price is zero.
+        """
+        lowers = [v.lower for v in self._variables]
+        bounds = [v.upper for v in self._variables]
+        for constraint in self._constraints:
+            total_lower = sum(lowers[i] for i in constraint.members)
+            for index in constraint.members:
+                implied = constraint.capacity - (total_lower - lowers[index])
+                bounds[index] = min(bounds[index], implied)
+        tightened = []
+        for variable, bound in zip(self._variables, bounds):
+            upper = max(bound, variable.lower)  # keep a well-formed interval
+            tightened.append(
+                AllocationVariable(
+                    key=variable.key,
+                    slot_success=variable.slot_success,
+                    lower=variable.lower,
+                    upper=upper,
+                )
+            )
+        self._variables = tightened
+        self._infeasible_bounds = any(b < v.lower for b, v in zip(bounds, self._variables))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def variables(self) -> List[AllocationVariable]:
+        """The decision variables, in index order."""
+        return list(self._variables)
+
+    @property
+    def constraints(self) -> List[CapacityConstraint]:
+        """The capacity constraints."""
+        return list(self._constraints)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of decision variables."""
+        return len(self._variables)
+
+    def lower_bounds(self) -> np.ndarray:
+        """Vector of per-variable lower bounds."""
+        return np.asarray([v.lower for v in self._variables], dtype=float)
+
+    def upper_bounds(self) -> np.ndarray:
+        """Vector of per-variable upper bounds (constraint-implied)."""
+        return np.asarray([v.upper for v in self._variables], dtype=float)
+
+    def slot_successes(self) -> np.ndarray:
+        """Vector of single-channel per-slot success probabilities ``p_i``."""
+        return np.asarray([v.slot_success for v in self._variables], dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # Objective
+    # ------------------------------------------------------------------ #
+    def utility(self, x: Sequence[float]) -> float:
+        """``Σ_i log P_i(x_i)`` — the un-weighted proportional-fair utility."""
+        return float(sum(v.log_success(value) for v, value in zip(self._variables, x)))
+
+    def cost(self, x: Sequence[float]) -> float:
+        """``Σ_i x_i`` — the total qubit/channel cost of the allocation."""
+        return float(sum(x))
+
+    def objective(self, x: Sequence[float]) -> float:
+        """``V · utility(x) − q · cost(x)`` — the drift-plus-penalty objective."""
+        return self.utility_weight * self.utility(x) - self.cost_weight * self.cost(x)
+
+    def objective_array(self, x: np.ndarray) -> float:
+        """Vectorised :meth:`objective` for numpy arrays (used by solvers)."""
+        x = np.asarray(x, dtype=float)
+        p = self.slot_successes()
+        log_terms = np.empty_like(x)
+        safe = p < 1.0
+        with np.errstate(divide="ignore"):
+            log_terms[safe] = np.log(-np.expm1(x[safe] * np.log1p(-p[safe])))
+        log_terms[~safe] = 0.0
+        return float(self.utility_weight * log_terms.sum() - self.cost_weight * x.sum())
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        """Gradient of :meth:`objective_array` with respect to ``x``."""
+        x = np.asarray(x, dtype=float)
+        p = self.slot_successes()
+        grad = np.full_like(x, -self.cost_weight)
+        safe = p < 1.0
+        a = -np.log1p(-p[safe])  # a = -ln(1-p) > 0
+        q_pow = np.exp(-a * x[safe])  # (1-p)^x
+        denominator = -np.expm1(-a * x[safe])  # 1 - (1-p)^x
+        grad[safe] += self.utility_weight * a * q_pow / np.maximum(denominator, 1e-300)
+        return grad
+
+    # ------------------------------------------------------------------ #
+    # Feasibility
+    # ------------------------------------------------------------------ #
+    def is_feasible(self, x: Sequence[float], tolerance: float = 1e-6) -> bool:
+        """Whether ``x`` respects bounds and every capacity constraint."""
+        for variable, value in zip(self._variables, x):
+            if value < variable.lower - tolerance:
+                return False
+        for constraint in self._constraints:
+            if constraint.load(x) > constraint.capacity + tolerance:
+                return False
+        return True
+
+    def lower_bound_feasible(self) -> bool:
+        """Whether the all-lower-bounds allocation (one channel per edge) fits.
+
+        This is the minimum-footprint allocation the paper's formulation
+        requires (``n_e ∈ Z₊₊``); if even this does not fit, the instance is
+        infeasible and the route combination must be rejected or the request
+        set reduced.
+        """
+        if self._infeasible_bounds:
+            return False
+        lowers = self.lower_bounds()
+        return self.is_feasible(lowers)
+
+    def project_to_bounds(self, x: np.ndarray) -> np.ndarray:
+        """Clip ``x`` into the per-variable ``[lower, upper]`` box."""
+        return np.clip(np.asarray(x, dtype=float), self.lower_bounds(), self.upper_bounds())
+
+    def repair_feasibility(self, x: np.ndarray) -> np.ndarray:
+        """Shrink an allocation until all capacity constraints hold.
+
+        Because reducing any variable can only relax every constraint, a
+        single ordered pass over the constraints is enough: each violated
+        constraint has its members (those above their lower bounds) reduced
+        proportionally to remove the excess.
+        """
+        x = self.project_to_bounds(x)
+        lowers = self.lower_bounds()
+        for constraint in self._constraints:
+            load = constraint.load(x)
+            excess = load - constraint.capacity
+            if excess <= 1e-12:
+                continue
+            members = np.asarray(constraint.members, dtype=int)
+            headroom = x[members] - lowers[members]
+            total_headroom = headroom.sum()
+            if total_headroom <= 0:
+                # Cannot repair without breaking lower bounds; leave as-is,
+                # the caller will detect infeasibility.
+                continue
+            reduction = np.minimum(headroom, headroom * (excess / total_headroom))
+            # Numerical safety: remove exactly the excess if possible.
+            shortfall = excess - reduction.sum()
+            if shortfall > 1e-12:
+                order = np.argsort(-(headroom - reduction))
+                for index in order:
+                    available = headroom[index] - reduction[index]
+                    take = min(available, shortfall)
+                    reduction[index] += take
+                    shortfall -= take
+                    if shortfall <= 1e-12:
+                        break
+            x[members] = x[members] - reduction
+        return x
+
+
+def build_allocation_problem(
+    entries: Iterable[Tuple[VariableKey, float]],
+    node_groups: Mapping[str, Tuple[Sequence[int], float]],
+    utility_weight: float = 1.0,
+    cost_weight: float = 0.0,
+    budget_cap: Optional[float] = None,
+) -> AllocationProblem:
+    """Convenience constructor used by tests and small scripts.
+
+    ``entries`` is an iterable of ``(key, slot_success)`` pairs;
+    ``node_groups`` maps a constraint name to ``(member indices, capacity)``;
+    ``budget_cap`` adds a global per-slot budget constraint over every
+    variable.
+    """
+    variables = [
+        AllocationVariable(key=key, slot_success=success) for key, success in entries
+    ]
+    constraints = [
+        CapacityConstraint(name=name, members=tuple(members), capacity=capacity)
+        for name, (members, capacity) in node_groups.items()
+    ]
+    if budget_cap is not None:
+        constraints.append(
+            CapacityConstraint(
+                name="budget",
+                members=tuple(range(len(variables))),
+                capacity=budget_cap,
+            )
+        )
+    return AllocationProblem(
+        variables=variables,
+        constraints=constraints,
+        utility_weight=utility_weight,
+        cost_weight=cost_weight,
+    )

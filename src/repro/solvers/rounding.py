@@ -1,0 +1,108 @@
+"""Rounding of relaxed allocations (Algorithm 2, step 4).
+
+The paper rounds the relaxed optimum ``ñ*`` by *down-rounding* each value
+(never below the lower bound of one channel) and then re-allocating any
+capacity surplus to edges that can still accept it.  Down-rounding keeps
+the allocation feasible, the surplus pass only adds channels where all
+constraints still have slack, and the resulting integer solution satisfies
+``n* >= 1`` and ``ñ* − n* <= 1`` (paper, Eq. 8), which drives the
+``Δ``-optimality bound of Proposition 2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.solvers.allocation_problem import (
+    AllocationProblem,
+    ContinuousSolution,
+    IntegerSolution,
+)
+
+
+def round_down_with_surplus(
+    problem: AllocationProblem,
+    relaxed: ContinuousSolution,
+    max_surplus_passes: Optional[int] = None,
+) -> IntegerSolution:
+    """Down-round a relaxed solution and greedily hand out leftover capacity.
+
+    The surplus pass repeatedly adds one channel to the variable with the
+    largest positive marginal objective gain (``V·[log P(n+1) − log P(n)] −
+    q``) among variables whose constraints all still have at least one unit
+    of slack; it stops when no variable can be incremented profitably.
+    ``max_surplus_passes`` bounds the number of increments (defaults to the
+    total remaining integer capacity, which always terminates).
+    """
+    n = problem.num_variables
+    if n == 0:
+        return IntegerSolution(values=(), objective=0.0, feasible=True)
+
+    lower = problem.lower_bounds()
+    relaxed_values = relaxed.as_array()
+    floored = np.maximum(np.floor(relaxed_values + 1e-9), np.ceil(lower - 1e-9))
+    values = floored.astype(int)
+
+    feasible = problem.is_feasible(values) and relaxed.feasible
+    if not feasible:
+        # The relaxed point itself was infeasible (e.g. the all-ones
+        # allocation does not fit); report the floored point without trying
+        # to "fix" it, so callers can reject this route combination.
+        return IntegerSolution(
+            values=tuple(int(v) for v in values),
+            objective=problem.objective(values),
+            feasible=False,
+        )
+
+    constraints = problem.constraints
+    capacities = np.asarray([c.capacity for c in constraints], dtype=float)
+    loads = np.asarray([c.load(values) for c in constraints], dtype=float)
+    var_constraints: List[List[int]] = [[] for _ in range(n)]
+    for c_index, constraint in enumerate(constraints):
+        for member in constraint.members:
+            var_constraints[member].append(c_index)
+
+    if max_surplus_passes is None:
+        slack_total = float(np.sum(np.maximum(capacities - loads, 0.0))) if len(constraints) else 0.0
+        max_surplus_passes = int(slack_total) + n
+
+    variables = problem.variables
+    for _ in range(max_surplus_passes):
+        best_index = -1
+        best_gain = 0.0
+        for i in range(n):
+            if values[i] + 1 > variables[i].upper + 1e-9:
+                continue
+            has_slack = all(
+                loads[c_index] + 1.0 <= capacities[c_index] + 1e-9
+                for c_index in var_constraints[i]
+            )
+            if not has_slack:
+                continue
+            gain = (
+                problem.utility_weight * variables[i].marginal_log_gain(float(values[i]))
+                - problem.cost_weight
+            )
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_index = i
+        if best_index < 0:
+            break
+        values[best_index] += 1
+        for c_index in var_constraints[best_index]:
+            loads[c_index] += 1.0
+
+    objective = problem.objective(values)
+    # Guard against pathological float issues: the returned point must be
+    # feasible because we only incremented where slack existed.
+    assert problem.is_feasible(values), "surplus allocation produced an infeasible point"
+    if not math.isfinite(objective):
+        objective = float("-inf")
+    return IntegerSolution(
+        values=tuple(int(v) for v in values),
+        objective=objective,
+        feasible=True,
+    )

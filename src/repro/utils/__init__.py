@@ -1,0 +1,20 @@
+"""Shared utilities: random-number management, validation helpers, logging."""
+
+from repro.utils.rng import RandomState, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    check_type,
+)
+
+__all__ = [
+    "RandomState",
+    "spawn_rngs",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_type",
+]

@@ -1,0 +1,58 @@
+"""Small argument-validation helpers used across the library.
+
+Keeping these in one place makes error messages uniform and keeps the
+domain modules focused on their logic.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Any, Tuple, Type, Union
+
+
+def check_type(value: Any, expected: Union[Type, Tuple[Type, ...]], name: str) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(f"{name} must be {expected_names}, got {type(value).__name__}")
+
+
+def check_positive(value: Real, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_non_negative(value: Real, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def check_probability(value: Real, name: str, *, allow_zero: bool = True, allow_one: bool = True) -> None:
+    """Raise :class:`ValueError` unless ``value`` is a valid probability.
+
+    ``allow_zero`` / ``allow_one`` tighten the admissible interval when an
+    open interval is required (e.g. a per-attempt success probability of
+    exactly zero would make a link permanently unusable).
+    """
+    low_ok = value > 0 or (allow_zero and value == 0)
+    high_ok = value < 1 or (allow_one and value == 1)
+    if not (low_ok and high_ok):
+        raise ValueError(f"{name} must be a probability in the required range, got {value}")
+
+
+def check_in_range(value: Real, low: Real, high: Real, name: str) -> None:
+    """Raise :class:`ValueError` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def check_integer(value: Any, name: str) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an integral number."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")

@@ -1,0 +1,33 @@
+"""Workload generation: EC request processes, budgets and replayable traces."""
+
+from repro.workload.requests import (
+    SDPair,
+    RequestProcess,
+    UniformRequestProcess,
+    PoissonRequestProcess,
+    HotspotRequestProcess,
+    DiurnalRequestProcess,
+    FixedRequestSequence,
+)
+from repro.workload.budget import BudgetTracker, per_slot_budget_share
+from repro.workload.traces import SlotTrace, WorkloadTrace, generate_trace
+from repro.workload.io import load_trace, save_trace, trace_from_dict, trace_to_dict
+
+__all__ = [
+    "SDPair",
+    "RequestProcess",
+    "UniformRequestProcess",
+    "PoissonRequestProcess",
+    "HotspotRequestProcess",
+    "DiurnalRequestProcess",
+    "FixedRequestSequence",
+    "BudgetTracker",
+    "per_slot_budget_share",
+    "SlotTrace",
+    "WorkloadTrace",
+    "generate_trace",
+    "save_trace",
+    "load_trace",
+    "trace_to_dict",
+    "trace_from_dict",
+]

@@ -1,0 +1,130 @@
+"""Budget accounting.
+
+The user pays the QDN provider for every qubit/channel unit allocated; the
+cost of slot ``t`` is the total allocation ``c_t = Σ_ϕ Σ_e n_e`` and the
+long-term constraint is ``Σ_t c_t <= C`` (paper, Eq. 6).  The
+:class:`BudgetTracker` does that bookkeeping for policies, the simulator and
+the metrics layer, and also exposes the per-slot shares used by the myopic
+baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def per_slot_budget_share(total_budget: float, horizon: int) -> float:
+    """The uniform per-slot share ``C / T`` used by the Myopic-Fixed baseline."""
+    check_non_negative(total_budget, "total_budget")
+    check_positive(horizon, "horizon")
+    return total_budget / horizon
+
+
+def adaptive_budget_share(
+    total_budget: float, spent: float, slot: int, horizon: int
+) -> float:
+    """The Myopic-Adaptive per-slot share ``(C - C_spent) / (T - t)``.
+
+    ``slot`` is zero-based; the share for the final slot is whatever budget
+    remains.  A non-negative value is always returned even if the budget has
+    been overspent.
+    """
+    check_non_negative(total_budget, "total_budget")
+    check_non_negative(spent, "spent")
+    check_positive(horizon, "horizon")
+    if not 0 <= slot < horizon:
+        raise ValueError(f"slot must be in [0, {horizon - 1}], got {slot}")
+    remaining_slots = horizon - slot
+    remaining_budget = max(0.0, total_budget - spent)
+    return remaining_budget / remaining_slots
+
+
+@dataclass
+class BudgetTracker:
+    """Tracks cumulative spending against the long-term budget ``C``.
+
+    The tracker never *enforces* the budget — policies decide how much to
+    spend — it only records spending so that violation and utilisation can be
+    measured consistently everywhere.
+    """
+
+    total_budget: float
+    horizon: int
+    _per_slot_costs: List[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.total_budget, "total_budget")
+        check_positive(self.horizon, "horizon")
+
+    def reset(self) -> None:
+        """Forget all recorded spending."""
+        self._per_slot_costs.clear()
+
+    def record(self, cost: float) -> None:
+        """Record the cost of the next slot."""
+        check_non_negative(cost, "cost")
+        if len(self._per_slot_costs) >= self.horizon:
+            raise RuntimeError(
+                f"already recorded {self.horizon} slots; cannot record more"
+            )
+        self._per_slot_costs.append(float(cost))
+
+    @property
+    def slots_recorded(self) -> int:
+        """Number of slots recorded so far."""
+        return len(self._per_slot_costs)
+
+    @property
+    def spent(self) -> float:
+        """Total spending so far."""
+        return float(sum(self._per_slot_costs))
+
+    @property
+    def remaining(self) -> float:
+        """Remaining budget (can be negative if overspent)."""
+        return self.total_budget - self.spent
+
+    @property
+    def per_slot_costs(self) -> List[float]:
+        """A copy of the per-slot cost history."""
+        return list(self._per_slot_costs)
+
+    def cumulative_costs(self) -> List[float]:
+        """Cumulative spending after each recorded slot."""
+        cumulative: List[float] = []
+        running = 0.0
+        for cost in self._per_slot_costs:
+            running += cost
+            cumulative.append(running)
+        return cumulative
+
+    @property
+    def average_per_slot_cost(self) -> float:
+        """Mean spending per recorded slot (0 if nothing recorded)."""
+        if not self._per_slot_costs:
+            return 0.0
+        return self.spent / len(self._per_slot_costs)
+
+    def violation(self) -> float:
+        """``max(0, spent - C)``: the absolute budget violation so far."""
+        return max(0.0, self.spent - self.total_budget)
+
+    def utilisation(self) -> float:
+        """Fraction of the budget consumed so far (may exceed 1)."""
+        if self.total_budget == 0:
+            return 0.0 if self.spent == 0 else float("inf")
+        return self.spent / self.total_budget
+
+    def fixed_share(self) -> float:
+        """The Myopic-Fixed per-slot allowance ``C / T``."""
+        return per_slot_budget_share(self.total_budget, self.horizon)
+
+    def adaptive_share(self) -> float:
+        """The Myopic-Adaptive allowance for the *next* slot."""
+        next_slot = len(self._per_slot_costs)
+        if next_slot >= self.horizon:
+            return 0.0
+        return adaptive_budget_share(self.total_budget, self.spent, next_slot, self.horizon)

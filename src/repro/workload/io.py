@@ -1,0 +1,123 @@
+"""Serialisation of workload traces.
+
+A frozen :class:`~repro.workload.traces.WorkloadTrace` is the unit of
+comparability in this library: every policy that should be compared must see
+the same trace.  Persisting traces to JSON makes experiments repeatable
+across machines and sessions (and lets bug reports attach the exact workload
+that triggered an issue).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple, Union
+
+from repro.network.graph import ResourceSnapshot, edge_key
+from repro.network.routes import Route
+from repro.workload.requests import SDPair
+from repro.workload.traces import SlotTrace, WorkloadTrace
+
+PathLike = Union[str, Path]
+
+FORMAT_NAME = "repro-workload-trace"
+FORMAT_VERSION = 1
+
+
+def _snapshot_to_dict(snapshot: ResourceSnapshot) -> Dict:
+    return {
+        "qubits": [[node, int(count)] for node, count in snapshot.qubits.items()],
+        "channels": [[list(key), int(count)] for key, count in snapshot.channels.items()],
+    }
+
+
+def _snapshot_from_dict(payload: Mapping) -> ResourceSnapshot:
+    qubits = {_node_from_json(node): int(count) for node, count in payload["qubits"]}
+    channels = {
+        edge_key(_node_from_json(pair[0]), _node_from_json(pair[1])): int(count)
+        for pair, count in payload["channels"]
+    }
+    return ResourceSnapshot(qubits=qubits, channels=channels)
+
+
+def _node_from_json(value):
+    """JSON round-trips integer node names as ints and everything else as-is."""
+    return value
+
+
+def trace_to_dict(trace: WorkloadTrace) -> Dict:
+    """A JSON-serialisable representation of a workload trace."""
+    slots: List[Dict] = []
+    for slot in trace.slots:
+        slots.append(
+            {
+                "t": slot.t,
+                "requests": [
+                    {
+                        "source": request.source,
+                        "destination": request.destination,
+                        "request_id": request.request_id,
+                    }
+                    for request in slot.requests
+                ],
+                "snapshot": _snapshot_to_dict(slot.snapshot),
+            }
+        )
+    candidates = [
+        {
+            "endpoints": list(endpoints),
+            "routes": [list(route.nodes) for route in routes],
+        }
+        for endpoints, routes in trace.candidate_routes.items()
+    ]
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "slots": slots,
+        "candidate_routes": candidates,
+    }
+
+
+def trace_from_dict(payload: Mapping) -> WorkloadTrace:
+    """Rebuild a workload trace from :func:`trace_to_dict` output."""
+    if payload.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a serialised workload trace (format={payload.get('format')!r})")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {payload.get('version')!r}")
+
+    slots = []
+    for entry in payload["slots"]:
+        requests = tuple(
+            SDPair(
+                source=_node_from_json(item["source"]),
+                destination=_node_from_json(item["destination"]),
+                request_id=int(item["request_id"]),
+            )
+            for item in entry["requests"]
+        )
+        slots.append(
+            SlotTrace(
+                t=int(entry["t"]),
+                requests=requests,
+                snapshot=_snapshot_from_dict(entry["snapshot"]),
+            )
+        )
+    candidate_routes: Dict[Tuple, Tuple[Route, ...]] = {}
+    for item in payload["candidate_routes"]:
+        endpoints = tuple(_node_from_json(value) for value in item["endpoints"])
+        routes = tuple(Route.from_nodes([_node_from_json(n) for n in nodes]) for nodes in item["routes"])
+        candidate_routes[endpoints] = routes
+    return WorkloadTrace(slots=tuple(slots), candidate_routes=candidate_routes)
+
+
+def save_trace(trace: WorkloadTrace, path: PathLike) -> Path:
+    """Write a workload trace to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_to_dict(trace), indent=2))
+    return path
+
+
+def load_trace(path: PathLike) -> WorkloadTrace:
+    """Load a workload trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

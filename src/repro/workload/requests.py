@@ -1,0 +1,264 @@
+"""Entanglement-connection (EC) request processes.
+
+In every time slot the user needs ECs for a set of SD pairs ``Φ_t`` whose
+size and composition vary over time and are unknown in advance (paper,
+Sec. III-C).  The paper's evaluation draws the number of SD pairs uniformly
+from U[1, 5] each slot with uniformly random distinct endpoints; this module
+implements that process plus a few richer ones (Poisson-modulated load,
+hotspot traffic, and fixed traces) that model DQC workloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.graph import NodeName, QDNGraph
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class SDPair:
+    """One EC request: a source-destination pair ``ϕ`` in a given slot.
+
+    ``request_id`` disambiguates multiple requests between the same endpoints
+    in the same slot (the paper notes that multiple EC requests from one SD
+    pair are handled by treating each request as its own SD pair).
+    """
+
+    source: NodeName
+    destination: NodeName
+    request_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+
+    @property
+    def endpoints(self) -> Tuple[NodeName, NodeName]:
+        """The unordered endpoint pair, in canonical order."""
+        a, b = sorted((self.source, self.destination), key=repr)
+        return (a, b)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.source}->{self.destination}#{self.request_id}"
+
+
+def _sample_distinct_pair(
+    nodes: Sequence[NodeName], rng: np.random.Generator
+) -> Tuple[NodeName, NodeName]:
+    """Sample two distinct nodes uniformly at random."""
+    if len(nodes) < 2:
+        raise ValueError("need at least two nodes to form an SD pair")
+    first, second = rng.choice(len(nodes), size=2, replace=False)
+    return nodes[int(first)], nodes[int(second)]
+
+
+class RequestProcess(ABC):
+    """Generates the set of EC requests ``Φ_t`` for each slot."""
+
+    @abstractmethod
+    def sample(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> List[SDPair]:
+        """The EC requests issued at slot ``t``."""
+
+    def max_pairs_per_slot(self) -> int:
+        """An upper bound ``F`` on ``|Φ_t|`` (used by the theoretical bounds)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any internal state before a fresh simulation run."""
+
+
+@dataclass
+class UniformRequestProcess(RequestProcess):
+    """The paper's default workload: ``|Φ_t| ~ U[min_pairs, max_pairs]``.
+
+    Endpoints are chosen uniformly at random among distinct node pairs.  The
+    paper's evaluation uses U[1, 5].
+    """
+
+    min_pairs: int = 1
+    max_pairs: int = 5
+
+    def __post_init__(self) -> None:
+        if self.min_pairs < 0:
+            raise ValueError("min_pairs must be non-negative")
+        if self.max_pairs < self.min_pairs:
+            raise ValueError("max_pairs must be >= min_pairs")
+
+    def max_pairs_per_slot(self) -> int:
+        return self.max_pairs
+
+    def sample(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> List[SDPair]:
+        count = int(rng.integers(self.min_pairs, self.max_pairs + 1))
+        nodes = graph.nodes
+        pairs = []
+        for request_id in range(count):
+            source, destination = _sample_distinct_pair(nodes, rng)
+            pairs.append(SDPair(source=source, destination=destination, request_id=request_id))
+        return pairs
+
+
+@dataclass
+class PoissonRequestProcess(RequestProcess):
+    """Poisson number of EC requests per slot, truncated at ``max_pairs``.
+
+    Models a DQC job-arrival process where each job needs one EC; the
+    truncation reflects the paper's assumption of an upper bound ``F`` on
+    ``|Φ_t|``.
+    """
+
+    rate: float = 3.0
+    max_pairs: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive(self.rate, "rate")
+        check_positive(self.max_pairs, "max_pairs")
+
+    def max_pairs_per_slot(self) -> int:
+        return self.max_pairs
+
+    def sample(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> List[SDPair]:
+        count = min(int(rng.poisson(self.rate)), self.max_pairs)
+        nodes = graph.nodes
+        pairs = []
+        for request_id in range(count):
+            source, destination = _sample_distinct_pair(nodes, rng)
+            pairs.append(SDPair(source=source, destination=destination, request_id=request_id))
+        return pairs
+
+
+@dataclass
+class HotspotRequestProcess(RequestProcess):
+    """Skewed DQC workload: a fraction of requests target a fixed hotspot node.
+
+    Distributed quantum computing workloads are rarely uniform — a few large
+    quantum computers act as aggregation points.  With probability
+    ``hotspot_probability`` a request's destination is drawn from
+    ``hotspots`` (the sources stay uniform), otherwise both endpoints are
+    uniform.
+    """
+
+    min_pairs: int = 1
+    max_pairs: int = 5
+    hotspot_probability: float = 0.7
+    hotspots: Optional[Tuple[NodeName, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.min_pairs < 0:
+            raise ValueError("min_pairs must be non-negative")
+        if self.max_pairs < self.min_pairs:
+            raise ValueError("max_pairs must be >= min_pairs")
+        check_probability(self.hotspot_probability, "hotspot_probability")
+
+    def max_pairs_per_slot(self) -> int:
+        return self.max_pairs
+
+    def _hotspot_nodes(self, graph: QDNGraph) -> Tuple[NodeName, ...]:
+        if self.hotspots is not None:
+            return self.hotspots
+        # Default hotspots: the two highest-degree nodes.
+        ranked = sorted(graph.nodes, key=graph.degree, reverse=True)
+        return tuple(ranked[: max(1, min(2, len(ranked)))])
+
+    def sample(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> List[SDPair]:
+        count = int(rng.integers(self.min_pairs, self.max_pairs + 1))
+        nodes = graph.nodes
+        hotspots = self._hotspot_nodes(graph)
+        pairs: List[SDPair] = []
+        for request_id in range(count):
+            if rng.random() < self.hotspot_probability and len(nodes) > 1:
+                destination = hotspots[int(rng.integers(0, len(hotspots)))]
+                others = [n for n in nodes if n != destination]
+                source = others[int(rng.integers(0, len(others)))]
+            else:
+                source, destination = _sample_distinct_pair(nodes, rng)
+            pairs.append(SDPair(source=source, destination=destination, request_id=request_id))
+        return pairs
+
+
+@dataclass
+class DiurnalRequestProcess(RequestProcess):
+    """Periodically modulated DQC load (a "diurnal" demand pattern).
+
+    The expected number of requests follows a raised cosine over a period of
+    ``period`` slots, between ``min_rate`` and ``max_rate``; the realised
+    count is Poisson with that mean, truncated at ``max_pairs``.  This models
+    the common situation where the DQC workload has busy and quiet phases,
+    which is exactly when budget-aware policies like OSCAR can shift spending
+    towards the busy phases.
+    """
+
+    period: int = 20
+    min_rate: float = 1.0
+    max_rate: float = 4.0
+    max_pairs: int = 8
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.period, "period")
+        if self.min_rate < 0:
+            raise ValueError("min_rate must be non-negative")
+        if self.max_rate < self.min_rate:
+            raise ValueError("max_rate must be >= min_rate")
+        check_positive(self.max_pairs, "max_pairs")
+
+    def max_pairs_per_slot(self) -> int:
+        return self.max_pairs
+
+    def expected_rate(self, t: int) -> float:
+        """Expected number of requests at slot ``t``."""
+        import math
+
+        position = 2.0 * math.pi * (t / self.period) + self.phase
+        weight = 0.5 * (1.0 - math.cos(position))
+        return self.min_rate + (self.max_rate - self.min_rate) * weight
+
+    def sample(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> List[SDPair]:
+        count = min(int(rng.poisson(self.expected_rate(t))), self.max_pairs)
+        nodes = graph.nodes
+        pairs = []
+        for request_id in range(count):
+            source, destination = _sample_distinct_pair(nodes, rng)
+            pairs.append(SDPair(source=source, destination=destination, request_id=request_id))
+        return pairs
+
+
+@dataclass
+class FixedRequestSequence(RequestProcess):
+    """Replays a fixed, pre-computed sequence of request sets.
+
+    Slots beyond the end of the sequence cycle back to the beginning, so a
+    short hand-written scenario can drive an arbitrarily long simulation.
+    """
+
+    sequence: Tuple[Tuple[SDPair, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sequence) == 0:
+            raise ValueError("sequence must contain at least one slot")
+
+    @classmethod
+    def from_lists(cls, slots: Sequence[Sequence[SDPair]]) -> "FixedRequestSequence":
+        """Build from a list of per-slot request lists."""
+        return cls(sequence=tuple(tuple(slot) for slot in slots))
+
+    def max_pairs_per_slot(self) -> int:
+        return max(len(slot) for slot in self.sequence)
+
+    def sample(self, t: int, graph: QDNGraph, rng: np.random.Generator) -> List[SDPair]:
+        return list(self.sequence[t % len(self.sequence)])
+
+
+def unique_endpoint_pairs(pairs: Sequence[SDPair]) -> List[Tuple[NodeName, NodeName]]:
+    """Distinct unordered endpoint pairs appearing in ``pairs`` (for route caching)."""
+    seen = []
+    for pair in pairs:
+        endpoints = pair.endpoints
+        if endpoints not in seen:
+            seen.append(endpoints)
+    return seen

@@ -1,0 +1,124 @@
+"""Replayable workload traces.
+
+To compare OSCAR against the myopic baselines *fairly*, every policy must see
+exactly the same sequence of EC requests and resource availabilities.  A
+:class:`WorkloadTrace` freezes one realisation of the request and resource
+processes for a whole horizon so that it can be replayed for each policy
+(and serialised for debugging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.graph import QDNGraph, ResourceSnapshot
+from repro.network.resources import ResourceProcess, StaticResources
+from repro.network.routes import Route, build_candidate_routes
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+from repro.workload.requests import RequestProcess, SDPair, UniformRequestProcess
+
+
+@dataclass(frozen=True)
+class SlotTrace:
+    """Everything exogenous that happens in one slot: requests and availability."""
+
+    t: int
+    requests: Tuple[SDPair, ...]
+    snapshot: ResourceSnapshot
+
+    @property
+    def num_requests(self) -> int:
+        """Number of EC requests in this slot."""
+        return len(self.requests)
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A frozen realisation of the workload over the whole horizon.
+
+    ``candidate_routes`` maps each unordered endpoint pair that ever appears
+    in the trace to its pre-computed candidate route set ``R(ϕ)``, so that
+    every policy works with the identical candidate sets (as the paper
+    assumes).
+    """
+
+    slots: Tuple[SlotTrace, ...]
+    candidate_routes: Dict[Tuple[object, object], Tuple[Route, ...]]
+
+    @property
+    def horizon(self) -> int:
+        """Number of slots in the trace."""
+        return len(self.slots)
+
+    def slot(self, t: int) -> SlotTrace:
+        """The trace of slot ``t``."""
+        return self.slots[t]
+
+    def routes_for(self, pair: SDPair) -> List[Route]:
+        """Candidate routes for the given request's endpoints."""
+        return list(self.candidate_routes.get(pair.endpoints, ()))
+
+    def total_requests(self) -> int:
+        """Total number of EC requests over the horizon."""
+        return sum(slot.num_requests for slot in self.slots)
+
+    def max_requests_per_slot(self) -> int:
+        """The realised bound ``F`` of this trace."""
+        if not self.slots:
+            return 0
+        return max(slot.num_requests for slot in self.slots)
+
+    def max_route_hops(self) -> int:
+        """The realised bound ``L`` of this trace's candidate sets."""
+        longest = 0
+        for routes in self.candidate_routes.values():
+            for route in routes:
+                longest = max(longest, route.hops)
+        return longest
+
+
+def generate_trace(
+    graph: QDNGraph,
+    horizon: int,
+    request_process: Optional[RequestProcess] = None,
+    resource_process: Optional[ResourceProcess] = None,
+    num_candidate_routes: int = 4,
+    max_extra_hops: Optional[int] = 2,
+    seed: SeedLike = None,
+) -> WorkloadTrace:
+    """Sample a :class:`WorkloadTrace` of ``horizon`` slots on ``graph``.
+
+    Candidate routes are computed lazily for every endpoint pair that appears
+    at least once in the trace and shared across slots (the paper assumes the
+    candidate sets are pre-computed).
+    """
+    check_positive(horizon, "horizon")
+    rng = as_generator(seed)
+    request_process = request_process or UniformRequestProcess()
+    resource_process = resource_process or StaticResources()
+    request_process.reset()
+    resource_process.reset()
+
+    slots: List[SlotTrace] = []
+    endpoint_pairs: List[Tuple[object, object]] = []
+    for t in range(horizon):
+        requests = tuple(request_process.sample(t, graph, rng))
+        snapshot = resource_process.snapshot(t, graph, rng)
+        slots.append(SlotTrace(t=t, requests=requests, snapshot=snapshot))
+        for request in requests:
+            endpoints = request.endpoints
+            if endpoints not in endpoint_pairs:
+                endpoint_pairs.append(endpoints)
+
+    candidates = build_candidate_routes(
+        graph,
+        endpoint_pairs,
+        num_routes=num_candidate_routes,
+        max_extra_hops=max_extra_hops,
+    )
+    frozen = {pair: tuple(routes) for pair, routes in candidates.items()}
+    return WorkloadTrace(slots=tuple(slots), candidate_routes=frozen)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (repro.cli / python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_scale_choices(self):
+        arguments = build_parser().parse_args(["info", "--scale", "tiny"])
+        assert arguments.scale == "tiny"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--scale", "huge"])
+
+
+class TestInfoCommand:
+    def test_prints_configuration(self, capsys):
+        assert main(["info", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "num_nodes" in output
+        assert "per-slot budget" in output
+
+    def test_overrides_reflected(self, capsys):
+        main(["info", "--scale", "tiny", "--trials", "3", "--seed", "99"])
+        output = capsys.readouterr().out
+        assert "3" in output
+        assert "99" in output
+
+
+class TestCompareCommand:
+    def test_runs_and_prints_summary(self, capsys):
+        assert main(["compare", "--scale", "tiny", "--trials", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "OSCAR" in output and "MF" in output
+
+    def test_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "comparison.json"
+        main(["compare", "--scale", "tiny", "--trials", "1", "--output", str(target)])
+        assert target.exists()
+        payload = json.loads(target.read_text())
+        assert "trials" in payload
+
+
+class TestFigureCommand:
+    def test_fig8_tiny(self, capsys):
+        assert main(["figure", "fig8", "--scale", "tiny", "--trials", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 8" in output
+
+    def test_report_written_to_file(self, tmp_path, capsys):
+        target = tmp_path / "fig8.txt"
+        main(["figure", "fig8", "--scale", "tiny", "--trials", "1", "--output", str(target)])
+        assert target.exists()
+        assert "Fig. 8" in target.read_text()
+
+    def test_ablations_command(self, capsys):
+        assert main(["figure", "ablations", "--scale", "tiny", "--trials", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Ablation" in output

@@ -1,0 +1,139 @@
+"""Tests for repro.core.baselines (MF, MA and the extra reference policies)."""
+
+import pytest
+
+from repro.core.baselines import (
+    MyopicAdaptivePolicy,
+    MyopicFixedPolicy,
+    ShortestRouteUniformPolicy,
+    UnconstrainedPolicy,
+)
+
+from conftest import make_context, make_line_graph
+
+
+def make_policy(cls, budget=40.0, horizon=10, **overrides):
+    parameters = dict(total_budget=budget, horizon=horizon, gamma=10.0, gibbs_iterations=10)
+    if cls is ShortestRouteUniformPolicy:
+        parameters = dict(total_budget=budget, horizon=horizon)
+    parameters.update(overrides)
+    policy = cls(**parameters)
+    return policy
+
+
+class TestMyopicFixed:
+    def test_per_slot_cap_is_budget_over_horizon(self, line_graph):
+        policy = make_policy(MyopicFixedPolicy, budget=40.0, horizon=10)
+        policy.reset(line_graph, 10)
+        context = make_context(line_graph, [(0, 3)])
+        decision = policy.decide(context, seed=1)
+        assert decision.cost() <= 4  # C/T = 4
+
+    def test_cap_does_not_grow_after_saving(self, line_graph):
+        policy = make_policy(MyopicFixedPolicy, budget=40.0, horizon=10)
+        policy.reset(line_graph, 10)
+        empty_context = make_context(line_graph, [(0, 1)])
+        # Slot 0 uses little budget; the cap for slot 1 stays at C/T.
+        policy.decide(empty_context, seed=1)
+        context = make_context(line_graph, [(0, 3)], t=1)
+        decision = policy.decide(context, seed=2)
+        assert decision.cost() <= 4
+
+    def test_name(self):
+        assert make_policy(MyopicFixedPolicy).name == "MF"
+
+    def test_capacity_respected(self, line_graph):
+        policy = make_policy(MyopicFixedPolicy, budget=1000.0, horizon=10)
+        policy.reset(line_graph, 10)
+        context = make_context(line_graph, [(0, 3), (0, 3)])
+        decision = policy.decide(context, seed=1)
+        assert decision.respects_snapshot(context.snapshot)
+
+
+class TestMyopicAdaptive:
+    def test_unused_budget_is_redistributed(self, line_graph):
+        policy = make_policy(MyopicAdaptivePolicy, budget=40.0, horizon=10)
+        policy.reset(line_graph, 10)
+        # Slot 0: a tiny request that cannot use the full share.
+        decision0 = policy.decide(make_context(line_graph, [(0, 1)]), seed=1)
+        saved = 4.0 - decision0.cost()
+        # Slot 1's cap grows by the savings spread over the remaining slots.
+        expected_cap = (40.0 - decision0.cost()) / 9.0
+        decision1 = policy.decide(make_context(line_graph, [(0, 3)], t=1), seed=2)
+        assert decision1.cost() <= int(expected_cap) + 1e-9
+        if saved > 0:
+            assert expected_cap > 4.0
+
+    def test_name(self):
+        assert make_policy(MyopicAdaptivePolicy).name == "MA"
+
+    def test_spends_at_most_slightly_over_budget(self, line_graph):
+        """MA never exceeds the total budget (its cap is always the remaining share)."""
+        policy = make_policy(MyopicAdaptivePolicy, budget=30.0, horizon=6)
+        policy.reset(line_graph, 6)
+        for t in range(6):
+            policy.decide(make_context(line_graph, [(0, 3)], t=t), seed=t)
+        assert policy.budget_tracker.spent <= 30.0 + 1e-9
+
+
+class TestUnconstrained:
+    def test_spends_more_than_capped_baselines(self, line_graph):
+        context = make_context(line_graph, [(0, 3)])
+        capped = make_policy(MyopicFixedPolicy, budget=40.0, horizon=10)
+        capped.reset(line_graph, 10)
+        unconstrained = make_policy(UnconstrainedPolicy, budget=40.0, horizon=10)
+        unconstrained.reset(line_graph, 10)
+        assert unconstrained.decide(context, seed=1).cost() >= capped.decide(context, seed=1).cost()
+
+    def test_respects_capacity(self, line_graph):
+        policy = make_policy(UnconstrainedPolicy)
+        policy.reset(line_graph, 10)
+        context = make_context(line_graph, [(0, 3), (1, 3)])
+        decision = policy.decide(context, seed=1)
+        assert decision.respects_snapshot(context.snapshot)
+
+
+class TestShortestRouteUniform:
+    def test_uses_shortest_candidate(self, diamond_graph):
+        policy = make_policy(ShortestRouteUniformPolicy, budget=100.0, horizon=10)
+        policy.reset(diamond_graph, 10)
+        context = make_context(diamond_graph, [(0, 3)])
+        decision = policy.decide(context, seed=1)
+        request = context.requests[0]
+        assert decision.route_for(request).hops == 2
+
+    def test_respects_capacity(self, line_graph):
+        policy = make_policy(ShortestRouteUniformPolicy, budget=10_000.0, horizon=10)
+        policy.reset(line_graph, 10)
+        context = make_context(line_graph, [(0, 3), (0, 3), (1, 3)])
+        decision = policy.decide(context, seed=1)
+        assert decision.respects_snapshot(context.snapshot)
+
+    def test_tracks_spending(self, line_graph):
+        policy = make_policy(ShortestRouteUniformPolicy, budget=100.0, horizon=10)
+        policy.reset(line_graph, 10)
+        decision = policy.decide(make_context(line_graph, [(0, 2)]), seed=1)
+        assert policy.budget_tracker.spent == decision.cost()
+
+    def test_diagnostics(self, line_graph):
+        policy = make_policy(ShortestRouteUniformPolicy)
+        policy.reset(line_graph, 10)
+        policy.decide(make_context(line_graph, [(0, 2)]), seed=1)
+        assert "spent" in policy.diagnostics()
+
+
+class TestBaselineComparisons:
+    def test_reset_with_new_horizon(self, line_graph):
+        policy = make_policy(MyopicFixedPolicy, budget=40.0, horizon=10)
+        policy.reset(line_graph, 20)
+        assert policy.horizon == 20
+        assert policy.budget_tracker.fixed_share() == pytest.approx(2.0)
+
+    def test_all_policies_share_the_interface(self, line_graph):
+        context = make_context(line_graph, [(0, 2)])
+        for cls in (MyopicFixedPolicy, MyopicAdaptivePolicy, UnconstrainedPolicy, ShortestRouteUniformPolicy):
+            policy = make_policy(cls)
+            policy.reset(line_graph, 10)
+            decision = policy.decide(context, seed=1)
+            assert decision.respects_snapshot(context.snapshot)
+            assert isinstance(policy.diagnostics(), dict)

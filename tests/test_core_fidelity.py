@@ -1,0 +1,100 @@
+"""Tests for repro.core.fidelity (the fidelity-constrained extension)."""
+
+import pytest
+
+from repro.core.baselines import MyopicFixedPolicy
+from repro.core.fidelity import FidelityAwarePolicy, RouteFidelityModel
+from repro.core.oscar import OscarPolicy
+from repro.network.graph import edge_key
+from repro.network.routes import Route
+from repro.physics.fidelity import fidelity_of_chain
+
+from conftest import make_context, make_line_graph
+
+
+class TestRouteFidelityModel:
+    def test_route_fidelity_uses_chain_formula(self):
+        model = RouteFidelityModel(link_fidelity=0.95)
+        route = Route.from_nodes([0, 1, 2, 3])
+        assert model.route_fidelity(route) == pytest.approx(fidelity_of_chain([0.95] * 3))
+
+    def test_per_edge_overrides(self):
+        model = RouteFidelityModel(
+            link_fidelity=0.95, per_edge_fidelity={edge_key(0, 1): 0.8}
+        )
+        assert model.edge_fidelity(edge_key(0, 1)) == 0.8
+        assert model.edge_fidelity(edge_key(1, 2)) == 0.95
+
+    def test_longer_routes_have_lower_fidelity(self):
+        model = RouteFidelityModel(link_fidelity=0.95)
+        short = model.route_fidelity(Route.from_nodes([0, 1]))
+        long = model.route_fidelity(Route.from_nodes([0, 1, 2, 3]))
+        assert long < short
+
+    def test_filter_candidates(self):
+        model = RouteFidelityModel(link_fidelity=0.9)
+        short = Route.from_nodes([0, 1])
+        long = Route.from_nodes([0, 1, 2, 3, 4])
+        target = model.route_fidelity(Route.from_nodes([0, 1, 2]))  # between the two
+        filtered = model.filter_candidates({"pair": (short, long)}, target=target)
+        assert short in filtered["pair"]
+        assert long not in filtered["pair"]
+
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(ValueError):
+            RouteFidelityModel(link_fidelity=1.2)
+
+
+class TestFidelityAwarePolicy:
+    def test_name_mentions_target(self):
+        wrapped = FidelityAwarePolicy(
+            base=MyopicFixedPolicy(total_budget=40.0, horizon=10),
+            fidelity_target=0.8,
+        )
+        assert "0.8" in wrapped.name
+
+    def test_high_target_blocks_long_routes(self):
+        graph = make_line_graph(num_nodes=5, qubits=20, channels=10)
+        model = RouteFidelityModel(link_fidelity=0.9)
+        # Target chosen so a 1-hop route passes but the 4-hop route 0→4 fails.
+        target = model.route_fidelity(Route.from_nodes([0, 1, 2]))
+        wrapped = FidelityAwarePolicy(
+            base=MyopicFixedPolicy(total_budget=1000.0, horizon=10, gamma=10.0, gibbs_iterations=10),
+            fidelity_model=model,
+            fidelity_target=target,
+        )
+        wrapped.reset(graph, 10)
+        context = make_context(graph, [(0, 4), (0, 1)])
+        decision = wrapped.decide(context, seed=1)
+        # The long request cannot meet the target, the short one can.
+        long_request = context.requests[0]
+        short_request = context.requests[1]
+        assert long_request in decision.unserved
+        assert decision.route_for(short_request) is not None
+
+    def test_low_target_changes_nothing(self, line_graph):
+        base = MyopicFixedPolicy(total_budget=1000.0, horizon=10, gamma=10.0, gibbs_iterations=10)
+        wrapped = FidelityAwarePolicy(base=base, fidelity_target=0.3)
+        wrapped.reset(line_graph, 10)
+        context = make_context(line_graph, [(0, 3)])
+        decision = wrapped.decide(context, seed=1)
+        assert decision.num_served == 1
+
+    def test_works_with_oscar(self, line_graph):
+        wrapped = FidelityAwarePolicy(
+            base=OscarPolicy(
+                total_budget=100.0, horizon=10, trade_off_v=100.0,
+                gamma=10.0, gibbs_iterations=10,
+            ),
+            fidelity_target=0.5,
+        )
+        wrapped.reset(line_graph, 10)
+        decision = wrapped.decide(make_context(line_graph, [(0, 2)]), seed=1)
+        assert decision.num_served == 1
+        assert "queue_history" in wrapped.diagnostics()
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            FidelityAwarePolicy(
+                base=MyopicFixedPolicy(total_budget=10.0, horizon=5), fidelity_target=1.5
+            )

@@ -1,0 +1,122 @@
+"""Tests for repro.core.objective."""
+
+import math
+
+import pytest
+
+from repro.core.objective import (
+    drift_plus_penalty_objective,
+    pair_success_probability,
+    proportional_fairness_utility,
+    route_log_success,
+    route_success_probability,
+    slot_cost,
+    slot_utility,
+)
+from repro.network.graph import edge_key
+from repro.network.routes import Route
+
+
+@pytest.fixture
+def route_0_to_2():
+    return Route.from_nodes([0, 1, 2])
+
+
+class TestRouteSuccessProbability:
+    def test_product_of_edge_probabilities(self, line_graph, route_0_to_2):
+        p = line_graph.slot_success(edge_key(0, 1))
+        allocation = {edge_key(0, 1): 2, edge_key(1, 2): 3}
+        expected = (1 - (1 - p) ** 2) * (1 - (1 - p) ** 3)
+        assert route_success_probability(line_graph, route_0_to_2, allocation) == pytest.approx(expected)
+
+    def test_missing_edge_allocation_gives_zero(self, line_graph, route_0_to_2):
+        allocation = {edge_key(0, 1): 2}
+        assert route_success_probability(line_graph, route_0_to_2, allocation) == 0.0
+
+    def test_log_matches_probability(self, line_graph, route_0_to_2):
+        allocation = {edge_key(0, 1): 2, edge_key(1, 2): 3}
+        probability = route_success_probability(line_graph, route_0_to_2, allocation)
+        assert route_log_success(line_graph, route_0_to_2, allocation) == pytest.approx(
+            math.log(probability)
+        )
+
+    def test_log_minus_inf_when_unreachable(self, line_graph, route_0_to_2):
+        assert route_log_success(line_graph, route_0_to_2, {}) == float("-inf")
+
+    def test_more_channels_help(self, line_graph, route_0_to_2):
+        small = route_success_probability(
+            line_graph, route_0_to_2, {edge_key(0, 1): 1, edge_key(1, 2): 1}
+        )
+        large = route_success_probability(
+            line_graph, route_0_to_2, {edge_key(0, 1): 3, edge_key(1, 2): 3}
+        )
+        assert large > small
+
+    def test_longer_route_lower_success(self, line_graph):
+        short = Route.from_nodes([0, 1])
+        long = Route.from_nodes([0, 1, 2, 3])
+        uniform = {key: 2 for key in long.edges}
+        assert route_success_probability(line_graph, long, uniform) < route_success_probability(
+            line_graph, short, uniform
+        )
+
+
+class TestPairSuccessProbability:
+    def test_unserved_pair_is_zero(self, line_graph):
+        assert pair_success_probability(line_graph, None) == 0.0
+
+    def test_served_pair_matches_route(self, line_graph, route_0_to_2):
+        allocation = {edge_key(0, 1): 1, edge_key(1, 2): 1}
+        assert pair_success_probability(line_graph, route_0_to_2, allocation) == pytest.approx(
+            route_success_probability(line_graph, route_0_to_2, allocation)
+        )
+
+
+class TestSlotAggregates:
+    def test_slot_utility_sums_logs(self, line_graph):
+        routes = [Route.from_nodes([0, 1]), Route.from_nodes([2, 3])]
+        allocations = [{edge_key(0, 1): 2}, {edge_key(2, 3): 1}]
+        expected = sum(
+            route_log_success(line_graph, route, allocation)
+            for route, allocation in zip(routes, allocations)
+        )
+        assert slot_utility(line_graph, routes, allocations) == pytest.approx(expected)
+
+    def test_slot_utility_length_mismatch(self, line_graph):
+        with pytest.raises(ValueError):
+            slot_utility(line_graph, [Route.from_nodes([0, 1])], [])
+
+    def test_slot_cost(self):
+        assert slot_cost([{edge_key(0, 1): 2}, {edge_key(1, 2): 3, edge_key(2, 3): 1}]) == 6.0
+
+
+class TestDriftPlusPenalty:
+    def test_formula(self):
+        assert drift_plus_penalty_objective(-1.5, 10.0, 2500.0, 20.0) == pytest.approx(
+            2500.0 * -1.5 - 20.0 * 10.0
+        )
+
+    def test_zero_queue_reduces_to_weighted_utility(self):
+        assert drift_plus_penalty_objective(-2.0, 100.0, 5.0, 0.0) == pytest.approx(-10.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            drift_plus_penalty_objective(-1.0, 1.0, -1.0, 0.0)
+
+
+class TestProportionalFairness:
+    def test_sum_of_logs(self):
+        assert proportional_fairness_utility([0.5, 0.25]) == pytest.approx(
+            math.log(0.5) + math.log(0.25)
+        )
+
+    def test_zero_probability_is_minus_inf(self):
+        assert proportional_fairness_utility([0.5, 0.0]) == float("-inf")
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_fairness_utility([1.2])
+
+    def test_fairness_preference(self):
+        """Proportional fairness prefers (0.5, 0.5) to (0.9, 0.1) despite equal sums."""
+        assert proportional_fairness_utility([0.5, 0.5]) > proportional_fairness_utility([0.9, 0.1])

@@ -1,0 +1,142 @@
+"""Tests for repro.core.oscar (Algorithm 1)."""
+
+import pytest
+
+from repro.core.oscar import OscarPolicy
+from repro.workload.requests import SDPair
+
+from conftest import make_context, make_line_graph
+
+
+def small_oscar(**overrides):
+    parameters = dict(
+        total_budget=100.0,
+        horizon=10,
+        trade_off_v=100.0,
+        initial_queue=2.0,
+        gamma=10.0,
+        gibbs_iterations=15,
+    )
+    parameters.update(overrides)
+    return OscarPolicy(**parameters)
+
+
+class TestOscarConfiguration:
+    def test_paper_defaults(self):
+        policy = OscarPolicy()
+        assert policy.total_budget == 5000.0
+        assert policy.horizon == 200
+        assert policy.trade_off_v == 2500.0
+        assert policy.initial_queue == 10.0
+        assert policy.gamma == 500.0
+        assert policy.name == "OSCAR"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            OscarPolicy(trade_off_v=0.0)
+        with pytest.raises(ValueError):
+            OscarPolicy(horizon=0)
+        with pytest.raises(ValueError):
+            OscarPolicy(initial_queue=-1.0)
+
+    def test_queue_initialised_with_q0_and_budget_share(self):
+        policy = small_oscar(total_budget=50.0, horizon=10, initial_queue=7.0)
+        assert policy.virtual_queue.length == 7.0
+        assert policy.virtual_queue.per_slot_budget == pytest.approx(5.0)
+
+
+class TestOscarDecisions:
+    def test_decide_serves_requests_and_updates_queue(self, line_graph):
+        policy = small_oscar()
+        policy.reset(line_graph, 10)
+        context = make_context(line_graph, [(0, 3)])
+        before = policy.virtual_queue.length
+        decision = policy.decide(context, seed=1)
+        assert decision.num_served == 1
+        assert decision.respects_snapshot(context.snapshot)
+        # Queue follows Eq. (7) with the decision's cost.
+        expected = max(0.0, before + decision.cost() - policy.virtual_queue.per_slot_budget)
+        assert policy.virtual_queue.length == pytest.approx(expected)
+
+    def test_queue_growth_reduces_spending(self, line_graph):
+        """A long queue prices qubits highly, so OSCAR becomes thrifty."""
+        context = make_context(line_graph, [(0, 3)])
+
+        eager = small_oscar(initial_queue=0.0)
+        eager.reset(line_graph, 10)
+        eager_cost = eager.decide(context, seed=1).cost()
+
+        cautious = small_oscar(initial_queue=500.0)
+        cautious.reset(line_graph, 10)
+        cautious_cost = cautious.decide(context, seed=1).cost()
+
+        assert cautious_cost <= eager_cost
+        # With an enormous queue the allocation collapses to one channel/edge.
+        assert cautious_cost == 3
+
+    def test_larger_v_spends_more(self, line_graph):
+        context = make_context(line_graph, [(0, 3)])
+        frugal = small_oscar(trade_off_v=1.0, initial_queue=10.0)
+        frugal.reset(line_graph, 10)
+        generous = small_oscar(trade_off_v=10000.0, initial_queue=10.0)
+        generous.reset(line_graph, 10)
+        assert generous.decide(context, seed=1).cost() >= frugal.decide(context, seed=1).cost()
+
+    def test_budget_tracker_records_costs(self, line_graph):
+        policy = small_oscar()
+        policy.reset(line_graph, 10)
+        context = make_context(line_graph, [(0, 2)])
+        costs = [policy.decide(context, seed=t).cost() for t in range(3)]
+        assert policy.budget_tracker.per_slot_costs == [float(c) for c in costs]
+        assert policy.budget_tracker.spent == sum(costs)
+
+    def test_reset_clears_state(self, line_graph):
+        policy = small_oscar()
+        policy.reset(line_graph, 10)
+        context = make_context(line_graph, [(0, 2)])
+        policy.decide(context, seed=1)
+        policy.reset(line_graph, 10)
+        assert policy.virtual_queue.length == policy.initial_queue
+        assert policy.budget_tracker.spent == 0.0
+        assert policy.diagnostics()["objective_history"] == []
+
+    def test_reset_with_new_horizon_updates_budget_share(self, line_graph):
+        policy = small_oscar(total_budget=100.0, horizon=10)
+        policy.reset(line_graph, 20)
+        assert policy.horizon == 20
+        assert policy.virtual_queue.per_slot_budget == pytest.approx(5.0)
+
+    def test_diagnostics_structure(self, line_graph):
+        policy = small_oscar()
+        policy.reset(line_graph, 10)
+        context = make_context(line_graph, [(0, 2)])
+        policy.decide(context, seed=1)
+        diagnostics = policy.diagnostics()
+        assert len(diagnostics["queue_history"]) == 2
+        assert len(diagnostics["per_slot_costs"]) == 1
+        assert len(diagnostics["objective_history"]) == 1
+
+    def test_long_run_budget_adherence(self):
+        """Over a full horizon OSCAR's spending stays close to the budget.
+
+        This is the behavioural core of Theorem 1: the virtual queue keeps
+        the time-averaged cost near C/T even though no slot enforces a cap.
+        """
+        graph = make_line_graph(num_nodes=5, qubits=30, channels=15)
+        horizon = 30
+        budget = 150.0  # 5 per slot — far below what capacity would allow
+        policy = OscarPolicy(
+            total_budget=budget,
+            horizon=horizon,
+            trade_off_v=50.0,
+            initial_queue=2.0,
+            gamma=10.0,
+            gibbs_iterations=10,
+        )
+        policy.reset(graph, horizon)
+        for t in range(horizon):
+            context = make_context(graph, [(0, 4)], t=t)
+            policy.decide(context, seed=t)
+        spent = policy.budget_tracker.spent
+        assert spent <= budget * 1.35
+        assert spent >= budget * 0.5  # it must actually use the budget, not starve

@@ -1,0 +1,112 @@
+"""Tests for repro.core.per_slot (the P2 solver with graceful degradation)."""
+
+import pytest
+
+from repro.core.per_slot import PerSlotSolver
+from repro.core.problem import SlotContext
+from repro.network.graph import ResourceSnapshot
+
+from conftest import make_context, make_diamond_graph, make_line_graph
+
+
+class TestPerSlotSolver:
+    def test_solves_simple_slot(self, diamond_context):
+        solution = PerSlotSolver().solve(diamond_context, utility_weight=100.0, cost_weight=1.0)
+        assert solution.decision.num_served == 1
+        assert solution.decision.respects_snapshot(diamond_context.snapshot)
+        assert solution.cost >= solution.decision.route_for(diamond_context.requests[0]).hops
+
+    def test_auto_mode_uses_exhaustive_for_small_instances(self, diamond_context):
+        solution = PerSlotSolver(selector_mode="auto", exhaustive_limit=64).solve(diamond_context)
+        assert solution.used_exhaustive
+
+    def test_gibbs_mode(self, diamond_context):
+        solution = PerSlotSolver(selector_mode="gibbs", gibbs_iterations=20).solve(
+            diamond_context, seed=1
+        )
+        assert solution.decision.num_served == 1
+
+    def test_exhaustive_and_gibbs_agree_on_small_instance(self):
+        graph = make_diamond_graph(qubits=8, channels=4)
+        context = make_context(graph, [(0, 3), (0, 3)], num_routes=2)
+        exact = PerSlotSolver(selector_mode="exhaustive").solve(
+            context, utility_weight=100.0, cost_weight=1.0, seed=1
+        )
+        gibbs = PerSlotSolver(selector_mode="gibbs", gibbs_iterations=60, gamma=5.0).solve(
+            context, utility_weight=100.0, cost_weight=1.0, seed=1
+        )
+        assert gibbs.objective >= exact.objective - 0.05 * abs(exact.objective)
+
+    def test_budget_cap_enforced(self, line_context):
+        solution = PerSlotSolver().solve(line_context, budget_cap=4.0, seed=1)
+        assert solution.decision.cost() <= 4
+
+    def test_infeasible_budget_drops_requests(self, line_graph):
+        """A per-slot budget below the number of route edges forces degradation."""
+        context = make_context(line_graph, [(0, 3), (0, 3)])
+        solution = PerSlotSolver().solve(context, budget_cap=3.0, seed=1)
+        # Each 0→3 route needs 3 edges; only one request fits a budget of 3.
+        assert solution.decision.num_served == 1
+        assert len(solution.decision.unserved) == 1
+        assert len(solution.dropped_requests) == 1
+
+    def test_starved_snapshot_serves_nothing(self, diamond_graph):
+        context = make_context(diamond_graph, [(0, 3)])
+        starved = SlotContext(
+            t=0,
+            graph=diamond_graph,
+            snapshot=ResourceSnapshot(
+                qubits={node: 0 for node in diamond_graph.nodes},
+                channels={key: 0 for key in diamond_graph.edges},
+            ),
+            requests=context.requests,
+            candidate_routes=context.candidate_routes,
+        )
+        solution = PerSlotSolver().solve(starved, seed=1)
+        assert solution.decision.num_served == 0
+        assert set(solution.decision.unserved) == set(starved.requests)
+
+    def test_unroutable_requests_marked_unserved(self, line_graph):
+        context = make_context(line_graph, [(0, 3)])
+        request = context.requests[0]
+        no_routes = SlotContext(
+            t=0,
+            graph=line_graph,
+            snapshot=line_graph.full_snapshot(),
+            requests=(request,),
+            candidate_routes={request: ()},
+        )
+        solution = PerSlotSolver().solve(no_routes, seed=1)
+        assert solution.decision.unserved == (request,)
+
+    def test_empty_slot(self, line_graph):
+        context = SlotContext(
+            t=0,
+            graph=line_graph,
+            snapshot=line_graph.full_snapshot(),
+            requests=(),
+            candidate_routes={},
+        )
+        solution = PerSlotSolver().solve(context)
+        assert solution.decision.num_served == 0
+        assert solution.cost == 0
+
+    def test_multiple_requests_all_served_with_ample_resources(self):
+        graph = make_line_graph(num_nodes=5, qubits=20, channels=10)
+        context = make_context(graph, [(0, 2), (2, 4), (0, 4)])
+        solution = PerSlotSolver().solve(context, utility_weight=100.0, cost_weight=1.0, seed=2)
+        assert solution.decision.num_served == 3
+        assert solution.decision.respects_snapshot(context.snapshot)
+
+    def test_invalid_selector_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PerSlotSolver(selector_mode="bogus")
+
+    def test_invalid_exhaustive_limit_rejected(self):
+        with pytest.raises(ValueError):
+            PerSlotSolver(exhaustive_limit=0)
+
+    def test_higher_cost_weight_spends_less(self, diamond_context):
+        cheap = PerSlotSolver().solve(diamond_context, utility_weight=1.0, cost_weight=0.0, seed=1)
+        pricey = PerSlotSolver().solve(diamond_context, utility_weight=1.0, cost_weight=1.0, seed=1)
+        assert pricey.cost <= cheap.cost

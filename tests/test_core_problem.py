@@ -1,0 +1,167 @@
+"""Tests for repro.core.problem (SlotContext and SlotDecision)."""
+
+import math
+
+import pytest
+
+from repro.core.problem import SlotContext, SlotDecision
+from repro.network.graph import ResourceSnapshot, edge_key
+from repro.network.routes import Route
+from repro.workload.requests import SDPair
+
+from conftest import make_context
+
+
+class TestSlotContext:
+    def test_requires_candidates_for_every_request(self, line_graph):
+        request = SDPair(source=0, destination=3)
+        with pytest.raises(ValueError):
+            SlotContext(
+                t=0,
+                graph=line_graph,
+                snapshot=line_graph.full_snapshot(),
+                requests=(request,),
+                candidate_routes={},
+            )
+
+    def test_servable_requests(self, line_graph):
+        context = make_context(line_graph, [(0, 3), (0, 2)])
+        assert set(context.servable_requests()) == set(context.requests)
+
+    def test_unroutable_request_not_servable(self, line_graph):
+        request = SDPair(source=0, destination=3)
+        context = SlotContext(
+            t=0,
+            graph=line_graph,
+            snapshot=line_graph.full_snapshot(),
+            requests=(request,),
+            candidate_routes={request: ()},
+        )
+        assert context.servable_requests() == ()
+
+    def test_restricted_to(self, line_graph):
+        context = make_context(line_graph, [(0, 3), (0, 2)])
+        kept = context.requests[:1]
+        restricted = context.restricted_to(kept)
+        assert restricted.requests == kept
+        assert set(restricted.candidate_routes.keys()) == set(kept)
+
+    def test_restricted_to_unknown_request_rejected(self, line_graph):
+        context = make_context(line_graph, [(0, 3)])
+        with pytest.raises(ValueError):
+            context.restricted_to([SDPair(source=1, destination=2, request_id=9)])
+
+    def test_routes_for(self, diamond_graph):
+        context = make_context(diamond_graph, [(0, 3)])
+        request = context.requests[0]
+        assert len(context.routes_for(request)) >= 2
+
+
+class TestSlotDecisionValidation:
+    def make_decision(self, request, route, channels=2):
+        allocation = {(request, key): channels for key in route.edges}
+        return SlotDecision(selection={request: route}, allocation=allocation)
+
+    def test_missing_allocation_rejected(self):
+        request = SDPair(source=0, destination=2)
+        route = Route.from_nodes([0, 1, 2])
+        with pytest.raises(ValueError):
+            SlotDecision(selection={request: route}, allocation={})
+
+    def test_zero_channels_rejected(self):
+        request = SDPair(source=0, destination=2)
+        route = Route.from_nodes([0, 1, 2])
+        allocation = {(request, key): 0 for key in route.edges}
+        with pytest.raises(ValueError):
+            SlotDecision(selection={request: route}, allocation=allocation)
+
+    def test_allocation_for_foreign_edge_rejected(self):
+        request = SDPair(source=0, destination=2)
+        route = Route.from_nodes([0, 1, 2])
+        allocation = {(request, key): 1 for key in route.edges}
+        allocation[(request, edge_key(2, 3))] = 1
+        with pytest.raises(ValueError):
+            SlotDecision(selection={request: route}, allocation=allocation)
+
+    def test_allocation_for_unselected_request_rejected(self):
+        request = SDPair(source=0, destination=2)
+        other = SDPair(source=1, destination=3)
+        route = Route.from_nodes([0, 1, 2])
+        allocation = {(request, key): 1 for key in route.edges}
+        allocation[(other, edge_key(0, 1))] = 1
+        with pytest.raises(ValueError):
+            SlotDecision(selection={request: route}, allocation=allocation)
+
+    def test_empty_decision(self):
+        unserved = (SDPair(source=0, destination=1),)
+        decision = SlotDecision.empty(unserved=unserved)
+        assert decision.cost() == 0
+        assert decision.num_served == 0
+        assert decision.unserved == unserved
+
+
+class TestSlotDecisionDerived:
+    def setup_method(self):
+        self.request = SDPair(source=0, destination=2)
+        self.route = Route.from_nodes([0, 1, 2])
+        self.allocation = {
+            (self.request, edge_key(0, 1)): 2,
+            (self.request, edge_key(1, 2)): 3,
+        }
+        self.decision = SlotDecision(selection={self.request: self.route}, allocation=self.allocation)
+
+    def test_cost(self):
+        assert self.decision.cost() == 5
+
+    def test_node_usage_counts_both_endpoints(self):
+        usage = self.decision.node_usage()
+        assert usage[0] == 2
+        assert usage[1] == 5  # 2 from edge (0,1) plus 3 from edge (1,2)
+        assert usage[2] == 3
+
+    def test_edge_usage(self):
+        usage = self.decision.edge_usage()
+        assert usage[edge_key(0, 1)] == 2
+        assert usage[edge_key(1, 2)] == 3
+
+    def test_respects_snapshot(self, line_graph):
+        assert self.decision.respects_snapshot(line_graph.full_snapshot())
+        tight = ResourceSnapshot(
+            qubits={0: 1, 1: 1, 2: 1, 3: 1},
+            channels={key: 1 for key in line_graph.edges},
+        )
+        assert not self.decision.respects_snapshot(tight)
+
+    def test_success_probability(self, line_graph):
+        p = line_graph.slot_success(edge_key(0, 1))
+        expected = (1 - (1 - p) ** 2) * (1 - (1 - p) ** 3)
+        assert self.decision.success_probability(line_graph, self.request) == pytest.approx(expected)
+
+    def test_success_probability_of_unserved_request(self, line_graph):
+        other = SDPair(source=1, destination=3)
+        assert self.decision.success_probability(line_graph, other) == 0.0
+
+    def test_utility(self, line_graph):
+        probability = self.decision.success_probability(line_graph, self.request)
+        assert self.decision.utility(line_graph) == pytest.approx(math.log(probability))
+
+    def test_utility_with_unserved_floor(self, line_graph):
+        unserved = (SDPair(source=1, destination=3),)
+        decision = SlotDecision(
+            selection={self.request: self.route},
+            allocation=self.allocation,
+            unserved=unserved,
+        )
+        base = decision.utility(line_graph)
+        floored = decision.utility(line_graph, unserved_floor=1e-3)
+        assert floored == pytest.approx(base + math.log(1e-3))
+        with pytest.raises(ValueError):
+            decision.utility(line_graph, unserved_floor=0.0)
+
+    def test_channels_for(self):
+        assert self.decision.channels_for(self.request, edge_key(0, 1)) == 2
+        assert self.decision.channels_for(self.request, edge_key(2, 3)) == 0
+
+    def test_route_for(self):
+        assert self.decision.route_for(self.request) == self.route
+        assert self.decision.route_for(SDPair(source=1, destination=3)) is None

@@ -1,0 +1,124 @@
+"""Tests for repro.core.route_selection (Algorithm 3)."""
+
+import pytest
+
+from repro.core.route_selection import ExhaustiveRouteSelector, GibbsRouteSelector
+from repro.network.graph import ResourceSnapshot
+from repro.core.problem import SlotContext
+
+from conftest import make_context, make_diamond_graph
+
+
+class TestExhaustiveRouteSelector:
+    def test_single_request_selects_a_candidate(self, diamond_context):
+        request = diamond_context.requests[0]
+        result = ExhaustiveRouteSelector().select(diamond_context, [request])
+        assert result.feasible
+        assert result.selection[request] in diamond_context.routes_for(request)
+
+    def test_two_requests_prefer_disjoint_routes(self):
+        """With two 0→3 requests on the diamond, splitting across the two
+        disjoint 2-hop routes beats stacking both on one route."""
+        graph = make_diamond_graph(qubits=8, channels=4)
+        context = make_context(graph, [(0, 3), (0, 3)], num_routes=2)
+        result = ExhaustiveRouteSelector().select(context, list(context.requests))
+        assert result.feasible
+        routes = list(result.selection.values())
+        assert routes[0].nodes != routes[1].nodes
+
+    def test_empty_request_list(self, diamond_context):
+        result = ExhaustiveRouteSelector().select(diamond_context, [])
+        assert result.selection == {}
+        assert result.objective == 0.0
+
+    def test_combination_count(self, diamond_context):
+        selector = ExhaustiveRouteSelector()
+        request = diamond_context.requests[0]
+        count = selector.combination_count(diamond_context, [request])
+        assert count == len(diamond_context.routes_for(request))
+
+    def test_budget_cap_respected(self, diamond_context):
+        request = diamond_context.requests[0]
+        result = ExhaustiveRouteSelector().select(
+            diamond_context, [request], budget_cap=3.0
+        )
+        assert result.feasible
+        assert result.outcome.cost <= 3
+
+    def test_unroutable_request_skipped(self, line_graph):
+        context = make_context(line_graph, [(0, 3)])
+        request = context.requests[0]
+        stripped = SlotContext(
+            t=0,
+            graph=line_graph,
+            snapshot=line_graph.full_snapshot(),
+            requests=(request,),
+            candidate_routes={request: ()},
+        )
+        result = ExhaustiveRouteSelector().select(stripped, [request])
+        assert result.selection == {}
+
+
+class TestGibbsRouteSelector:
+    def test_matches_exhaustive_on_small_instance(self):
+        graph = make_diamond_graph(qubits=8, channels=4)
+        context = make_context(graph, [(0, 3), (0, 3)], num_routes=2)
+        requests = list(context.requests)
+        exact = ExhaustiveRouteSelector().select(
+            context, requests, utility_weight=100.0, cost_weight=1.0
+        )
+        sampled = GibbsRouteSelector(gamma=5.0, iterations=60).select(
+            context, requests, utility_weight=100.0, cost_weight=1.0, seed=1
+        )
+        assert sampled.feasible
+        assert sampled.objective >= exact.objective - 0.05 * abs(exact.objective)
+
+    def test_deterministic_given_seed(self, diamond_context):
+        request = diamond_context.requests[0]
+        selector = GibbsRouteSelector(gamma=10.0, iterations=30)
+        first = selector.select(diamond_context, [request], seed=42)
+        second = selector.select(diamond_context, [request], seed=42)
+        assert first.selection[request] == second.selection[request]
+        assert first.objective == pytest.approx(second.objective)
+
+    def test_caching_limits_evaluations(self, diamond_context):
+        request = diamond_context.requests[0]
+        selector = GibbsRouteSelector(gamma=10.0, iterations=50)
+        result = selector.select(diamond_context, [request], seed=3)
+        # Only |R(phi)| distinct combinations exist, so the cache keeps the
+        # number of allocation solves far below the iteration count.
+        assert result.evaluations <= len(diamond_context.routes_for(request))
+
+    def test_parallel_updates_produce_valid_result(self, line_graph):
+        context = make_context(line_graph, [(0, 1), (2, 3)])
+        selector = GibbsRouteSelector(gamma=10.0, iterations=30, parallel_updates=True)
+        result = selector.select(context, list(context.requests), seed=5)
+        assert result.feasible
+        assert set(result.selection.keys()) == set(context.requests)
+
+    def test_empty_requests(self, diamond_context):
+        result = GibbsRouteSelector().select(diamond_context, [], seed=1)
+        assert result.selection == {}
+
+    def test_infeasible_context_reports_infeasible(self, diamond_graph):
+        context = make_context(diamond_graph, [(0, 3)])
+        starved = SlotContext(
+            t=0,
+            graph=diamond_graph,
+            snapshot=ResourceSnapshot(
+                qubits={node: 0 for node in diamond_graph.nodes},
+                channels={key: 0 for key in diamond_graph.edges},
+            ),
+            requests=context.requests,
+            candidate_routes=context.candidate_routes,
+        )
+        result = GibbsRouteSelector(iterations=10).select(
+            starved, list(starved.requests), seed=2
+        )
+        assert not result.feasible
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            GibbsRouteSelector(gamma=0.0)
+        with pytest.raises(ValueError):
+            GibbsRouteSelector(iterations=0)

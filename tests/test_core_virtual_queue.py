@@ -1,0 +1,75 @@
+"""Tests for repro.core.virtual_queue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.virtual_queue import VirtualQueue
+
+
+class TestVirtualQueue:
+    def test_initial_state(self):
+        queue = VirtualQueue(initial_length=10.0, per_slot_budget=25.0)
+        assert queue.length == 10.0
+        assert queue.history == [10.0]
+
+    def test_for_budget_constructor(self):
+        queue = VirtualQueue.for_budget(total_budget=5000.0, horizon=200, initial_length=10.0)
+        assert queue.per_slot_budget == pytest.approx(25.0)
+        assert queue.length == 10.0
+
+    def test_update_recursion(self):
+        """q_{t+1} = max(0, q_t + c_t - C/T) — the paper's Eq. (7)."""
+        queue = VirtualQueue(initial_length=0.0, per_slot_budget=25.0)
+        assert queue.update(30.0) == pytest.approx(5.0)
+        assert queue.update(30.0) == pytest.approx(10.0)
+        assert queue.update(10.0) == pytest.approx(0.0)  # clipped at zero
+        assert queue.history == [0.0, 5.0, 10.0, 0.0]
+
+    def test_under_spending_drains_queue(self):
+        queue = VirtualQueue(initial_length=100.0, per_slot_budget=25.0)
+        queue.update(0.0)
+        assert queue.length == pytest.approx(75.0)
+
+    def test_reset(self):
+        queue = VirtualQueue(initial_length=5.0, per_slot_budget=10.0)
+        queue.update(50.0)
+        queue.reset()
+        assert queue.length == 5.0
+        assert queue.history == [5.0]
+
+    def test_negative_cost_rejected(self):
+        queue = VirtualQueue(initial_length=0.0, per_slot_budget=10.0)
+        with pytest.raises(ValueError):
+            queue.update(-1.0)
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualQueue(initial_length=-1.0, per_slot_budget=10.0)
+
+    def test_drift_term(self):
+        queue = VirtualQueue(initial_length=4.0, per_slot_budget=10.0)
+        assert queue.drift(16.0) == pytest.approx(4.0 * 6.0)
+
+    @given(
+        costs=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50),
+        budget=st.floats(1.0, 50.0),
+        q0=st.floats(0.0, 50.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_queue_never_negative_and_bounds_overspending(self, costs, budget, q0):
+        """Invariants: q_t >= 0 and q_T >= q_0 + Σ(c_t - C/T) (queue dominates deficit)."""
+        queue = VirtualQueue(initial_length=q0, per_slot_budget=budget)
+        for cost in costs:
+            queue.update(cost)
+            assert queue.length >= 0.0
+        deficit = q0 + sum(costs) - budget * len(costs)
+        assert queue.length >= deficit - 1e-9
+
+    @given(costs=st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_history_length_tracks_updates(self, costs):
+        queue = VirtualQueue(initial_length=0.0, per_slot_budget=5.0)
+        for cost in costs:
+            queue.update(cost)
+        assert len(queue.history) == len(costs) + 1

@@ -1,0 +1,125 @@
+"""Tests for repro.experiments.persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import (
+    comparison_from_dict,
+    comparison_to_dict,
+    load_comparison,
+    load_result,
+    load_series_csv,
+    result_from_dict,
+    result_to_dict,
+    save_comparison,
+    save_result,
+    save_series_csv,
+    save_text_report,
+)
+from repro.experiments.runner import run_comparison
+from repro.simulation.results import SimulationResult, SlotRecord
+
+
+@pytest.fixture(scope="module")
+def tiny_comparison():
+    config = ExperimentConfig.tiny().with_overrides(horizon=4, trials=1)
+    return run_comparison(config, seed=17)
+
+
+def sample_result():
+    records = (
+        SlotRecord(
+            t=0,
+            num_requests=2,
+            num_served=2,
+            cost=5,
+            utility=-0.4,
+            success_probabilities=(0.9, 0.7),
+            realized_successes=(True, False),
+            queue_length=3.0,
+        ),
+        SlotRecord(
+            t=1,
+            num_requests=1,
+            num_served=0,
+            cost=0,
+            utility=0.0,
+            success_probabilities=(),
+            realized_successes=(False,),
+            queue_length=None,
+        ),
+    )
+    return SimulationResult(
+        policy_name="OSCAR", horizon=2, total_budget=20.0, records=records
+    )
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip_preserves_metrics(self):
+        original = sample_result()
+        rebuilt = result_from_dict(result_to_dict(original))
+        assert rebuilt.policy_name == original.policy_name
+        assert rebuilt.total_cost == original.total_cost
+        assert rebuilt.average_success_rate() == pytest.approx(original.average_success_rate())
+        assert rebuilt.per_slot_costs() == original.per_slot_costs()
+        assert rebuilt.queue_lengths() == original.queue_lengths()
+
+    def test_file_round_trip(self, tmp_path):
+        original = sample_result()
+        path = save_result(original, tmp_path / "run.json")
+        assert path.exists()
+        rebuilt = load_result(path)
+        assert rebuilt.summary() == pytest.approx(original.summary())
+
+    def test_json_is_plain_data(self, tmp_path):
+        path = save_result(sample_result(), tmp_path / "run.json")
+        payload = json.loads(path.read_text())
+        assert payload["policy_name"] == "OSCAR"
+        assert isinstance(payload["records"], list)
+
+
+class TestComparisonRoundTrip:
+    def test_dict_round_trip(self, tiny_comparison):
+        rebuilt = comparison_from_dict(comparison_to_dict(tiny_comparison))
+        assert rebuilt.policy_names == tiny_comparison.policy_names
+        assert len(rebuilt.trials) == len(tiny_comparison.trials)
+        for name in rebuilt.policy_names:
+            assert rebuilt.results_for(name)[0].total_cost == pytest.approx(
+                tiny_comparison.results_for(name)[0].total_cost
+            )
+
+    def test_file_round_trip(self, tiny_comparison, tmp_path):
+        path = save_comparison(tiny_comparison, tmp_path / "nested" / "comparison.json")
+        rebuilt = load_comparison(path)
+        assert rebuilt.config.horizon == tiny_comparison.config.horizon
+        assert rebuilt.policy_names == tiny_comparison.policy_names
+
+
+class TestSeriesCsv:
+    def test_round_trip(self, tmp_path):
+        path = save_series_csv(
+            tmp_path / "series.csv",
+            "slot",
+            [0, 1, 2],
+            {"OSCAR": [1.0, 2.0, 3.0], "MF": [0.5, 1.0, 1.5]},
+        )
+        columns = load_series_csv(path)
+        assert columns["slot"] == [0.0, 1.0, 2.0]
+        assert columns["OSCAR"] == [1.0, 2.0, 3.0]
+        assert columns["MF"] == [0.5, 1.0, 1.5]
+
+    def test_ragged_series_padded_with_blanks(self, tmp_path):
+        path = save_series_csv(
+            tmp_path / "series.csv", "x", [0, 1], {"a": [1.0], "b": [2.0, 3.0]}
+        )
+        columns = load_series_csv(path)
+        assert columns["a"] == [1.0]
+        assert columns["b"] == [2.0, 3.0]
+
+
+class TestTextReport:
+    def test_written_with_trailing_newline(self, tmp_path):
+        path = save_text_report(tmp_path / "report.txt", "line1\nline2")
+        assert path.read_text() == "line1\nline2\n"

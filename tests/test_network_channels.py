@@ -1,0 +1,166 @@
+"""Tests for repro.network.channels (the paper's Eq. 1 and related physics)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.channels import (
+    ATTEMPT_DURATION_S,
+    DECOHERENCE_TIME_S,
+    ConstantLossChannel,
+    FiberLossChannel,
+    channels_for_target_success,
+    expected_attempts_until_success,
+    log_multi_channel_success,
+    max_attempts_within_decoherence,
+    multi_channel_success,
+    per_slot_success,
+    slot_duration_seconds,
+)
+
+
+class TestPerSlotSuccess:
+    def test_paper_default_value(self):
+        # p = 1 - (1 - 2e-4)^4000 ≈ 0.5507
+        p = per_slot_success(2.0e-4, 4000)
+        assert p == pytest.approx(1.0 - (1.0 - 2.0e-4) ** 4000, rel=1e-12)
+        assert 0.54 < p < 0.56
+
+    def test_zero_attempts(self):
+        assert per_slot_success(0.5, 0) == 0.0
+
+    def test_zero_probability(self):
+        assert per_slot_success(0.0, 1000) == 0.0
+
+    def test_certain_attempt(self):
+        assert per_slot_success(1.0, 1) == 1.0
+
+    def test_monotone_in_attempts(self):
+        assert per_slot_success(1e-4, 2000) < per_slot_success(1e-4, 4000)
+
+    def test_negative_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            per_slot_success(0.1, -1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            per_slot_success(1.5, 10)
+
+    @given(p=st.floats(1e-6, 0.1), attempts=st.integers(1, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_always_a_probability(self, p, attempts):
+        value = per_slot_success(p, attempts)
+        assert 0.0 <= value <= 1.0
+
+    @given(p=st.floats(1e-6, 0.1), attempts=st.integers(1, 5_000))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_formula(self, p, attempts):
+        stable = per_slot_success(p, attempts)
+        naive = 1.0 - (1.0 - p) ** attempts
+        assert stable == pytest.approx(naive, abs=1e-9)
+
+
+class TestMultiChannelSuccess:
+    def test_single_channel_identity(self):
+        assert multi_channel_success(0.55, 1) == pytest.approx(0.55)
+
+    def test_zero_channels(self):
+        assert multi_channel_success(0.55, 0) == 0.0
+
+    def test_fractional_channels_allowed(self):
+        value = multi_channel_success(0.5, 1.5)
+        assert multi_channel_success(0.5, 1) < value < multi_channel_success(0.5, 2)
+
+    def test_monotone_in_channels(self):
+        previous = 0.0
+        for n in range(1, 8):
+            current = multi_channel_success(0.3, n)
+            assert current > previous
+            previous = current
+
+    def test_paper_equation_one(self):
+        p = per_slot_success(2.0e-4, 4000)
+        for n in (1, 2, 3, 5):
+            assert multi_channel_success(p, n) == pytest.approx(1 - (1 - p) ** n, rel=1e-12)
+
+    @given(p=st.floats(0.01, 0.99), n=st.integers(1, 20))
+    @settings(max_examples=80, deadline=None)
+    def test_diminishing_returns(self, p, n):
+        """The marginal gain of the (n+1)-th channel never exceeds that of the n-th."""
+        gain_n = multi_channel_success(p, n + 1) - multi_channel_success(p, n)
+        gain_n_plus = multi_channel_success(p, n + 2) - multi_channel_success(p, n + 1)
+        assert gain_n_plus <= gain_n + 1e-12
+
+
+class TestLogMultiChannelSuccess:
+    def test_matches_log_of_probability(self):
+        assert log_multi_channel_success(0.5, 3) == pytest.approx(math.log(1 - 0.5**3))
+
+    def test_zero_gives_minus_infinity(self):
+        assert log_multi_channel_success(0.5, 0) == float("-inf")
+
+    def test_concavity_in_channels(self):
+        p = 0.4
+        values = [log_multi_channel_success(p, n) for n in range(1, 6)]
+        differences = [b - a for a, b in zip(values, values[1:])]
+        assert all(d2 <= d1 + 1e-12 for d1, d2 in zip(differences, differences[1:]))
+
+
+class TestChannelsForTarget:
+    def test_inverts_equation_one(self):
+        p = 0.5
+        n = channels_for_target_success(p, 0.9)
+        assert multi_channel_success(p, n) == pytest.approx(0.9, abs=1e-9)
+
+    def test_zero_target(self):
+        assert channels_for_target_success(0.5, 0.0) == 0.0
+
+    def test_perfect_channel(self):
+        assert channels_for_target_success(1.0, 0.9) == 1.0
+
+
+class TestChannelModels:
+    def test_constant_model_ignores_length(self):
+        model = ConstantLossChannel(attempt_success=2.0e-4)
+        assert model.attempt_success_probability(1.0) == model.attempt_success_probability(500.0)
+
+    def test_constant_model_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ConstantLossChannel(attempt_success=0.0)
+
+    def test_fiber_model_decays_with_length(self):
+        model = FiberLossChannel(base_success=1e-3, loss_db_per_km=0.2)
+        assert model.attempt_success_probability(10.0) < model.attempt_success_probability(1.0)
+
+    def test_fiber_model_zero_length(self):
+        model = FiberLossChannel(base_success=1e-3)
+        assert model.attempt_success_probability(0.0) == pytest.approx(1e-3)
+
+    def test_fiber_model_floor(self):
+        model = FiberLossChannel(base_success=1e-3, loss_db_per_km=10.0, floor=1e-9)
+        assert model.attempt_success_probability(1e6) == pytest.approx(1e-9)
+
+    def test_slot_success_combines_with_attempts(self):
+        model = ConstantLossChannel(attempt_success=2.0e-4)
+        assert model.slot_success_probability(5.0, 4000) == pytest.approx(
+            per_slot_success(2.0e-4, 4000)
+        )
+
+
+class TestTimingHelpers:
+    def test_expected_attempts(self):
+        assert expected_attempts_until_success(2.0e-4) == pytest.approx(5000.0)
+
+    def test_slot_duration(self):
+        assert slot_duration_seconds(4000) == pytest.approx(4000 * ATTEMPT_DURATION_S)
+
+    def test_paper_slot_fits_decoherence(self):
+        """4000 attempts of 165 µs (0.66 s) fit within the 1.46 s memory time."""
+        assert slot_duration_seconds(4000) < DECOHERENCE_TIME_S
+
+    def test_max_attempts_within_decoherence(self):
+        attempts = max_attempts_within_decoherence()
+        assert attempts >= 4000
+        assert attempts * ATTEMPT_DURATION_S <= DECOHERENCE_TIME_S

@@ -1,0 +1,164 @@
+"""Tests for repro.network.graph."""
+
+import pytest
+
+from repro.network.channels import per_slot_success
+from repro.network.graph import (
+    QDNGraph,
+    QuantumEdge,
+    QuantumNode,
+    ResourceSnapshot,
+    edge_key,
+)
+
+
+class TestEdgeKey:
+    def test_order_independent(self):
+        assert edge_key(1, 2) == edge_key(2, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            edge_key(3, 3)
+
+    def test_string_nodes(self):
+        assert edge_key("b", "a") == edge_key("a", "b")
+
+
+class TestQuantumNode:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumNode(name=0, qubit_capacity=-1)
+
+    def test_defaults(self):
+        node = QuantumNode(name="alice", qubit_capacity=12)
+        assert node.position is None
+        assert not node.is_repeater
+
+
+class TestQuantumEdge:
+    def test_key_is_canonical(self):
+        edge = QuantumEdge(u=5, v=2, channel_capacity=4)
+        assert edge.key == edge_key(2, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumEdge(u=1, v=1, channel_capacity=3)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumEdge(u=0, v=1, channel_capacity=3, attempt_success=1.2)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumEdge(u=0, v=1, channel_capacity=-2)
+
+
+class TestQDNGraphConstruction:
+    def test_add_edge_requires_nodes(self):
+        graph = QDNGraph()
+        graph.add_node(QuantumNode(name=0, qubit_capacity=5))
+        with pytest.raises(KeyError):
+            graph.add_edge(QuantumEdge(u=0, v=1, channel_capacity=2))
+
+    def test_len_and_contains(self, line_graph):
+        assert len(line_graph) == 4
+        assert 0 in line_graph
+        assert 99 not in line_graph
+
+    def test_edges_and_neighbors(self, line_graph):
+        assert len(line_graph.edges) == 3
+        assert set(line_graph.neighbors(1)) == {0, 2}
+        assert line_graph.degree(0) == 1
+        assert line_graph.degree(1) == 2
+
+    def test_has_edge(self, line_graph):
+        assert line_graph.has_edge(0, 1)
+        assert line_graph.has_edge(1, 0)
+        assert not line_graph.has_edge(0, 2)
+        assert not line_graph.has_edge(0, 0)
+
+    def test_remove_edge(self, line_graph):
+        line_graph.remove_edge(0, 1)
+        assert not line_graph.has_edge(0, 1)
+        with pytest.raises(KeyError):
+            line_graph.remove_edge(0, 1)
+
+    def test_average_degree(self, line_graph):
+        assert line_graph.average_degree() == pytest.approx(2 * 3 / 4)
+
+    def test_is_connected(self, line_graph):
+        assert line_graph.is_connected()
+        line_graph.remove_edge(1, 2)
+        assert not line_graph.is_connected()
+
+    def test_edges_incident(self, line_graph):
+        assert set(line_graph.edges_incident(1)) == {edge_key(0, 1), edge_key(1, 2)}
+
+    def test_invalid_attempts_per_slot(self):
+        with pytest.raises(ValueError):
+            QDNGraph(attempts_per_slot=0)
+
+
+class TestQDNGraphPhysics:
+    def test_slot_success_uses_attempts(self, line_graph):
+        key = edge_key(0, 1)
+        expected = per_slot_success(2.0e-4, 4000)
+        assert line_graph.slot_success(key) == pytest.approx(expected)
+        assert line_graph.slot_success(key, attempts=2000) == pytest.approx(
+            per_slot_success(2.0e-4, 2000)
+        )
+
+    def test_link_success_matches_equation_one(self, line_graph):
+        key = edge_key(0, 1)
+        p = line_graph.slot_success(key)
+        assert line_graph.link_success(key, 3) == pytest.approx(1 - (1 - p) ** 3)
+
+    def test_min_slot_success(self, line_graph):
+        assert line_graph.min_slot_success() == pytest.approx(line_graph.slot_success(edge_key(0, 1)))
+
+    def test_min_slot_success_empty_graph(self):
+        graph = QDNGraph()
+        graph.add_node(QuantumNode(name=0, qubit_capacity=3))
+        with pytest.raises(ValueError):
+            graph.min_slot_success()
+
+    def test_euclidean_length(self, line_graph):
+        assert line_graph.euclidean_length(0, 3) == pytest.approx(3.0)
+
+    def test_euclidean_length_requires_positions(self):
+        graph = QDNGraph()
+        graph.add_node(QuantumNode(name=0, qubit_capacity=3))
+        graph.add_node(QuantumNode(name=1, qubit_capacity=3))
+        with pytest.raises(ValueError):
+            graph.euclidean_length(0, 1)
+
+
+class TestSnapshots:
+    def test_full_snapshot(self, line_graph):
+        snapshot = line_graph.full_snapshot()
+        assert snapshot.available_qubits(0) == 12
+        assert snapshot.available_channels(edge_key(0, 1)) == 6
+
+    def test_restricted_snapshot(self, line_graph):
+        snapshot = line_graph.full_snapshot().restricted_to([0, 1], [edge_key(0, 1)])
+        assert snapshot.available_qubits(0) == 12
+        with pytest.raises(KeyError):
+            snapshot.available_qubits(3)
+
+    def test_scaled_copy(self, line_graph):
+        scaled = line_graph.scaled_copy(qubit_scale=0.5, channel_scale=0.5)
+        assert scaled.qubit_capacity(0) == 6
+        assert scaled.channel_capacity(edge_key(0, 1)) == 3
+        # The original is untouched.
+        assert line_graph.qubit_capacity(0) == 12
+
+    def test_describe_mentions_size(self, line_graph):
+        text = line_graph.describe()
+        assert "nodes=4" in text and "edges=3" in text
+
+
+class TestResourceSnapshotStandalone:
+    def test_lookup(self):
+        snapshot = ResourceSnapshot(qubits={0: 5}, channels={edge_key(0, 1): 2})
+        assert snapshot.available_qubits(0) == 5
+        assert snapshot.available_channels(edge_key(0, 1)) == 2

@@ -1,0 +1,105 @@
+"""Tests for repro.network.resources."""
+
+import numpy as np
+import pytest
+
+from repro.network.resources import (
+    MarkovOccupancy,
+    ScaledResources,
+    StaticResources,
+    UniformOccupancy,
+)
+
+
+class TestStaticResources:
+    def test_full_availability(self, line_graph, rng):
+        snapshot = StaticResources().snapshot(0, line_graph, rng)
+        for node in line_graph.nodes:
+            assert snapshot.available_qubits(node) == line_graph.qubit_capacity(node)
+        for key in line_graph.edges:
+            assert snapshot.available_channels(key) == line_graph.channel_capacity(key)
+
+    def test_time_invariant(self, line_graph, rng):
+        process = StaticResources()
+        a = process.snapshot(0, line_graph, rng)
+        b = process.snapshot(7, line_graph, rng)
+        assert dict(a.qubits) == dict(b.qubits)
+
+
+class TestUniformOccupancy:
+    def test_availability_within_bounds(self, line_graph, rng):
+        process = UniformOccupancy(min_fraction=0.5, max_fraction=0.8)
+        for t in range(20):
+            snapshot = process.snapshot(t, line_graph, rng)
+            for node in line_graph.nodes:
+                capacity = line_graph.qubit_capacity(node)
+                assert 1 <= snapshot.available_qubits(node) <= capacity
+            for key in line_graph.edges:
+                capacity = line_graph.channel_capacity(key)
+                assert 1 <= snapshot.available_channels(key) <= capacity
+
+    def test_full_fraction_means_full_capacity(self, line_graph, rng):
+        process = UniformOccupancy(min_fraction=1.0, max_fraction=1.0)
+        snapshot = process.snapshot(0, line_graph, rng)
+        assert snapshot.available_qubits(0) == line_graph.qubit_capacity(0)
+
+    def test_min_available_respected(self, line_graph, rng):
+        process = UniformOccupancy(min_fraction=0.0, max_fraction=0.0, min_available=1)
+        snapshot = process.snapshot(0, line_graph, rng)
+        assert all(q >= 1 for q in snapshot.qubits.values())
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            UniformOccupancy(min_fraction=0.8, max_fraction=0.5)
+        with pytest.raises(ValueError):
+            UniformOccupancy(min_fraction=-0.1)
+
+
+class TestMarkovOccupancy:
+    def test_availability_bounds(self, line_graph, rng):
+        process = MarkovOccupancy(p_become_busy=0.5, p_become_free=0.5)
+        for t in range(30):
+            snapshot = process.snapshot(t, line_graph, rng)
+            for node in line_graph.nodes:
+                assert 1 <= snapshot.available_qubits(node) <= line_graph.qubit_capacity(node)
+
+    def test_stationary_fraction(self):
+        process = MarkovOccupancy(p_become_busy=0.1, p_become_free=0.3)
+        assert process.stationary_busy_fraction() == pytest.approx(0.25)
+
+    def test_zero_rates_mean_always_free(self, line_graph, rng):
+        process = MarkovOccupancy(p_become_busy=0.0, p_become_free=0.0)
+        snapshot = process.snapshot(0, line_graph, rng)
+        assert snapshot.available_qubits(0) == line_graph.qubit_capacity(0)
+
+    def test_reset_clears_state(self, line_graph, rng):
+        process = MarkovOccupancy(p_become_busy=0.9, p_become_free=0.0)
+        for t in range(5):
+            process.snapshot(t, line_graph, rng)
+        process.reset()
+        assert process._node_busy == {} and process._edge_busy == {}
+
+    def test_busy_accumulates_without_release(self, line_graph):
+        """With p_free = 0 and p_busy = 1, everything beyond the floor is busy."""
+        rng = np.random.default_rng(0)
+        process = MarkovOccupancy(p_become_busy=1.0, p_become_free=0.0, min_available=1)
+        snapshot = None
+        for t in range(3):
+            snapshot = process.snapshot(t, line_graph, rng)
+        assert all(q == 1 for q in snapshot.qubits.values())
+
+
+class TestScaledResources:
+    def test_exact_fraction(self, line_graph, rng):
+        process = ScaledResources(fraction=0.5)
+        snapshot = process.snapshot(0, line_graph, rng)
+        assert snapshot.available_qubits(0) == int(line_graph.qubit_capacity(0) * 0.5)
+
+    def test_floor_of_one(self, line_graph, rng):
+        process = ScaledResources(fraction=0.0, min_available=1)
+        snapshot = process.snapshot(0, line_graph, rng)
+        assert all(q == 1 for q in snapshot.qubits.values())
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledResources(fraction=1.5)

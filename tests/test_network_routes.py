@@ -1,0 +1,166 @@
+"""Tests for repro.network.routes."""
+
+import networkx as nx
+import pytest
+
+from repro.network.graph import edge_key
+from repro.network.routes import (
+    Route,
+    build_candidate_routes,
+    hop_bounded_routes,
+    k_shortest_routes,
+    max_route_length,
+    route_diversity,
+    shortest_route,
+)
+
+
+class TestRoute:
+    def test_edges_derived_from_nodes(self):
+        route = Route.from_nodes([0, 1, 2])
+        assert route.edges == (edge_key(0, 1), edge_key(1, 2))
+        assert route.hops == 2
+        assert route.source == 0 and route.destination == 2
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValueError):
+            Route.from_nodes([0])
+
+    def test_repeated_node_rejected(self):
+        with pytest.raises(ValueError):
+            Route.from_nodes([0, 1, 0])
+
+    def test_mismatched_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Route(nodes=(0, 1, 2), edges=(edge_key(0, 2), edge_key(1, 2)))
+
+    def test_uses_edge(self):
+        route = Route.from_nodes([0, 1, 2])
+        assert route.uses_edge(edge_key(1, 0))
+        assert not route.uses_edge(edge_key(0, 2))
+
+    def test_shares_resources_with(self):
+        a = Route.from_nodes([0, 1, 2])
+        b = Route.from_nodes([2, 3])
+        c = Route.from_nodes([4, 5])
+        assert a.shares_resources_with(b)
+        assert not a.shares_resources_with(c)
+
+    def test_physical_length(self, line_graph):
+        route = Route.from_nodes([0, 1, 2])
+        assert route.physical_length(line_graph) == pytest.approx(20.0)
+
+    def test_is_valid_in(self, line_graph):
+        assert Route.from_nodes([0, 1, 2]).is_valid_in(line_graph)
+        assert not Route.from_nodes([0, 2]).is_valid_in(line_graph)
+
+    def test_len_and_str(self):
+        route = Route.from_nodes([0, 1, 2, 3])
+        assert len(route) == 3
+        assert "0" in str(route) and "3" in str(route)
+
+
+class TestShortestRoute:
+    def test_line_graph(self, line_graph):
+        route = shortest_route(line_graph, 0, 3)
+        assert route.nodes == (0, 1, 2, 3)
+
+    def test_same_endpoints_rejected(self, line_graph):
+        with pytest.raises(ValueError):
+            shortest_route(line_graph, 0, 0)
+
+    def test_disconnected_raises(self, line_graph):
+        line_graph.remove_edge(1, 2)
+        with pytest.raises(nx.NetworkXNoPath):
+            shortest_route(line_graph, 0, 3)
+
+    def test_metric_length(self, diamond_graph):
+        route = shortest_route(diamond_graph, 0, 3, metric="length")
+        assert route.source == 0 and route.destination == 3
+
+    def test_unknown_metric_rejected(self, diamond_graph):
+        with pytest.raises(ValueError):
+            shortest_route(diamond_graph, 0, 3, metric="bogus")
+
+
+class TestKShortestRoutes:
+    def test_diamond_has_two_disjoint_shortest(self, diamond_graph):
+        routes = k_shortest_routes(diamond_graph, 0, 3, k=4)
+        assert len(routes) >= 2
+        assert routes[0].hops == 2
+        assert {route.nodes for route in routes[:2]} == {(0, 1, 3), (0, 2, 3)}
+
+    def test_k_limits_count(self, diamond_graph):
+        assert len(k_shortest_routes(diamond_graph, 0, 3, k=1)) == 1
+
+    def test_max_hops_filters(self, diamond_graph):
+        routes = k_shortest_routes(diamond_graph, 0, 3, k=10, max_hops=2)
+        assert all(route.hops <= 2 for route in routes)
+
+    def test_disconnected_returns_empty(self, line_graph):
+        line_graph.remove_edge(1, 2)
+        assert k_shortest_routes(line_graph, 0, 3, k=3) == []
+
+    def test_ordered_by_hops_for_hop_metric(self, diamond_graph):
+        routes = k_shortest_routes(diamond_graph, 0, 3, k=6, metric="hops")
+        hops = [route.hops for route in routes]
+        assert hops == sorted(hops)
+
+    def test_invalid_k_rejected(self, diamond_graph):
+        with pytest.raises(ValueError):
+            k_shortest_routes(diamond_graph, 0, 3, k=0)
+
+
+class TestHopBoundedRoutes:
+    def test_all_simple_paths(self, diamond_graph):
+        routes = hop_bounded_routes(diamond_graph, 0, 3, max_hops=3)
+        node_sets = {route.nodes for route in routes}
+        assert (0, 1, 3) in node_sets and (0, 2, 3) in node_sets
+        assert all(route.hops <= 3 for route in routes)
+
+    def test_bound_excludes_long_paths(self, diamond_graph):
+        short_only = hop_bounded_routes(diamond_graph, 0, 3, max_hops=2)
+        assert all(route.hops <= 2 for route in short_only)
+        assert len(short_only) < len(hop_bounded_routes(diamond_graph, 0, 3, max_hops=3))
+
+
+class TestBuildCandidateRoutes:
+    def test_every_pair_gets_routes(self, diamond_graph):
+        candidates = build_candidate_routes(diamond_graph, [(0, 3), (1, 2)], num_routes=3)
+        assert set(candidates.keys()) == {(0, 3), (1, 2)}
+        assert all(len(routes) >= 1 for routes in candidates.values())
+
+    def test_routes_connect_the_right_endpoints(self, diamond_graph):
+        candidates = build_candidate_routes(diamond_graph, [(0, 3)], num_routes=4)
+        for route in candidates[(0, 3)]:
+            assert {route.source, route.destination} == {0, 3}
+
+    def test_extra_hop_filter(self, diamond_graph):
+        tight = build_candidate_routes(diamond_graph, [(0, 3)], num_routes=8, max_extra_hops=0)
+        assert all(route.hops == 2 for route in tight[(0, 3)])
+
+    def test_disconnected_pair_gets_empty_list(self, line_graph):
+        line_graph.remove_edge(1, 2)
+        candidates = build_candidate_routes(line_graph, [(0, 3)], num_routes=3)
+        assert candidates[(0, 3)] == []
+
+
+class TestRouteStatistics:
+    def test_route_diversity_disjoint(self):
+        a = Route.from_nodes([0, 1, 3])
+        b = Route.from_nodes([0, 2, 3])
+        assert route_diversity([a, b]) == pytest.approx(1.0)
+
+    def test_route_diversity_identical(self):
+        a = Route.from_nodes([0, 1, 3])
+        assert route_diversity([a, a]) == pytest.approx(0.0)
+
+    def test_route_diversity_single_route(self):
+        assert route_diversity([Route.from_nodes([0, 1])]) == 1.0
+
+    def test_max_route_length(self):
+        candidates = {
+            "a": [Route.from_nodes([0, 1]), Route.from_nodes([0, 1, 2, 3])],
+            "b": [Route.from_nodes([4, 5, 6])],
+        }
+        assert max_route_length(candidates) == 3

@@ -1,0 +1,144 @@
+"""Tests for repro.network.topology."""
+
+import pytest
+
+from repro.network.topology import (
+    CapacityRanges,
+    complete_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+    star_topology,
+    waxman_topology,
+    waxman_topology_with_degree,
+)
+
+
+class TestCapacityRanges:
+    def test_paper_defaults(self):
+        ranges = CapacityRanges()
+        assert (ranges.qubit_min, ranges.qubit_max) == (10, 16)
+        assert (ranges.channel_min, ranges.channel_max) == (5, 8)
+
+    def test_sampling_within_bounds(self, rng):
+        ranges = CapacityRanges(qubit_min=3, qubit_max=5, channel_min=1, channel_max=2)
+        for _ in range(50):
+            assert 3 <= ranges.sample_qubits(rng) <= 5
+            assert 1 <= ranges.sample_channels(rng) <= 2
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityRanges(qubit_min=10, qubit_max=5)
+        with pytest.raises(ValueError):
+            CapacityRanges(channel_min=-1)
+
+
+class TestWaxman:
+    def test_node_count_and_connectivity(self):
+        graph = waxman_topology(num_nodes=20, seed=1)
+        assert len(graph) == 20
+        assert graph.is_connected()
+
+    def test_capacities_within_paper_ranges(self):
+        graph = waxman_topology(num_nodes=15, seed=2)
+        for node in graph.nodes:
+            assert 10 <= graph.qubit_capacity(node) <= 16
+        for key in graph.edges:
+            assert 5 <= graph.channel_capacity(key) <= 8
+
+    def test_positions_inside_area(self):
+        graph = waxman_topology(num_nodes=10, area=100.0, seed=3)
+        for node in graph.nodes:
+            x, y = graph.node(node).position
+            assert 0.0 <= x <= 100.0
+            assert 0.0 <= y <= 100.0
+
+    def test_deterministic_given_seed(self):
+        a = waxman_topology(num_nodes=12, seed=4)
+        b = waxman_topology(num_nodes=12, seed=4)
+        assert a.edges == b.edges
+        assert [a.qubit_capacity(n) for n in a.nodes] == [b.qubit_capacity(n) for n in b.nodes]
+
+    def test_different_seeds_differ(self):
+        a = waxman_topology(num_nodes=12, seed=5)
+        b = waxman_topology(num_nodes=12, seed=6)
+        assert a.edges != b.edges or [a.qubit_capacity(n) for n in a.nodes] != [
+            b.qubit_capacity(n) for n in b.nodes
+        ]
+
+    def test_single_node(self):
+        graph = waxman_topology(num_nodes=1, seed=7)
+        assert len(graph) == 1
+        assert graph.edges == []
+
+    def test_higher_beta_gives_denser_graph(self):
+        sparse = waxman_topology(num_nodes=25, beta=0.2, ensure_connected=False, seed=8)
+        dense = waxman_topology(num_nodes=25, beta=0.9, ensure_connected=False, seed=8)
+        assert dense.average_degree() >= sparse.average_degree()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            waxman_topology(num_nodes=0)
+        with pytest.raises(ValueError):
+            waxman_topology(num_nodes=5, beta=0.0)
+        with pytest.raises(ValueError):
+            waxman_topology(num_nodes=5, alpha=0.0)
+
+    def test_edge_lengths_match_positions(self):
+        graph = waxman_topology(num_nodes=10, seed=9)
+        for key in graph.edges:
+            edge = graph.edge(key)
+            assert edge.length == pytest.approx(graph.euclidean_length(*key))
+
+
+class TestWaxmanWithDegree:
+    def test_hits_target_degree(self):
+        graph = waxman_topology_with_degree(num_nodes=20, target_degree=4.0, seed=11)
+        assert abs(graph.average_degree() - 4.0) <= 1.0
+        assert graph.is_connected()
+
+    def test_larger_networks_keep_degree(self):
+        """The Fig. 6 requirement: degree stays near 4 as the size grows."""
+        for size in (10, 20, 30):
+            graph = waxman_topology_with_degree(num_nodes=size, target_degree=4.0, seed=12)
+            assert abs(graph.average_degree() - 4.0) <= 1.5
+
+
+class TestRegularTopologies:
+    def test_grid_structure(self):
+        graph = grid_topology(rows=3, cols=4, seed=1)
+        assert len(graph) == 12
+        # Interior grid edges: 3*3 horizontal + 2*4 vertical = 17.
+        assert len(graph.edges) == 17
+        assert graph.is_connected()
+
+    def test_ring_structure(self):
+        graph = ring_topology(num_nodes=6, seed=1)
+        assert len(graph) == 6
+        assert len(graph.edges) == 6
+        assert all(graph.degree(node) == 2 for node in graph.nodes)
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_topology(num_nodes=2)
+
+    def test_star_structure(self):
+        graph = star_topology(num_leaves=5, seed=1)
+        assert len(graph) == 6
+        assert graph.degree(0) == 5
+        assert all(graph.degree(leaf) == 1 for leaf in range(1, 6))
+
+    def test_line_structure(self):
+        graph = line_topology(num_nodes=5, seed=1)
+        assert len(graph) == 5
+        assert len(graph.edges) == 4
+        assert graph.degree(0) == 1 and graph.degree(2) == 2
+
+    def test_line_minimum_size(self):
+        with pytest.raises(ValueError):
+            line_topology(num_nodes=1)
+
+    def test_complete_structure(self):
+        graph = complete_topology(num_nodes=5, seed=1)
+        assert len(graph.edges) == 10
+        assert all(graph.degree(node) == 4 for node in graph.nodes)

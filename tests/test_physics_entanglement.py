@@ -1,0 +1,162 @@
+"""Tests for repro.physics.entanglement and repro.physics.swapping."""
+
+import numpy as np
+import pytest
+
+from repro.network.channels import multi_channel_success, per_slot_success
+from repro.physics.entanglement import EntanglementGenerator
+from repro.physics.qubit import BellPair
+from repro.physics.swapping import entanglement_swap, swap_chain
+
+
+class TestEntanglementGeneratorAnalytics:
+    def test_slot_success_matches_channels_module(self):
+        generator = EntanglementGenerator(attempt_success=2.0e-4, attempts_per_slot=4000)
+        assert generator.slot_success_probability() == pytest.approx(per_slot_success(2.0e-4, 4000))
+
+    def test_edge_success_matches_equation_one(self):
+        generator = EntanglementGenerator(attempt_success=2.0e-4, attempts_per_slot=4000)
+        p = generator.slot_success_probability()
+        for n in (1, 2, 4):
+            assert generator.edge_success_probability(n) == pytest.approx(multi_channel_success(p, n))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EntanglementGenerator(attempt_success=1.5)
+        with pytest.raises(ValueError):
+            EntanglementGenerator(attempt_success=0.1, attempts_per_slot=0)
+
+
+class TestEntanglementGeneratorSimulation:
+    def test_zero_channels_always_fail(self, rng):
+        generator = EntanglementGenerator(attempt_success=0.5, attempts_per_slot=10)
+        result = generator.generate("a", "b", channels=0, seed=rng)
+        assert not result.succeeded
+
+    def test_certain_generation(self, rng):
+        generator = EntanglementGenerator(attempt_success=1.0, attempts_per_slot=5)
+        result = generator.generate("a", "b", channels=1, seed=rng)
+        assert result.succeeded
+        assert result.successful_attempt == 1
+        assert result.pair.nodes == ("a", "b")
+
+    def test_creation_time_reflects_attempt_index(self, rng):
+        generator = EntanglementGenerator(
+            attempt_success=1.0, attempts_per_slot=5, attempt_duration=0.001
+        )
+        result = generator.generate("a", "b", channels=1, slot_start_time=10.0, seed=rng)
+        assert result.pair.created_at == pytest.approx(10.0 + 0.001)
+
+    def test_impossible_generation(self, rng):
+        generator = EntanglementGenerator(attempt_success=1e-9, attempts_per_slot=2)
+        result = generator.generate("a", "b", channels=1, seed=rng)
+        assert not result.succeeded
+        assert result.pair is None
+
+    def test_monte_carlo_matches_analytic_single_channel(self):
+        """The empirical per-slot success rate matches 1-(1-p)^A (Eq. 1 with n=1)."""
+        generator = EntanglementGenerator(attempt_success=5e-4, attempts_per_slot=1000)
+        analytic = generator.slot_success_probability()
+        empirical = generator.empirical_success_rate(channels=1, trials=20000, seed=1)
+        assert empirical == pytest.approx(analytic, abs=0.02)
+
+    def test_monte_carlo_matches_analytic_multi_channel(self):
+        generator = EntanglementGenerator(attempt_success=5e-4, attempts_per_slot=1000)
+        analytic = generator.edge_success_probability(3)
+        empirical = generator.empirical_success_rate(channels=3, trials=20000, seed=2)
+        assert empirical == pytest.approx(analytic, abs=0.02)
+
+    def test_generate_distribution_matches_analytic(self):
+        """Attempt-level generation succeeds at the analytic per-slot rate."""
+        generator = EntanglementGenerator(attempt_success=2e-3, attempts_per_slot=200)
+        rng = np.random.default_rng(3)
+        successes = sum(
+            generator.generate("a", "b", channels=2, seed=rng).succeeded for _ in range(4000)
+        )
+        assert successes / 4000 == pytest.approx(generator.edge_success_probability(2), abs=0.03)
+
+    def test_negative_channels_rejected(self, rng):
+        generator = EntanglementGenerator(attempt_success=0.5)
+        with pytest.raises(ValueError):
+            generator.generate("a", "b", channels=-1, seed=rng)
+
+
+class TestEntanglementSwap:
+    def test_swap_produces_outer_pair(self):
+        ab = BellPair(node_a="alice", node_b="carol", fidelity=0.95)
+        bc = BellPair(node_a="carol", node_b="bob", fidelity=0.9)
+        result = entanglement_swap(ab, bc)
+        assert result.succeeded
+        assert set(result.pair.nodes) == {"alice", "bob"}
+
+    def test_swap_fidelity_composition(self):
+        ab = BellPair(node_a="a", node_b="m", fidelity=0.95)
+        mb = BellPair(node_a="m", node_b="b", fidelity=0.9)
+        from repro.physics.fidelity import fidelity_after_swap
+
+        assert entanglement_swap(ab, mb).fidelity == pytest.approx(fidelity_after_swap(0.95, 0.9))
+
+    def test_swap_requires_common_node(self):
+        ab = BellPair(node_a="a", node_b="b")
+        cd = BellPair(node_a="c", node_b="d")
+        with pytest.raises(ValueError):
+            entanglement_swap(ab, cd)
+
+    def test_swap_rejects_same_pair_twice(self):
+        ab = BellPair(node_a="a", node_b="b")
+        ba = BellPair(node_a="b", node_b="a")
+        with pytest.raises(ValueError):
+            entanglement_swap(ab, ba)
+
+    def test_swap_failure_probability(self, rng):
+        ab = BellPair(node_a="a", node_b="m")
+        mb = BellPair(node_a="m", node_b="b")
+        result = entanglement_swap(ab, mb, success_probability=0.0, seed=rng)
+        assert not result.succeeded
+        assert result.pair is None
+
+    def test_creation_time_is_later_of_inputs(self):
+        ab = BellPair(node_a="a", node_b="m", created_at=1.0)
+        mb = BellPair(node_a="m", node_b="b", created_at=3.0)
+        assert entanglement_swap(ab, mb).pair.created_at == 3.0
+
+
+class TestSwapChain:
+    def test_chain_across_repeaters(self):
+        pairs = [
+            BellPair(node_a=0, node_b=1, fidelity=0.95),
+            BellPair(node_a=1, node_b=2, fidelity=0.95),
+            BellPair(node_a=2, node_b=3, fidelity=0.95),
+        ]
+        result = swap_chain(pairs)
+        assert result.succeeded
+        assert set(result.pair.nodes) == {0, 3}
+        assert result.swaps_performed == 2
+
+    def test_chain_fidelity_matches_formula(self):
+        from repro.physics.fidelity import fidelity_of_chain
+
+        fidelities = [0.95, 0.9, 0.97]
+        pairs = [
+            BellPair(node_a=i, node_b=i + 1, fidelity=f) for i, f in enumerate(fidelities)
+        ]
+        assert swap_chain(pairs).fidelity == pytest.approx(fidelity_of_chain(fidelities))
+
+    def test_single_pair_chain(self):
+        pair = BellPair(node_a=0, node_b=1, fidelity=0.9)
+        result = swap_chain([pair])
+        assert result.succeeded
+        assert result.pair == pair
+        assert result.swaps_performed == 0
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            swap_chain([])
+
+    def test_chain_failure_propagates(self, rng):
+        pairs = [
+            BellPair(node_a=0, node_b=1),
+            BellPair(node_a=1, node_b=2),
+        ]
+        result = swap_chain(pairs, success_probability=0.0, seed=rng)
+        assert not result.succeeded

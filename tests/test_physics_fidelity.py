@@ -1,0 +1,151 @@
+"""Tests for repro.physics.fidelity and repro.physics.decoherence."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.decoherence import DecoherenceModel
+from repro.physics.fidelity import (
+    MIXED_STATE_FIDELITY,
+    depolarising_link_fidelity,
+    fidelity_after_swap,
+    fidelity_of_chain,
+    max_chain_length_for_target,
+    werner_fidelity,
+    werner_parameter,
+)
+from repro.physics.qubit import BellPair
+
+
+class TestWernerAlgebra:
+    def test_round_trip(self):
+        for fidelity in (0.25, 0.5, 0.8, 1.0):
+            assert werner_fidelity(werner_parameter(fidelity)) == pytest.approx(fidelity)
+
+    def test_perfect_pair_has_parameter_one(self):
+        assert werner_parameter(1.0) == pytest.approx(1.0)
+
+    def test_mixed_state_has_parameter_zero(self):
+        assert werner_parameter(MIXED_STATE_FIDELITY) == pytest.approx(0.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            werner_parameter(1.1)
+        with pytest.raises(ValueError):
+            werner_fidelity(1.5)
+
+
+class TestSwapFidelity:
+    def test_perfect_pairs_stay_perfect(self):
+        assert fidelity_after_swap(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_swap_degrades_imperfect_pairs(self):
+        assert fidelity_after_swap(0.9, 0.9) < 0.9
+
+    def test_symmetry(self):
+        assert fidelity_after_swap(0.8, 0.95) == pytest.approx(fidelity_after_swap(0.95, 0.8))
+
+    def test_mixed_input_gives_mixed_output(self):
+        assert fidelity_after_swap(MIXED_STATE_FIDELITY, 0.9) == pytest.approx(MIXED_STATE_FIDELITY)
+
+    @given(f1=st.floats(0.25, 1.0), f2=st.floats(0.25, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_output_between_mixed_and_best_input(self, f1, f2):
+        output = fidelity_after_swap(f1, f2)
+        assert MIXED_STATE_FIDELITY - 1e-9 <= output <= max(f1, f2) + 1e-9
+
+
+class TestChainFidelity:
+    def test_single_link_identity(self):
+        assert fidelity_of_chain([0.93]) == pytest.approx(0.93)
+
+    def test_two_links_match_swap(self):
+        assert fidelity_of_chain([0.9, 0.8]) == pytest.approx(fidelity_after_swap(0.9, 0.8))
+
+    def test_monotone_decrease_with_length(self):
+        values = [fidelity_of_chain([0.95] * n) for n in range(1, 8)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            fidelity_of_chain([])
+
+    def test_associativity(self):
+        """Swapping left-to-right or right-to-left gives the same fidelity."""
+        links = [0.9, 0.85, 0.95]
+        left = fidelity_after_swap(fidelity_after_swap(links[0], links[1]), links[2])
+        right = fidelity_after_swap(links[0], fidelity_after_swap(links[1], links[2]))
+        assert left == pytest.approx(right)
+        assert fidelity_of_chain(links) == pytest.approx(left)
+
+
+class TestMaxChainLength:
+    def test_consistent_with_chain_formula(self):
+        length = max_chain_length_for_target(0.95, 0.8)
+        assert length >= 1
+        assert fidelity_of_chain([0.95] * length) >= 0.8
+        assert fidelity_of_chain([0.95] * (length + 1)) < 0.8
+
+    def test_unreachable_target(self):
+        assert max_chain_length_for_target(0.8, 0.95) == 0
+
+    def test_trivial_target(self):
+        assert max_chain_length_for_target(0.9, 0.2) > 1000
+
+
+class TestDepolarising:
+    def test_no_error_keeps_fidelity(self):
+        assert depolarising_link_fidelity(0.97, 0.0) == pytest.approx(0.97)
+
+    def test_full_error_gives_mixed_state(self):
+        assert depolarising_link_fidelity(0.97, 1.0) == pytest.approx(MIXED_STATE_FIDELITY)
+
+    def test_linear_interpolation(self):
+        assert depolarising_link_fidelity(1.0, 0.5) == pytest.approx(0.625)
+
+
+class TestDecoherenceModel:
+    def test_no_time_no_decay(self):
+        model = DecoherenceModel(memory_time=1.46)
+        assert model.fidelity_after(0.95, 0.0) == pytest.approx(0.95)
+
+    def test_decay_towards_mixed_state(self):
+        model = DecoherenceModel(memory_time=1.0)
+        assert model.fidelity_after(0.95, 100.0) == pytest.approx(MIXED_STATE_FIDELITY, abs=1e-6)
+
+    def test_monotone_decay(self):
+        model = DecoherenceModel(memory_time=1.46)
+        values = [model.fidelity_after(0.98, t) for t in (0.0, 0.5, 1.0, 2.0)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_survival_factor(self):
+        model = DecoherenceModel(memory_time=2.0)
+        assert model.survival_factor(2.0) == pytest.approx(math.exp(-1.0))
+
+    def test_evolve_pair_uses_creation_time(self):
+        model = DecoherenceModel(memory_time=1.0)
+        pair = BellPair(node_a="a", node_b="b", fidelity=0.95, created_at=1.0)
+        evolved = model.evolve_pair(pair, now=2.0)
+        assert evolved.fidelity == pytest.approx(model.fidelity_after(0.95, 1.0))
+
+    def test_usable_lifetime(self):
+        model = DecoherenceModel(memory_time=1.46)
+        lifetime = model.usable_lifetime(0.98, threshold=0.8)
+        assert lifetime > 0
+        assert model.fidelity_after(0.98, lifetime) == pytest.approx(0.8, abs=1e-9)
+
+    def test_usable_lifetime_already_below_threshold(self):
+        model = DecoherenceModel()
+        assert model.usable_lifetime(0.6, threshold=0.8) == 0.0
+
+    def test_paper_slot_is_survivable(self):
+        """A pair created at the start of a 0.66 s slot is still usable at its end."""
+        model = DecoherenceModel()  # 1.46 s memory time
+        slot_duration = 4000 * 165e-6
+        assert model.fidelity_after(0.98, slot_duration) > 0.5
+
+    def test_invalid_memory_time_rejected(self):
+        with pytest.raises(ValueError):
+            DecoherenceModel(memory_time=0.0)

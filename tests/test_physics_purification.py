@@ -1,0 +1,147 @@
+"""Tests for repro.physics.purification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fidelity import RouteFidelityModel
+from repro.physics.purification import (
+    PURIFICATION_THRESHOLD,
+    effective_link_fidelity,
+    purification_schedule,
+    purification_success_probability,
+    purified_fidelity,
+    purify_pair,
+    recurrence_purification,
+    rounds_to_reach,
+)
+
+
+class TestSingleRound:
+    def test_success_probability_of_perfect_pairs(self):
+        assert purification_success_probability(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_purification_improves_good_pairs(self):
+        assert purified_fidelity(0.8, 0.8) > 0.8
+
+    def test_purification_hurts_bad_pairs(self):
+        assert purified_fidelity(0.4, 0.4) < 0.5
+
+    def test_fixed_point_at_threshold(self):
+        assert purified_fidelity(0.5, 0.5) == pytest.approx(0.5)
+        assert purified_fidelity(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_purify_pair_outcome(self):
+        outcome = purify_pair(0.9, 0.9)
+        assert outcome.rounds == 1
+        assert outcome.pairs_consumed == 2
+        assert outcome.fidelity == pytest.approx(purified_fidelity(0.9, 0.9))
+        assert 0.0 < outcome.success_probability <= 1.0
+
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(ValueError):
+            purification_success_probability(1.2, 0.5)
+
+    @given(f1=st.floats(0.5, 1.0), f2=st.floats(0.5, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_probability_is_valid_and_output_bounded(self, f1, f2):
+        probability = purification_success_probability(f1, f2)
+        assert 0.0 < probability <= 1.0
+        assert 0.0 <= purified_fidelity(f1, f2) <= 1.0
+
+    @given(f=st.floats(0.51, 0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_above_threshold_always_improves(self, f):
+        assert purified_fidelity(f, f) > f
+
+
+class TestRecurrence:
+    def test_zero_rounds_is_identity(self):
+        outcome = recurrence_purification(0.85, 0)
+        assert outcome.fidelity == 0.85
+        assert outcome.pairs_consumed == 1
+        assert outcome.success_probability == 1.0
+
+    def test_more_rounds_more_fidelity_more_pairs(self):
+        one = recurrence_purification(0.85, 1)
+        two = recurrence_purification(0.85, 2)
+        assert two.fidelity > one.fidelity
+        assert two.pairs_consumed == 4
+        assert two.success_probability < one.success_probability
+
+    def test_expected_pairs_per_output(self):
+        outcome = recurrence_purification(0.85, 1)
+        assert outcome.expected_pairs_per_output == pytest.approx(
+            2 / outcome.success_probability
+        )
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            recurrence_purification(0.9, -1)
+
+
+class TestRoundsToReach:
+    def test_already_above_target(self):
+        assert rounds_to_reach(0.95, 0.9) == 0
+
+    def test_reachable_target(self):
+        rounds = rounds_to_reach(0.8, 0.9)
+        assert rounds is not None and rounds >= 1
+        assert recurrence_purification(0.8, rounds).fidelity >= 0.9
+
+    def test_unreachable_below_threshold(self):
+        assert rounds_to_reach(0.45, 0.9) is None
+
+    def test_unreachable_target_of_one(self):
+        assert rounds_to_reach(0.8, 1.0, max_rounds=8) is None
+
+    def test_schedule_wraps_rounds(self):
+        outcome = purification_schedule(0.8, 0.9)
+        assert outcome is not None
+        assert outcome.fidelity >= 0.9
+        assert purification_schedule(0.4, 0.9) is None
+
+
+class TestEffectiveLinkFidelity:
+    def test_one_channel_no_purification(self):
+        fidelity, consumed = effective_link_fidelity(0.85, channels=1)
+        assert fidelity == 0.85 and consumed == 1
+
+    def test_channels_buy_fidelity(self):
+        base, _ = effective_link_fidelity(0.85, channels=1)
+        boosted, consumed = effective_link_fidelity(0.85, channels=4)
+        assert boosted > base
+        assert consumed <= 4
+
+    def test_stops_at_target(self):
+        fidelity, consumed = effective_link_fidelity(0.85, channels=16, target=0.9)
+        assert fidelity >= 0.9
+        assert consumed < 16
+
+    def test_below_threshold_never_purifies(self):
+        fidelity, consumed = effective_link_fidelity(0.45, channels=8)
+        assert fidelity == 0.45 and consumed == 1
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ValueError):
+            effective_link_fidelity(0.9, channels=0)
+
+
+class TestFidelityModelIntegration:
+    def test_with_purification_boosts_route_fidelity(self):
+        from repro.network.routes import Route
+
+        base_model = RouteFidelityModel(link_fidelity=0.88)
+        purified_model = base_model.with_purification(link_target=0.95)
+        route = Route.from_nodes([0, 1, 2, 3])
+        assert purified_model.route_fidelity(route) > base_model.route_fidelity(route)
+        assert purified_model.link_fidelity >= 0.95
+
+    def test_with_purification_keeps_overrides(self):
+        from repro.network.graph import edge_key
+
+        model = RouteFidelityModel(
+            link_fidelity=0.9, per_edge_fidelity={edge_key(0, 1): 0.8}
+        ).with_purification(link_target=0.92)
+        assert model.edge_fidelity(edge_key(0, 1)) >= 0.8
+        assert model.edge_fidelity(edge_key(1, 2)) >= 0.92

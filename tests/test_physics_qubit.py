@@ -1,0 +1,95 @@
+"""Tests for repro.physics.qubit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.physics.qubit import BellPair, BellState, Qubit
+
+
+class TestQubit:
+    def test_normalisation(self):
+        qubit = Qubit(alpha=3.0, beta=4.0)
+        assert abs(qubit.alpha) ** 2 + abs(qubit.beta) ** 2 == pytest.approx(1.0)
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(ValueError):
+            Qubit(alpha=0.0, beta=0.0)
+
+    def test_basis_states(self):
+        assert Qubit.zero().probability_of_one() == 0.0
+        assert Qubit.one().probability_of_one() == 1.0
+        assert Qubit.plus().probability_of_one() == pytest.approx(0.5)
+
+    def test_from_bloch_poles(self):
+        assert Qubit.from_bloch(0.0, 0.0).fidelity_to(Qubit.zero()) == pytest.approx(1.0)
+        assert Qubit.from_bloch(math.pi, 0.0).fidelity_to(Qubit.one()) == pytest.approx(1.0)
+
+    def test_from_bloch_equator(self):
+        qubit = Qubit.from_bloch(math.pi / 2, 0.0)
+        assert qubit.probability_of_one() == pytest.approx(0.5)
+
+    def test_fidelity_to_self_is_one(self):
+        qubit = Qubit(alpha=0.6, beta=0.8j)
+        assert qubit.fidelity_to(qubit) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal_states(self):
+        assert Qubit.zero().fidelity_to(Qubit.one()) == pytest.approx(0.0)
+
+    def test_global_phase_invariance_of_fidelity(self):
+        a = Qubit(alpha=1.0, beta=1.0)
+        b = Qubit(alpha=-1.0, beta=-1.0)
+        assert a.fidelity_to(b) == pytest.approx(1.0)
+
+    def test_state_vector(self):
+        vector = Qubit.plus().state_vector()
+        assert np.allclose(np.abs(vector), [1 / math.sqrt(2)] * 2)
+
+
+class TestBellState:
+    def test_all_states_are_normalised(self):
+        for state in BellState:
+            vector = state.state_vector()
+            assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_states_are_orthogonal(self):
+        states = list(BellState)
+        for i, a in enumerate(states):
+            for b in states[i + 1:]:
+                overlap = np.vdot(a.state_vector(), b.state_vector())
+                assert abs(overlap) == pytest.approx(0.0, abs=1e-12)
+
+    def test_phi_plus_structure(self):
+        vector = BellState.PHI_PLUS.state_vector()
+        assert vector[0] == pytest.approx(vector[3])
+        assert vector[1] == vector[2] == 0
+
+
+class TestBellPair:
+    def test_requires_distinct_nodes(self):
+        with pytest.raises(ValueError):
+            BellPair(node_a="alice", node_b="alice")
+
+    def test_fidelity_bounds(self):
+        with pytest.raises(ValueError):
+            BellPair(node_a="a", node_b="b", fidelity=1.5)
+
+    def test_nodes_and_other_end(self):
+        pair = BellPair(node_a="alice", node_b="bob")
+        assert pair.nodes == ("alice", "bob")
+        assert pair.involves("alice") and pair.involves("bob")
+        assert not pair.involves("carol")
+        assert pair.other_end("alice") == "bob"
+        with pytest.raises(ValueError):
+            pair.other_end("carol")
+
+    def test_with_fidelity(self):
+        pair = BellPair(node_a="a", node_b="b", fidelity=0.9)
+        updated = pair.with_fidelity(0.7)
+        assert updated.fidelity == 0.7
+        assert pair.fidelity == 0.9  # original unchanged
+
+    def test_usability_threshold(self):
+        assert BellPair(node_a="a", node_b="b", fidelity=0.9).is_usable()
+        assert not BellPair(node_a="a", node_b="b", fidelity=0.4).is_usable()

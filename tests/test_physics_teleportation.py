@@ -1,0 +1,79 @@
+"""Tests for repro.physics.teleportation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.physics.qubit import BellPair, BellState, Qubit
+from repro.physics.teleportation import (
+    teleport,
+    teleportation_fidelity_with_noisy_pair,
+)
+
+
+def random_qubit(rng) -> Qubit:
+    theta = float(rng.uniform(0, math.pi))
+    phi = float(rng.uniform(0, 2 * math.pi))
+    return Qubit.from_bloch(theta, phi)
+
+
+class TestTeleport:
+    def test_basis_states_arrive_intact(self, rng):
+        pair = BellPair(node_a="alice", node_b="bob")
+        for data in (Qubit.zero(), Qubit.one(), Qubit.plus()):
+            outcome = teleport(data, pair, seed=rng)
+            assert outcome.fidelity == pytest.approx(1.0)
+            assert outcome.succeeded
+
+    def test_random_states_arrive_intact(self, rng):
+        pair = BellPair(node_a="alice", node_b="bob")
+        for _ in range(20):
+            data = random_qubit(rng)
+            outcome = teleport(data, pair, seed=rng)
+            assert outcome.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_all_bell_states_work(self, rng):
+        """The Pauli correction is specific to the shared Bell state."""
+        data = random_qubit(rng)
+        for bell_state in BellState:
+            pair = BellPair(node_a="alice", node_b="bob", bell_state=bell_state)
+            for _ in range(8):
+                outcome = teleport(data, pair, seed=rng)
+                assert outcome.fidelity == pytest.approx(1.0, abs=1e-9), bell_state
+
+    def test_all_four_measurement_outcomes_occur(self):
+        rng = np.random.default_rng(11)
+        pair = BellPair(node_a="alice", node_b="bob")
+        outcomes = {
+            teleport(Qubit.plus(), pair, seed=rng).classical_bits for _ in range(200)
+        }
+        assert outcomes == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_classical_bits_are_bits(self, rng):
+        pair = BellPair(node_a="alice", node_b="bob")
+        outcome = teleport(Qubit.one(), pair, seed=rng)
+        assert all(bit in (0, 1) for bit in outcome.classical_bits)
+
+    def test_received_state_is_normalised(self, rng):
+        pair = BellPair(node_a="alice", node_b="bob")
+        outcome = teleport(random_qubit(rng), pair, seed=rng)
+        vector = outcome.received.state_vector()
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+
+class TestNoisyTeleportationFidelity:
+    def test_perfect_pair(self):
+        assert teleportation_fidelity_with_noisy_pair(1.0) == pytest.approx(1.0)
+
+    def test_mixed_pair_gives_classical_limit(self):
+        # F_pair = 1/4 gives the classical teleportation fidelity of 1/2.
+        assert teleportation_fidelity_with_noisy_pair(0.25) == pytest.approx(0.5)
+
+    def test_monotone_in_pair_fidelity(self):
+        values = [teleportation_fidelity_with_noisy_pair(f) for f in (0.25, 0.5, 0.75, 1.0)]
+        assert values == sorted(values)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            teleportation_fidelity_with_noisy_pair(1.2)

@@ -1,0 +1,159 @@
+"""Tests for repro.experiments.plots and repro.analysis.convergence, plus the
+diurnal request process added to the workload layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    analyse_trace,
+    compare_runs,
+    improvement_curve,
+    iterations_to_reach,
+)
+from repro.experiments.plots import histogram_chart, line_chart, sparkline
+from repro.solvers.gibbs import GibbsResult, GibbsSampler
+from repro.workload.requests import DiurnalRequestProcess
+
+from conftest import make_line_graph
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_resamples_long_series(self):
+        assert len(sparkline(list(range(500)), width=50)) == 50
+
+    def test_constant_series(self):
+        line = sparkline([2.0, 2.0, 2.0])
+        assert len(set(line)) == 1
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_uses_increasing_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁" and line[-1] == "█"
+
+
+class TestLineChart:
+    def test_contains_legend_and_axis(self):
+        chart = line_chart({"OSCAR": [1, 2, 3], "MF": [3, 2, 1]}, title="T")
+        assert "T" in chart
+        assert "o=OSCAR" in chart and "x=MF" in chart
+        assert "+" + "-" * 10 in chart  # part of the x-axis
+
+    def test_height_respected(self):
+        chart = line_chart({"a": [0, 1, 2]}, height=6, title="")
+        # 6 grid rows + axis + legend
+        assert len(chart.splitlines()) == 8
+
+    def test_empty_series_map(self):
+        assert line_chart({}, title="nothing") == "nothing"
+
+    def test_constant_series_handled(self):
+        chart = line_chart({"a": [1.0, 1.0, 1.0]})
+        assert "o" in chart
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1]}, height=0)
+
+
+class TestHistogramChart:
+    def test_rows_per_bin_and_series(self):
+        chart = histogram_chart(
+            [0.0, 0.5, 1.0], {"OSCAR": [0.2, 0.8], "MF": [0.5, 0.5]}
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 4  # 2 bins x 2 series
+        assert any("OSCAR" in line for line in lines)
+
+    def test_bar_lengths_scale_with_value(self):
+        chart = histogram_chart([0.0, 0.5, 1.0], {"a": [0.1, 1.0]})
+        lines = chart.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_all_zero_histogram(self):
+        chart = histogram_chart([0.0, 1.0], {"a": [0.0]})
+        assert "#" not in chart
+
+
+class TestConvergence:
+    def run_sampler(self, **kwargs):
+        target = (2, 1, 0)
+
+        def objective(assignment):
+            return -float(sum((a - b) ** 2 for a, b in zip(assignment, target)))
+
+        sampler = GibbsSampler(gamma=0.5, iterations=200, track_trace=True, **kwargs)
+        return sampler.optimise([3, 3, 3], objective, seed=3)
+
+    def test_analyse_trace_fields(self):
+        report = analyse_trace(self.run_sampler())
+        assert report.iterations == 200
+        assert report.first_hit_iteration is not None
+        assert 0.0 <= report.acceptance_rate <= 1.0
+        assert 0.0 < report.tail_fraction_at_best <= 1.0
+        assert report.improvement >= 0.0
+
+    def test_analyse_trace_requires_trace(self):
+        result = GibbsResult(
+            best_assignment=(0,), best_objective=1.0, final_assignment=(0,),
+            final_objective=1.0, iterations=5, acceptance_count=1, objective_trace=(),
+        )
+        with pytest.raises(ValueError):
+            analyse_trace(result)
+
+    def test_improvement_curve_is_monotone(self):
+        curve = improvement_curve(self.run_sampler())
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == pytest.approx(self.run_sampler().best_objective)
+
+    def test_iterations_to_reach(self):
+        result = self.run_sampler()
+        assert iterations_to_reach(result, result.best_objective) is not None
+        assert iterations_to_reach(result, result.best_objective + 1.0) is None
+
+    def test_compare_runs_structure(self):
+        comparison = compare_runs(self.run_sampler(), self.run_sampler())
+        assert set(comparison.keys()) >= {
+            "objective_difference",
+            "baseline_first_hit",
+            "candidate_first_hit",
+            "candidate_faster",
+        }
+        assert comparison["objective_difference"] == pytest.approx(0.0)
+
+
+class TestDiurnalRequestProcess:
+    def test_rate_oscillates_between_bounds(self):
+        process = DiurnalRequestProcess(period=10, min_rate=1.0, max_rate=5.0)
+        rates = [process.expected_rate(t) for t in range(10)]
+        assert min(rates) == pytest.approx(1.0, abs=1e-9)
+        assert max(rates) == pytest.approx(5.0, abs=1e-6)
+
+    def test_rate_is_periodic(self):
+        process = DiurnalRequestProcess(period=8, min_rate=0.5, max_rate=3.0)
+        assert process.expected_rate(3) == pytest.approx(process.expected_rate(11))
+
+    def test_sampling_respects_truncation(self):
+        graph = make_line_graph(num_nodes=5)
+        rng = np.random.default_rng(1)
+        process = DiurnalRequestProcess(period=6, min_rate=4.0, max_rate=10.0, max_pairs=5)
+        for t in range(30):
+            assert len(process.sample(t, graph, rng)) <= 5
+
+    def test_busy_phase_has_more_requests_on_average(self):
+        graph = make_line_graph(num_nodes=6)
+        rng = np.random.default_rng(2)
+        process = DiurnalRequestProcess(period=20, min_rate=0.5, max_rate=5.0, max_pairs=20)
+        quiet = [len(process.sample(0 + 20 * k, graph, rng)) for k in range(100)]
+        busy = [len(process.sample(10 + 20 * k, graph, rng)) for k in range(100)]
+        assert np.mean(busy) > np.mean(quiet)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalRequestProcess(period=0)
+        with pytest.raises(ValueError):
+            DiurnalRequestProcess(min_rate=3.0, max_rate=1.0)

@@ -1,0 +1,125 @@
+"""Tests for topology and workload-trace serialisation (network.io, workload.io)."""
+
+import json
+
+import pytest
+
+from repro.network.graph import edge_key
+from repro.network.io import (
+    graph_from_dict,
+    graph_to_dict,
+    graphs_equal,
+    load_graph,
+    save_graph,
+)
+from repro.network.topology import waxman_topology
+from repro.workload.io import load_trace, save_trace, trace_from_dict, trace_to_dict
+from repro.workload.requests import UniformRequestProcess
+from repro.workload.traces import generate_trace
+
+from conftest import make_line_graph
+
+
+class TestGraphSerialization:
+    def test_dict_round_trip(self, small_waxman):
+        rebuilt = graph_from_dict(graph_to_dict(small_waxman))
+        assert graphs_equal(small_waxman, rebuilt)
+
+    def test_file_round_trip(self, small_waxman, tmp_path):
+        path = save_graph(small_waxman, tmp_path / "nets" / "topology.json")
+        assert path.exists()
+        rebuilt = load_graph(path)
+        assert graphs_equal(small_waxman, rebuilt)
+
+    def test_preserves_capacities_and_physics(self, line_graph):
+        rebuilt = graph_from_dict(graph_to_dict(line_graph))
+        assert rebuilt.qubit_capacity(0) == line_graph.qubit_capacity(0)
+        key = edge_key(0, 1)
+        assert rebuilt.channel_capacity(key) == line_graph.channel_capacity(key)
+        assert rebuilt.attempt_success(key) == line_graph.attempt_success(key)
+        assert rebuilt.attempts_per_slot == line_graph.attempts_per_slot
+        assert rebuilt.slot_success(key) == pytest.approx(line_graph.slot_success(key))
+
+    def test_preserves_positions(self, small_waxman):
+        rebuilt = graph_from_dict(graph_to_dict(small_waxman))
+        for node in small_waxman.nodes:
+            assert rebuilt.node(node).position == pytest.approx(small_waxman.node(node).position)
+
+    def test_json_file_is_plain_data(self, line_graph, tmp_path):
+        path = save_graph(line_graph, tmp_path / "topology.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-qdn-topology"
+        assert len(payload["nodes"]) == 4
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, line_graph):
+        payload = graph_to_dict(line_graph)
+        payload["version"] = 99
+        with pytest.raises(ValueError):
+            graph_from_dict(payload)
+
+    def test_graphs_equal_detects_differences(self, line_graph):
+        other = make_line_graph(num_nodes=4, qubits=5)
+        assert not graphs_equal(line_graph, other)
+        assert graphs_equal(line_graph, line_graph)
+
+
+class TestTraceSerialization:
+    @pytest.fixture
+    def trace(self, small_waxman):
+        return generate_trace(
+            small_waxman,
+            horizon=6,
+            request_process=UniformRequestProcess(min_pairs=1, max_pairs=3),
+            seed=9,
+        )
+
+    def test_dict_round_trip_preserves_slots(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.horizon == trace.horizon
+        for original, copy in zip(trace.slots, rebuilt.slots):
+            assert copy.t == original.t
+            assert copy.requests == original.requests
+            assert dict(copy.snapshot.qubits) == dict(original.snapshot.qubits)
+            assert dict(copy.snapshot.channels) == dict(original.snapshot.channels)
+
+    def test_dict_round_trip_preserves_candidate_routes(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert set(rebuilt.candidate_routes.keys()) == set(trace.candidate_routes.keys())
+        for endpoints, routes in trace.candidate_routes.items():
+            assert rebuilt.candidate_routes[endpoints] == routes
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "traces" / "trace.json")
+        rebuilt = load_trace(path)
+        assert rebuilt.total_requests() == trace.total_requests()
+        assert rebuilt.max_route_hops() == trace.max_route_hops()
+
+    def test_replay_gives_identical_simulation(self, small_waxman, trace, tmp_path):
+        """A policy run on the reloaded trace reproduces the original run exactly."""
+        from repro.core.baselines import MyopicFixedPolicy
+        from repro.simulation.engine import SlottedSimulator
+
+        path = save_trace(trace, tmp_path / "trace.json")
+        reloaded = load_trace(path)
+
+        def run(workload):
+            policy = MyopicFixedPolicy(
+                total_budget=150.0, horizon=workload.horizon, gamma=10.0, gibbs_iterations=10
+            )
+            simulator = SlottedSimulator(
+                graph=small_waxman, trace=workload, total_budget=150.0, realize=False
+            )
+            return simulator.run(policy, seed=5)
+
+        original = run(trace)
+        replayed = run(reloaded)
+        assert original.per_slot_costs() == replayed.per_slot_costs()
+        assert original.average_utility() == pytest.approx(replayed.average_utility())
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_dict({"format": "other"})

@@ -1,0 +1,127 @@
+"""Tests for repro.simulation.clock and repro.simulation.events."""
+
+import pytest
+
+from repro.network.channels import ATTEMPT_DURATION_S, DECOHERENCE_TIME_S
+from repro.simulation.clock import SlotClock
+from repro.simulation.events import EventDrivenSimulator, EventQueue
+
+
+class TestSlotClock:
+    def test_slot_duration(self):
+        clock = SlotClock(attempts_per_slot=4000)
+        assert clock.slot_duration == pytest.approx(4000 * ATTEMPT_DURATION_S)
+
+    def test_slot_boundaries(self):
+        clock = SlotClock(attempts_per_slot=100, attempt_duration=0.01)
+        assert clock.slot_start(0) == 0.0
+        assert clock.slot_start(3) == pytest.approx(3.0)
+        assert clock.slot_end(0) == pytest.approx(1.0)
+
+    def test_attempt_time(self):
+        clock = SlotClock(attempts_per_slot=100, attempt_duration=0.01)
+        assert clock.attempt_time(2, 50) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            clock.attempt_time(0, 101)
+
+    def test_slot_of_time(self):
+        clock = SlotClock(attempts_per_slot=100, attempt_duration=0.01)
+        assert clock.slot_of_time(0.5) == 0
+        assert clock.slot_of_time(1.5) == 1
+
+    def test_guard_time_extends_slot(self):
+        clock = SlotClock(attempts_per_slot=100, attempt_duration=0.01, guard_time=0.5)
+        assert clock.slot_duration == pytest.approx(1.5)
+
+    def test_paper_slot_fits_decoherence(self):
+        assert SlotClock(attempts_per_slot=4000).fits_within_decoherence(DECOHERENCE_TIME_S)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            SlotClock().slot_start(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SlotClock(attempts_per_slot=0)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(3.0, name="late")
+        queue.push(1.0, name="early")
+        queue.push(2.0, name="middle")
+        assert [queue.pop().name for _ in range(3)] == ["early", "middle", "late"]
+
+    def test_fifo_tie_breaking(self):
+        queue = EventQueue()
+        queue.push(1.0, name="first")
+        queue.push(1.0, name="second")
+        assert queue.pop().name == "first"
+        assert queue.pop().name == "second"
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(1.0, name="only")
+        assert queue.peek().name == "only"
+        assert len(queue) == 1
+
+    def test_empty_peek(self):
+        assert EventQueue().peek() is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0)
+
+
+class TestEventDrivenSimulator:
+    def test_callbacks_run_in_order(self):
+        simulator = EventDrivenSimulator()
+        order = []
+        simulator.schedule(2.0, name="b", callback=lambda s, e: order.append(e.name))
+        simulator.schedule(1.0, name="a", callback=lambda s, e: order.append(e.name))
+        processed = simulator.run()
+        assert processed == 2
+        assert order == ["a", "b"]
+        assert simulator.now == pytest.approx(2.0)
+
+    def test_callbacks_can_schedule_followups(self):
+        simulator = EventDrivenSimulator()
+        seen = []
+
+        def relay(sim, event):
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.schedule(1.0, name="relay", callback=relay)
+
+        simulator.schedule(1.0, name="relay", callback=relay)
+        simulator.run()
+        assert seen == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_run_until(self):
+        simulator = EventDrivenSimulator()
+        fired = []
+        for t in (1.0, 2.0, 5.0):
+            simulator.schedule(t, callback=lambda s, e: fired.append(e.time))
+        simulator.run(until=3.0)
+        assert fired == [1.0, 2.0]
+        assert len(simulator.queue) == 1
+
+    def test_run_max_events(self):
+        simulator = EventDrivenSimulator()
+        for t in range(5):
+            simulator.schedule(float(t + 1))
+        assert simulator.run(max_events=3) == 3
+        assert simulator.events_processed == 3
+
+    def test_cannot_schedule_in_past(self):
+        simulator = EventDrivenSimulator()
+        simulator.schedule(1.0, callback=None)
+        simulator.run()
+        with pytest.raises(ValueError):
+            simulator.schedule_at(0.5)
+
+    def test_run_until_advances_clock_when_idle(self):
+        simulator = EventDrivenSimulator()
+        simulator.run(until=4.0)
+        assert simulator.now == pytest.approx(4.0)

@@ -1,0 +1,123 @@
+"""Tests for repro.simulation.engine (the slotted simulator)."""
+
+import pytest
+
+from repro.core.baselines import MyopicFixedPolicy, ShortestRouteUniformPolicy
+from repro.core.oscar import OscarPolicy
+from repro.simulation.engine import SlottedSimulator, simulate_policies
+from repro.workload.requests import UniformRequestProcess
+from repro.workload.traces import generate_trace
+
+from conftest import make_line_graph
+
+
+@pytest.fixture
+def small_setup():
+    graph = make_line_graph(num_nodes=5, qubits=16, channels=8)
+    trace = generate_trace(
+        graph,
+        horizon=6,
+        request_process=UniformRequestProcess(min_pairs=1, max_pairs=2),
+        seed=3,
+    )
+    return graph, trace
+
+
+def make_oscar(horizon=6, budget=60.0):
+    return OscarPolicy(
+        total_budget=budget,
+        horizon=horizon,
+        trade_off_v=100.0,
+        initial_queue=2.0,
+        gamma=10.0,
+        gibbs_iterations=10,
+    )
+
+
+class TestSlottedSimulator:
+    def test_runs_full_horizon(self, small_setup):
+        graph, trace = small_setup
+        simulator = SlottedSimulator(graph=graph, trace=trace, total_budget=60.0)
+        result = simulator.run(make_oscar(), seed=1)
+        assert result.horizon == 6
+        assert len(result.records) == 6
+        assert result.policy_name == "OSCAR"
+
+    def test_records_costs_and_probabilities(self, small_setup):
+        graph, trace = small_setup
+        simulator = SlottedSimulator(graph=graph, trace=trace, total_budget=60.0)
+        result = simulator.run(make_oscar(), seed=1)
+        for record, slot in zip(result.records, trace.slots):
+            assert record.num_requests == slot.num_requests
+            assert record.num_served <= record.num_requests
+            assert len(record.success_probabilities) == record.num_served
+            assert all(0.0 <= p <= 1.0 for p in record.success_probabilities)
+            assert record.cost >= record.num_served  # at least one channel per served route
+
+    def test_realization_lengths(self, small_setup):
+        graph, trace = small_setup
+        simulator = SlottedSimulator(graph=graph, trace=trace, realize=True)
+        result = simulator.run(make_oscar(), seed=2)
+        for record in result.records:
+            assert len(record.realized_successes) == record.num_requests
+
+    def test_realize_false_skips_monte_carlo(self, small_setup):
+        graph, trace = small_setup
+        simulator = SlottedSimulator(graph=graph, trace=trace, realize=False)
+        result = simulator.run(make_oscar(), seed=2)
+        assert all(record.realized_successes == () for record in result.records)
+
+    def test_queue_length_recorded_for_oscar(self, small_setup):
+        graph, trace = small_setup
+        simulator = SlottedSimulator(graph=graph, trace=trace)
+        result = simulator.run(make_oscar(), seed=1)
+        assert all(record.queue_length is not None for record in result.records)
+
+    def test_queue_length_absent_for_baseline(self, small_setup):
+        graph, trace = small_setup
+        simulator = SlottedSimulator(graph=graph, trace=trace)
+        policy = MyopicFixedPolicy(total_budget=60.0, horizon=6, gamma=10.0, gibbs_iterations=10)
+        result = simulator.run(policy, seed=1)
+        assert all(record.queue_length is None for record in result.records)
+
+    def test_deterministic_given_seed(self, small_setup):
+        graph, trace = small_setup
+        simulator = SlottedSimulator(graph=graph, trace=trace)
+        a = simulator.run(make_oscar(), seed=9)
+        b = simulator.run(make_oscar(), seed=9)
+        assert a.per_slot_costs() == b.per_slot_costs()
+        assert a.average_success_rate() == pytest.approx(b.average_success_rate())
+
+    def test_diagnostics_attached(self, small_setup):
+        graph, trace = small_setup
+        simulator = SlottedSimulator(graph=graph, trace=trace)
+        result = simulator.run(make_oscar(), seed=1)
+        assert "queue_history" in result.diagnostics
+
+
+class TestSimulatePolicies:
+    def test_all_policies_run_on_identical_trace(self, small_setup):
+        graph, trace = small_setup
+        policies = [
+            make_oscar(),
+            MyopicFixedPolicy(total_budget=60.0, horizon=6, gamma=10.0, gibbs_iterations=10),
+            ShortestRouteUniformPolicy(total_budget=60.0, horizon=6),
+        ]
+        results = simulate_policies(graph, trace, policies, total_budget=60.0, seed=4)
+        assert set(results.keys()) == {"OSCAR", "MF", "ShortestUniform"}
+        request_counts = [
+            [record.num_requests for record in result.records] for result in results.values()
+        ]
+        assert request_counts[0] == request_counts[1] == request_counts[2]
+
+    def test_optimising_policies_beat_naive_heuristic(self, small_setup):
+        """OSCAR and MF (which optimise allocation) should not lose to the naive policy."""
+        graph, trace = small_setup
+        policies = [
+            make_oscar(budget=120.0),
+            ShortestRouteUniformPolicy(total_budget=120.0, horizon=6),
+        ]
+        results = simulate_policies(graph, trace, policies, total_budget=120.0, seed=5)
+        assert results["OSCAR"].average_success_rate() >= (
+            results["ShortestUniform"].average_success_rate() - 0.02
+        )

@@ -1,0 +1,206 @@
+"""Tests for repro.solvers.relaxed — the continuous-relaxation solvers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.allocation_problem import (
+    AllocationProblem,
+    AllocationVariable,
+    CapacityConstraint,
+    build_allocation_problem,
+)
+from repro.solvers.relaxed import (
+    DualDecompositionSolver,
+    SLSQPSolver,
+    _closed_form_best_response,
+)
+
+
+def single_constraint_problem(successes, capacity, utility_weight=1.0, cost_weight=0.0):
+    """All variables share a single capacity constraint."""
+    return build_allocation_problem(
+        entries=[(f"v{i}", p) for i, p in enumerate(successes)],
+        node_groups={"cap": (list(range(len(successes))), capacity)},
+        utility_weight=utility_weight,
+        cost_weight=cost_weight,
+    )
+
+
+class TestClosedFormBestResponse:
+    def test_zero_price_takes_upper_bound(self):
+        x = _closed_form_best_response(
+            np.array([0.0]), np.array([0.5]), 1.0, np.array([1.0]), np.array([7.0])
+        )
+        assert x[0] == pytest.approx(7.0)
+
+    def test_high_price_takes_lower_bound(self):
+        x = _closed_form_best_response(
+            np.array([1e9]), np.array([0.5]), 1.0, np.array([1.0]), np.array([7.0])
+        )
+        assert x[0] == pytest.approx(1.0)
+
+    def test_stationary_point_is_interior_optimum(self):
+        """The returned value maximises V log(1-(1-p)^x) - price x."""
+        price, p, v = 0.2, 0.5, 1.0
+        x = _closed_form_best_response(
+            np.array([price]), np.array([p]), v, np.array([1.0]), np.array([50.0])
+        )[0]
+
+        def objective(value):
+            return v * math.log(1 - (1 - p) ** value) - price * value
+
+        assert objective(x) >= objective(x + 0.01) - 1e-12
+        assert objective(x) >= objective(x - 0.01) - 1e-12
+
+    def test_degenerate_probability_one(self):
+        x = _closed_form_best_response(
+            np.array([0.5]), np.array([1.0]), 1.0, np.array([1.0]), np.array([5.0])
+        )
+        assert x[0] == pytest.approx(1.0)
+
+    @given(
+        price=st.floats(0.001, 10.0),
+        p=st.floats(0.05, 0.95),
+        v=st.floats(0.5, 3000.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_within_bounds(self, price, p, v):
+        x = _closed_form_best_response(
+            np.array([price]), np.array([p]), v, np.array([1.0]), np.array([9.0])
+        )[0]
+        assert 1.0 - 1e-9 <= x <= 9.0 + 1e-9
+
+
+class TestDualDecompositionSolver:
+    def test_symmetric_problem_splits_evenly(self):
+        problem = single_constraint_problem([0.5, 0.5], capacity=6.0)
+        solution = DualDecompositionSolver().solve(problem)
+        assert solution.feasible
+        assert solution.values[0] == pytest.approx(solution.values[1], abs=0.1)
+        assert sum(solution.values) == pytest.approx(6.0, abs=0.05)
+
+    def test_uses_whole_capacity_when_cost_free(self):
+        problem = single_constraint_problem([0.4, 0.6, 0.5], capacity=9.0)
+        solution = DualDecompositionSolver().solve(problem)
+        assert sum(solution.values) == pytest.approx(9.0, abs=0.1)
+
+    def test_positive_cost_weight_reduces_spending(self):
+        free = single_constraint_problem([0.5, 0.5], capacity=20.0, utility_weight=1.0, cost_weight=0.0)
+        priced = single_constraint_problem([0.5, 0.5], capacity=20.0, utility_weight=1.0, cost_weight=0.3)
+        spend_free = sum(DualDecompositionSolver().solve(free).values)
+        spend_priced = sum(DualDecompositionSolver().solve(priced).values)
+        assert spend_priced < spend_free
+
+    def test_interior_price_solution_matches_closed_form(self):
+        """Without binding constraints the optimum is the per-variable stationary point."""
+        problem = build_allocation_problem(
+            entries=[("a", 0.5)],
+            node_groups={"cap": ([0], 100.0)},
+            utility_weight=1.0,
+            cost_weight=0.2,
+        )
+        solution = DualDecompositionSolver().solve(problem)
+        expected = _closed_form_best_response(
+            np.array([0.2]), np.array([0.5]), 1.0, np.array([1.0]), np.array([99.0])
+        )[0]
+        assert solution.values[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_infeasible_lower_bound_reported(self):
+        problem = single_constraint_problem([0.5, 0.5, 0.5], capacity=2.0)
+        solution = DualDecompositionSolver().solve(problem)
+        assert not solution.feasible
+
+    def test_empty_problem(self):
+        problem = AllocationProblem(variables=[], constraints=[])
+        solution = DualDecompositionSolver().solve(problem)
+        assert solution.values == ()
+        assert solution.feasible
+
+    def test_no_constraints_uses_upper_bounds(self):
+        problem = AllocationProblem(
+            variables=[AllocationVariable(key="a", slot_success=0.5, upper=4.0)],
+            constraints=[],
+        )
+        solution = DualDecompositionSolver().solve(problem)
+        assert solution.values[0] == pytest.approx(4.0)
+
+    def test_solution_always_feasible_on_feasible_instances(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(2, 6))
+            successes = rng.uniform(0.2, 0.8, size=n)
+            capacity = float(rng.uniform(n, 3 * n))
+            problem = single_constraint_problem(list(successes), capacity, cost_weight=float(rng.uniform(0, 0.5)))
+            solution = DualDecompositionSolver().solve(problem)
+            assert solution.feasible
+            assert problem.is_feasible(solution.values, tolerance=1e-6)
+
+
+class TestSolverAgreement:
+    """The dual solver must agree with the scipy SLSQP reference."""
+
+    def _random_problem(self, rng, with_cost=True):
+        num_vars = int(rng.integers(2, 7))
+        successes = rng.uniform(0.25, 0.75, size=num_vars)
+        entries = [(f"v{i}", float(p)) for i, p in enumerate(successes)]
+        groups = {}
+        # A few overlapping constraints, always loose enough to be feasible.
+        num_groups = int(rng.integers(1, 4))
+        for g in range(num_groups):
+            size = int(rng.integers(2, num_vars + 1))
+            members = sorted(rng.choice(num_vars, size=size, replace=False).tolist())
+            capacity = float(rng.uniform(len(members) + 1, 3 * len(members) + 2))
+            groups[f"c{g}"] = (members, capacity)
+        cost_weight = float(rng.uniform(0.05, 1.0)) if with_cost else 0.0
+        return build_allocation_problem(
+            entries, groups, utility_weight=float(rng.uniform(1.0, 5.0)), cost_weight=cost_weight
+        )
+
+    def test_objective_close_to_slsqp(self, rng):
+        dual = DualDecompositionSolver()
+        slsqp = SLSQPSolver()
+        for _ in range(12):
+            problem = self._random_problem(rng)
+            a = dual.solve(problem)
+            b = slsqp.solve(problem)
+            if not (a.feasible and b.feasible):
+                continue
+            reference = max(abs(b.objective), 1e-6)
+            assert a.objective >= b.objective - 0.02 * reference - 1e-6
+
+    def test_large_v_problems_agree(self, rng):
+        """OSCAR-style weights (V=2500, q in the tens) must not break the solver."""
+        dual = DualDecompositionSolver()
+        slsqp = SLSQPSolver()
+        for _ in range(5):
+            num_vars = 4
+            successes = rng.uniform(0.4, 0.6, size=num_vars)
+            problem = build_allocation_problem(
+                [(f"v{i}", float(p)) for i, p in enumerate(successes)],
+                {"cap": (list(range(num_vars)), 14.0)},
+                utility_weight=2500.0,
+                cost_weight=float(rng.uniform(0.0, 50.0)),
+            )
+            a = dual.solve(problem)
+            b = slsqp.solve(problem)
+            reference = max(abs(b.objective), 1e-6)
+            assert a.objective >= b.objective - 0.02 * reference
+
+
+class TestSLSQPSolver:
+    def test_feasible_output(self):
+        problem = single_constraint_problem([0.5, 0.6], capacity=5.0, cost_weight=0.1)
+        solution = SLSQPSolver().solve(problem)
+        assert solution.feasible
+        assert problem.is_feasible(solution.values)
+
+    def test_empty_problem(self):
+        problem = AllocationProblem(variables=[], constraints=[])
+        assert SLSQPSolver().solve(problem).values == ()
+
+    def test_infeasible_lower_bound_reported(self):
+        problem = single_constraint_problem([0.5, 0.5, 0.5], capacity=2.0)
+        assert not SLSQPSolver().solve(problem).feasible

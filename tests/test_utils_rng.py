@@ -1,0 +1,101 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    choice_index,
+    derive_seed,
+    hash_string,
+    spawn_rngs,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_existing_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert as_generator(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(9)
+        assert isinstance(as_generator(sequence), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(3, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(3, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(3, -1)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(7, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_deterministic_given_seed(self):
+        first = [g.random(3).tolist() for g in spawn_rngs(11, 2)]
+        second = [g.random(3).tolist() for g in spawn_rngs(11, 2)]
+        assert first == second
+
+    def test_spawning_from_generator(self):
+        parent = np.random.default_rng(5)
+        children = spawn_rngs(parent, 3)
+        assert len(children) == 3
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "fig3", 0) == derive_seed(1, "fig3", 0)
+
+    def test_different_labels_differ(self):
+        assert derive_seed(1, "fig3", 0) != derive_seed(1, "fig4", 0)
+
+    def test_different_trials_differ(self):
+        assert derive_seed(1, "fig3", 0) != derive_seed(1, "fig3", 1)
+
+    def test_none_base_seed_allowed(self):
+        assert isinstance(derive_seed(None, "x"), int)
+
+
+class TestHashString:
+    def test_deterministic(self):
+        assert hash_string("alpha") == hash_string("alpha")
+
+    def test_different_inputs_differ(self):
+        assert hash_string("alpha") != hash_string("beta")
+
+    def test_returns_non_negative(self):
+        assert hash_string("anything") >= 0
+
+
+class TestChoiceIndex:
+    def test_respects_zero_weights(self, rng):
+        # Only index 2 has weight, so it must always be chosen.
+        assert all(choice_index(rng, [0, 0, 1.0]) == 2 for _ in range(10))
+
+    def test_uniform_fallback_for_all_zero(self, rng):
+        values = {choice_index(rng, [0.0, 0.0, 0.0]) for _ in range(50)}
+        assert values <= {0, 1, 2}
+        assert len(values) > 1
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            choice_index(rng, [])
+
+    def test_negative_weight_rejected(self, rng):
+        with pytest.raises(ValueError):
+            choice_index(rng, [0.5, -0.1])

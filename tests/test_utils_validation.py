@@ -1,0 +1,91 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        check_type(3, int, "value")
+
+    def test_accepts_tuple_of_types(self):
+        check_type(3.5, (int, float), "value")
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(TypeError, match="value"):
+            check_type("x", int, "value")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(0.1, "value")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "value")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1, "value")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative(0, "value")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.001, "value")
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        check_probability(0.0, "p")
+        check_probability(1.0, "p")
+        check_probability(0.5, "p")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+    def test_open_interval_flags(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, "p", allow_zero=False)
+        with pytest.raises(ValueError):
+            check_probability(1.0, "p", allow_one=False)
+
+
+class TestCheckInRange:
+    def test_accepts_inside(self):
+        check_in_range(0.5, 0, 1, "value")
+
+    def test_accepts_boundaries(self):
+        check_in_range(0, 0, 1, "value")
+        check_in_range(1, 0, 1, "value")
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.01, 0, 1, "value")
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        check_integer(5, "value")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_integer(True, "value")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer(5.0, "value")

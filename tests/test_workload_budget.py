@@ -1,0 +1,97 @@
+"""Tests for repro.workload.budget."""
+
+import pytest
+
+from repro.workload.budget import (
+    BudgetTracker,
+    adaptive_budget_share,
+    per_slot_budget_share,
+)
+
+
+class TestShareFunctions:
+    def test_fixed_share_is_c_over_t(self):
+        assert per_slot_budget_share(5000.0, 200) == pytest.approx(25.0)
+
+    def test_fixed_share_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            per_slot_budget_share(100.0, 0)
+
+    def test_adaptive_share_initial_slot_equals_fixed(self):
+        assert adaptive_budget_share(5000.0, 0.0, 0, 200) == pytest.approx(25.0)
+
+    def test_adaptive_share_redistributes_savings(self):
+        # Spent nothing in the first 100 slots: remaining 5000 over 100 slots.
+        assert adaptive_budget_share(5000.0, 0.0, 100, 200) == pytest.approx(50.0)
+
+    def test_adaptive_share_shrinks_after_overspending(self):
+        assert adaptive_budget_share(100.0, 90.0, 5, 10) == pytest.approx(2.0)
+
+    def test_adaptive_share_never_negative(self):
+        assert adaptive_budget_share(100.0, 150.0, 5, 10) == 0.0
+
+    def test_adaptive_share_slot_bounds(self):
+        with pytest.raises(ValueError):
+            adaptive_budget_share(100.0, 0.0, 10, 10)
+
+
+class TestBudgetTracker:
+    def test_basic_accounting(self):
+        tracker = BudgetTracker(total_budget=100.0, horizon=4)
+        tracker.record(10)
+        tracker.record(30)
+        assert tracker.spent == 40
+        assert tracker.remaining == 60
+        assert tracker.slots_recorded == 2
+        assert tracker.per_slot_costs == [10.0, 30.0]
+        assert tracker.cumulative_costs() == [10.0, 40.0]
+        assert tracker.average_per_slot_cost == 20.0
+
+    def test_violation_and_utilisation(self):
+        tracker = BudgetTracker(total_budget=50.0, horizon=2)
+        tracker.record(30)
+        tracker.record(40)
+        assert tracker.violation() == pytest.approx(20.0)
+        assert tracker.utilisation() == pytest.approx(70.0 / 50.0)
+
+    def test_no_violation_when_under_budget(self):
+        tracker = BudgetTracker(total_budget=50.0, horizon=2)
+        tracker.record(10)
+        assert tracker.violation() == 0.0
+
+    def test_cannot_record_beyond_horizon(self):
+        tracker = BudgetTracker(total_budget=10.0, horizon=1)
+        tracker.record(1)
+        with pytest.raises(RuntimeError):
+            tracker.record(1)
+
+    def test_negative_cost_rejected(self):
+        tracker = BudgetTracker(total_budget=10.0, horizon=2)
+        with pytest.raises(ValueError):
+            tracker.record(-1)
+
+    def test_reset(self):
+        tracker = BudgetTracker(total_budget=10.0, horizon=2)
+        tracker.record(5)
+        tracker.reset()
+        assert tracker.spent == 0.0
+        assert tracker.slots_recorded == 0
+
+    def test_fixed_and_adaptive_shares(self):
+        tracker = BudgetTracker(total_budget=100.0, horizon=10)
+        assert tracker.fixed_share() == pytest.approx(10.0)
+        assert tracker.adaptive_share() == pytest.approx(10.0)
+        tracker.record(0)
+        # Nothing spent in slot 0: the next adaptive share grows.
+        assert tracker.adaptive_share() == pytest.approx(100.0 / 9.0)
+
+    def test_adaptive_share_zero_after_horizon(self):
+        tracker = BudgetTracker(total_budget=10.0, horizon=1)
+        tracker.record(3)
+        assert tracker.adaptive_share() == 0.0
+
+    def test_zero_budget_utilisation(self):
+        tracker = BudgetTracker(total_budget=0.0, horizon=2)
+        assert tracker.utilisation() == 0.0
+        tracker.record(1)
+        assert tracker.utilisation() == float("inf")

@@ -1,0 +1,136 @@
+"""Tests for repro.workload.requests."""
+
+import numpy as np
+import pytest
+
+from repro.workload.requests import (
+    FixedRequestSequence,
+    HotspotRequestProcess,
+    PoissonRequestProcess,
+    SDPair,
+    UniformRequestProcess,
+    unique_endpoint_pairs,
+)
+
+
+class TestSDPair:
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            SDPair(source=1, destination=1)
+
+    def test_endpoints_canonical(self):
+        assert SDPair(source=3, destination=1).endpoints == SDPair(source=1, destination=3).endpoints
+
+    def test_distinct_request_ids_are_distinct_pairs(self):
+        a = SDPair(source=0, destination=1, request_id=0)
+        b = SDPair(source=0, destination=1, request_id=1)
+        assert a != b
+        assert len({a, b}) == 2
+
+
+class TestUniformRequestProcess:
+    def test_paper_default_range(self):
+        process = UniformRequestProcess()
+        assert process.min_pairs == 1 and process.max_pairs == 5
+        assert process.max_pairs_per_slot() == 5
+
+    def test_count_within_bounds(self, line_graph, rng):
+        process = UniformRequestProcess(min_pairs=2, max_pairs=4)
+        for t in range(30):
+            pairs = process.sample(t, line_graph, rng)
+            assert 2 <= len(pairs) <= 4
+
+    def test_endpoints_are_distinct_nodes(self, line_graph, rng):
+        process = UniformRequestProcess(min_pairs=3, max_pairs=3)
+        for t in range(20):
+            for pair in process.sample(t, line_graph, rng):
+                assert pair.source != pair.destination
+                assert pair.source in line_graph and pair.destination in line_graph
+
+    def test_request_ids_unique_within_slot(self, line_graph, rng):
+        process = UniformRequestProcess(min_pairs=5, max_pairs=5)
+        pairs = process.sample(0, line_graph, rng)
+        assert len({p.request_id for p in pairs}) == 5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformRequestProcess(min_pairs=4, max_pairs=2)
+        with pytest.raises(ValueError):
+            UniformRequestProcess(min_pairs=-1)
+
+    def test_all_counts_eventually_observed(self, line_graph):
+        rng = np.random.default_rng(3)
+        process = UniformRequestProcess(min_pairs=1, max_pairs=3)
+        counts = {len(process.sample(t, line_graph, rng)) for t in range(100)}
+        assert counts == {1, 2, 3}
+
+
+class TestPoissonRequestProcess:
+    def test_truncation(self, line_graph, rng):
+        process = PoissonRequestProcess(rate=20.0, max_pairs=4)
+        for t in range(20):
+            assert len(process.sample(t, line_graph, rng)) <= 4
+
+    def test_mean_roughly_matches_rate(self, line_graph):
+        rng = np.random.default_rng(1)
+        process = PoissonRequestProcess(rate=2.0, max_pairs=50)
+        counts = [len(process.sample(t, line_graph, rng)) for t in range(400)]
+        assert 1.6 < np.mean(counts) < 2.4
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonRequestProcess(rate=0.0)
+
+
+class TestHotspotRequestProcess:
+    def test_hotspot_receives_most_traffic(self, small_waxman):
+        rng = np.random.default_rng(5)
+        hub = max(small_waxman.nodes, key=small_waxman.degree)
+        process = HotspotRequestProcess(
+            min_pairs=3, max_pairs=3, hotspot_probability=1.0, hotspots=(hub,)
+        )
+        destinations = []
+        for t in range(50):
+            destinations.extend(p.destination for p in process.sample(t, small_waxman, rng))
+        assert all(d == hub for d in destinations)
+
+    def test_zero_probability_behaves_uniformly(self, small_waxman, rng):
+        process = HotspotRequestProcess(min_pairs=2, max_pairs=2, hotspot_probability=0.0)
+        pairs = process.sample(0, small_waxman, rng)
+        assert len(pairs) == 2
+
+    def test_default_hotspots_are_high_degree(self, small_waxman, rng):
+        process = HotspotRequestProcess()
+        hubs = process._hotspot_nodes(small_waxman)
+        degrees = sorted((small_waxman.degree(n) for n in small_waxman.nodes), reverse=True)
+        assert all(small_waxman.degree(h) >= degrees[min(2, len(degrees) - 1)] for h in hubs)
+
+
+class TestFixedRequestSequence:
+    def test_replay_and_cycle(self, line_graph, rng):
+        slot0 = [SDPair(source=0, destination=3)]
+        slot1 = [SDPair(source=1, destination=2), SDPair(source=0, destination=2, request_id=1)]
+        process = FixedRequestSequence.from_lists([slot0, slot1])
+        assert process.sample(0, line_graph, rng) == slot0
+        assert process.sample(1, line_graph, rng) == slot1
+        assert process.sample(2, line_graph, rng) == slot0  # cycles
+
+    def test_max_pairs(self):
+        process = FixedRequestSequence.from_lists(
+            [[SDPair(source=0, destination=1)], [SDPair(source=0, destination=1), SDPair(source=1, destination=2)]]
+        )
+        assert process.max_pairs_per_slot() == 2
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            FixedRequestSequence(sequence=())
+
+
+class TestUniqueEndpointPairs:
+    def test_deduplication(self):
+        pairs = [
+            SDPair(source=0, destination=1),
+            SDPair(source=1, destination=0, request_id=1),
+            SDPair(source=2, destination=3),
+        ]
+        assert unique_endpoint_pairs(pairs) == [(0, 1), (2, 3)]

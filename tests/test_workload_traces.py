@@ -1,0 +1,74 @@
+"""Tests for repro.workload.traces."""
+
+import pytest
+
+from repro.network.resources import UniformOccupancy
+from repro.workload.requests import FixedRequestSequence, SDPair, UniformRequestProcess
+from repro.workload.traces import generate_trace
+
+
+class TestGenerateTrace:
+    def test_horizon_and_slots(self, small_waxman):
+        trace = generate_trace(small_waxman, horizon=12, seed=1)
+        assert trace.horizon == 12
+        assert [slot.t for slot in trace.slots] == list(range(12))
+
+    def test_deterministic_given_seed(self, small_waxman):
+        a = generate_trace(small_waxman, horizon=8, seed=5)
+        b = generate_trace(small_waxman, horizon=8, seed=5)
+        assert [slot.requests for slot in a.slots] == [slot.requests for slot in b.slots]
+
+    def test_different_seeds_differ(self, small_waxman):
+        a = generate_trace(small_waxman, horizon=8, seed=5)
+        b = generate_trace(small_waxman, horizon=8, seed=6)
+        assert [slot.requests for slot in a.slots] != [slot.requests for slot in b.slots]
+
+    def test_every_request_has_candidate_routes(self, small_waxman):
+        trace = generate_trace(small_waxman, horizon=10, seed=2)
+        for slot in trace.slots:
+            for request in slot.requests:
+                routes = trace.routes_for(request)
+                assert len(routes) >= 1
+                for route in routes:
+                    assert {route.source, route.destination} == set(request.endpoints)
+
+    def test_request_counts_respect_process(self, small_waxman):
+        process = UniformRequestProcess(min_pairs=2, max_pairs=3)
+        trace = generate_trace(small_waxman, horizon=20, request_process=process, seed=3)
+        for slot in trace.slots:
+            assert 2 <= slot.num_requests <= 3
+        assert 2 <= trace.max_requests_per_slot() <= 3
+
+    def test_total_requests(self, small_waxman):
+        process = UniformRequestProcess(min_pairs=2, max_pairs=2)
+        trace = generate_trace(small_waxman, horizon=5, request_process=process, seed=4)
+        assert trace.total_requests() == 10
+
+    def test_resource_process_is_used(self, small_waxman):
+        trace = generate_trace(
+            small_waxman,
+            horizon=5,
+            resource_process=UniformOccupancy(min_fraction=0.5, max_fraction=0.5),
+            seed=5,
+        )
+        for slot in trace.slots:
+            for node in small_waxman.nodes:
+                assert slot.snapshot.available_qubits(node) <= small_waxman.qubit_capacity(node)
+
+    def test_fixed_request_sequence_replay(self, line_graph):
+        sequence = FixedRequestSequence.from_lists([[SDPair(source=0, destination=3)]])
+        trace = generate_trace(line_graph, horizon=3, request_process=sequence, seed=1)
+        for slot in trace.slots:
+            assert slot.requests == (SDPair(source=0, destination=3),)
+        assert trace.max_route_hops() == 3
+
+    def test_invalid_horizon_rejected(self, line_graph):
+        with pytest.raises(ValueError):
+            generate_trace(line_graph, horizon=0, seed=1)
+
+    def test_max_route_hops_bound(self, small_waxman):
+        trace = generate_trace(small_waxman, horizon=10, max_extra_hops=1, seed=6)
+        bound = trace.max_route_hops()
+        for routes in trace.candidate_routes.values():
+            for route in routes:
+                assert route.hops <= bound
