@@ -1,13 +1,13 @@
 """Multiple users sharing one quantum data network.
 
 The paper models "other users" of the QDN as an exogenous process that
-occupies part of the hardware.  With the multi-user simulator the other
-users are real: every tenant runs its own policy against the resources the
-earlier tenants left over in that slot (the service order rotates every slot
-so that average priority is equal).  The example compares a deployment where
-every tenant runs OSCAR against one where every tenant runs the naive
-shortest-route heuristic, and reports both the per-tenant quality and the
-provider-side utilisation.
+occupies part of the hardware.  With the :mod:`repro.api` facade the other
+users are real tenants of one :class:`Scenario`: every tenant runs its own
+policy against the resources the earlier tenants left over in that slot
+(the service order rotates every slot so that average priority is equal).
+The example compares a deployment where every tenant runs OSCAR against one
+where every tenant runs the naive shortest-route heuristic, and reports
+both the per-tenant quality and the provider-side utilisation.
 
 Run it with::
 
@@ -16,68 +16,49 @@ Run it with::
 
 from __future__ import annotations
 
-from repro.core.baselines import ShortestRouteUniformPolicy
-from repro.core.multiuser import MultiUserSimulator, QDNUser
-from repro.core.oscar import OscarPolicy
+from repro import api
 from repro.experiments.reporting import format_table
-from repro.network.topology import waxman_topology_with_degree
-from repro.workload.requests import HotspotRequestProcess, UniformRequestProcess
 
 
-def build_users(kind: str, horizon: int, budget: float):
+def build_scenario(kind: str, horizon: int, budget: float) -> api.Scenario:
     """Three tenants with different workloads, all running the same policy kind."""
-
-    def make_policy():
-        if kind == "oscar":
-            return OscarPolicy(
-                total_budget=budget, horizon=horizon, trade_off_v=2500.0,
-                gamma=500.0, gibbs_iterations=20,
-            )
-        return ShortestRouteUniformPolicy(total_budget=budget, horizon=horizon)
-
-    return [
-        QDNUser(
-            name="dqc-lab",
-            policy=make_policy(),
-            request_process=UniformRequestProcess(min_pairs=1, max_pairs=3),
-            total_budget=budget,
-        ),
-        QDNUser(
-            name="hpc-centre",
-            policy=make_policy(),
-            request_process=HotspotRequestProcess(min_pairs=1, max_pairs=2, hotspot_probability=0.8),
-            total_budget=budget,
-        ),
-        QDNUser(
-            name="startup",
-            policy=make_policy(),
-            request_process=UniformRequestProcess(min_pairs=0, max_pairs=2),
-            total_budget=budget,
-        ),
-    ]
+    policy = ("oscar", {"trade_off_v": 2500.0, "gamma": 500.0, "gibbs_iterations": 20}) \
+        if kind == "oscar" else "naive"
+    return (
+        api.Scenario(f"multi-tenant/{kind}")
+        .with_topology(num_nodes=14, target_degree=4.0)
+        .with_workload(horizon=horizon)
+        .with_trials(1)
+        .with_seed(31)
+        .with_user("dqc-lab", policy=policy, total_budget=budget,
+                   min_pairs=1, max_pairs=3)
+        .with_user("hpc-centre", policy=policy, total_budget=budget,
+                   workload_kind="hotspot", min_pairs=1, max_pairs=2,
+                   hotspot_probability=0.8)
+        .with_user("startup", policy=policy, total_budget=budget,
+                   min_pairs=0, max_pairs=2)
+    )
 
 
 def main() -> None:
     horizon = 25
     budget = 400.0
-    graph = waxman_topology_with_degree(num_nodes=14, target_degree=4.0, seed=31)
-    print(f"Shared network: {graph.describe()}\n")
 
     for kind, label in (("oscar", "every tenant runs OSCAR"),
                         ("naive", "every tenant runs the naive heuristic")):
-        simulator = MultiUserSimulator(
-            graph=graph, users=build_users(kind, horizon, budget), horizon=horizon
-        )
-        outcome = simulator.run(seed=32)
+        record = build_scenario(kind, horizon, budget).run()
         rows = []
-        for name, result in outcome.user_results.items():
+        for name in record.lineup:
+            result = record.results_for(name)[0]
             rows.append([
                 name,
                 round(result.average_success_rate(), 4),
                 round(result.served_fraction(), 3),
                 round(result.total_cost, 1),
             ])
-        utilisation = outcome.provider_average_utilisation()
+        utilisation = record.provider_average_utilisation()
+        served = sum(r.served_requests for t in record.provider_trials for r in t)
+        total = sum(r.total_requests for t in record.provider_trials for r in t)
         print(format_table(
             ["tenant", "avg EC success", "served fraction", "qubits spent"],
             rows,
@@ -86,7 +67,7 @@ def main() -> None:
         print(
             f"provider view: qubit utilisation {utilisation['qubits']:.1%}, "
             f"channel utilisation {utilisation['channels']:.1%}, "
-            f"overall served fraction {outcome.total_served_fraction():.1%}\n"
+            f"overall served fraction {(served / total if total else 1.0):.1%}\n"
         )
 
     print("Reading the two tables: OSCAR tenants get far more out of the requests")

@@ -3,13 +3,15 @@
 Usage::
 
     python examples/paper_experiments.py fig3 [--scale paper|small|tiny]
-    python examples/paper_experiments.py all  --scale small
+    python examples/paper_experiments.py all  --scale small --workers 4
 
 ``--scale paper`` uses the exact configuration of Section V-A (20 nodes,
 T=200, C=5000, 5 trials) and takes a long time; ``small`` (default) keeps
 the per-slot budget and all algorithm parameters but shrinks the horizon,
 network and trial count so every figure regenerates in seconds to minutes;
-``tiny`` is for smoke-testing the pipeline.
+``tiny`` is for smoke-testing the pipeline.  ``--workers N`` runs the
+trials of each comparison in a process pool through the :mod:`repro.api`
+session layer — results are bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import argparse
 import sys
 import time
 
+from repro import api
 from repro.experiments import (
     ablations,
     fig3_time_evolving,
@@ -31,34 +34,37 @@ from repro.experiments.config import ExperimentConfig
 
 FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations")
 
+#: Scale name → base scenario (the facade's presets mirror the config's).
+SCALES = {
+    "paper": api.Scenario.paper,
+    "small": api.Scenario.small,
+    "tiny": api.Scenario.tiny,
+}
+
 
 def config_for_scale(scale: str) -> ExperimentConfig:
     """The experiment configuration for a given --scale value."""
-    if scale == "paper":
-        return ExperimentConfig.paper()
-    if scale == "small":
-        return ExperimentConfig.small()
-    if scale == "tiny":
-        return ExperimentConfig.tiny()
-    raise ValueError(f"unknown scale {scale!r}")
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}")
+    return SCALES[scale]().config
 
 
-def run_figure(name: str, config: ExperimentConfig) -> str:
+def run_figure(name: str, config: ExperimentConfig, workers: int = 1) -> str:
     """Run one figure module and return its plain-text report."""
     if name == "fig3":
-        return fig3_time_evolving.run(config).format_tables()
+        return fig3_time_evolving.run(config, workers=workers).format_tables()
     if name == "fig4":
-        return fig4_distribution.run(config).format_tables()
+        return fig4_distribution.run(config, workers=workers).format_tables()
     if name == "fig5":
-        return fig5_budget.run(config).format_tables()
+        return fig5_budget.run(config, workers=workers).format_tables()
     if name == "fig6":
-        return fig6_network_size.run(config).format_tables()
+        return fig6_network_size.run(config, workers=workers).format_tables()
     if name == "fig7":
-        return fig7_control_v.run(config).format_tables()
+        return fig7_control_v.run(config, workers=workers).format_tables()
     if name == "fig8":
-        return fig8_initial_queue.run(config).format_tables()
+        return fig8_initial_queue.run(config, workers=workers).format_tables()
     if name == "ablations":
-        return ablations.run_all(config)
+        return ablations.run_all(config, workers=workers)
     raise ValueError(f"unknown figure {name!r}; choose from {FIGURES} or 'all'")
 
 
@@ -66,8 +72,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("figure", choices=list(FIGURES) + ["all"],
                         help="which figure of the paper to regenerate")
-    parser.add_argument("--scale", default="small", choices=["paper", "small", "tiny"],
+    parser.add_argument("--scale", default="small", choices=sorted(SCALES.keys()),
                         help="experiment scale (default: small)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per comparison (default: 1)")
     arguments = parser.parse_args(argv)
 
     config = config_for_scale(arguments.scale)
@@ -75,7 +83,7 @@ def main(argv=None) -> int:
     for target in targets:
         started = time.time()
         print(f"=== {target} (scale={arguments.scale}) ===")
-        print(run_figure(target, config))
+        print(run_figure(target, config, workers=arguments.workers))
         print(f"--- {target} done in {time.time() - started:.1f} s ---\n")
     return 0
 

@@ -1,9 +1,10 @@
 """Quickstart: route entanglement connections with OSCAR on a random QDN.
 
-This example builds the paper's default-style network (a Waxman topology),
-generates a short workload of entanglement-connection requests, runs OSCAR
-and the two myopic baselines on the *same* workload, and prints a summary
-comparing utility, EC success rate and budget usage.
+Everything goes through the :mod:`repro.api` facade: describe the
+experiment as a :class:`Scenario` (topology, workload, budget, and a policy
+line-up picked from the registry by name), run it, and read the unified
+:class:`RunRecord` that comes back.  Policies are compared on the *same*
+frozen workload within each trial.
 
 Run it with::
 
@@ -12,54 +13,47 @@ Run it with::
 
 from __future__ import annotations
 
-from repro.analysis.metrics import compare_summaries
-from repro.core.baselines import MyopicAdaptivePolicy, MyopicFixedPolicy
-from repro.core.oscar import OscarPolicy
-from repro.experiments.reporting import format_summary
-from repro.network.topology import waxman_topology_with_degree
-from repro.simulation.engine import simulate_policies
-from repro.workload.requests import UniformRequestProcess
-from repro.workload.traces import generate_trace
+from repro import api
 
 
 def main() -> None:
-    horizon = 40
-    total_budget = 1000.0  # the paper's per-slot share of C/T = 25
-
-    # 1. Build a 12-node quantum data network with average degree ~4
-    #    (node qubit capacities U[10,16], edge channel capacities U[5,8]).
-    graph = waxman_topology_with_degree(num_nodes=12, target_degree=4.0, seed=1)
-    print(f"Network: {graph.describe()}")
-
-    # 2. Freeze a workload: 1-4 EC requests per slot for `horizon` slots,
-    #    with candidate routes pre-computed per SD pair.
-    trace = generate_trace(
-        graph,
-        horizon=horizon,
-        request_process=UniformRequestProcess(min_pairs=1, max_pairs=4),
-        seed=2,
+    # 1. Describe the experiment fluently: a 12-node Waxman network with
+    #    average degree ~4, a 40-slot workload of 1-4 EC requests per slot,
+    #    and a qubit budget of 1000 (the paper's per-slot share C/T = 25).
+    scenario = (
+        api.Scenario("quickstart")
+        .with_topology(num_nodes=12, target_degree=4.0)
+        .with_workload(horizon=40, min_pairs=1, max_pairs=4)
+        .with_budget(1000.0)
+        .with_policies(
+            ("oscar", {"gibbs_iterations": 25}),
+            ("myopic-adaptive", {"gibbs_iterations": 25}),
+            ("myopic-fixed", {"gibbs_iterations": 25}),
+        )
+        .with_trials(1)
+        .with_seed(1)
     )
-    print(f"Workload: {trace.total_requests()} EC requests over {horizon} slots")
+    print("Line-up:", ", ".join(scenario.lineup_names()))
 
-    # 3. Configure the policies (identical budget, horizon and Gibbs settings).
-    policies = [
-        OscarPolicy(total_budget=total_budget, horizon=horizon, trade_off_v=2500.0,
-                    initial_queue=10.0, gamma=500.0, gibbs_iterations=25),
-        MyopicAdaptivePolicy(total_budget=total_budget, horizon=horizon, gibbs_iterations=25),
-        MyopicFixedPolicy(total_budget=total_budget, horizon=horizon, gibbs_iterations=25),
-    ]
+    # 2. Run it.  `workers=2` would execute trials in parallel with
+    #    bit-identical results; observers can stream progress live.
+    record = scenario.run(observers=[api.ProgressObserver()])
 
-    # 4. Simulate all policies on the identical workload and compare.
-    results = simulate_policies(graph, trace, policies, total_budget=total_budget, seed=3)
+    # 3. The unified RunRecord aggregates every policy over every trial.
     print()
-    print(format_summary(compare_summaries(results), title="Policy comparison"))
+    print(record.format_summary(title="Policy comparison"))
 
-    oscar = results["OSCAR"]
+    oscar = record.results_for("OSCAR")[0]
+    total_budget = scenario.config.total_budget
     print()
     print(f"OSCAR spent {oscar.total_cost:.0f} of the {total_budget:.0f} qubit budget "
           f"({100 * oscar.budget_utilisation:.1f}%), violation = {oscar.budget_violation:.0f}")
     print(f"OSCAR average EC success rate: {oscar.average_success_rate():.3f} "
           f"(realized over Monte-Carlo: {oscar.realized_success_rate():.3f})")
+
+    # 4. Results persist as plain JSON and round-trip losslessly.
+    path = record.save("runs/quickstart.json")
+    print(f"\n[run record written to {path}]")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,103 @@
+"""The public facade of the reproduction.
+
+``repro.api`` is the single front door to the system: name-based policy
+construction, a fluent scenario builder covering single-user comparisons and
+multi-tenant runs alike, parallel trial execution with streaming events, and
+one unified result schema.
+
+Quick tour
+----------
+
+Build policies by name (keyword-configurable, extensible via decorator)::
+
+    from repro import api
+
+    oscar = api.make_policy("oscar", total_budget=5000.0)
+    api.available_policies()
+    # ('myopic-adaptive', 'myopic-fixed', 'oscar', 'shortest-uniform', 'unconstrained')
+
+Describe and run an experiment::
+
+    record = (api.Scenario.small()
+              .with_policies("oscar", "ma", "mf")
+              .with_budget(2000.0)
+              .with_trials(4)
+              .run(workers=4))          # bit-identical to workers=1
+    print(record.format_summary())
+    record.save("comparison.json")
+
+Watch it run::
+
+    record = api.run_scenario(
+        scenario, workers=1,
+        observers=[api.ProgressObserver(), api.LiveMetricsObserver()],
+    )
+
+Register your own policy::
+
+    @api.register_policy("my-policy")
+    def make_my_policy(config, **kwargs):
+        return MyPolicy(total_budget=config.total_budget, **kwargs)
+
+    api.Scenario.tiny().with_policies("oscar", "my-policy").run()
+"""
+
+from repro.api.events import (
+    CallbackObserver,
+    EarlyStop,
+    EventLog,
+    LiveMetricsObserver,
+    ProgressObserver,
+    RunCompleted,
+    RunEvent,
+    RunObserver,
+    RunStarted,
+    SlotCompleted,
+    TrialCompleted,
+    TrialStarted,
+)
+from repro.api.records import RunRecord
+from repro.api.registry import (
+    PolicyRegistry,
+    UnknownPolicyError,
+    available_policies,
+    default_registry,
+    make_policy,
+    register_policy,
+)
+from repro.api.scenario import PolicySpec, Scenario, UserSpec
+from repro.api.session import Session, compare, execute_trial, run_scenario
+
+__all__ = [
+    # registry
+    "PolicyRegistry",
+    "UnknownPolicyError",
+    "available_policies",
+    "default_registry",
+    "make_policy",
+    "register_policy",
+    # scenario
+    "PolicySpec",
+    "Scenario",
+    "UserSpec",
+    # session
+    "Session",
+    "compare",
+    "execute_trial",
+    "run_scenario",
+    # records
+    "RunRecord",
+    # events / observers
+    "CallbackObserver",
+    "EarlyStop",
+    "EventLog",
+    "LiveMetricsObserver",
+    "ProgressObserver",
+    "RunCompleted",
+    "RunEvent",
+    "RunObserver",
+    "RunStarted",
+    "SlotCompleted",
+    "TrialCompleted",
+    "TrialStarted",
+]

@@ -1,0 +1,228 @@
+"""Streaming run events and observer hooks.
+
+A :class:`~repro.api.session.Session` emits a typed event stream while it
+executes a scenario: one :class:`RunStarted`, then per trial a
+:class:`TrialStarted`, a :class:`SlotCompleted` per simulated slot, a
+:class:`TrialCompleted`, and finally a :class:`RunCompleted`.  Observers
+subscribe by subclassing :class:`RunObserver` (override only what you need)
+or by wrapping a plain callable with :class:`CallbackObserver`.
+
+Observers can end a run early by raising :class:`EarlyStop` from any hook —
+the session stops cleanly and returns the trials completed so far.
+
+When trials execute in a worker pool the per-slot events of a trial are
+*replayed* in order after the trial's results arrive (workers cannot call
+back into the parent mid-trial); ``SlotCompleted.replayed`` tells the two
+modes apart.  Event order is deterministic in both modes: trials are always
+reported in trial order.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TextIO
+
+
+class EarlyStop(Exception):
+    """Raised by an observer to end the run after the current event."""
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Base class of every event emitted by a session."""
+
+    scenario: str
+
+
+@dataclass(frozen=True)
+class RunStarted(RunEvent):
+    """The session is about to execute ``trials`` trials."""
+
+    trials: int
+    workers: int
+    kind: str  # "comparison" | "multiuser"
+    lineup: tuple
+
+
+@dataclass(frozen=True)
+class TrialStarted(RunEvent):
+    """Execution of one trial began (serial) or its results arrived (parallel)."""
+
+    trial: int
+
+
+@dataclass(frozen=True)
+class SlotCompleted(RunEvent):
+    """One slot of one policy (or the multi-user provider) finished.
+
+    ``record`` is a :class:`~repro.simulation.results.SlotRecord` for
+    comparison runs and a
+    :class:`~repro.core.multiuser.ProviderSlotRecord` for multi-user runs.
+    """
+
+    trial: int
+    policy: str
+    record: Any
+    replayed: bool = False
+
+
+@dataclass(frozen=True)
+class TrialCompleted(RunEvent):
+    """One trial finished; ``results`` maps line-up names to their summaries."""
+
+    trial: int
+    results: Dict[str, Dict[str, float]]
+
+
+@dataclass(frozen=True)
+class RunCompleted(RunEvent):
+    """The whole run finished (``stopped_early`` if an observer ended it)."""
+
+    trials_completed: int
+    elapsed_seconds: float
+    stopped_early: bool
+
+
+class RunObserver:
+    """Base observer: dispatches :meth:`on_event` to per-type hooks.
+
+    Subclasses override any of the ``on_*`` methods; unknown event types fall
+    through silently so observers stay forward-compatible.
+    """
+
+    def on_event(self, event: RunEvent) -> None:
+        handlers: Dict[type, Callable[[Any], None]] = {
+            RunStarted: self.on_run_started,
+            TrialStarted: self.on_trial_started,
+            SlotCompleted: self.on_slot,
+            TrialCompleted: self.on_trial_completed,
+            RunCompleted: self.on_run_completed,
+        }
+        handler = handlers.get(type(event))
+        if handler is not None:
+            handler(event)
+
+    def on_run_started(self, event: RunStarted) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_trial_started(self, event: TrialStarted) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_slot(self, event: SlotCompleted) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_trial_completed(self, event: TrialCompleted) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_run_completed(self, event: RunCompleted) -> None:  # pragma: no cover - hook
+        pass
+
+
+@dataclass
+class CallbackObserver(RunObserver):
+    """Adapts a plain callable ``f(event)`` to the observer interface."""
+
+    callback: Callable[[RunEvent], None]
+
+    def on_event(self, event: RunEvent) -> None:
+        self.callback(event)
+
+
+@dataclass
+class EventLog(RunObserver):
+    """Records every event in order (used by tests and notebooks)."""
+
+    events: List[RunEvent] = field(default_factory=list)
+
+    def on_event(self, event: RunEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: type) -> List[RunEvent]:
+        """All recorded events of one type, in arrival order."""
+        return [event for event in self.events if isinstance(event, event_type)]
+
+
+@dataclass
+class ProgressObserver(RunObserver):
+    """Prints one line per trial (and optionally per slot) to ``stream``."""
+
+    stream: TextIO = field(default_factory=lambda: sys.stderr)
+    per_slot: bool = False
+    _started: float = field(default=0.0, repr=False)
+
+    def on_run_started(self, event: RunStarted) -> None:
+        self._started = time.time()
+        lineup = ", ".join(event.lineup)
+        print(
+            f"[{event.scenario}] {event.trials} trial(s), "
+            f"workers={event.workers}, line-up: {lineup}",
+            file=self.stream,
+        )
+
+    def on_slot(self, event: SlotCompleted) -> None:
+        if self.per_slot:
+            t = getattr(event.record, "t", "?")
+            print(
+                f"[{event.scenario}] trial {event.trial} {event.policy} slot {t}",
+                file=self.stream,
+            )
+
+    def on_trial_completed(self, event: TrialCompleted) -> None:
+        elapsed = time.time() - self._started
+        print(
+            f"[{event.scenario}] trial {event.trial} done ({elapsed:.1f} s elapsed)",
+            file=self.stream,
+        )
+
+    def on_run_completed(self, event: RunCompleted) -> None:
+        state = "stopped early" if event.stopped_early else "completed"
+        print(
+            f"[{event.scenario}] {state}: {event.trials_completed} trial(s) "
+            f"in {event.elapsed_seconds:.1f} s",
+            file=self.stream,
+        )
+
+
+@dataclass
+class LiveMetricsObserver(RunObserver):
+    """Maintains live running metrics per line-up entry while slots stream in.
+
+    ``snapshot()`` returns, for every policy seen so far, the running mean
+    utility and analytic success rate plus the cumulative cost — i.e. the
+    quantities of the paper's Fig. 3 — computed incrementally from the
+    streamed slot records.
+    """
+
+    _utility_sums: Dict[str, float] = field(default_factory=dict)
+    _success_sums: Dict[str, float] = field(default_factory=dict)
+    _costs: Dict[str, float] = field(default_factory=dict)
+    _slots: Dict[str, int] = field(default_factory=dict)
+
+    def on_slot(self, event: SlotCompleted) -> None:
+        record = event.record
+        utility = getattr(record, "utility", None)
+        if utility is None:  # provider records have no utility column
+            return
+        key = event.policy
+        self._slots[key] = self._slots.get(key, 0) + 1
+        if utility == utility and utility not in (float("inf"), float("-inf")):
+            self._utility_sums[key] = self._utility_sums.get(key, 0.0) + utility
+        self._success_sums[key] = (
+            self._success_sums.get(key, 0.0) + record.mean_success_probability
+        )
+        self._costs[key] = self._costs.get(key, 0.0) + record.cost
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Live running metrics per policy."""
+        return {
+            name: {
+                "slots": float(count),
+                "running_utility": self._utility_sums.get(name, 0.0) / count,
+                "running_success_rate": self._success_sums.get(name, 0.0) / count,
+                "cumulative_cost": self._costs.get(name, 0.0),
+            }
+            for name, count in self._slots.items()
+            if count
+        }

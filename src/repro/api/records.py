@@ -1,0 +1,211 @@
+"""The unified result schema of facade runs.
+
+Every session — single policy line-up, multi-trial comparison, or
+multi-tenant — produces one :class:`RunRecord`: the scenario that was run,
+the per-trial results keyed by line-up name, the provider-side records for
+multi-user runs, and free-form run metadata.  Records round-trip through
+JSON (:meth:`RunRecord.save` / :meth:`RunRecord.load`) and convert to the
+legacy :class:`~repro.experiments.runner.ComparisonResult` so the figure
+modules' aggregation helpers keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.analysis.stats import TrialAggregate
+from repro.core.multiuser import ProviderSlotRecord
+from repro.experiments.config import ExperimentConfig
+from repro.simulation.results import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.runner import ComparisonResult
+
+PathLike = Union[str, Path]
+
+#: Schema version written into every persisted record.
+SCHEMA_VERSION = 1
+
+
+def _provider_record_to_dict(record: ProviderSlotRecord) -> Dict[str, object]:
+    return {
+        "t": record.t,
+        "qubit_utilisation": record.qubit_utilisation,
+        "channel_utilisation": record.channel_utilisation,
+        "total_cost": record.total_cost,
+        "served_requests": record.served_requests,
+        "total_requests": record.total_requests,
+    }
+
+
+def _provider_record_from_dict(payload: Mapping) -> ProviderSlotRecord:
+    return ProviderSlotRecord(
+        t=int(payload["t"]),
+        qubit_utilisation=float(payload["qubit_utilisation"]),
+        channel_utilisation=float(payload["channel_utilisation"]),
+        # JSON preserves int vs float; keep the stored value untouched so the
+        # round trip is lossless even if a cost ever arrives as a float.
+        total_cost=payload["total_cost"],
+        served_requests=int(payload["served_requests"]),
+        total_requests=int(payload["total_requests"]),
+    )
+
+
+@dataclass
+class RunRecord:
+    """Everything one scenario run produced.
+
+    Attributes
+    ----------
+    scenario:
+        The JSON form of the scenario that was executed
+        (:meth:`repro.api.scenario.Scenario.to_dict`).
+    kind:
+        ``"comparison"`` (policy line-up on identical traces) or
+        ``"multiuser"`` (tenants sharing the QDN).
+    trials:
+        One mapping per trial from line-up name (policy name, or user name
+        for multi-user runs) to that run's :class:`SimulationResult`.
+    provider_trials:
+        For multi-user runs, the provider-side per-slot records of each
+        trial; empty for comparisons.
+    meta:
+        Free-form run metadata (workers used, wall-clock, early stop, …).
+        Never included in equality-sensitive summaries.
+    """
+
+    scenario: Dict[str, object]
+    kind: str = "comparison"
+    trials: List[Dict[str, SimulationResult]] = field(default_factory=list)
+    provider_trials: List[Tuple[ProviderSlotRecord, ...]] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_trials(self) -> int:
+        """Trials actually completed (may be fewer than requested on early stop)."""
+        return len(self.trials)
+
+    @property
+    def lineup(self) -> List[str]:
+        """Line-up names in the order of the first trial."""
+        if not self.trials:
+            return []
+        return list(self.trials[0].keys())
+
+    def results_for(self, name: str) -> List[SimulationResult]:
+        """All trial results of one line-up entry."""
+        return [trial[name] for trial in self.trials]
+
+    def scenario_config(self) -> ExperimentConfig:
+        """The :class:`ExperimentConfig` the scenario ran with."""
+        return ExperimentConfig(**self.scenario["config"])
+
+    # ------------------------------------------------------------------ #
+    # Aggregation (delegates to the comparison machinery)
+    # ------------------------------------------------------------------ #
+    def to_comparison(self) -> "ComparisonResult":
+        """The legacy :class:`ComparisonResult` view of this record.
+
+        Works for both kinds — for multi-user runs the "policies" are the
+        tenants — so every aggregation helper (``summary``, ``mean_series``,
+        ``success_probability_pool``) applies uniformly.
+        """
+        from repro.experiments.runner import ComparisonResult
+
+        return ComparisonResult(
+            config=self.scenario_config(), trials=[dict(trial) for trial in self.trials]
+        )
+
+    def summary(self) -> Dict[str, Dict[str, TrialAggregate]]:
+        """Mean ± CI of the headline metrics for every line-up entry."""
+        return self.to_comparison().summary()
+
+    def format_summary(self, title: str = "") -> str:
+        """The summary as an aligned plain-text table."""
+        from repro.experiments.reporting import format_summary
+
+        return format_summary(self.summary(), title=title)
+
+    def provider_average_utilisation(self) -> Dict[str, float]:
+        """Mean provider-side qubit/channel utilisation (multi-user runs)."""
+        records = [r for trial in self.provider_trials for r in trial]
+        if not records:
+            return {"qubits": 0.0, "channels": 0.0}
+        return {
+            "qubits": sum(r.qubit_utilisation for r in records) / len(records),
+            "channels": sum(r.channel_utilisation for r in records) / len(records),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable representation of the whole record."""
+        from repro.experiments.persistence import result_to_dict
+
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "trials": [
+                {name: result_to_dict(result) for name, result in trial.items()}
+                for trial in self.trials
+            ],
+            "provider_trials": [
+                [_provider_record_to_dict(record) for record in trial]
+                for trial in self.provider_trials
+            ],
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        from repro.experiments.persistence import result_from_dict
+
+        return cls(
+            scenario=dict(payload["scenario"]),
+            kind=str(payload.get("kind", "comparison")),
+            trials=[
+                {name: result_from_dict(entry) for name, entry in trial.items()}
+                for trial in payload.get("trials", [])
+            ],
+            provider_trials=[
+                tuple(_provider_record_from_dict(entry) for entry in trial)
+                for trial in payload.get("provider_trials", [])
+            ],
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def save(self, path: PathLike) -> Path:
+        """Write the record to a JSON file and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, allow_nan=True))
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunRecord":
+        """Load a record previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------ #
+    # Interop
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_comparison(cls, comparison: "ComparisonResult", name: str = "comparison") -> "RunRecord":
+        """Wrap a legacy :class:`ComparisonResult` in the unified schema."""
+        from repro.api.scenario import Scenario
+
+        scenario = Scenario.from_config(comparison.config, name=name)
+        return cls(
+            scenario=scenario.to_dict(),
+            kind="comparison",
+            trials=[dict(trial) for trial in comparison.trials],
+        )

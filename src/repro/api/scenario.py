@@ -1,0 +1,438 @@
+"""The fluent scenario builder.
+
+A :class:`Scenario` is a complete, declarative description of one
+experiment: topology, workload trace parameters, budget, the policy line-up
+(or, for multi-tenant runs, the user line-up), trial count and base seed.
+Scenarios are immutable — every ``with_*`` method returns a new scenario —
+so a base scenario can be forked into sweeps safely:
+
+>>> from repro import api
+>>> base = api.Scenario.small().with_policies("oscar", "ma", "mf")
+>>> record = base.with_budget(2000.0).run()
+
+A multi-tenant scenario swaps the policy line-up for users sharing the QDN:
+
+>>> shared = (api.Scenario.tiny()
+...           .with_user("lab", policy="oscar", total_budget=300.0)
+...           .with_user("startup", policy="naive", min_pairs=0, max_pairs=2))
+
+Scenarios round-trip through JSON (:meth:`Scenario.to_dict` /
+:meth:`Scenario.from_dict`), which is also how parallel sessions ship them
+to worker processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.registry import PolicyRegistry, default_registry
+from repro.core.multiuser import QDNUser
+from repro.core.policy import RoutingPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.workload.requests import (
+    DiurnalRequestProcess,
+    HotspotRequestProcess,
+    PoissonRequestProcess,
+    RequestProcess,
+    UniformRequestProcess,
+)
+
+#: Named request-process kinds accepted by :meth:`Scenario.with_user`.
+WORKLOAD_KINDS = {
+    "uniform": UniformRequestProcess,
+    "poisson": PoissonRequestProcess,
+    "hotspot": HotspotRequestProcess,
+    "diurnal": DiurnalRequestProcess,
+}
+
+#: Anything :meth:`Scenario.with_policies` accepts as one line-up entry.
+PolicyLike = Union[str, "PolicySpec", Tuple[str, Mapping], Mapping]
+
+#: The fields of :class:`ExperimentConfig` grouped by builder method, used to
+#: give precise errors when an override lands in the wrong ``with_*`` call.
+TOPOLOGY_FIELDS = frozenset(
+    {
+        "num_nodes", "area", "waxman_alpha", "target_degree",
+        "qubit_capacity_min", "qubit_capacity_max",
+        "channel_capacity_min", "channel_capacity_max",
+        "attempt_success", "attempts_per_slot",
+    }
+)
+WORKLOAD_FIELDS = frozenset(
+    {"horizon", "min_pairs", "max_pairs", "num_candidate_routes", "max_extra_hops"}
+)
+BUDGET_FIELDS = frozenset(
+    {"total_budget", "trade_off_v", "initial_queue", "gamma"}
+)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One line-up entry: a registered policy name plus keyword overrides.
+
+    ``label`` renames the policy in results (needed when the same policy
+    appears twice with different parameters, e.g. an OSCAR V-sweep).
+    """
+
+    name: str
+    kwargs: Mapping[str, object] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    def resolve(
+        self,
+        config: ExperimentConfig,
+        registry: Optional[PolicyRegistry] = None,
+    ) -> RoutingPolicy:
+        """Build the policy against ``config`` (kwargs win over config)."""
+        registry = registry if registry is not None else default_registry
+        policy = registry.make(self.name, config, **dict(self.kwargs))
+        if self.label:
+            policy.name = self.label
+        return policy
+
+    def display_name(self, registry: Optional[PolicyRegistry] = None) -> str:
+        """The name this entry will carry in results."""
+        if self.label:
+            return self.label
+        registry = registry if registry is not None else default_registry
+        # Fall back to the spec name when the registry cannot resolve it yet.
+        try:
+            probe = registry.make(self.name, ExperimentConfig.tiny(), **dict(self.kwargs))
+        except Exception:
+            return self.name
+        return probe.name
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "kwargs": dict(self.kwargs), "label": self.label}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "PolicySpec":
+        return cls(
+            name=str(payload["name"]),
+            kwargs=dict(payload.get("kwargs", {})),
+            label=payload.get("label"),
+        )
+
+    @classmethod
+    def coerce(cls, entry: PolicyLike) -> "PolicySpec":
+        """Accept a name, ``(name, kwargs)``, mapping or spec."""
+        if isinstance(entry, PolicySpec):
+            return entry
+        if isinstance(entry, str):
+            return cls(name=entry)
+        if isinstance(entry, tuple) and len(entry) == 2:
+            return cls(name=str(entry[0]), kwargs=dict(entry[1]))
+        if isinstance(entry, Mapping):
+            return cls.from_dict(entry)
+        raise TypeError(f"cannot interpret {entry!r} as a policy spec")
+
+
+@dataclass(frozen=True)
+class UserSpec:
+    """One tenant of a multi-user scenario.
+
+    ``workload`` selects the request process: ``{"kind": "hotspot",
+    "min_pairs": 1, ...}`` with kinds from :data:`WORKLOAD_KINDS`.  A
+    ``total_budget`` of ``None`` inherits the scenario's budget.
+    """
+
+    name: str
+    policy: PolicySpec
+    total_budget: Optional[float] = None
+    workload: Mapping[str, object] = field(default_factory=dict)
+
+    def build_request_process(self, config: ExperimentConfig) -> RequestProcess:
+        """Instantiate this user's request process."""
+        options = dict(self.workload)
+        kind = str(options.pop("kind", "uniform"))
+        if kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {kind!r}; choose from {sorted(WORKLOAD_KINDS)}"
+            )
+        if kind == "uniform" and not options:
+            options = {"min_pairs": config.min_pairs, "max_pairs": config.max_pairs}
+        return WORKLOAD_KINDS[kind](**options)
+
+    def build(
+        self,
+        config: ExperimentConfig,
+        registry: Optional[PolicyRegistry] = None,
+    ) -> QDNUser:
+        """Build the :class:`QDNUser` (policy + workload + budget)."""
+        budget = self.total_budget if self.total_budget is not None else config.total_budget
+        policy = self.policy.resolve(
+            config.with_overrides(total_budget=budget), registry=registry
+        )
+        return QDNUser(
+            name=self.name,
+            policy=policy,
+            request_process=self.build_request_process(config),
+            total_budget=budget,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "policy": self.policy.to_dict(),
+            "total_budget": self.total_budget,
+            "workload": dict(self.workload),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "UserSpec":
+        return cls(
+            name=str(payload["name"]),
+            policy=PolicySpec.from_dict(payload["policy"]),
+            total_budget=payload.get("total_budget"),
+            workload=dict(payload.get("workload", {})),
+        )
+
+
+def _default_lineup() -> Tuple[PolicySpec, ...]:
+    """The paper's line-up: OSCAR vs. the two myopic baselines."""
+    return (
+        PolicySpec("oscar"),
+        PolicySpec("myopic-adaptive"),
+        PolicySpec("myopic-fixed"),
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative experiment description (see module docstring).
+
+    ``lineup_factory`` is an escape hatch for callers that need to build
+    arbitrary policy objects per trial (the legacy ``policy_factory`` of
+    :func:`repro.experiments.runner.run_comparison`); it overrides
+    ``policies``, is excluded from serialisation, and must be picklable for
+    parallel sessions.
+    """
+
+    name: str = "scenario"
+    config: ExperimentConfig = field(default_factory=ExperimentConfig.paper)
+    policies: Tuple[PolicySpec, ...] = field(default_factory=_default_lineup)
+    users: Tuple[UserSpec, ...] = ()
+    lineup_factory: Optional[Callable[[ExperimentConfig], Sequence[RoutingPolicy]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(cls, config: ExperimentConfig, name: str = "scenario") -> "Scenario":
+        """Wrap an existing :class:`ExperimentConfig`."""
+        return cls(name=name, config=config)
+
+    @classmethod
+    def paper(cls, name: str = "paper") -> "Scenario":
+        """The paper's Section V-A configuration."""
+        return cls(name=name, config=ExperimentConfig.paper())
+
+    @classmethod
+    def small(cls, name: str = "small") -> "Scenario":
+        """The benchmark-scale configuration (seconds instead of minutes)."""
+        return cls(name=name, config=ExperimentConfig.small())
+
+    @classmethod
+    def tiny(cls, name: str = "tiny") -> "Scenario":
+        """The smallest end-to-end configuration (unit tests, smoke runs)."""
+        return cls(name=name, config=ExperimentConfig.tiny())
+
+    # ------------------------------------------------------------------ #
+    # Fluent builders (each returns a new Scenario)
+    # ------------------------------------------------------------------ #
+    def _replace(self, **changes) -> "Scenario":
+        return dataclasses.replace(self, **changes)
+
+    def with_name(self, name: str) -> "Scenario":
+        """Rename the scenario (shows up in events and records)."""
+        return self._replace(name=name)
+
+    def with_config(self, **overrides) -> "Scenario":
+        """Override arbitrary :class:`ExperimentConfig` fields."""
+        return self._replace(config=self.config.with_overrides(**overrides))
+
+    def _with_fields(self, allowed: frozenset, method: str, overrides: Dict) -> "Scenario":
+        unknown = sorted(set(overrides) - allowed)
+        if unknown:
+            raise TypeError(
+                f"{method}() got unexpected field(s) {', '.join(unknown)}; "
+                f"allowed: {', '.join(sorted(allowed))}"
+            )
+        return self.with_config(**overrides)
+
+    def with_topology(self, **overrides) -> "Scenario":
+        """Configure the network (``num_nodes``, ``target_degree``, capacities, …)."""
+        return self._with_fields(TOPOLOGY_FIELDS, "with_topology", overrides)
+
+    def with_workload(self, **overrides) -> "Scenario":
+        """Configure the trace (``horizon``, ``min_pairs``/``max_pairs``, routes)."""
+        return self._with_fields(WORKLOAD_FIELDS, "with_workload", overrides)
+
+    def with_budget(self, total_budget: Optional[float] = None, **overrides) -> "Scenario":
+        """Configure the budget and Lyapunov parameters (``trade_off_v``, …)."""
+        if total_budget is not None:
+            overrides["total_budget"] = float(total_budget)
+        return self._with_fields(BUDGET_FIELDS, "with_budget", overrides)
+
+    def with_trials(self, trials: int) -> "Scenario":
+        """Number of independent trials (fresh topology + trace each)."""
+        return self.with_config(trials=int(trials))
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """The base seed every per-trial stream is derived from."""
+        return self.with_config(base_seed=int(seed))
+
+    def with_realize(self, realize: bool) -> "Scenario":
+        """Enable/disable Monte-Carlo realisation of every EC."""
+        return self.with_config(realize=bool(realize))
+
+    def with_policies(self, *entries: PolicyLike) -> "Scenario":
+        """Replace the policy line-up (names, ``(name, kwargs)`` or specs)."""
+        if not entries:
+            raise ValueError("at least one policy is required")
+        return self._replace(
+            policies=tuple(PolicySpec.coerce(entry) for entry in entries),
+            lineup_factory=None,
+        )
+
+    def with_policy(self, name: str, label: Optional[str] = None, **kwargs) -> "Scenario":
+        """Append one policy to the line-up."""
+        spec = PolicySpec(name=name, kwargs=kwargs, label=label)
+        return self._replace(policies=self.policies + (spec,), lineup_factory=None)
+
+    def with_lineup_factory(
+        self, factory: Callable[[ExperimentConfig], Sequence[RoutingPolicy]]
+    ) -> "Scenario":
+        """Use a callable building the per-trial line-up (legacy escape hatch)."""
+        return self._replace(lineup_factory=factory)
+
+    def with_users(self, *users: UserSpec) -> "Scenario":
+        """Replace the tenant line-up (switches to multi-user mode)."""
+        return self._replace(users=tuple(users))
+
+    def with_user(
+        self,
+        name: str,
+        policy: PolicyLike = "oscar",
+        total_budget: Optional[float] = None,
+        label: Optional[str] = None,
+        workload_kind: str = "uniform",
+        **workload_options,
+    ) -> "Scenario":
+        """Append one tenant (switches to multi-user mode).
+
+        ``workload_kind`` and the remaining keyword arguments configure the
+        tenant's request process, e.g. ``workload_kind="hotspot",
+        hotspot_probability=0.8`` (see :data:`WORKLOAD_KINDS`).
+        """
+        spec = PolicySpec.coerce(policy)
+        if label:
+            spec = dataclasses.replace(spec, label=label)
+        workload: Dict[str, object] = {"kind": workload_kind, **workload_options}
+        user = UserSpec(
+            name=name, policy=spec, total_budget=total_budget, workload=workload
+        )
+        return self._replace(users=self.users + (user,))
+
+    # ------------------------------------------------------------------ #
+    # Introspection / resolution
+    # ------------------------------------------------------------------ #
+    @property
+    def is_multiuser(self) -> bool:
+        """Whether this scenario simulates tenants sharing the QDN."""
+        return bool(self.users)
+
+    @property
+    def kind(self) -> str:
+        """``"multiuser"`` or ``"comparison"``."""
+        return "multiuser" if self.is_multiuser else "comparison"
+
+    def lineup_names(self, registry: Optional[PolicyRegistry] = None) -> Tuple[str, ...]:
+        """The names results will be keyed by (policies or users)."""
+        if self.is_multiuser:
+            return tuple(user.name for user in self.users)
+        if self.lineup_factory is not None:
+            return tuple(p.name for p in self.lineup_factory(self.config))
+        return tuple(spec.display_name(registry) for spec in self.policies)
+
+    def build_policies(
+        self, registry: Optional[PolicyRegistry] = None
+    ) -> List[RoutingPolicy]:
+        """Fresh policy instances for one trial (single-user mode)."""
+        if self.is_multiuser:
+            raise ValueError("a multi-user scenario builds users, not a policy line-up")
+        if self.lineup_factory is not None:
+            return list(self.lineup_factory(self.config))
+        return [spec.resolve(self.config, registry=registry) for spec in self.policies]
+
+    def build_users(self, registry: Optional[PolicyRegistry] = None) -> List[QDNUser]:
+        """Fresh tenant instances for one trial (multi-user mode)."""
+        if not self.is_multiuser:
+            raise ValueError("a single-user scenario has no tenants")
+        return [user.build(self.config, registry=registry) for user in self.users]
+
+    def validate(self) -> "Scenario":
+        """Fail fast on inconsistent scenarios; returns self for chaining."""
+        if self.is_multiuser:
+            names = [user.name for user in self.users]
+            if len(set(names)) != len(names):
+                raise ValueError("user names must be unique")
+        elif self.lineup_factory is None:
+            if not self.policies:
+                raise ValueError("the policy line-up is empty")
+            names = list(self.lineup_names())
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            if duplicates:
+                raise ValueError(
+                    "duplicate line-up name(s) "
+                    f"{', '.join(duplicates)} would overwrite each other's "
+                    "results; give repeated policies distinct labels"
+                )
+        return self
+
+    def describe(self) -> Dict[str, object]:
+        """A flat, human-readable description (for reports and logs)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "lineup": list(self.lineup_names()),
+            **{f"config.{k}": v for k, v in self.config.describe().items()},
+        }
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable description (``lineup_factory`` excluded)."""
+        return {
+            "name": self.name,
+            "config": dataclasses.asdict(self.config),
+            "policies": [spec.to_dict() for spec in self.policies],
+            "users": [user.to_dict() for user in self.users],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        return cls(
+            name=str(payload.get("name", "scenario")),
+            config=ExperimentConfig(**payload["config"]),
+            policies=tuple(
+                PolicySpec.from_dict(entry) for entry in payload.get("policies", [])
+            ),
+            users=tuple(UserSpec.from_dict(entry) for entry in payload.get("users", [])),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, workers: int = 1, observers: Sequence = (), **session_options):
+        """Execute this scenario and return a :class:`~repro.api.records.RunRecord`.
+
+        Convenience wrapper over :class:`repro.api.session.Session`.
+        """
+        from repro.api.session import Session
+
+        return Session(workers=workers, observers=tuple(observers), **session_options).run(self)

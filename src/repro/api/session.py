@@ -1,0 +1,317 @@
+"""Scenario execution: serial or process-parallel trials, streamed events.
+
+A :class:`Session` runs the trials of a :class:`~repro.api.scenario.Scenario`
+and returns a :class:`~repro.api.records.RunRecord`.  Each trial is a pure
+function of ``(scenario, trial_index)``: its topology, trace and simulation
+streams are derived from the scenario's base seed with
+:func:`repro.utils.rng.derive_seed`, exactly as the serial runner has always
+done — so running with ``workers > 1`` in a process pool produces results
+bit-identical to a serial run of the same scenario.
+
+While trials execute, the session emits the event stream documented in
+:mod:`repro.api.events` to its observers (progress reporting, live metrics,
+early stop).  In parallel mode, per-slot events are replayed in trial order
+once each trial's results arrive, so observer invocation order is
+deterministic in both modes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
+
+from repro.api.events import (
+    EarlyStop,
+    RunCompleted,
+    RunEvent,
+    RunObserver,
+    RunStarted,
+    SlotCompleted,
+    TrialCompleted,
+    TrialStarted,
+)
+from repro.api.records import RunRecord
+from repro.api.scenario import Scenario
+from repro.core.multiuser import MultiUserSimulator, ProviderSlotRecord
+from repro.simulation.engine import simulate_policies
+from repro.simulation.results import SimulationResult
+from repro.utils.rng import derive_seed
+
+#: One executed trial: line-up results plus provider records (multi-user only).
+TrialOutcome = Tuple[Dict[str, SimulationResult], Tuple[ProviderSlotRecord, ...]]
+
+
+def execute_trial(
+    scenario: Scenario,
+    trial: int,
+    on_slot: Optional[Callable[[str, object], Optional[bool]]] = None,
+) -> TrialOutcome:
+    """Run one trial of ``scenario`` (the unit of parallelism).
+
+    The seed derivation mirrors the historical serial runner slot for slot:
+    ``derive_seed(base, "graph"|"trace"|"run", trial)`` for comparisons and
+    ``derive_seed(base, "graph"|"multiuser", trial)`` for multi-user runs —
+    results therefore do not depend on which process executes the trial.
+    """
+    config = scenario.config
+    seed = config.base_seed
+    graph = config.build_graph(seed=derive_seed(seed, "graph", trial))
+    if scenario.is_multiuser:
+        simulator = MultiUserSimulator(
+            graph=graph,
+            users=scenario.build_users(),
+            horizon=config.horizon,
+            num_candidate_routes=config.num_candidate_routes,
+            max_extra_hops=config.max_extra_hops,
+            realize=config.realize,
+        )
+        provider_cb = None
+        if on_slot is not None:
+            provider_cb = lambda record: on_slot("provider", record)
+        outcome = simulator.run(
+            seed=derive_seed(seed, "multiuser", trial), on_slot=provider_cb
+        )
+        return dict(outcome.user_results), tuple(outcome.provider_records)
+
+    trace = config.build_trace(graph, seed=derive_seed(seed, "trace", trial))
+    results = simulate_policies(
+        graph,
+        trace,
+        scenario.build_policies(),
+        total_budget=config.total_budget,
+        realize=config.realize,
+        seed=derive_seed(seed, "run", trial),
+        on_slot=on_slot,
+    )
+    return results, ()
+
+
+def _execute_trial_for_pool(scenario: Scenario, trial: int) -> TrialOutcome:
+    """Top-level pool target (observers cannot cross process boundaries)."""
+    return execute_trial(scenario, trial, on_slot=None)
+
+
+@dataclass
+class Session:
+    """Executes scenarios and streams run events to observers.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes for trial execution.  ``1`` (default)
+        runs serially in-process; results are identical either way.
+    observers:
+        :class:`~repro.api.events.RunObserver` instances receiving the event
+        stream.  Any observer may raise
+        :class:`~repro.api.events.EarlyStop` to end the run cleanly.
+    stream_slots:
+        Emit per-slot events.  With ``workers > 1`` the slot events of a
+        trial are replayed after the trial completes.  Disable for very
+        large runs where only trial-level progress matters.
+    """
+
+    workers: int = 1
+    observers: Sequence[RunObserver] = ()
+    stream_slots: bool = True
+
+    def run(self, scenario: Scenario) -> RunRecord:
+        """Execute every trial of ``scenario`` and return the unified record."""
+        scenario.validate()
+        trials = scenario.config.trials
+        started = time.perf_counter()
+        self._emit(
+            RunStarted(
+                scenario=scenario.name,
+                trials=trials,
+                workers=self.workers,
+                kind=scenario.kind,
+                lineup=tuple(scenario.lineup_names()),
+            )
+        )
+
+        stopped_early = False
+        completed: List[TrialOutcome] = []
+        try:
+            # Both modes append into `completed` as trials finish, so the
+            # trials completed before an EarlyStop are preserved.
+            if self.workers > 1 and trials > 1:
+                self._run_parallel(scenario, trials, completed)
+            else:
+                self._run_serial(scenario, trials, completed)
+        except EarlyStop:
+            stopped_early = True
+
+        record = RunRecord(
+            scenario=scenario.to_dict(),
+            kind=scenario.kind,
+            trials=[outcome[0] for outcome in completed],
+            provider_trials=[outcome[1] for outcome in completed if outcome[1]],
+            meta={
+                "workers": self.workers,
+                "requested_trials": trials,
+                "completed_trials": len(completed),
+                "stopped_early": stopped_early,
+                "elapsed_seconds": time.perf_counter() - started,
+            },
+        )
+        self._emit(
+            RunCompleted(
+                scenario=scenario.name,
+                trials_completed=len(completed),
+                elapsed_seconds=record.meta["elapsed_seconds"],
+                stopped_early=stopped_early,
+            ),
+            swallow_early_stop=True,
+        )
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Execution modes
+    # ------------------------------------------------------------------ #
+    def _run_serial(
+        self, scenario: Scenario, trials: int, completed: List[TrialOutcome]
+    ) -> None:
+        for trial in range(trials):
+            self._emit(TrialStarted(scenario=scenario.name, trial=trial))
+            outcome = execute_trial(
+                scenario, trial, on_slot=self._live_slot_callback(scenario, trial)
+            )
+            completed.append(outcome)
+            self._emit_trial_completed(scenario, trial, outcome)
+
+    def _run_parallel(
+        self, scenario: Scenario, trials: int, completed: List[TrialOutcome]
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=min(self.workers, trials)) as pool:
+            futures = [
+                pool.submit(_execute_trial_for_pool, scenario, trial)
+                for trial in range(trials)
+            ]
+            try:
+                # Collect in trial order so the event stream (and any
+                # early-stop cut-off) is deterministic.
+                for trial, future in enumerate(futures):
+                    outcome = future.result()
+                    self._emit(TrialStarted(scenario=scenario.name, trial=trial))
+                    if self.stream_slots:
+                        self._replay_slots(scenario, trial, outcome)
+                    completed.append(outcome)
+                    self._emit_trial_completed(scenario, trial, outcome)
+            except EarlyStop:
+                for future in futures:
+                    future.cancel()
+                raise
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing
+    # ------------------------------------------------------------------ #
+    def _emit(self, event: RunEvent, swallow_early_stop: bool = False) -> None:
+        for observer in self.observers:
+            try:
+                observer.on_event(event)
+            except EarlyStop:
+                if not swallow_early_stop:
+                    raise
+
+    def _live_slot_callback(self, scenario: Scenario, trial: int):
+        if not self.stream_slots or not self.observers:
+            return None
+
+        def on_slot(policy_name: str, record: object) -> Optional[bool]:
+            # EarlyStop propagates out of the engine through here.
+            self._emit(
+                SlotCompleted(
+                    scenario=scenario.name,
+                    trial=trial,
+                    policy=policy_name,
+                    record=record,
+                    replayed=False,
+                )
+            )
+            return None
+
+        return on_slot
+
+    def _replay_slots(self, scenario: Scenario, trial: int, outcome: TrialOutcome) -> None:
+        results, provider_records = outcome
+        if provider_records:
+            for record in provider_records:
+                self._emit(
+                    SlotCompleted(
+                        scenario=scenario.name,
+                        trial=trial,
+                        policy="provider",
+                        record=record,
+                        replayed=True,
+                    )
+                )
+            return
+        for name, result in results.items():
+            for record in result.records:
+                self._emit(
+                    SlotCompleted(
+                        scenario=scenario.name,
+                        trial=trial,
+                        policy=name,
+                        record=record,
+                        replayed=True,
+                    )
+                )
+
+    def _emit_trial_completed(
+        self, scenario: Scenario, trial: int, outcome: TrialOutcome
+    ) -> None:
+        results, _ = outcome
+        self._emit(
+            TrialCompleted(
+                scenario=scenario.name,
+                trial=trial,
+                results={name: result.summary() for name, result in results.items()},
+            )
+        )
+
+
+def run_scenario(
+    scenario: Scenario,
+    workers: int = 1,
+    observers: Sequence[RunObserver] = (),
+    **session_options,
+) -> RunRecord:
+    """Run ``scenario`` with a throwaway :class:`Session` (the one-liner API)."""
+    session = Session(workers=workers, observers=tuple(observers), **session_options)
+    return session.run(scenario)
+
+
+def compare(
+    config: Optional["ExperimentConfig"] = None,
+    policies: Sequence = ("oscar", "myopic-adaptive", "myopic-fixed"),
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+    workers: int = 1,
+    observers: Sequence[RunObserver] = (),
+    name: str = "comparison",
+) -> RunRecord:
+    """Run a multi-trial policy comparison in one call.
+
+    The facade equivalent of the historical
+    :func:`repro.experiments.runner.run_comparison`: every trial draws a
+    fresh topology and trace, every policy runs on the identical trace.
+    ``policies`` accepts anything :meth:`Scenario.with_policies` does.
+    """
+    from repro.experiments.config import ExperimentConfig
+
+    config = config if config is not None else ExperimentConfig.paper()
+    overrides = {}
+    if trials is not None:
+        overrides["trials"] = int(trials)
+    if seed is not None:
+        overrides["base_seed"] = int(seed)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    scenario = Scenario.from_config(config, name=name).with_policies(*policies)
+    return run_scenario(scenario, workers=workers, observers=observers)

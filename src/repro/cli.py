@@ -1,15 +1,17 @@
 """Command-line interface.
 
 ``python -m repro <command>`` exposes the most common workflows without
-writing any Python:
+writing any Python (all built on the :mod:`repro.api` facade):
 
 * ``python -m repro info`` — print the paper's default configuration and the
   derived quantities (per-slot budget, link success probabilities).
 * ``python -m repro figure fig3 --scale small`` — regenerate one figure of
   the paper (``fig3`` … ``fig8`` or ``ablations``) and optionally save the
   plain-text report with ``--output``.
-* ``python -m repro compare --scale tiny`` — run the OSCAR / MA / MF
-  comparison and print the summary table.
+* ``python -m repro compare --scale tiny`` — run a policy comparison and
+  print the summary table; ``--policies`` picks any registered policies,
+  ``--workers`` parallelises the trials, ``--progress`` streams progress.
+* ``python -m repro policies`` — list the policy registry.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.metrics import compare_summaries
+from repro import api
 from repro.experiments import (
     ablations,
     fig3_time_evolving,
@@ -32,19 +34,18 @@ from repro.experiments import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.persistence import save_text_report
-from repro.experiments.reporting import format_summary, format_table
-from repro.experiments.runner import run_comparison
+from repro.experiments.reporting import format_table
 from repro.network.channels import per_slot_success
 from repro.version import __version__
 
 FIGURE_RUNNERS = {
-    "fig3": lambda config: fig3_time_evolving.run(config).format_tables(),
-    "fig4": lambda config: fig4_distribution.run(config).format_tables(),
-    "fig5": lambda config: fig5_budget.run(config).format_tables(),
-    "fig6": lambda config: fig6_network_size.run(config).format_tables(),
-    "fig7": lambda config: fig7_control_v.run(config).format_tables(),
-    "fig8": lambda config: fig8_initial_queue.run(config).format_tables(),
-    "ablations": lambda config: ablations.run_all(config),
+    "fig3": lambda config, workers: fig3_time_evolving.run(config, workers=workers).format_tables(),
+    "fig4": lambda config, workers: fig4_distribution.run(config, workers=workers).format_tables(),
+    "fig5": lambda config, workers: fig5_budget.run(config, workers=workers).format_tables(),
+    "fig6": lambda config, workers: fig6_network_size.run(config, workers=workers).format_tables(),
+    "fig7": lambda config, workers: fig7_control_v.run(config, workers=workers).format_tables(),
+    "fig8": lambda config, workers: fig8_initial_queue.run(config, workers=workers).format_tables(),
+    "ablations": lambda config, workers: ablations.run_all(config, workers=workers),
 }
 
 SCALES = {
@@ -87,7 +88,7 @@ def command_figure(arguments: argparse.Namespace) -> int:
     """Regenerate one of the paper's figures."""
     config = _config_from_args(arguments)
     started = time.time()
-    report = FIGURE_RUNNERS[arguments.name](config)
+    report = FIGURE_RUNNERS[arguments.name](config, arguments.workers)
     elapsed = time.time() - started
     print(report)
     print(f"\n[{arguments.name} at scale={arguments.scale} in {elapsed:.1f} s]")
@@ -98,15 +99,32 @@ def command_figure(arguments: argparse.Namespace) -> int:
 
 
 def command_compare(arguments: argparse.Namespace) -> int:
-    """Run the OSCAR / MA / MF comparison and print the aggregate summary."""
+    """Run a policy comparison through the facade and print the summary."""
     config = _config_from_args(arguments)
-    comparison = run_comparison(config)
-    print(format_summary(comparison.summary(), title="Policy comparison (mean over trials)"))
+    observers = [api.ProgressObserver()] if arguments.progress else []
+    try:
+        record = api.compare(
+            config,
+            policies=tuple(arguments.policies),
+            workers=arguments.workers,
+            observers=observers,
+            name=f"compare/{arguments.scale}",
+        )
+    except (api.UnknownPolicyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        print("hint: `python -m repro policies` lists the registry", file=sys.stderr)
+        return 2
+    print(record.format_summary(title="Policy comparison (mean over trials)"))
     if arguments.output:
-        from repro.experiments.persistence import save_comparison
-
-        path = save_comparison(comparison, Path(arguments.output))
+        path = record.save(Path(arguments.output))
         print(f"[comparison written to {path}]")
+    return 0
+
+
+def command_policies(arguments: argparse.Namespace) -> int:
+    """List every policy registered in the facade's registry."""
+    rows = [[name, text] for name, text in api.default_registry.describe().items()]
+    print(format_table(["name", "description"], rows, title="Registered policies"))
     return 0
 
 
@@ -132,13 +150,25 @@ def build_parser() -> argparse.ArgumentParser:
     figure = subparsers.add_parser("figure", help="regenerate one figure of the paper")
     figure.add_argument("name", choices=sorted(FIGURE_RUNNERS.keys()))
     figure.add_argument("--output", default=None, help="write the plain-text report to this file")
+    figure.add_argument("--workers", type=int, default=1,
+                        help="worker processes for trial execution (default: 1)")
     add_common(figure)
     figure.set_defaults(handler=command_figure)
 
-    compare = subparsers.add_parser("compare", help="run the OSCAR / MA / MF comparison")
-    compare.add_argument("--output", default=None, help="write the full comparison (JSON) to this file")
+    compare = subparsers.add_parser("compare", help="run a policy comparison")
+    compare.add_argument("--output", default=None,
+                         help="write the full run record (JSON) to this file")
+    compare.add_argument("--policies", nargs="+", default=["oscar", "ma", "mf"],
+                         help="registered policy names to compare (default: oscar ma mf)")
+    compare.add_argument("--workers", type=int, default=1,
+                         help="worker processes for trial execution (default: 1)")
+    compare.add_argument("--progress", action="store_true",
+                         help="stream per-trial progress to stderr")
     add_common(compare)
     compare.set_defaults(handler=command_compare)
+
+    policies = subparsers.add_parser("policies", help="list the policy registry")
+    policies.set_defaults(handler=command_policies)
 
     return parser
 

@@ -51,10 +51,12 @@ class _MyopicBase(RoutingPolicy):
 
     _tracker: BudgetTracker = field(init=False, repr=False)
     _solver: PerSlotSolver = field(init=False, repr=False)
+    _run_horizon: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         check_non_negative(self.total_budget, "total_budget")
         check_positive(self.horizon, "horizon")
+        self._run_horizon = self.horizon
         self._solver = PerSlotSolver(
             selector_mode=self.selector_mode,
             exhaustive_limit=self.exhaustive_limit,
@@ -62,12 +64,13 @@ class _MyopicBase(RoutingPolicy):
             gibbs_iterations=self.gibbs_iterations,
             relaxed_solver=self.relaxed_solver,
         )
-        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self.horizon)
+        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
 
     def reset(self, graph: QDNGraph, horizon: int) -> None:
-        if horizon != self.horizon:
-            self.horizon = horizon
-        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self.horizon)
+        # The run horizon applies to this run only; the configured ``horizon``
+        # stays untouched so reused policy objects are not silently rescaled.
+        self._run_horizon = horizon
+        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
 
     def _slot_cap(self) -> float:
         """The per-slot budget cap for the *next* slot (subclass hook)."""
@@ -159,16 +162,17 @@ class ShortestRouteUniformPolicy(RoutingPolicy):
     name: str = "ShortestUniform"
 
     _tracker: BudgetTracker = field(init=False, repr=False)
+    _run_horizon: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         check_non_negative(self.total_budget, "total_budget")
         check_positive(self.horizon, "horizon")
-        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self.horizon)
+        self._run_horizon = self.horizon
+        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
 
     def reset(self, graph: QDNGraph, horizon: int) -> None:
-        if horizon != self.horizon:
-            self.horizon = horizon
-        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self.horizon)
+        self._run_horizon = horizon
+        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
 
     def decide(self, context: SlotContext, seed: SeedLike = None) -> SlotDecision:
         servable = list(context.servable_requests())

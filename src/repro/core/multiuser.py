@@ -17,7 +17,7 @@ than a different problem.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext, SlotDecision
@@ -143,8 +143,17 @@ class MultiUserSimulator:
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
-    def run(self, seed: SeedLike = None) -> MultiUserOutcome:
-        """Run the shared simulation and return per-user and provider results."""
+    def run(
+        self,
+        seed: SeedLike = None,
+        on_slot: Optional[Callable[[ProviderSlotRecord], Optional[bool]]] = None,
+    ) -> MultiUserOutcome:
+        """Run the shared simulation and return per-user and provider results.
+
+        ``on_slot`` receives the provider-side record of every slot as it
+        completes; returning ``False`` stops the simulation early (every
+        user's records then cover only the slots simulated so far).
+        """
         rng = as_generator(seed)
         request_rng, decision_rng, realization_rng = spawn_rngs(rng, 3)
         link_layer = LinkLayerSimulator(graph=self.graph)
@@ -229,16 +238,17 @@ class MultiUserSimulator:
 
             used_qubits = total_qubits - sum(remaining_qubits.values())
             used_channels = total_channels - sum(remaining_channels.values())
-            provider_records.append(
-                ProviderSlotRecord(
-                    t=t,
-                    qubit_utilisation=used_qubits / total_qubits if total_qubits else 0.0,
-                    channel_utilisation=used_channels / total_channels if total_channels else 0.0,
-                    total_cost=slot_cost,
-                    served_requests=slot_served,
-                    total_requests=slot_requests,
-                )
+            provider_record = ProviderSlotRecord(
+                t=t,
+                qubit_utilisation=used_qubits / total_qubits if total_qubits else 0.0,
+                channel_utilisation=used_channels / total_channels if total_channels else 0.0,
+                total_cost=slot_cost,
+                served_requests=slot_served,
+                total_requests=slot_requests,
             )
+            provider_records.append(provider_record)
+            if on_slot is not None and on_slot(provider_record) is False:
+                break
 
         user_results = {
             user.name: SimulationResult(

@@ -76,6 +76,7 @@ class OscarPolicy(RoutingPolicy):
     _tracker: BudgetTracker = field(init=False, repr=False)
     _solver: PerSlotSolver = field(init=False, repr=False)
     _objective_history: List[float] = field(init=False, repr=False, default_factory=list)
+    _run_horizon: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         check_non_negative(self.total_budget, "total_budget")
@@ -91,24 +92,35 @@ class OscarPolicy(RoutingPolicy):
             parallel_updates=self.parallel_updates,
             relaxed_solver=self.relaxed_solver,
         )
+        self._run_horizon = self.horizon
         self._queue = VirtualQueue.for_budget(
-            self.total_budget, self.horizon, self.initial_queue
+            self.total_budget, self._run_horizon, self.initial_queue
         )
-        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self.horizon)
+        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
         self._objective_history = []
 
     # ------------------------------------------------------------------ #
     # RoutingPolicy interface
     # ------------------------------------------------------------------ #
     def reset(self, graph: QDNGraph, horizon: int) -> None:
-        """Start a fresh run; ``horizon`` overrides the configured ``T`` if different."""
-        if horizon != self.horizon:
-            self.horizon = horizon
+        """Start a fresh run of ``horizon`` slots.
+
+        The run horizon overrides the configured ``T`` for this run only
+        (the per-slot budget share becomes ``C / horizon``); the configured
+        :attr:`horizon` is left untouched so a reused policy object returns
+        to its configured behaviour on the next run.
+        """
+        self._run_horizon = horizon
         self._queue = VirtualQueue.for_budget(
-            self.total_budget, self.horizon, self.initial_queue
+            self.total_budget, self._run_horizon, self.initial_queue
         )
-        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self.horizon)
+        self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
         self._objective_history = []
+
+    @property
+    def run_horizon(self) -> int:
+        """The horizon of the current run (set by :meth:`reset`)."""
+        return self._run_horizon
 
     def decide(self, context: SlotContext, seed: SeedLike = None) -> SlotDecision:
         """Solve P2 with the current queue price, then update the queue."""

@@ -1,6 +1,6 @@
 """Ablation studies (beyond the paper's figures).
 
-Three design choices of the reproduction are checked explicitly:
+Four design choices of the reproduction are checked explicitly:
 
 * **Route selection** — the Gibbs sampler (Algorithm 3) versus exhaustive
   search on slots where exhaustive search is tractable: how close does
@@ -10,6 +10,10 @@ Three design choices of the reproduction are checked explicitly:
   scipy SLSQP reference on the same allocation instances.
 * **Link model** — the analytic edge success probability ``P_e(n)`` of
   Eq. (1) versus an attempt-level Monte-Carlo estimate.
+* **Policy line-up** — every policy in the :mod:`repro.api` registry
+  (OSCAR, both myopic baselines, the unconstrained upper bound and the
+  naive heuristic) on one short shared workload, to place the paper's
+  three-way comparison in a wider context.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import api
 from repro.core.allocation import QubitAllocator
 from repro.core.problem import SlotContext
 from repro.core.route_selection import ExhaustiveRouteSelector, GibbsRouteSelector
@@ -226,13 +231,63 @@ def run_link_model_ablation(
     )
 
 
-def run_all(config: Optional[ExperimentConfig] = None) -> str:
+@dataclass
+class PolicyLineupAblation:
+    """Every registered policy on one short shared workload."""
+
+    record: "api.RunRecord" = field(repr=False)
+
+    def format_table(self) -> str:
+        summary = self.record.summary()
+        rows = []
+        for name, metrics in summary.items():
+            rows.append(
+                [
+                    name,
+                    metrics["average_success_rate"].mean,
+                    metrics["total_cost"].mean,
+                    metrics["budget_violation"].mean,
+                    metrics["served_fraction"].mean,
+                ]
+            )
+        return format_table(
+            ["policy", "success_rate", "total_cost", "violation", "served"],
+            rows,
+            title="Ablation: full policy-registry line-up (short shared workload)",
+        )
+
+
+def run_policy_lineup_ablation(
+    config: Optional[ExperimentConfig] = None,
+    max_horizon: int = 10,
+    seed: int = 17,
+    workers: int = 1,
+) -> PolicyLineupAblation:
+    """Compare every policy in the default registry through the facade.
+
+    The horizon is capped so the ablation stays cheap even at paper scale;
+    the line-up is whatever :func:`repro.api.available_policies` reports,
+    so user-registered policies automatically join the table.
+    """
+    config = config or ExperimentConfig.small()
+    scenario = (
+        api.Scenario.from_config(config, name="ablation/lineup")
+        .with_workload(horizon=min(config.horizon, max_horizon))
+        .with_trials(1)
+        .with_seed(seed)
+        .with_policies(*api.available_policies())
+    )
+    return PolicyLineupAblation(record=scenario.run(workers=workers))
+
+
+def run_all(config: Optional[ExperimentConfig] = None, workers: int = 1) -> str:
     """Run every ablation and return the combined plain-text report."""
     config = config or ExperimentConfig.small()
     sections = [
         run_route_selection_ablation(config).format_table(),
         run_solver_ablation(config).format_table(),
         run_link_model_ablation().format_table(),
+        run_policy_lineup_ablation(config, workers=workers).format_table(),
     ]
     return "\n\n".join(sections)
 

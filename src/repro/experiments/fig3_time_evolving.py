@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import api
 from repro.analysis.stats import downsample
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_series_table
-from repro.experiments.runner import ComparisonResult, run_comparison
+from repro.experiments.runner import ComparisonResult
 
 #: Number of time points reported in the plain-text series tables.
 REPORT_POINTS = 11
@@ -90,10 +91,13 @@ def run(
     config: Optional[ExperimentConfig] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
+    workers: int = 1,
 ) -> Figure3Result:
     """Run the Fig. 3 experiment and return its time-evolving series."""
     config = config or ExperimentConfig.paper()
-    comparison = run_comparison(config, trials=trials, seed=seed)
+    comparison = api.compare(
+        config, trials=trials, seed=seed, workers=workers, name="fig3"
+    ).to_comparison()
     slots = list(range(config.horizon))
     running_utility = {
         name: comparison.mean_series(name, "running_utility")

@@ -12,10 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import api
 from repro.analysis.metrics import jain_fairness_index, success_rate_histogram
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ComparisonResult, run_comparison
+from repro.experiments.runner import ComparisonResult
 
 
 @dataclass
@@ -55,11 +56,14 @@ def run(
     trials: Optional[int] = None,
     seed: Optional[int] = None,
     comparison: Optional[ComparisonResult] = None,
+    workers: int = 1,
 ) -> Figure4Result:
     """Run the Fig. 4 experiment (or reuse an existing comparison run)."""
     config = config or ExperimentConfig.paper()
     if comparison is None:
-        comparison = run_comparison(config, trials=trials, seed=seed)
+        comparison = api.compare(
+            config, trials=trials, seed=seed, workers=workers, name="fig4"
+        ).to_comparison()
 
     bin_edges: List[float] = []
     histograms: Dict[str, List[float]] = {}

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import api
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_series_table
-from repro.experiments.runner import ComparisonResult, run_comparison
+from repro.experiments.runner import ComparisonResult
 
 #: Budget sweep used when reproducing the paper-scale experiment.
 PAPER_BUDGETS = (3000.0, 4000.0, 5000.0, 6000.0, 7000.0, 8000.0)
@@ -72,17 +73,22 @@ def run(
     budgets: Optional[Sequence[float]] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
+    workers: int = 1,
 ) -> Figure5Result:
     """Run the budget sweep and collect per-policy success rates and usage."""
     config = config or ExperimentConfig.paper()
     budgets = list(budgets) if budgets is not None else sweep_budgets_for(config)
 
+    base = api.Scenario.from_config(config, name="fig5")
     success_rate: Dict[str, List[float]] = {}
     total_cost: Dict[str, List[float]] = {}
     comparisons: List[ComparisonResult] = []
     for budget in budgets:
-        swept = config.with_overrides(total_budget=float(budget))
-        comparison = run_comparison(swept, trials=trials, seed=seed)
+        scenario = base.with_budget(float(budget)).with_name(f"fig5/C={budget:g}")
+        comparison = api.compare(
+            scenario.config, trials=trials, seed=seed, workers=workers,
+            name=scenario.name,
+        ).to_comparison()
         comparisons.append(comparison)
         summary = comparison.summary()
         for name, metrics in summary.items():

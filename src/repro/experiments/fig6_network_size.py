@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import api
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_series_table
-from repro.experiments.runner import ComparisonResult, run_comparison
+from repro.experiments.runner import ComparisonResult
 
 #: Node-count sweep used at paper scale.
 PAPER_SIZES = (10, 15, 20, 25, 30)
@@ -62,17 +63,22 @@ def run(
     sizes: Optional[Sequence[int]] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
+    workers: int = 1,
 ) -> Figure6Result:
     """Run the network-size sweep with the average degree held near 4."""
     config = config or ExperimentConfig.paper()
     sizes = list(sizes) if sizes is not None else sweep_sizes_for(config)
 
+    base = api.Scenario.from_config(config, name="fig6")
     success_rate: Dict[str, List[float]] = {}
     total_cost: Dict[str, List[float]] = {}
     comparisons: List[ComparisonResult] = []
     for size in sizes:
-        swept = config.with_overrides(num_nodes=int(size))
-        comparison = run_comparison(swept, trials=trials, seed=seed)
+        scenario = base.with_topology(num_nodes=int(size)).with_name(f"fig6/N={size}")
+        comparison = api.compare(
+            scenario.config, trials=trials, seed=seed, workers=workers,
+            name=scenario.name,
+        ).to_comparison()
         comparisons.append(comparison)
         summary = comparison.summary()
         for name, metrics in summary.items():

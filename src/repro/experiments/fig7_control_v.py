@@ -17,9 +17,10 @@ from repro.analysis.theory import (
     drift_constant_bound,
     theorem1_violation_bound,
 )
+from repro import api
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_series_table
-from repro.experiments.runner import ComparisonResult, run_comparison
+from repro.experiments.runner import ComparisonResult
 
 #: V sweep used at paper scale (the paper's default is V = 2500).
 PAPER_V_VALUES = (500.0, 1000.0, 2500.0, 5000.0, 10000.0)
@@ -62,6 +63,7 @@ def run(
     v_values: Optional[Sequence[float]] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
+    workers: int = 1,
 ) -> Figure7Result:
     """Sweep V for OSCAR and collect utility / usage / violation."""
     config = config or ExperimentConfig.paper()
@@ -78,12 +80,14 @@ def run(
     comparisons: List[ComparisonResult] = []
     for v in v_values:
         swept = config.with_overrides(trade_off_v=v)
-        comparison = run_comparison(
+        comparison = api.compare(
             swept,
-            policy_factory=lambda cfg: [cfg.make_oscar()],
+            policies=("oscar",),
             trials=trials,
             seed=seed,
-        )
+            workers=workers,
+            name=f"fig7/V={v:g}",
+        ).to_comparison()
         comparisons.append(comparison)
         summary = comparison.summary()["OSCAR"]
         average_utility.append(summary["average_utility"].mean)

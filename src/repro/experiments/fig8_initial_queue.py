@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import api
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import format_series_table
-from repro.experiments.runner import ComparisonResult, run_comparison
+from repro.experiments.runner import ComparisonResult
 
 #: q0 sweep used at paper scale (the paper's default is q0 = 10).
 PAPER_Q0_VALUES = (0.0, 10.0, 50.0, 100.0, 200.0)
@@ -55,6 +56,7 @@ def run(
     q0_values: Optional[Sequence[float]] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
+    workers: int = 1,
 ) -> Figure8Result:
     """Sweep q0 for OSCAR and collect utility, usage and early-slot spending."""
     config = config or ExperimentConfig.paper()
@@ -68,12 +70,14 @@ def run(
     early_slots = max(1, config.horizon // 10)
     for q0 in q0_values:
         swept = config.with_overrides(initial_queue=q0)
-        comparison = run_comparison(
+        comparison = api.compare(
             swept,
-            policy_factory=lambda cfg: [cfg.make_oscar()],
+            policies=("oscar",),
             trials=trials,
             seed=seed,
-        )
+            workers=workers,
+            name=f"fig8/q0={q0:g}",
+        ).to_comparison()
         comparisons.append(comparison)
         summary = comparison.summary()["OSCAR"]
         average_utility.append(summary["average_utility"].mean)

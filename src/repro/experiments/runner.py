@@ -5,6 +5,15 @@ sampling one topology and one workload trace, then running every policy on
 that identical trace.  :func:`run_comparison` performs the trials and
 returns a :class:`ComparisonResult` from which the figure modules extract
 their series and tables.
+
+.. deprecated::
+    :func:`run_comparison` is now a thin shim over the :mod:`repro.api`
+    facade (``repro.api.compare`` / ``Scenario`` / ``Session``), kept so
+    existing imports and result handling continue to work.  New code should
+    use the facade directly — it adds named policies, parallel trial
+    execution and streaming events.  :class:`ComparisonResult` remains the
+    canonical aggregation helper and is what
+    :meth:`repro.api.records.RunRecord.to_comparison` returns.
 """
 
 from __future__ import annotations
@@ -16,9 +25,7 @@ from repro.analysis.metrics import jain_fairness_index
 from repro.analysis.stats import TrialAggregate, aggregate_scalar, aggregate_series
 from repro.core.policy import RoutingPolicy
 from repro.experiments.config import ExperimentConfig
-from repro.simulation.engine import simulate_policies
 from repro.simulation.results import SimulationResult
-from repro.utils.rng import derive_seed
 
 PolicyFactory = Callable[[ExperimentConfig], Sequence[RoutingPolicy]]
 
@@ -108,33 +115,36 @@ def run_comparison(
     policy_factory: Optional[PolicyFactory] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
+    workers: int = 1,
 ) -> ComparisonResult:
     """Run the multi-trial comparison defined by ``config``.
 
     Every trial draws a fresh topology and workload trace; every policy runs
     on the identical trace within a trial.  ``policy_factory`` may replace
     the default OSCAR/MA/MF line-up (it is called once per trial so that
-    policies start from clean state).
-    """
-    policy_factory = policy_factory or default_policy_factory
-    trials = trials if trials is not None else config.trials
-    seed = seed if seed is not None else config.base_seed
+    policies start from clean state).  ``workers > 1`` executes trials in a
+    process pool with bit-identical results (the line-up must be picklable).
 
-    comparison = ComparisonResult(config=config)
-    for trial in range(trials):
-        graph_seed = derive_seed(seed, "graph", trial)
-        trace_seed = derive_seed(seed, "trace", trial)
-        run_seed = derive_seed(seed, "run", trial)
-        graph = config.build_graph(seed=graph_seed)
-        trace = config.build_trace(graph, seed=trace_seed)
-        policies = list(policy_factory(config))
-        results = simulate_policies(
-            graph,
-            trace,
-            policies,
-            total_budget=config.total_budget,
-            realize=config.realize,
-            seed=run_seed,
-        )
-        comparison.trials.append(results)
-    return comparison
+    This is a compatibility shim over :mod:`repro.api` — see the module
+    docstring.
+    """
+    # Imported lazily: repro.api is a higher layer that itself consumes
+    # ComparisonResult from this module.
+    from repro.api import Scenario, Session
+
+    overrides = {}
+    if trials is not None:
+        overrides["trials"] = int(trials)
+    if seed is not None:
+        overrides["base_seed"] = int(seed)
+    run_config = config.with_overrides(**overrides) if overrides else config
+
+    scenario = Scenario.from_config(run_config, name="comparison")
+    if policy_factory is not None:
+        scenario = scenario.with_lineup_factory(policy_factory)
+    record = Session(workers=workers, stream_slots=False).run(scenario)
+    # Preserve the caller's config object (including any trials/seed
+    # overrides applied above) rather than a deserialised copy.
+    return ComparisonResult(
+        config=run_config, trials=[dict(trial) for trial in record.trials]
+    )

@@ -11,7 +11,7 @@ each EC with the link-layer Monte-Carlo simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext
@@ -20,6 +20,11 @@ from repro.simulation.link_layer import LinkLayerSimulator
 from repro.simulation.results import SimulationResult, SlotRecord
 from repro.utils.rng import SeedLike, as_generator, spawn_rngs
 from repro.workload.traces import WorkloadTrace
+
+#: Per-slot streaming hook: called with ``(policy_name, record)`` after every
+#: simulated slot.  Returning ``False`` stops the run early (the result then
+#: covers only the slots simulated so far); any other return value continues.
+SlotCallback = Callable[[str, SlotRecord], Optional[bool]]
 
 
 @dataclass
@@ -50,8 +55,17 @@ class SlottedSimulator:
     realize: bool = True
     detailed_link_layer: bool = False
 
-    def run(self, policy: RoutingPolicy, seed: SeedLike = None) -> SimulationResult:
-        """Simulate ``policy`` over the whole trace and return its result."""
+    def run(
+        self,
+        policy: RoutingPolicy,
+        seed: SeedLike = None,
+        on_slot: Optional[SlotCallback] = None,
+    ) -> SimulationResult:
+        """Simulate ``policy`` over the whole trace and return its result.
+
+        ``on_slot`` receives every :class:`SlotRecord` as it is produced;
+        returning ``False`` from the callback stops the simulation early.
+        """
         rng = as_generator(seed)
         decision_rng, realization_rng = spawn_rngs(rng, 2)
         link_layer = LinkLayerSimulator(graph=self.graph, detailed=self.detailed_link_layer)
@@ -106,19 +120,20 @@ class SlottedSimulator:
             if isinstance(history, list) and history:
                 queue_length = float(history[-1])
 
-            records.append(
-                SlotRecord(
-                    t=slot_trace.t,
-                    num_requests=slot_trace.num_requests,
-                    num_served=decision.num_served,
-                    cost=decision.cost(),
-                    utility=decision.utility(self.graph),
-                    success_probabilities=success_probabilities,
-                    realized_successes=tuple(realized),
-                    realized_fidelities=tuple(fidelities),
-                    queue_length=queue_length,
-                )
+            record = SlotRecord(
+                t=slot_trace.t,
+                num_requests=slot_trace.num_requests,
+                num_served=decision.num_served,
+                cost=decision.cost(),
+                utility=decision.utility(self.graph),
+                success_probabilities=success_probabilities,
+                realized_successes=tuple(realized),
+                realized_fidelities=tuple(fidelities),
+                queue_length=queue_length,
             )
+            records.append(record)
+            if on_slot is not None and on_slot(policy.name, record) is False:
+                break
 
         return SimulationResult(
             policy_name=policy.name,
@@ -136,12 +151,14 @@ def simulate_policies(
     total_budget: float = 5000.0,
     realize: bool = True,
     seed: SeedLike = None,
+    on_slot: Optional[SlotCallback] = None,
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the *same* trace and collect their results.
 
     Each policy gets its own independent random stream (for Gibbs sampling
     and EC realisation) derived from ``seed``, so results are reproducible
-    yet uncorrelated across policies.
+    yet uncorrelated across policies.  ``on_slot`` is forwarded to every
+    policy's run (see :class:`SlottedSimulator`).
     """
     simulator = SlottedSimulator(
         graph=graph, trace=trace, total_budget=total_budget, realize=realize
@@ -149,5 +166,5 @@ def simulate_policies(
     rngs = spawn_rngs(seed, len(list(policies)))
     results: Dict[str, SimulationResult] = {}
     for policy, policy_rng in zip(policies, rngs):
-        results[policy.name] = simulator.run(policy, seed=policy_rng)
+        results[policy.name] = simulator.run(policy, seed=policy_rng, on_slot=on_slot)
     return results

@@ -1,0 +1,144 @@
+"""Tests for the repro.api scenario builder."""
+
+import pytest
+
+from repro import api
+from repro.core.baselines import ShortestRouteUniformPolicy
+from repro.core.oscar import OscarPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.workload.requests import HotspotRequestProcess, UniformRequestProcess
+
+
+class TestFluentBuilders:
+    def test_builders_return_new_scenarios(self):
+        base = api.Scenario.tiny()
+        changed = base.with_budget(999.0)
+        assert base.config.total_budget != 999.0
+        assert changed.config.total_budget == 999.0
+
+    def test_topology_and_workload_fields_routed(self):
+        scenario = (
+            api.Scenario.tiny()
+            .with_topology(num_nodes=9, target_degree=3.5)
+            .with_workload(horizon=7, max_pairs=2)
+            .with_budget(100.0, trade_off_v=123.0)
+            .with_trials(3)
+            .with_seed(5)
+        )
+        config = scenario.config
+        assert (config.num_nodes, config.target_degree) == (9, 3.5)
+        assert (config.horizon, config.max_pairs) == (7, 2)
+        assert (config.total_budget, config.trade_off_v) == (100.0, 123.0)
+        assert (config.trials, config.base_seed) == (3, 5)
+
+    def test_wrong_field_rejected_with_clear_error(self):
+        with pytest.raises(TypeError, match="with_topology"):
+            api.Scenario.tiny().with_topology(horizon=5)
+        with pytest.raises(TypeError, match="with_workload"):
+            api.Scenario.tiny().with_workload(num_nodes=5)
+
+    def test_default_lineup_is_the_papers(self):
+        assert api.Scenario.tiny().lineup_names() == ("OSCAR", "MA", "MF")
+
+    def test_with_policies_accepts_mixed_specs(self):
+        scenario = api.Scenario.tiny().with_policies(
+            "oscar",
+            ("oscar", {"trade_off_v": 9.0}),
+            api.PolicySpec("oscar", label="OSCAR-B"),
+        )
+        policies = scenario.build_policies()
+        assert [type(p) for p in policies] == [OscarPolicy] * 3
+        assert policies[1].trade_off_v == 9.0
+        assert policies[2].name == "OSCAR-B"
+
+    def test_with_policy_appends(self):
+        scenario = api.Scenario.tiny().with_policies("oscar").with_policy(
+            "shortest-uniform", label="Naive"
+        )
+        assert scenario.lineup_names() == ("OSCAR", "Naive")
+
+    def test_empty_lineup_rejected(self):
+        with pytest.raises(ValueError):
+            api.Scenario.tiny().with_policies()
+
+    def test_policies_resolve_against_scenario_config(self):
+        scenario = api.Scenario.tiny().with_budget(77.0).with_policies("oscar")
+        (policy,) = scenario.build_policies()
+        assert policy.total_budget == 77.0
+        assert policy.horizon == scenario.config.horizon
+
+
+class TestMultiUser:
+    def test_with_user_switches_kind(self):
+        scenario = api.Scenario.tiny().with_user("lab", policy="oscar")
+        assert scenario.is_multiuser
+        assert scenario.kind == "multiuser"
+        assert scenario.lineup_names() == ("lab",)
+
+    def test_users_built_with_budgets_and_workloads(self):
+        scenario = (
+            api.Scenario.tiny()
+            .with_user("lab", policy="oscar", total_budget=150.0)
+            .with_user("edge", policy="naive", workload_kind="hotspot",
+                       min_pairs=1, max_pairs=2, hotspot_probability=0.9)
+        )
+        users = scenario.build_users()
+        assert users[0].total_budget == 150.0
+        assert isinstance(users[0].policy, OscarPolicy)
+        assert users[0].policy.total_budget == 150.0
+        assert isinstance(users[0].request_process, UniformRequestProcess)
+        assert users[1].total_budget == scenario.config.total_budget
+        assert isinstance(users[1].policy, ShortestRouteUniformPolicy)
+        assert isinstance(users[1].request_process, HotspotRequestProcess)
+        assert users[1].request_process.hotspot_probability == 0.9
+
+    def test_duplicate_user_names_rejected(self):
+        scenario = (
+            api.Scenario.tiny().with_user("lab").with_user("lab")
+        )
+        with pytest.raises(ValueError):
+            scenario.validate()
+
+    def test_unknown_workload_kind_rejected(self):
+        scenario = api.Scenario.tiny().with_user("lab", workload_kind="bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            scenario.build_users()
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_round_trip(self):
+        scenario = (
+            api.Scenario.tiny("rt")
+            .with_budget(120.0)
+            .with_policies("oscar", ("ma", {"gibbs_iterations": 5}))
+        )
+        payload = scenario.to_dict()
+        rebuilt = api.Scenario.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.name == "rt"
+        assert rebuilt.config == scenario.config
+        assert rebuilt.lineup_names() == scenario.lineup_names()
+
+    def test_multiuser_round_trip(self):
+        scenario = (
+            api.Scenario.tiny("shared")
+            .with_user("lab", policy="oscar", total_budget=99.0,
+                       workload_kind="hotspot", hotspot_probability=0.5)
+        )
+        payload = scenario.to_dict()
+        rebuilt = api.Scenario.from_dict(payload)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.users[0].total_budget == 99.0
+        assert rebuilt.users[0].workload["kind"] == "hotspot"
+
+    def test_json_serialisable(self):
+        import json
+
+        payload = api.Scenario.small().with_user("a").to_dict()
+        assert api.Scenario.from_dict(json.loads(json.dumps(payload))).to_dict() == payload
+
+    def test_describe_mentions_lineup(self):
+        description = api.Scenario.tiny().describe()
+        assert description["kind"] == "comparison"
+        assert description["lineup"] == ["OSCAR", "MA", "MF"]
+        assert description["config.num_nodes"] == ExperimentConfig.tiny().num_nodes

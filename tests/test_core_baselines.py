@@ -126,8 +126,11 @@ class TestBaselineComparisons:
     def test_reset_with_new_horizon(self, line_graph):
         policy = make_policy(MyopicFixedPolicy, budget=40.0, horizon=10)
         policy.reset(line_graph, 20)
-        assert policy.horizon == 20
+        # The run uses the new share, but the configured horizon is untouched.
+        assert policy.horizon == 10
         assert policy.budget_tracker.fixed_share() == pytest.approx(2.0)
+        policy.reset(line_graph, policy.horizon)
+        assert policy.budget_tracker.fixed_share() == pytest.approx(4.0)
 
     def test_all_policies_share_the_interface(self, line_graph):
         context = make_context(line_graph, [(0, 2)])

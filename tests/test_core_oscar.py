@@ -103,8 +103,17 @@ class TestOscarDecisions:
     def test_reset_with_new_horizon_updates_budget_share(self, line_graph):
         policy = small_oscar(total_budget=100.0, horizon=10)
         policy.reset(line_graph, 20)
-        assert policy.horizon == 20
+        assert policy.run_horizon == 20
         assert policy.virtual_queue.per_slot_budget == pytest.approx(5.0)
+
+    def test_reset_does_not_mutate_configured_horizon(self, line_graph):
+        """A run-specific horizon must not stick to the policy object."""
+        policy = small_oscar(total_budget=100.0, horizon=10)
+        policy.reset(line_graph, 20)
+        assert policy.horizon == 10
+        # A later run at the configured horizon restores the configured share.
+        policy.reset(line_graph, policy.horizon)
+        assert policy.virtual_queue.per_slot_budget == pytest.approx(10.0)
 
     def test_diagnostics_structure(self, line_graph):
         policy = small_oscar()
