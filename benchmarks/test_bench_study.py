@@ -1,0 +1,84 @@
+"""Benchmark: the study work queue — parallel saturation and byte-identity.
+
+The acceptance bar of the study layer: a 4-point × 3-policy × 4-trial grid
+run with ``workers=4`` returns records byte-identical to ``workers=1`` and
+finishes faster (the single flattened queue keeps workers busy across point
+boundaries).  Identity is asserted unconditionally; the wall-clock win is
+asserted only on multi-core hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import api
+from conftest import sweep_config
+
+
+def _study() -> api.Study:
+    base = (
+        api.Scenario.from_config(sweep_config(), name="bench-study")
+        .with_trials(4)
+        .with_policies("oscar", "ma", "mf")
+    )
+    budgets = [0.6, 0.8, 1.0, 1.2]
+    return (
+        api.Study("bench-study")
+        .base(base)
+        .over(
+            "budget.total_budget",
+            [round(base.config.total_budget * factor, 2) for factor in budgets],
+            label="C",
+        )
+    )
+
+
+def _payload(result: api.StudyResult) -> str:
+    return json.dumps(
+        [record.to_dict()["trials"] for record in result.records], sort_keys=True
+    )
+
+
+@pytest.mark.benchmark(group="study")
+def test_study_queue_parallel_identity_and_speed(benchmark):
+    study = _study()
+    assert len(study) == 4
+
+    started = time.perf_counter()
+    serial = study.run(workers=1)
+    serial_seconds = time.perf_counter() - started
+    assert serial.meta["tasks_executed"] == 4 * 4  # whole trials when serial
+
+    started = time.perf_counter()
+    parallel = benchmark.pedantic(study.run, kwargs={"workers": 4}, rounds=1, iterations=1)
+    parallel_seconds = time.perf_counter() - started
+    assert parallel.meta["tasks_executed"] == 4 * 3 * 4  # point × policy × trial
+
+    # Byte-identical records regardless of worker count.
+    assert _payload(serial) == _payload(parallel)
+
+    print()
+    print(
+        f"study 4x3x4: serial {serial_seconds:.1f} s, "
+        f"workers=4 {parallel_seconds:.1f} s "
+        f"(speedup x{serial_seconds / max(parallel_seconds, 1e-9):.2f} "
+        f"on {os.cpu_count()} cpu(s))"
+    )
+    if (os.cpu_count() or 1) >= 4:
+        assert parallel_seconds < serial_seconds
+
+
+@pytest.mark.benchmark(group="study")
+def test_study_store_resume_is_instant(benchmark, tmp_path):
+    study = _study()
+    study.run(workers=1, store=tmp_path)
+
+    resumed = benchmark.pedantic(
+        study.run, kwargs={"workers": 1, "store": tmp_path}, rounds=1, iterations=1
+    )
+    assert resumed.meta["points_cached"] == 4
+    assert resumed.meta["tasks_executed"] == 0

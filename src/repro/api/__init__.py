@@ -33,6 +33,14 @@ Watch it run::
         observers=[api.ProgressObserver(), api.LiveMetricsObserver()],
     )
 
+Sweep an axis (or several) over one parallel work queue::
+
+    result = (api.Study("budget-sweep")
+              .base(api.Scenario.small())
+              .over("budget.total_budget", [600.0, 1000.0, 1600.0], label="C")
+              .run(workers=8, store="results/budget-sweep"))
+    print(result.format_summary())
+
 Register your own policy::
 
     @api.register_policy("my-policy")
@@ -67,6 +75,14 @@ from repro.api.registry import (
 )
 from repro.api.scenario import PolicySpec, Scenario, UserSpec
 from repro.api.session import Session, compare, execute_trial, run_scenario
+from repro.api.study import (
+    ResultStore,
+    Study,
+    StudyAxis,
+    StudyPoint,
+    StudyResult,
+    run_study,
+)
 
 __all__ = [
     # registry
@@ -85,6 +101,13 @@ __all__ = [
     "compare",
     "execute_trial",
     "run_scenario",
+    # studies
+    "ResultStore",
+    "Study",
+    "StudyAxis",
+    "StudyPoint",
+    "StudyResult",
+    "run_study",
     # records
     "RunRecord",
     # events / observers

@@ -54,7 +54,7 @@ PolicyLike = Union[str, "PolicySpec", Tuple[str, Mapping], Mapping]
 #: give precise errors when an override lands in the wrong ``with_*`` call.
 TOPOLOGY_FIELDS = frozenset(
     {
-        "num_nodes", "area", "waxman_alpha", "target_degree",
+        "topology_kind", "num_nodes", "area", "waxman_alpha", "target_degree",
         "qubit_capacity_min", "qubit_capacity_max",
         "channel_capacity_min", "channel_capacity_max",
         "attempt_success", "attempts_per_slot",
@@ -262,8 +262,24 @@ class Scenario:
             )
         return self.with_config(**overrides)
 
-    def with_topology(self, **overrides) -> "Scenario":
-        """Configure the network (``num_nodes``, ``target_degree``, capacities, …)."""
+    def with_topology(self, kind: Optional[str] = None, **overrides) -> "Scenario":
+        """Configure the network (``num_nodes``, ``target_degree``, capacities, …).
+
+        ``kind`` selects the topology family: ``"waxman"`` (the paper's
+        generator, default) or one of the regular families ``"grid"``,
+        ``"ring"``, ``"star"``, ``"line"``, ``"complete"`` — see
+        :data:`repro.network.topology.TOPOLOGY_KINDS`.
+        """
+        if kind is not None:
+            from repro.network.topology import TOPOLOGY_KINDS
+
+            kind = str(kind).strip().lower()
+            if kind not in TOPOLOGY_KINDS:
+                raise ValueError(
+                    f"unknown topology kind {kind!r}; "
+                    f"choose from {', '.join(TOPOLOGY_KINDS)}"
+                )
+            overrides["topology_kind"] = kind
         return self._with_fields(TOPOLOGY_FIELDS, "with_topology", overrides)
 
     def with_workload(self, **overrides) -> "Scenario":

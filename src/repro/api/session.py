@@ -306,12 +306,6 @@ def compare(
     from repro.experiments.config import ExperimentConfig
 
     config = config if config is not None else ExperimentConfig.paper()
-    overrides = {}
-    if trials is not None:
-        overrides["trials"] = int(trials)
-    if seed is not None:
-        overrides["base_seed"] = int(seed)
-    if overrides:
-        config = config.with_overrides(**overrides)
+    config = config.with_run_overrides(trials, seed)
     scenario = Scenario.from_config(config, name=name).with_policies(*policies)
     return run_scenario(scenario, workers=workers, observers=observers)

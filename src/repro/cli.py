@@ -10,13 +10,20 @@ writing any Python (all built on the :mod:`repro.api` facade):
   plain-text report with ``--output``.
 * ``python -m repro compare --scale tiny`` — run a policy comparison and
   print the summary table; ``--policies`` picks any registered policies,
-  ``--workers`` parallelises the trials, ``--progress`` streams progress.
+  ``--workers`` parallelises the trials, ``--progress`` streams progress,
+  ``--json`` emits the full :class:`~repro.api.records.RunRecord` payload.
+* ``python -m repro sweep --axis budget.total_budget --values 3000 5000 8000``
+  — run a declarative :class:`~repro.api.study.Study`: any number of
+  ``--axis``/``--values`` pairs (plus ``--topologies``) expand into a grid
+  whose point × policy × trial units drain one worker pool; ``--store DIR``
+  makes the sweep resumable, ``--json`` prints the StudyResult payload.
 * ``python -m repro policies`` — list the policy registry.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -38,14 +45,16 @@ from repro.experiments.reporting import format_table
 from repro.network.channels import per_slot_success
 from repro.version import __version__
 
+#: Each runner returns a result object exposing ``format_tables()`` (the
+#: plain-text report) and ``to_dict()`` (the ``--json`` payload).
 FIGURE_RUNNERS = {
-    "fig3": lambda config, workers: fig3_time_evolving.run(config, workers=workers).format_tables(),
-    "fig4": lambda config, workers: fig4_distribution.run(config, workers=workers).format_tables(),
-    "fig5": lambda config, workers: fig5_budget.run(config, workers=workers).format_tables(),
-    "fig6": lambda config, workers: fig6_network_size.run(config, workers=workers).format_tables(),
-    "fig7": lambda config, workers: fig7_control_v.run(config, workers=workers).format_tables(),
-    "fig8": lambda config, workers: fig8_initial_queue.run(config, workers=workers).format_tables(),
-    "ablations": lambda config, workers: ablations.run_all(config, workers=workers),
+    "fig3": lambda config, workers: fig3_time_evolving.run(config, workers=workers),
+    "fig4": lambda config, workers: fig4_distribution.run(config, workers=workers),
+    "fig5": lambda config, workers: fig5_budget.run(config, workers=workers),
+    "fig6": lambda config, workers: fig6_network_size.run(config, workers=workers),
+    "fig7": lambda config, workers: fig7_control_v.run(config, workers=workers),
+    "fig8": lambda config, workers: fig8_initial_queue.run(config, workers=workers),
+    "ablations": lambda config, workers: ablations.run_all_report(config, workers=workers),
 }
 
 SCALES = {
@@ -88,13 +97,17 @@ def command_figure(arguments: argparse.Namespace) -> int:
     """Regenerate one of the paper's figures."""
     config = _config_from_args(arguments)
     started = time.time()
-    report = FIGURE_RUNNERS[arguments.name](config, arguments.workers)
+    result = FIGURE_RUNNERS[arguments.name](config, arguments.workers)
     elapsed = time.time() - started
-    print(report)
-    print(f"\n[{arguments.name} at scale={arguments.scale} in {elapsed:.1f} s]")
+    report = result.format_tables()
+    if arguments.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(report)
+        print(f"\n[{arguments.name} at scale={arguments.scale} in {elapsed:.1f} s]")
     if arguments.output:
         path = save_text_report(Path(arguments.output), report)
-        print(f"[report written to {path}]")
+        print(f"[report written to {path}]", file=sys.stderr if arguments.json else sys.stdout)
     return 0
 
 
@@ -114,10 +127,84 @@ def command_compare(arguments: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         print("hint: `python -m repro policies` lists the registry", file=sys.stderr)
         return 2
-    print(record.format_summary(title="Policy comparison (mean over trials)"))
+    if arguments.json:
+        print(json.dumps(record.to_dict(), indent=2))
+    else:
+        print(record.format_summary(title="Policy comparison (mean over trials)"))
     if arguments.output:
         path = record.save(Path(arguments.output))
-        print(f"[comparison written to {path}]")
+        print(f"[comparison written to {path}]", file=sys.stderr if arguments.json else sys.stdout)
+    return 0
+
+
+def _parse_axis_value(text: str):
+    """Interpret one --values token as int, float or string."""
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def command_sweep(arguments: argparse.Namespace) -> int:
+    """Run a declarative study over the flattened point×policy×trial queue."""
+    config = _config_from_args(arguments)
+    axes = arguments.axis or []
+    value_groups = arguments.values or []
+    if len(axes) != len(value_groups):
+        print(
+            f"error: {len(axes)} --axis flag(s) but {len(value_groups)} --values "
+            "group(s); give one --values group per --axis",
+            file=sys.stderr,
+        )
+        return 2
+    if not axes and not arguments.topologies:
+        print("error: declare at least one axis (--axis/--values or --topologies)",
+              file=sys.stderr)
+        return 2
+    from repro.experiments.runner import SUMMARY_METRICS
+
+    unknown_metrics = sorted(set(arguments.metrics) - set(SUMMARY_METRICS))
+    if unknown_metrics:
+        print(
+            f"error: unknown metric(s) {', '.join(unknown_metrics)}; "
+            f"choose from {', '.join(SUMMARY_METRICS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    scenario = api.Scenario.from_config(config, name=f"sweep/{arguments.scale}")
+    try:
+        if arguments.policies:
+            scenario = scenario.with_policies(*arguments.policies)
+        study = api.Study(f"sweep/{arguments.scale}").base(scenario)
+        for path, group in zip(axes, value_groups):
+            study.over(path, [_parse_axis_value(value) for value in group])
+        if arguments.topologies:
+            study.over_topology(*arguments.topologies)
+        on_progress = None
+        if arguments.progress:
+            on_progress = lambda message: print(f"[sweep] {message}", file=sys.stderr)
+        result = study.run(
+            workers=arguments.workers, store=arguments.store, on_progress=on_progress
+        )
+    except (api.UnknownPolicyError, ValueError, TypeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if arguments.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.format_summary(metrics=tuple(arguments.metrics)))
+        meta = result.meta
+        print(
+            f"\n[{meta['points']} point(s), {meta['points_cached']} from store, "
+            f"{meta['tasks_executed']} unit(s) on {meta['workers']} worker(s) "
+            f"in {meta['elapsed_seconds']:.1f} s]"
+        )
+    if arguments.output:
+        path = result.save(Path(arguments.output))
+        print(f"[study written to {path}]", file=sys.stderr if arguments.json else sys.stdout)
     return 0
 
 
@@ -152,6 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--output", default=None, help="write the plain-text report to this file")
     figure.add_argument("--workers", type=int, default=1,
                         help="worker processes for trial execution (default: 1)")
+    figure.add_argument("--json", action="store_true",
+                        help="print the figure payload as JSON instead of tables")
     add_common(figure)
     figure.set_defaults(handler=command_figure)
 
@@ -164,8 +253,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for trial execution (default: 1)")
     compare.add_argument("--progress", action="store_true",
                          help="stream per-trial progress to stderr")
+    compare.add_argument("--json", action="store_true",
+                         help="print the run record as JSON instead of the summary table")
     add_common(compare)
     compare.set_defaults(handler=command_compare)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a declarative parameter sweep (Study) over a work queue"
+    )
+    sweep.add_argument("--axis", action="append", metavar="PATH", default=None,
+                       help="config field to sweep, e.g. budget.total_budget or "
+                            "topology.num_nodes (repeatable; one --values group each)")
+    sweep.add_argument("--values", action="append", nargs="+", metavar="VALUE",
+                       default=None,
+                       help="values of the matching --axis (repeatable)")
+    sweep.add_argument("--topologies", nargs="+", default=None,
+                       help="add a topology-family axis (waxman grid ring star line complete)")
+    sweep.add_argument("--policies", nargs="+", default=None,
+                       help="policy line-up at every point (default: oscar ma mf)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes draining the point×policy×trial queue")
+    sweep.add_argument("--store", default=None, metavar="DIR",
+                       help="content-hash result store: completed points are "
+                            "persisted and re-runs resume from it")
+    sweep.add_argument("--metrics", nargs="+",
+                       default=["average_success_rate", "total_cost"],
+                       help="summary metrics to tabulate (text output)")
+    sweep.add_argument("--output", default=None,
+                       help="write the full study result (JSON) to this file")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the study result as JSON instead of the table")
+    sweep.add_argument("--progress", action="store_true",
+                       help="stream per-point progress to stderr")
+    add_common(sweep)
+    sweep.set_defaults(handler=command_sweep)
 
     policies = subparsers.add_parser("policies", help="list the policy registry")
     policies.set_defaults(handler=command_policies)

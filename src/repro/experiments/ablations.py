@@ -18,6 +18,7 @@ Four design choices of the reproduction are checked explicitly:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -263,11 +264,13 @@ def run_policy_lineup_ablation(
     seed: int = 17,
     workers: int = 1,
 ) -> PolicyLineupAblation:
-    """Compare every policy in the default registry through the facade.
+    """Compare every policy in the default registry through the study layer.
 
     The horizon is capped so the ablation stays cheap even at paper scale;
     the line-up is whatever :func:`repro.api.available_policies` reports,
-    so user-registered policies automatically join the table.
+    so user-registered policies automatically join the table.  Expressed as
+    a degenerate (zero-axis) :class:`~repro.api.study.Study` so the single
+    point still fans its policy × trial units across the worker pool.
     """
     config = config or ExperimentConfig.small()
     scenario = (
@@ -277,19 +280,57 @@ def run_policy_lineup_ablation(
         .with_seed(seed)
         .with_policies(*api.available_policies())
     )
-    return PolicyLineupAblation(record=scenario.run(workers=workers))
+    result = api.Study("ablation/lineup").base(scenario).run(workers=workers)
+    return PolicyLineupAblation(record=result.records[0])
+
+
+@dataclass
+class AblationReport:
+    """All four ablations of one run, formattable as text or JSON."""
+
+    route_selection: RouteSelectionAblation
+    solver: SolverAblation
+    link_model: LinkModelAblation
+    lineup: PolicyLineupAblation
+
+    def format_tables(self) -> str:
+        """The combined plain-text report (all four ablation tables)."""
+        return "\n\n".join(
+            [
+                self.route_selection.format_table(),
+                self.solver.format_table(),
+                self.link_model.format_table(),
+                self.lineup.format_table(),
+            ]
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON payload; the line-up section uses the RunRecord schema."""
+        return {
+            "figure": "ablations",
+            "route_selection": dataclasses.asdict(self.route_selection),
+            "solver": dataclasses.asdict(self.solver),
+            "link_model": dataclasses.asdict(self.link_model),
+            "lineup": self.lineup.record.to_dict(),
+        }
+
+
+def run_all_report(
+    config: Optional[ExperimentConfig] = None, workers: int = 1
+) -> AblationReport:
+    """Run every ablation and return the structured report."""
+    config = config or ExperimentConfig.small()
+    return AblationReport(
+        route_selection=run_route_selection_ablation(config),
+        solver=run_solver_ablation(config),
+        link_model=run_link_model_ablation(),
+        lineup=run_policy_lineup_ablation(config, workers=workers),
+    )
 
 
 def run_all(config: Optional[ExperimentConfig] = None, workers: int = 1) -> str:
     """Run every ablation and return the combined plain-text report."""
-    config = config or ExperimentConfig.small()
-    sections = [
-        run_route_selection_ablation(config).format_table(),
-        run_solver_ablation(config).format_table(),
-        run_link_model_ablation().format_table(),
-        run_policy_lineup_ablation(config, workers=workers).format_table(),
-    ]
-    return "\n\n".join(sections)
+    return run_all_report(config, workers=workers).format_tables()
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

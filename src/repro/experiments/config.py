@@ -25,7 +25,7 @@ from repro.core.oscar import OscarPolicy
 from repro.core.policy import RoutingPolicy
 from repro.network.graph import QDNGraph
 from repro.network.resources import ResourceProcess, StaticResources
-from repro.network.topology import CapacityRanges, waxman_topology_with_degree
+from repro.network.topology import TOPOLOGY_KINDS, CapacityRanges, build_topology
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.validation import check_positive
 from repro.workload.requests import RequestProcess, UniformRequestProcess
@@ -37,6 +37,7 @@ class ExperimentConfig:
     """All knobs of one experiment, defaulting to the paper's Section V-A values."""
 
     # --- topology (Sec. V-A1/A2) ---------------------------------------- #
+    topology_kind: str = "waxman"
     num_nodes: int = 20
     area: float = 100.0
     waxman_alpha: float = 0.5
@@ -73,6 +74,11 @@ class ExperimentConfig:
     realize: bool = True
 
     def __post_init__(self) -> None:
+        if self.topology_kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"unknown topology kind {self.topology_kind!r}; "
+                f"choose from {', '.join(TOPOLOGY_KINDS)}"
+            )
         check_positive(self.num_nodes, "num_nodes")
         check_positive(self.horizon, "horizon")
         check_positive(self.trials, "trials")
@@ -121,6 +127,18 @@ class ExperimentConfig:
         """A copy of this configuration with selected fields replaced."""
         return dataclasses.replace(self, **overrides)
 
+    def with_run_overrides(
+        self, trials: Optional[int] = None, seed: Optional[int] = None
+    ) -> "ExperimentConfig":
+        """Apply the optional trial-count / base-seed overrides every
+        experiment entry point accepts (``None`` keeps the current value)."""
+        overrides: Dict[str, int] = {}
+        if trials is not None:
+            overrides["trials"] = int(trials)
+        if seed is not None:
+            overrides["base_seed"] = int(seed)
+        return self.with_overrides(**overrides) if overrides else self
+
     # ------------------------------------------------------------------ #
     # Derived factories
     # ------------------------------------------------------------------ #
@@ -139,10 +157,11 @@ class ExperimentConfig:
         )
 
     def build_graph(self, seed: SeedLike = None) -> QDNGraph:
-        """Generate one Waxman topology with the configured parameters."""
+        """Generate one topology of the configured family (Waxman by default)."""
         if seed is None:
             seed = derive_seed(self.base_seed, "topology")
-        return waxman_topology_with_degree(
+        return build_topology(
+            self.topology_kind,
             num_nodes=self.num_nodes,
             target_degree=self.target_degree,
             alpha=self.waxman_alpha,

@@ -40,6 +40,27 @@ class Figure3Result:
     cumulative_cost: Dict[str, List[float]]
     comparison: Optional[ComparisonResult] = field(default=None, repr=False)
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable payload; the run uses the RunRecord schema."""
+        import dataclasses
+
+        record = (
+            api.RunRecord.from_comparison(self.comparison, name="fig3")
+            if self.comparison is not None
+            else None
+        )
+        return {
+            "figure": "fig3",
+            "config": dataclasses.asdict(self.config),
+            "slots": list(self.slots),
+            "running_utility": {k: list(v) for k, v in self.running_utility.items()},
+            "running_success_rate": {
+                k: list(v) for k, v in self.running_success_rate.items()
+            },
+            "cumulative_cost": {k: list(v) for k, v in self.cumulative_cost.items()},
+            "record": record.to_dict() if record is not None else None,
+        }
+
     def final_values(self) -> Dict[str, Dict[str, float]]:
         """Final (end-of-horizon) utility, success rate and spending per policy."""
         return {

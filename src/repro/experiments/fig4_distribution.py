@@ -29,6 +29,24 @@ class Figure4Result:
     fairness: Dict[str, float]
     comparison: Optional[ComparisonResult] = field(default=None, repr=False)
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable payload; the run uses the RunRecord schema."""
+        import dataclasses
+
+        record = (
+            api.RunRecord.from_comparison(self.comparison, name="fig4")
+            if self.comparison is not None
+            else None
+        )
+        return {
+            "figure": "fig4",
+            "config": dataclasses.asdict(self.config),
+            "bin_edges": list(self.bin_edges),
+            "histograms": {k: list(v) for k, v in self.histograms.items()},
+            "fairness": dict(self.fairness),
+            "record": record.to_dict() if record is not None else None,
+        }
+
     def format_tables(self) -> str:
         """The histogram and fairness table as plain text."""
         headers = ["bin"] + list(self.histograms.keys())

@@ -9,8 +9,9 @@ grows (resources stop being the bottleneck).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro import api
 from repro.experiments.config import ExperimentConfig
@@ -30,6 +31,18 @@ class Figure5Result:
     success_rate: Dict[str, List[float]]
     total_cost: Dict[str, List[float]]
     comparisons: List[ComparisonResult] = field(default_factory=list, repr=False)
+    study: Optional["api.StudyResult"] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable payload built on the StudyResult schema."""
+        return {
+            "figure": "fig5",
+            "config": dataclasses.asdict(self.config),
+            "budgets": list(self.budgets),
+            "success_rate": {k: list(v) for k, v in self.success_rate.items()},
+            "total_cost": {k: list(v) for k, v in self.total_cost.items()},
+            "study": self.study.to_dict() if self.study is not None else None,
+        }
 
     def oscar_advantage(self, baseline: str = "MF") -> List[float]:
         """OSCAR-minus-baseline success-rate gap at each budget (should shrink)."""
@@ -68,38 +81,37 @@ def sweep_budgets_for(config: ExperimentConfig) -> List[float]:
     return [round(config.total_budget * factor, 2) for factor in factors]
 
 
+def build_study(
+    config: ExperimentConfig, budgets: Sequence[float], name: str = "fig5"
+) -> "api.Study":
+    """The declarative form of the Fig. 5 sweep (one budget axis)."""
+    return (
+        api.Study(name)
+        .base(api.Scenario.from_config(config, name=name))
+        .over("budget.total_budget", [float(b) for b in budgets], label="C")
+    )
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     budgets: Optional[Sequence[float]] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
     workers: int = 1,
+    store: Union[None, str, "api.ResultStore"] = None,
 ) -> Figure5Result:
     """Run the budget sweep and collect per-policy success rates and usage."""
-    config = config or ExperimentConfig.paper()
+    config = (config or ExperimentConfig.paper()).with_run_overrides(trials, seed)
     budgets = list(budgets) if budgets is not None else sweep_budgets_for(config)
 
-    base = api.Scenario.from_config(config, name="fig5")
-    success_rate: Dict[str, List[float]] = {}
-    total_cost: Dict[str, List[float]] = {}
-    comparisons: List[ComparisonResult] = []
-    for budget in budgets:
-        scenario = base.with_budget(float(budget)).with_name(f"fig5/C={budget:g}")
-        comparison = api.compare(
-            scenario.config, trials=trials, seed=seed, workers=workers,
-            name=scenario.name,
-        ).to_comparison()
-        comparisons.append(comparison)
-        summary = comparison.summary()
-        for name, metrics in summary.items():
-            success_rate.setdefault(name, []).append(metrics["average_success_rate"].mean)
-            total_cost.setdefault(name, []).append(metrics["total_cost"].mean)
+    result = build_study(config, budgets).run(workers=workers, store=store)
     return Figure5Result(
         config=config,
         budgets=[float(b) for b in budgets],
-        success_rate=success_rate,
-        total_cost=total_cost,
-        comparisons=comparisons,
+        success_rate=result.series("average_success_rate"),
+        total_cost=result.series("total_cost"),
+        comparisons=result.to_comparisons(),
+        study=result,
     )
 
 

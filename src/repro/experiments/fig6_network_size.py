@@ -9,8 +9,9 @@ longer), and OSCAR stays ahead of MA and MF at every size.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro import api
 from repro.experiments.config import ExperimentConfig
@@ -30,6 +31,18 @@ class Figure6Result:
     success_rate: Dict[str, List[float]]
     total_cost: Dict[str, List[float]]
     comparisons: List[ComparisonResult] = field(default_factory=list, repr=False)
+    study: Optional["api.StudyResult"] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable payload built on the StudyResult schema."""
+        return {
+            "figure": "fig6",
+            "config": dataclasses.asdict(self.config),
+            "sizes": list(self.sizes),
+            "success_rate": {k: list(v) for k, v in self.success_rate.items()},
+            "total_cost": {k: list(v) for k, v in self.total_cost.items()},
+            "study": self.study.to_dict() if self.study is not None else None,
+        }
 
     def format_tables(self) -> str:
         """Both panels of Fig. 6 as plain-text tables."""
@@ -58,38 +71,37 @@ def sweep_sizes_for(config: ExperimentConfig) -> List[int]:
     return sizes
 
 
+def build_study(
+    config: ExperimentConfig, sizes: Sequence[int], name: str = "fig6"
+) -> "api.Study":
+    """The declarative form of the Fig. 6 sweep (one node-count axis)."""
+    return (
+        api.Study(name)
+        .base(api.Scenario.from_config(config, name=name))
+        .over("topology.num_nodes", [int(s) for s in sizes], label="N")
+    )
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     sizes: Optional[Sequence[int]] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
     workers: int = 1,
+    store: Union[None, str, "api.ResultStore"] = None,
 ) -> Figure6Result:
     """Run the network-size sweep with the average degree held near 4."""
-    config = config or ExperimentConfig.paper()
+    config = (config or ExperimentConfig.paper()).with_run_overrides(trials, seed)
     sizes = list(sizes) if sizes is not None else sweep_sizes_for(config)
 
-    base = api.Scenario.from_config(config, name="fig6")
-    success_rate: Dict[str, List[float]] = {}
-    total_cost: Dict[str, List[float]] = {}
-    comparisons: List[ComparisonResult] = []
-    for size in sizes:
-        scenario = base.with_topology(num_nodes=int(size)).with_name(f"fig6/N={size}")
-        comparison = api.compare(
-            scenario.config, trials=trials, seed=seed, workers=workers,
-            name=scenario.name,
-        ).to_comparison()
-        comparisons.append(comparison)
-        summary = comparison.summary()
-        for name, metrics in summary.items():
-            success_rate.setdefault(name, []).append(metrics["average_success_rate"].mean)
-            total_cost.setdefault(name, []).append(metrics["total_cost"].mean)
+    result = build_study(config, sizes).run(workers=workers, store=store)
     return Figure6Result(
         config=config,
         sizes=[int(s) for s in sizes],
-        success_rate=success_rate,
-        total_cost=total_cost,
-        comparisons=comparisons,
+        success_rate=result.series("average_success_rate"),
+        total_cost=result.series("total_cost"),
+        comparisons=result.to_comparisons(),
+        study=result,
     )
 
 

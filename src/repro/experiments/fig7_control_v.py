@@ -9,8 +9,9 @@ print the theoretical Theorem-1 violation bound next to the measurement.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.theory import (
     delta_optimality_gap,
@@ -38,6 +39,21 @@ class Figure7Result:
     budget_violation: List[float]
     theorem1_bounds: List[float]
     comparisons: List[ComparisonResult] = field(default_factory=list, repr=False)
+    study: Optional["api.StudyResult"] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable payload built on the StudyResult schema."""
+        return {
+            "figure": "fig7",
+            "config": dataclasses.asdict(self.config),
+            "v_values": list(self.v_values),
+            "average_utility": list(self.average_utility),
+            "average_success_rate": list(self.average_success_rate),
+            "total_cost": list(self.total_cost),
+            "budget_violation": list(self.budget_violation),
+            "theorem1_bounds": list(self.theorem1_bounds),
+            "study": self.study.to_dict() if self.study is not None else None,
+        }
 
     def format_tables(self) -> str:
         """The Fig. 7 sweep as a plain-text table."""
@@ -58,42 +74,42 @@ class Figure7Result:
         )
 
 
+def build_study(
+    config: ExperimentConfig, v_values: Sequence[float], name: str = "fig7"
+) -> "api.Study":
+    """The declarative form of the Fig. 7 sweep (OSCAR only, one V axis)."""
+    return (
+        api.Study(name)
+        .base(api.Scenario.from_config(config, name=name).with_policies("oscar"))
+        .over("budget.trade_off_v", [float(v) for v in v_values], label="V")
+    )
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     v_values: Optional[Sequence[float]] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
     workers: int = 1,
+    store: Union[None, str, "api.ResultStore"] = None,
 ) -> Figure7Result:
     """Sweep V for OSCAR and collect utility / usage / violation."""
-    config = config or ExperimentConfig.paper()
+    config = (config or ExperimentConfig.paper()).with_run_overrides(trials, seed)
     if v_values is None:
         scale = config.trade_off_v / 2500.0
         v_values = [v * scale for v in PAPER_V_VALUES]
     v_values = [float(v) for v in v_values]
 
-    average_utility: List[float] = []
-    average_success: List[float] = []
-    total_cost: List[float] = []
-    violation: List[float] = []
+    study_result = build_study(config, v_values).run(workers=workers, store=store)
+    average_utility = study_result.series("average_utility")["OSCAR"]
+    average_success = study_result.series("average_success_rate")["OSCAR"]
+    total_cost = study_result.series("total_cost")["OSCAR"]
+    violation = study_result.series("budget_violation")["OSCAR"]
+    comparisons = study_result.to_comparisons()
+
     bounds: List[float] = []
-    comparisons: List[ComparisonResult] = []
-    for v in v_values:
+    for v, comparison in zip(v_values, comparisons):
         swept = config.with_overrides(trade_off_v=v)
-        comparison = api.compare(
-            swept,
-            policies=("oscar",),
-            trials=trials,
-            seed=seed,
-            workers=workers,
-            name=f"fig7/V={v:g}",
-        ).to_comparison()
-        comparisons.append(comparison)
-        summary = comparison.summary()["OSCAR"]
-        average_utility.append(summary["average_utility"].mean)
-        average_success.append(summary["average_success_rate"].mean)
-        total_cost.append(summary["total_cost"].mean)
-        violation.append(summary["budget_violation"].mean)
 
         # Theoretical Theorem-1 bound for this V (an upper bound on the
         # *time-averaged* violation, reported per slot).
@@ -129,6 +145,7 @@ def run(
         budget_violation=violation,
         theorem1_bounds=bounds,
         comparisons=comparisons,
+        study=study_result,
     )
 
 

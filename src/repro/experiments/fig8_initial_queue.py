@@ -9,8 +9,9 @@ utility loss.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro import api
 from repro.experiments.config import ExperimentConfig
@@ -32,6 +33,20 @@ class Figure8Result:
     total_cost: List[float]
     early_cost: List[float]
     comparisons: List[ComparisonResult] = field(default_factory=list, repr=False)
+    study: Optional["api.StudyResult"] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable payload built on the StudyResult schema."""
+        return {
+            "figure": "fig8",
+            "config": dataclasses.asdict(self.config),
+            "q0_values": list(self.q0_values),
+            "average_utility": list(self.average_utility),
+            "average_success_rate": list(self.average_success_rate),
+            "total_cost": list(self.total_cost),
+            "early_cost": list(self.early_cost),
+            "study": self.study.to_dict() if self.study is not None else None,
+        }
 
     def format_tables(self) -> str:
         """The Fig. 8 sweep as a plain-text table."""
@@ -51,52 +66,49 @@ class Figure8Result:
         )
 
 
+def build_study(
+    config: ExperimentConfig, q0_values: Sequence[float], name: str = "fig8"
+) -> "api.Study":
+    """The declarative form of the Fig. 8 sweep (OSCAR only, one q0 axis)."""
+    return (
+        api.Study(name)
+        .base(api.Scenario.from_config(config, name=name).with_policies("oscar"))
+        .over("budget.initial_queue", [float(q) for q in q0_values], label="q0")
+    )
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     q0_values: Optional[Sequence[float]] = None,
     trials: Optional[int] = None,
     seed: Optional[int] = None,
     workers: int = 1,
+    store: Union[None, str, "api.ResultStore"] = None,
 ) -> Figure8Result:
     """Sweep q0 for OSCAR and collect utility, usage and early-slot spending."""
-    config = config or ExperimentConfig.paper()
+    config = (config or ExperimentConfig.paper()).with_run_overrides(trials, seed)
     q0_values = [float(q) for q in (q0_values if q0_values is not None else PAPER_Q0_VALUES)]
 
-    average_utility: List[float] = []
-    average_success: List[float] = []
-    total_cost: List[float] = []
-    early_cost: List[float] = []
-    comparisons: List[ComparisonResult] = []
+    result = build_study(config, q0_values).run(workers=workers, store=store)
+    comparisons = result.to_comparisons()
     early_slots = max(1, config.horizon // 10)
-    for q0 in q0_values:
-        swept = config.with_overrides(initial_queue=q0)
-        comparison = api.compare(
-            swept,
-            policies=("oscar",),
-            trials=trials,
-            seed=seed,
-            workers=workers,
-            name=f"fig8/q0={q0:g}",
-        ).to_comparison()
-        comparisons.append(comparison)
-        summary = comparison.summary()["OSCAR"]
-        average_utility.append(summary["average_utility"].mean)
-        average_success.append(summary["average_success_rate"].mean)
-        total_cost.append(summary["total_cost"].mean)
+    early_cost: List[float] = []
+    for comparison in comparisons:
         early = [
-            float(sum(result.per_slot_costs()[:early_slots]))
-            for result in comparison.results_for("OSCAR")
+            float(sum(r.per_slot_costs()[:early_slots]))
+            for r in comparison.results_for("OSCAR")
         ]
         early_cost.append(sum(early) / len(early))
 
     return Figure8Result(
         config=config,
         q0_values=q0_values,
-        average_utility=average_utility,
-        average_success_rate=average_success,
-        total_cost=total_cost,
+        average_utility=result.series("average_utility")["OSCAR"],
+        average_success_rate=result.series("average_success_rate")["OSCAR"],
+        total_cost=result.series("total_cost")["OSCAR"],
         early_cost=early_cost,
         comparisons=comparisons,
+        study=result,
     )
 
 

@@ -29,6 +29,18 @@ from repro.simulation.results import SimulationResult
 
 PolicyFactory = Callable[[ExperimentConfig], Sequence[RoutingPolicy]]
 
+#: The headline metrics every summary reports, in table order.
+SUMMARY_METRICS = (
+    "average_utility",
+    "average_success_rate",
+    "realized_success_rate",
+    "total_cost",
+    "budget_utilisation",
+    "budget_violation",
+    "served_fraction",
+    "fairness",
+)
+
 
 def default_policy_factory(config: ExperimentConfig) -> Sequence[RoutingPolicy]:
     """The paper's policy line-up: OSCAR, Myopic-Adaptive, Myopic-Fixed."""
@@ -63,7 +75,10 @@ class ComparisonResult:
         return aggregate_scalar([metric(result) for result in self.results_for(policy_name)])
 
     def summary(self) -> Dict[str, Dict[str, TrialAggregate]]:
-        """Mean ± CI of the headline metrics for every policy."""
+        """Mean ± CI of the headline metrics for every policy.
+
+        The metric names are :data:`SUMMARY_METRICS`.
+        """
         metrics: Dict[str, Callable[[SimulationResult], float]] = {
             "average_utility": lambda r: r.average_utility(),
             "average_success_rate": lambda r: r.average_success_rate(),
@@ -76,6 +91,7 @@ class ComparisonResult:
                 r.all_success_probabilities(include_unserved=True)
             ),
         }
+        assert set(metrics) == set(SUMMARY_METRICS)
         return {
             name: {
                 metric_name: self.aggregate_metric(name, metric)

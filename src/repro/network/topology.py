@@ -220,6 +220,67 @@ def waxman_topology_with_degree(
     return best_graph
 
 
+#: Topology families selectable by name (``build_topology`` /
+#: ``ExperimentConfig.topology_kind`` / ``Scenario.with_topology(kind=...)``).
+TOPOLOGY_KINDS = ("waxman", "grid", "ring", "star", "line", "complete")
+
+
+def build_topology(
+    kind: str,
+    num_nodes: int,
+    *,
+    target_degree: float = 4.0,
+    alpha: float = 0.5,
+    area: float = 100.0,
+    capacities: CapacityRanges = DEFAULT_CAPACITIES,
+    channel_model: Optional[ChannelModel] = None,
+    attempts_per_slot: int = 4000,
+    seed: SeedLike = None,
+) -> QDNGraph:
+    """Build a topology of the named family with approximately ``num_nodes``.
+
+    ``"waxman"`` is the paper's degree-tuned random generator; the regular
+    families map ``num_nodes`` onto their natural parameters (a grid uses
+    the most-square ``rows x cols >= num_nodes`` factorisation, a star uses
+    ``num_nodes - 1`` leaves), so the node count of a regular topology can
+    differ slightly from the request.
+    """
+    kind = str(kind).strip().lower()
+    if kind == "waxman":
+        return waxman_topology_with_degree(
+            num_nodes=num_nodes,
+            target_degree=target_degree,
+            alpha=alpha,
+            area=area,
+            capacities=capacities,
+            channel_model=channel_model,
+            attempts_per_slot=attempts_per_slot,
+            seed=seed,
+        )
+    common = dict(
+        capacities=capacities,
+        channel_model=channel_model,
+        attempts_per_slot=attempts_per_slot,
+        seed=seed,
+    )
+    if kind == "grid":
+        check_positive(num_nodes, "num_nodes")
+        rows = max(1, int(round(math.sqrt(num_nodes))))
+        cols = max(1, math.ceil(num_nodes / rows))
+        return grid_topology(rows, cols, **common)
+    if kind == "ring":
+        return ring_topology(num_nodes, **common)
+    if kind == "star":
+        return star_topology(num_leaves=max(1, num_nodes - 1), **common)
+    if kind == "line":
+        return line_topology(num_nodes, **common)
+    if kind == "complete":
+        return complete_topology(num_nodes, area=area, **common)
+    raise ValueError(
+        f"unknown topology kind {kind!r}; choose from {', '.join(TOPOLOGY_KINDS)}"
+    )
+
+
 def grid_topology(
     rows: int,
     cols: int,

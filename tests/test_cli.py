@@ -50,6 +50,88 @@ class TestCompareCommand:
         payload = json.loads(target.read_text())
         assert "trials" in payload
 
+    def test_json_output(self, capsys):
+        assert main(["compare", "--scale", "tiny", "--trials", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "comparison"
+        assert len(payload["trials"]) == 1
+        assert "OSCAR" in payload["trials"][0]
+
+
+class TestSweepCommand:
+    def test_runs_and_prints_axis_table(self, capsys):
+        assert main([
+            "sweep", "--scale", "tiny", "--trials", "1",
+            "--axis", "budget.total_budget", "--values", "150", "250",
+            "--policies", "oscar",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "total_budget" in output
+        assert "OSCAR.average_success_rate" in output
+        assert "2 point(s)" in output
+
+    def test_json_payload(self, capsys):
+        assert main([
+            "sweep", "--scale", "tiny", "--trials", "1",
+            "--axis", "budget.total_budget", "--values", "150", "250",
+            "--policies", "oscar", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "sweep/tiny"
+        assert [axis["label"] for axis in payload["axes"]] == ["total_budget"]
+        assert len(payload["points"]) == 2
+        assert payload["points"][0]["record"]["kind"] == "comparison"
+
+    def test_store_resume(self, tmp_path, capsys):
+        arguments = [
+            "sweep", "--scale", "tiny", "--trials", "1",
+            "--axis", "budget.total_budget", "--values", "150", "250",
+            "--policies", "oscar", "--store", str(tmp_path),
+        ]
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert "0 from store" in first
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert main(arguments) == 0
+        second = capsys.readouterr().out
+        assert "2 from store" in second and "0 unit(s)" in second
+
+    def test_mismatched_axes_and_values(self, capsys):
+        code = main([
+            "sweep", "--scale", "tiny",
+            "--axis", "budget.total_budget",
+            "--axis", "workload.horizon", "--values", "150",
+        ])
+        assert code == 2
+        assert "one --values group per --axis" in capsys.readouterr().err
+
+    def test_requires_an_axis(self, capsys):
+        assert main(["sweep", "--scale", "tiny"]) == 2
+        assert "at least one axis" in capsys.readouterr().err
+
+    def test_unknown_metric_rejected_before_running(self, capsys):
+        code = main([
+            "sweep", "--scale", "tiny", "--axis", "budget.total_budget",
+            "--values", "150", "--metrics", "sucess_rate",
+        ])
+        assert code == 2
+        assert "unknown metric(s) sucess_rate" in capsys.readouterr().err
+
+    def test_unknown_axis_path(self, capsys):
+        code = main([
+            "sweep", "--scale", "tiny", "--axis", "bogus", "--values", "1",
+        ])
+        assert code == 2
+        assert "unknown config field" in capsys.readouterr().err
+
+    def test_topology_axis(self, capsys):
+        assert main([
+            "sweep", "--scale", "tiny", "--trials", "1",
+            "--topologies", "ring", "line", "--policies", "oscar",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "topology" in output and "ring" in output and "line" in output
+
 
 class TestFigureCommand:
     def test_fig8_tiny(self, capsys):
@@ -67,3 +149,10 @@ class TestFigureCommand:
         assert main(["figure", "ablations", "--scale", "tiny", "--trials", "1"]) == 0
         output = capsys.readouterr().out
         assert "Ablation" in output
+
+    def test_json_output(self, capsys):
+        assert main(["figure", "fig8", "--scale", "tiny", "--trials", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure"] == "fig8"
+        assert payload["study"]["name"] == "fig8"
+        assert len(payload["study"]["points"]) == len(payload["q0_values"])
