@@ -1,0 +1,224 @@
+"""Tracked benchmark of the compiled slot kernel vs. the legacy solver path.
+
+Measures three things, each with the kernel enabled and disabled:
+
+* **slot-solve latency** — mean wall-clock time of one ``PerSlotSolver.solve``
+  over slots sampled from a real trace (OSCAR weights and myopic weights);
+* **Gibbs throughput** — route-selection proposals evaluated per second by
+  :class:`GibbsRouteSelector`;
+* **fig6 end-to-end** — wall clock of the Figure-6 network-size sweep (the
+  benchmark the ``benchmarks/test_bench_fig6.py`` suite times), asserting the
+  two paths produce byte-identical summary tables.
+
+Writes the numbers to ``BENCH_kernel.json`` (``--output``); with ``--check
+BASELINE.json`` it exits non-zero when any measured speedup falls below 80 %
+of the committed baseline's speedup — speedup ratios are compared rather
+than absolute times so the check is stable across machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/kernel_bench.py --output BENCH_kernel.json
+    PYTHONPATH=src python benchmarks/kernel_bench.py --quick --check BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.core.per_slot import PerSlotSolver
+from repro.core.problem import SlotContext
+from repro.core.route_selection import GibbsRouteSelector
+from repro.experiments import fig6_network_size
+from repro.experiments.config import ExperimentConfig
+from repro.version import __version__
+
+#: Regression threshold: fail when a speedup drops below this fraction of
+#: the committed baseline's speedup.
+REGRESSION_FRACTION = 0.8
+
+
+def bench_config(quick: bool) -> ExperimentConfig:
+    """The reduced-scale sweep configuration (mirrors benchmarks/conftest.py)."""
+    return ExperimentConfig(
+        num_nodes=9,
+        horizon=8 if quick else 12,
+        total_budget=500.0,
+        trials=1,
+        max_pairs=4,
+        gibbs_iterations=20,
+        num_candidate_routes=3,
+        trade_off_v=2500.0,
+        initial_queue=10.0,
+        gamma=500.0,
+        base_seed=2024,
+    )
+
+
+def sample_contexts(config: ExperimentConfig, count: int):
+    graph = config.build_graph(seed=11)
+    trace = config.build_trace(graph, seed=12)
+    contexts = []
+    for t in range(trace.horizon):
+        slot = trace.slot(t)
+        if slot.num_requests < 2:
+            continue
+        contexts.append(
+            SlotContext(
+                t=slot.t, graph=graph, snapshot=slot.snapshot,
+                requests=slot.requests,
+                candidate_routes={r: trace.routes_for(r) for r in slot.requests},
+            )
+        )
+        if len(contexts) >= count:
+            break
+    if not contexts:
+        raise RuntimeError("sampled trace produced no multi-request slots")
+    return contexts
+
+
+def bench_slot_solve(contexts, use_kernel: bool, repeats: int) -> float:
+    """Mean milliseconds of one PerSlotSolver.solve (OSCAR + myopic weights)."""
+    timings = []
+    for _ in range(repeats):
+        for context in contexts:
+            for utility, price, cap in ((2500.0, 10.0, None), (1.0, 0.0, 25.0)):
+                solver = PerSlotSolver(use_kernel=use_kernel)
+                start = time.perf_counter()
+                solver.solve(
+                    context, utility_weight=utility, cost_weight=price,
+                    budget_cap=cap, seed=7,
+                )
+                timings.append(time.perf_counter() - start)
+    return statistics.mean(timings) * 1e3
+
+
+def bench_gibbs(contexts, use_kernel: bool, iterations: int, repeats: int) -> float:
+    """Gibbs proposals (objective evaluations) per second."""
+    evaluations = 0
+    elapsed = 0.0
+    for _ in range(repeats):
+        for context in contexts:
+            selector = GibbsRouteSelector(iterations=iterations, use_kernel=use_kernel)
+            start = time.perf_counter()
+            result = selector.select(
+                context, context.servable_requests(), 2500.0, 10.0, seed=7
+            )
+            elapsed += time.perf_counter() - start
+            evaluations += result.evaluations
+    return evaluations / elapsed if elapsed > 0 else 0.0
+
+
+def bench_fig6(config: ExperimentConfig, sizes, use_kernel: bool):
+    cfg = config.with_overrides(use_kernel=use_kernel)
+    start = time.perf_counter()
+    result = fig6_network_size.run(config=cfg, sizes=sizes, seed=7)
+    return time.perf_counter() - start, result.format_tables()
+
+
+def run_benchmarks(quick: bool) -> dict:
+    config = bench_config(quick)
+    contexts = sample_contexts(config, count=3 if quick else 5)
+    repeats = 2 if quick else 3
+    sizes = (8, 12) if quick else (8, 12, 16)
+
+    kernel_ms = bench_slot_solve(contexts, True, repeats)
+    legacy_ms = bench_slot_solve(contexts, False, repeats)
+
+    gibbs_iters = 20
+    kernel_pps = bench_gibbs(contexts, True, gibbs_iters, repeats)
+    legacy_pps = bench_gibbs(contexts, False, gibbs_iters, repeats)
+
+    kernel_s, kernel_tables = bench_fig6(config, sizes, True)
+    legacy_s, legacy_tables = bench_fig6(config, sizes, False)
+
+    return {
+        "meta": {
+            "version": __version__,
+            "quick": quick,
+            "sizes": list(sizes),
+            "python": sys.version.split()[0],
+        },
+        "slot_solve": {
+            "kernel_ms": round(kernel_ms, 3),
+            "legacy_ms": round(legacy_ms, 3),
+            "speedup": round(legacy_ms / kernel_ms, 3),
+        },
+        "gibbs": {
+            "kernel_proposals_per_s": round(kernel_pps, 1),
+            "legacy_proposals_per_s": round(legacy_pps, 1),
+            "speedup": round(kernel_pps / legacy_pps, 3) if legacy_pps else None,
+        },
+        "fig6": {
+            "kernel_s": round(kernel_s, 3),
+            "legacy_s": round(legacy_s, 3),
+            "speedup": round(legacy_s / kernel_s, 3),
+            "tables_identical": kernel_tables == legacy_tables,
+        },
+    }
+
+
+def check_against_baseline(results: dict, baseline: dict) -> list:
+    """Speedup regressions (>20 % below the baseline's speedup ratios).
+
+    Quick and full runs measure different workloads with systematically
+    different speedups, so a baseline is only comparable to a run of the
+    same mode.
+    """
+    failures = []
+    baseline_quick = (baseline.get("meta") or {}).get("quick")
+    if baseline_quick is not None and baseline_quick != results["meta"]["quick"]:
+        return [
+            "baseline was recorded with quick=%s but this run used quick=%s; "
+            "compare like against like (benchmarks/BENCH_kernel_quick.json is "
+            "the quick-mode baseline)" % (baseline_quick, results["meta"]["quick"])
+        ]
+    for section in ("slot_solve", "gibbs", "fig6"):
+        current = (results.get(section) or {}).get("speedup")
+        reference = (baseline.get(section) or {}).get("speedup")
+        if current is None or reference is None:
+            continue
+        if current < REGRESSION_FRACTION * reference:
+            failures.append(
+                f"{section}: speedup {current:.2f}x fell below "
+                f"{REGRESSION_FRACTION:.0%} of baseline {reference:.2f}x"
+            )
+    if not results["fig6"]["tables_identical"]:
+        failures.append("fig6: kernel and legacy summary tables diverged")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep for CI smoke runs")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the benchmark JSON to this file")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail when speedups regress >20%% vs this baseline JSON")
+    arguments = parser.parse_args(argv)
+
+    results = run_benchmarks(quick=arguments.quick)
+    print(json.dumps(results, indent=2))
+
+    if arguments.output:
+        Path(arguments.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"[written to {arguments.output}]", file=sys.stderr)
+
+    if arguments.check:
+        baseline = json.loads(Path(arguments.check).read_text())
+        failures = check_against_baseline(results, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("[no regression against baseline]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

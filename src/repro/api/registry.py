@@ -55,6 +55,8 @@ CONFIG_INJECTED_FIELDS = (
     "gamma",
     "gibbs_iterations",
     "exhaustive_limit",
+    "use_kernel",
+    "dual_tolerance",
 )
 
 

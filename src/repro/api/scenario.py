@@ -66,6 +66,7 @@ WORKLOAD_FIELDS = frozenset(
 BUDGET_FIELDS = frozenset(
     {"total_budget", "trade_off_v", "initial_queue", "gamma"}
 )
+SOLVER_FIELDS = frozenset({"use_kernel", "dual_tolerance"})
 
 
 @dataclass(frozen=True)
@@ -291,6 +292,20 @@ class Scenario:
         if total_budget is not None:
             overrides["total_budget"] = float(total_budget)
         return self._with_fields(BUDGET_FIELDS, "with_budget", overrides)
+
+    def with_solver(self, fast: Optional[bool] = None, **overrides) -> "Scenario":
+        """Configure the per-slot solver fast path.
+
+        ``fast`` is an alias for ``use_kernel``: ``True`` (the default
+        everywhere) evaluates route combinations on the compiled slot kernel
+        with warm-started dual solves, ``False`` runs the legacy
+        per-combination object path (the cross-checking reference).
+        ``dual_tolerance`` tunes the kernel's duality-gap early stop
+        (``0`` replays the legacy fixed iteration schedule on the kernel).
+        """
+        if fast is not None:
+            overrides["use_kernel"] = bool(fast)
+        return self._with_fields(SOLVER_FIELDS, "with_solver", overrides)
 
     def with_trials(self, trials: int) -> "Scenario":
         """Number of independent trials (fresh topology + trace each)."""

@@ -65,6 +65,7 @@ from typing import (
 from repro.api.records import RunRecord
 from repro.api.scenario import (
     BUDGET_FIELDS,
+    SOLVER_FIELDS,
     TOPOLOGY_FIELDS,
     WORKLOAD_FIELDS,
     PolicyLike,
@@ -92,6 +93,7 @@ _AXIS_GROUPS: Dict[str, Optional[frozenset]] = {
     "topology": TOPOLOGY_FIELDS,
     "workload": WORKLOAD_FIELDS,
     "budget": BUDGET_FIELDS,
+    "solver": SOLVER_FIELDS,
     "config": None,
 }
 

@@ -72,6 +72,10 @@ def _config_from_args(arguments: argparse.Namespace) -> ExperimentConfig:
         overrides["trials"] = arguments.trials
     if getattr(arguments, "seed", None) is not None:
         overrides["base_seed"] = arguments.seed
+    if getattr(arguments, "legacy_solver", False):
+        overrides["use_kernel"] = False
+    if getattr(arguments, "dual_tolerance", None) is not None:
+        overrides["dual_tolerance"] = arguments.dual_tolerance
     if overrides:
         config = config.with_overrides(**overrides)
     return config
@@ -138,7 +142,10 @@ def command_compare(arguments: argparse.Namespace) -> int:
 
 
 def _parse_axis_value(text: str):
-    """Interpret one --values token as int, float or string."""
+    """Interpret one --values token as bool, int, float or string."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
     for caster in (int, float):
         try:
             return caster(text)
@@ -229,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="experiment scale (default: small)")
         sub.add_argument("--trials", type=int, default=None, help="override the number of trials")
         sub.add_argument("--seed", type=int, default=None, help="override the base random seed")
+        sub.add_argument("--legacy-solver", action="store_true",
+                         help="disable the compiled slot kernel and run the "
+                              "legacy per-combination solver (cross-check)")
+        sub.add_argument("--dual-tolerance", type=float, default=None,
+                         help="kernel duality-gap early-stop tolerance "
+                              "(0 replays the full fixed iteration schedule)")
 
     info = subparsers.add_parser("info", help="print the configuration and derived quantities")
     add_common(info)

@@ -69,6 +69,45 @@ class QubitAllocator:
     solver: RelaxedSolver = field(default_factory=DualDecompositionSolver)
 
     # ------------------------------------------------------------------ #
+    # Compiled fast path
+    # ------------------------------------------------------------------ #
+    def compile(
+        self,
+        context: SlotContext,
+        requests: "List[SDPair]",
+        candidate_routes: "List[List[Route]]",
+        utility_weight: float = 1.0,
+        cost_weight: float = 0.0,
+        budget_cap: Optional[float] = None,
+        dual_tolerance: Optional[float] = None,
+        warm_start: bool = True,
+    ):
+        """Compile the slot kernel for this allocator, or ``None``.
+
+        Returns a :class:`~repro.solvers.kernel.SlotKernel` — an incremental
+        evaluator of route combinations sharing warm-started dual solves —
+        when this allocator's relaxed solver maps onto the kernel (i.e. it is
+        a plain :class:`DualDecompositionSolver`); returns ``None`` otherwise
+        so callers fall back to the legacy per-combination object path.
+        """
+        from repro.solvers.kernel import SlotKernel, kernel_options_for
+
+        options = kernel_options_for(
+            self.solver, dual_tolerance=dual_tolerance, warm_start=warm_start
+        )
+        if options is None:
+            return None
+        return SlotKernel(
+            context=context,
+            requests=requests,
+            candidate_routes=candidate_routes,
+            utility_weight=utility_weight,
+            cost_weight=cost_weight,
+            budget_cap=budget_cap,
+            options=options,
+        )
+
+    # ------------------------------------------------------------------ #
     # Problem construction
     # ------------------------------------------------------------------ #
     @staticmethod

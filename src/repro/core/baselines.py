@@ -29,6 +29,7 @@ from repro.core.per_slot import PerSlotSolver
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext, SlotDecision
 from repro.network.graph import QDNGraph
+from repro.solvers.kernel import DEFAULT_DUAL_TOLERANCE
 from repro.solvers.relaxed import RelaxedSolver
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_non_negative, check_positive
@@ -47,6 +48,8 @@ class _MyopicBase(RoutingPolicy):
     selector_mode: str = "auto"
     exhaustive_limit: int = 64
     relaxed_solver: Optional[RelaxedSolver] = None
+    use_kernel: bool = True
+    dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
     name: str = "myopic"
 
     _tracker: BudgetTracker = field(init=False, repr=False)
@@ -63,6 +66,8 @@ class _MyopicBase(RoutingPolicy):
             gamma=self.gamma,
             gibbs_iterations=self.gibbs_iterations,
             relaxed_solver=self.relaxed_solver,
+            use_kernel=self.use_kernel,
+            dual_tolerance=self.dual_tolerance,
         )
         self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
 

@@ -45,14 +45,24 @@ class RouteFidelityModel:
         check_in_range(self.link_fidelity, 0.0, 1.0, "link_fidelity")
         for key, value in self.per_edge_fidelity.items():
             check_in_range(value, 0.0, 1.0, f"per_edge_fidelity[{key}]")
+        # Route fidelity depends only on the route's edge tuple and this
+        # (immutable) model, so it is memoised; the cache is not a dataclass
+        # field, which keeps equality and serialisation untouched.
+        object.__setattr__(self, "_route_cache", {})
 
     def edge_fidelity(self, key: EdgeKey) -> float:
         """Fidelity of one link on edge ``key``."""
         return float(self.per_edge_fidelity.get(key, self.link_fidelity))
 
     def route_fidelity(self, route: Route) -> float:
-        """End-to-end fidelity of ``route`` after swapping all its links."""
-        return fidelity_of_chain(self.edge_fidelity(key) for key in route.edges)
+        """End-to-end fidelity of ``route`` after swapping all its links (memoised)."""
+        cache: Dict[Tuple[EdgeKey, ...], float] = self._route_cache  # type: ignore[attr-defined]
+        key = tuple(route.edges)
+        fidelity = cache.get(key)
+        if fidelity is None:
+            fidelity = fidelity_of_chain(self.edge_fidelity(edge) for edge in key)
+            cache[key] = fidelity
+        return fidelity
 
     def filter_candidates(
         self,

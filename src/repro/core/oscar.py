@@ -24,6 +24,7 @@ from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext, SlotDecision
 from repro.core.virtual_queue import VirtualQueue
 from repro.network.graph import QDNGraph
+from repro.solvers.kernel import DEFAULT_DUAL_TOLERANCE
 from repro.solvers.relaxed import RelaxedSolver
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_non_negative, check_positive
@@ -58,6 +59,13 @@ class OscarPolicy(RoutingPolicy):
     relaxed_solver:
         Override the continuous-relaxation solver (defaults to the fast dual
         decomposition solver).
+    use_kernel:
+        Evaluate route combinations on the compiled slot kernel (incremental
+        problem assembly, warm-started dual solves); disable to run the
+        legacy per-combination object path as a cross-check.
+    dual_tolerance:
+        Relative duality-gap tolerance of the kernel's early stop (0 keeps
+        the full fixed iteration budget).
     """
 
     total_budget: float = 5000.0
@@ -70,6 +78,8 @@ class OscarPolicy(RoutingPolicy):
     exhaustive_limit: int = 64
     parallel_updates: bool = False
     relaxed_solver: Optional[RelaxedSolver] = None
+    use_kernel: bool = True
+    dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
     name: str = "OSCAR"
 
     _queue: VirtualQueue = field(init=False, repr=False)
@@ -91,6 +101,8 @@ class OscarPolicy(RoutingPolicy):
             gibbs_iterations=self.gibbs_iterations,
             parallel_updates=self.parallel_updates,
             relaxed_solver=self.relaxed_solver,
+            use_kernel=self.use_kernel,
+            dual_tolerance=self.dual_tolerance,
         )
         self._run_horizon = self.horizon
         self._queue = VirtualQueue.for_budget(

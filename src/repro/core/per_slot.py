@@ -31,6 +31,7 @@ from repro.core.route_selection import (
     GibbsRouteSelector,
     RouteSelectionResult,
 )
+from repro.solvers.kernel import DEFAULT_DUAL_TOLERANCE
 from repro.solvers.relaxed import RelaxedSolver
 from repro.utils.rng import SeedLike, as_generator
 from repro.workload.requests import SDPair
@@ -67,7 +68,11 @@ class PerSlotSolver:
     gibbs_iterations: int = 60
     parallel_updates: bool = False
     relaxed_solver: Optional[RelaxedSolver] = None
+    use_kernel: bool = True
+    dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
     _allocator: QubitAllocator = field(init=False, repr=False)
+    _exhaustive: ExhaustiveRouteSelector = field(init=False, repr=False)
+    _gibbs: Optional[GibbsRouteSelector] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.selector_mode not in ("auto", "exhaustive", "gibbs"):
@@ -80,11 +85,34 @@ class PerSlotSolver:
             self._allocator = QubitAllocator(solver=self.relaxed_solver)
         else:
             self._allocator = QubitAllocator()
+        # Selectors are stateless across slots; building them once keeps the
+        # drop-retry loop in :meth:`solve` from re-allocating them on every
+        # iteration.  The Gibbs selector is built lazily so exhaustive-only
+        # configurations keep working with Gibbs parameters (gamma,
+        # iterations) its validation would reject.
+        self._exhaustive = ExhaustiveRouteSelector(
+            allocator=self._allocator,
+            use_kernel=self.use_kernel,
+            dual_tolerance=self.dual_tolerance,
+        )
+        self._gibbs = None
 
     @property
     def allocator(self) -> QubitAllocator:
         """The Algorithm-2 allocator used for every combination evaluation."""
         return self._allocator
+
+    def _gibbs_selector(self) -> GibbsRouteSelector:
+        if self._gibbs is None:
+            self._gibbs = GibbsRouteSelector(
+                allocator=self._allocator,
+                gamma=self.gamma,
+                iterations=self.gibbs_iterations,
+                parallel_updates=self.parallel_updates,
+                use_kernel=self.use_kernel,
+                dual_tolerance=self.dual_tolerance,
+            )
+        return self._gibbs
 
     def _select(
         self,
@@ -96,23 +124,16 @@ class PerSlotSolver:
         seed: SeedLike,
     ) -> Tuple[RouteSelectionResult, bool]:
         """Run the configured route selector; returns (result, used_exhaustive)."""
-        exhaustive = ExhaustiveRouteSelector(allocator=self._allocator)
-        combinations = exhaustive.combination_count(context, requests)
+        combinations = self._exhaustive.combination_count(context, requests)
         use_exhaustive = self.selector_mode == "exhaustive" or (
             self.selector_mode == "auto" and combinations <= self.exhaustive_limit
         )
         if use_exhaustive:
-            result = exhaustive.select(
+            result = self._exhaustive.select(
                 context, requests, utility_weight, cost_weight, budget_cap, seed
             )
             return result, True
-        gibbs = GibbsRouteSelector(
-            allocator=self._allocator,
-            gamma=self.gamma,
-            iterations=self.gibbs_iterations,
-            parallel_updates=self.parallel_updates,
-        )
-        result = gibbs.select(
+        result = self._gibbs_selector().select(
             context, requests, utility_weight, cost_weight, budget_cap, seed
         )
         return result, True if combinations <= 1 else False

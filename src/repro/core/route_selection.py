@@ -27,6 +27,7 @@ from repro.core.allocation import AllocationOutcome, QubitAllocator
 from repro.core.problem import SlotContext
 from repro.network.routes import Route
 from repro.solvers.gibbs import GibbsSampler, exhaustive_optimise
+from repro.solvers.kernel import DEFAULT_DUAL_TOLERANCE
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive
 from repro.workload.requests import SDPair
@@ -106,11 +107,50 @@ class _CombinationEvaluator:
         return outcome.objective
 
 
+def _build_evaluator(
+    context: SlotContext,
+    requests: Sequence[SDPair],
+    candidates: Sequence[Sequence[Route]],
+    allocator: QubitAllocator,
+    utility_weight: float,
+    cost_weight: float,
+    budget_cap: Optional[float],
+    use_kernel: bool,
+    dual_tolerance: float,
+):
+    """The combination evaluator: compiled slot kernel or legacy object path.
+
+    The kernel shares compiled arrays and warm-started dual multipliers
+    across every combination a selector visits; the legacy path re-derives
+    an :class:`AllocationProblem` per combination and remains the
+    cross-checking reference (``use_kernel=False``, or a relaxed solver the
+    kernel cannot represent).
+    """
+    if use_kernel:
+        kernel = allocator.compile(
+            context,
+            list(requests),
+            [list(routes) for routes in candidates],
+            utility_weight=utility_weight,
+            cost_weight=cost_weight,
+            budget_cap=budget_cap,
+            dual_tolerance=dual_tolerance,
+        )
+        if kernel is not None:
+            return kernel
+    return _CombinationEvaluator(
+        context, requests, candidates, allocator,
+        utility_weight, cost_weight, budget_cap,
+    )
+
+
 @dataclass
 class ExhaustiveRouteSelector:
     """Brute-force route selection (exact, exponential in ``|Φ_t|``)."""
 
     allocator: QubitAllocator = field(default_factory=QubitAllocator)
+    use_kernel: bool = True
+    dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
 
     def select(
         self,
@@ -127,9 +167,10 @@ class ExhaustiveRouteSelector:
             empty = AllocationOutcome(allocation={}, objective=0.0, feasible=True, cost=0)
             return RouteSelectionResult(selection={}, outcome=empty, objective=0.0, evaluations=0)
         candidates = [list(context.routes_for(r)) for r in requests]
-        evaluator = _CombinationEvaluator(
+        evaluator = _build_evaluator(
             context, requests, candidates, self.allocator,
             utility_weight, cost_weight, budget_cap,
+            self.use_kernel, self.dual_tolerance,
         )
         sizes = [len(routes) for routes in candidates]
         best_assignment, best_objective = exhaustive_optimise(sizes, evaluator.objective)
@@ -166,6 +207,8 @@ class GibbsRouteSelector:
     iterations: int = 60
     parallel_updates: bool = False
     paper_sign: bool = False
+    use_kernel: bool = True
+    dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
 
     def __post_init__(self) -> None:
         check_positive(self.gamma, "gamma")
@@ -215,9 +258,10 @@ class GibbsRouteSelector:
             empty = AllocationOutcome(allocation={}, objective=0.0, feasible=True, cost=0)
             return RouteSelectionResult(selection={}, outcome=empty, objective=0.0, evaluations=0)
         candidates = [list(context.routes_for(r)) for r in requests]
-        evaluator = _CombinationEvaluator(
+        evaluator = _build_evaluator(
             context, requests, candidates, self.allocator,
             utility_weight, cost_weight, budget_cap,
+            self.use_kernel, self.dual_tolerance,
         )
         sizes = [len(routes) for routes in candidates]
 
@@ -241,16 +285,18 @@ class GibbsRouteSelector:
         result = sampler.optimise(sizes, evaluator.objective, seed=rng, initial=initial)
 
         best_assignment = result.best_assignment
-        best_objective = result.best_objective
-        if math.isinf(best_objective) and best_objective < 0:
+        if math.isinf(result.best_objective) and result.best_objective < 0:
             # Every visited combination was infeasible; fall back to the
             # initial combination so callers get a well-formed (if
             # infeasible) outcome to inspect.
             best_assignment = initial
         outcome = evaluator.outcome_for(best_assignment)
+        # The best combination is already cached; derive its objective from
+        # the outcome instead of re-running the evaluator.
+        best_objective = outcome.objective if outcome.feasible else float("-inf")
         return RouteSelectionResult(
             selection=evaluator.selection_for(best_assignment),
             outcome=outcome,
-            objective=evaluator.objective(best_assignment),
+            objective=best_objective,
             evaluations=evaluator.evaluations,
         )

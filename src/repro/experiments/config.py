@@ -68,6 +68,15 @@ class ExperimentConfig:
     gibbs_iterations: int = 60
     exhaustive_limit: int = 64
 
+    # --- solver fast path -------------------------------------------------- #
+    # ``use_kernel`` runs every per-slot solve on the compiled slot kernel
+    # (incremental Gibbs evaluation, warm-started dual solves); disable it to
+    # cross-check against the legacy per-combination object path.
+    # ``dual_tolerance`` is the kernel's relative duality-gap early-stop
+    # threshold (0 replays the legacy fixed iteration schedule).
+    use_kernel: bool = True
+    dual_tolerance: float = 1e-4
+
     # --- experiment bookkeeping ------------------------------------------- #
     trials: int = 5
     base_seed: int = 2024
@@ -206,6 +215,8 @@ class ExperimentConfig:
             gamma=self.gamma,
             gibbs_iterations=self.gibbs_iterations,
             exhaustive_limit=self.exhaustive_limit,
+            use_kernel=self.use_kernel,
+            dual_tolerance=self.dual_tolerance,
         )
         parameters.update(overrides)
         return OscarPolicy(**parameters)
@@ -218,6 +229,8 @@ class ExperimentConfig:
             gamma=self.gamma,
             gibbs_iterations=self.gibbs_iterations,
             exhaustive_limit=self.exhaustive_limit,
+            use_kernel=self.use_kernel,
+            dual_tolerance=self.dual_tolerance,
         )
         parameters.update(overrides)
         return MyopicFixedPolicy(**parameters)
@@ -230,6 +243,8 @@ class ExperimentConfig:
             gamma=self.gamma,
             gibbs_iterations=self.gibbs_iterations,
             exhaustive_limit=self.exhaustive_limit,
+            use_kernel=self.use_kernel,
+            dual_tolerance=self.dual_tolerance,
         )
         parameters.update(overrides)
         return MyopicAdaptivePolicy(**parameters)
@@ -242,6 +257,8 @@ class ExperimentConfig:
             gamma=self.gamma,
             gibbs_iterations=self.gibbs_iterations,
             exhaustive_limit=self.exhaustive_limit,
+            use_kernel=self.use_kernel,
+            dual_tolerance=self.dual_tolerance,
         )
         parameters.update(overrides)
         return UnconstrainedPolicy(**parameters)

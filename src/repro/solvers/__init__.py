@@ -11,6 +11,9 @@
   ablations.
 * :mod:`repro.solvers.gibbs` — a generic Gibbs sampler over finite product
   decision spaces (used by route selection, Algorithm 3).
+* :mod:`repro.solvers.kernel` — the compiled slot kernel: incremental
+  evaluation of route combinations over precompiled flat arrays with
+  warm-started dual solves (the default fast path of every per-slot solve).
 """
 
 from repro.solvers.allocation_problem import (
@@ -29,6 +32,12 @@ from repro.solvers.relaxed import (
 from repro.solvers.rounding import round_down_with_surplus
 from repro.solvers.greedy import greedy_integer_allocation
 from repro.solvers.gibbs import GibbsSampler, GibbsResult
+from repro.solvers.kernel import (
+    DEFAULT_DUAL_TOLERANCE,
+    KernelOptions,
+    SlotKernel,
+    kernel_options_for,
+)
 
 __all__ = [
     "AllocationProblem",
@@ -44,4 +53,8 @@ __all__ = [
     "greedy_integer_allocation",
     "GibbsSampler",
     "GibbsResult",
+    "DEFAULT_DUAL_TOLERANCE",
+    "KernelOptions",
+    "SlotKernel",
+    "kernel_options_for",
 ]

@@ -79,8 +79,19 @@ class CapacityConstraint:
         if len(set(self.members)) != len(self.members):
             raise ValueError(f"constraint {self.name!r} lists a variable twice")
 
+    @property
+    def members_index(self) -> np.ndarray:
+        """The member indices as a cached numpy index array."""
+        index = self.__dict__.get("_members_index")
+        if index is None:
+            index = np.asarray(self.members, dtype=np.intp)
+            object.__setattr__(self, "_members_index", index)
+        return index
+
     def load(self, x: Sequence[float]) -> float:
         """Total allocation of the member variables under ``x``."""
+        if isinstance(x, np.ndarray):
+            return float(x[self.members_index].sum())
         return float(sum(x[i] for i in self.members))
 
     def slack(self, x: Sequence[float]) -> float:

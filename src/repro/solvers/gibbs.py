@@ -50,6 +50,26 @@ class GibbsResult:
         return self.acceptance_count / self.iterations
 
 
+def _acceptance_probability(
+    new_objective: float, old_objective: float, gamma: float, paper_sign: bool = False
+) -> float:
+    """:func:`acceptance_probability` without the ``gamma`` validation.
+
+    The sampler's hot loop calls this directly — ``gamma`` is validated once
+    in :meth:`GibbsSampler.__post_init__` rather than on every proposal.
+    """
+    if math.isinf(new_objective) and math.isinf(old_objective):
+        return 0.5
+    difference = old_objective - new_objective
+    if paper_sign:
+        difference = new_objective - old_objective
+    if math.isinf(difference):
+        return 0.0 if difference > 0 else 1.0
+    # Clamp to avoid overflow in exp for very large objective gaps.
+    difference = max(min(difference / gamma, 700.0), -700.0)
+    return 1.0 / (1.0 + math.exp(difference))
+
+
 def acceptance_probability(
     new_objective: float, old_objective: float, gamma: float, paper_sign: bool = False
 ) -> float:
@@ -61,16 +81,7 @@ def acceptance_probability(
     the probability at 0 or 1.
     """
     check_positive(gamma, "gamma")
-    if math.isinf(new_objective) and math.isinf(old_objective):
-        return 0.5
-    difference = old_objective - new_objective
-    if paper_sign:
-        difference = new_objective - old_objective
-    if math.isinf(difference):
-        return 0.0 if difference > 0 else 1.0
-    # Clamp to avoid overflow in exp for very large objective gaps.
-    difference = max(min(difference / gamma, 700.0), -700.0)
-    return 1.0 / (1.0 + math.exp(difference))
+    return _acceptance_probability(new_objective, old_objective, gamma, paper_sign)
 
 
 @dataclass
@@ -185,7 +196,7 @@ class GibbsSampler:
                 continue
             proposal_tuple = tuple(proposal)
             proposal_objective = objective(proposal_tuple)
-            eta = acceptance_probability(
+            eta = _acceptance_probability(
                 proposal_objective, current_objective, self.gamma, self.paper_sign
             )
             if rng.random() < eta:

@@ -1,0 +1,616 @@
+"""The compiled slot kernel: incremental evaluation of route combinations.
+
+The OSCAR loop nests three solvers: Gibbs route selection (Algorithm 3)
+around qubit allocation (Algorithm 2) around a dual-decomposition
+relaxation.  The legacy object path rebuilds an
+:class:`~repro.solvers.allocation_problem.AllocationProblem` from dataclasses
+and cold-solves a fixed number of subgradient iterations for *every* route
+combination the selector visits — even though a Gibbs proposal changes a
+single request's route and barely moves the optimal dual multipliers.
+
+:class:`SlotKernel` compiles, once per slot, flat NumPy arrays for every
+(request, candidate-route, edge) variable — single-channel success
+probabilities ``p_e`` and their ``-log1p(-p_e)`` tables, node/edge/budget
+constraint rows, capacities — and then evaluates each route combination
+incrementally on top of them:
+
+* **incremental combination evaluation** — per-combination problem assembly
+  is pure array slicing of the precompiled per-route blocks (no dataclass
+  construction, no re-validation, no bound re-derivation from scratch);
+* **warm-started dual solves** — the subgradient ascent is seeded with the
+  multipliers of the previously evaluated combination (they are indexed by
+  *physical* node/edge, so they remain meaningful across combinations) and
+  stops early once the duality gap falls below ``dual_tolerance`` instead of
+  always burning the full iteration budget; the legacy iteration count is
+  kept as a hard cap;
+* **vectorised polish and rounding** — the repaired primal point is polished
+  with the shared :func:`~repro.solvers.relaxed.cyclic_coordinate_polish`
+  and rounded with the shared :func:`~repro.solvers.rounding.surplus_pass`,
+  the same routines the legacy path uses, so both paths land on the same
+  integer allocation.
+
+The kernel exposes the same evaluator interface as the legacy
+``_CombinationEvaluator`` (``selection_for`` / ``outcome_for`` /
+``objective`` / ``evaluations``) so the route selectors can swap it in
+transparently; the legacy object path remains available as the
+cross-checking reference (``use_kernel=False`` / ``ExperimentConfig``'s
+``use_kernel`` toggle).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.channels import log_multi_channel_success
+from repro.solvers.allocation_problem import ContinuousSolution, IntegerSolution
+from repro.solvers.relaxed import (
+    DualDecompositionSolver,
+    _closed_form_best_response,
+    cyclic_coordinate_polish,
+)
+from repro.solvers.rounding import surplus_pass
+from repro.utils.validation import check_non_negative
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.allocation import AllocationOutcome
+    from repro.core.problem import AllocationKey, SlotContext
+    from repro.network.routes import Route
+    from repro.workload.requests import SDPair
+
+#: Default relative duality-gap tolerance of the warm-started early stop.
+#: Calibrated empirically: polish + rounding absorb relative gaps up to
+#: ~1e-3 without changing a single integer allocation (see the kernel test
+#: suite), so 1e-4 keeps an order of magnitude of safety margin.
+DEFAULT_DUAL_TOLERANCE = 1e-4
+
+_OUTCOME_CLS = None
+
+
+def _outcome_class():
+    """Lazily resolve :class:`AllocationOutcome` (breaks the core↔solvers cycle)."""
+    global _OUTCOME_CLS
+    if _OUTCOME_CLS is None:
+        from repro.core.allocation import AllocationOutcome
+
+        _OUTCOME_CLS = AllocationOutcome
+    return _OUTCOME_CLS
+
+
+@dataclass(frozen=True)
+class KernelOptions:
+    """Solver knobs of the compiled slot kernel.
+
+    ``dual_iterations`` is the hard cap on subgradient steps (the legacy
+    solver's fixed budget); ``dual_tolerance`` is the relative duality-gap
+    threshold of the early stop (``0`` disables early stopping, which makes
+    the kernel replay the legacy iteration schedule exactly);
+    ``warm_start`` seeds each solve with the multipliers of the previous
+    combination; the remaining fields mirror
+    :class:`~repro.solvers.relaxed.DualDecompositionSolver`.
+    """
+
+    dual_iterations: int = 150
+    dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
+    warm_start: bool = True
+    polish_rounds: int = 2
+    primal_check_every: int = 25
+    feasibility_tolerance: float = 1e-6
+    initial_step: Optional[float] = None
+    step_offset_cap: int = 600
+
+    def __post_init__(self) -> None:
+        if self.dual_iterations < 1:
+            raise ValueError("dual_iterations must be at least 1")
+        if self.dual_tolerance < 0:
+            raise ValueError("dual_tolerance must be non-negative")
+        if self.primal_check_every < 1:
+            raise ValueError("primal_check_every must be at least 1")
+        if self.polish_rounds < 0:
+            raise ValueError("polish_rounds must be non-negative")
+
+
+def kernel_options_for(
+    solver: object,
+    dual_tolerance: Optional[float] = None,
+    warm_start: bool = True,
+) -> Optional[KernelOptions]:
+    """Derive :class:`KernelOptions` from a relaxed solver, if compatible.
+
+    Only a plain :class:`DualDecompositionSolver` maps onto the kernel (a
+    subclass may have overridden ``solve``); anything else — e.g. the SLSQP
+    reference solver — returns ``None`` and callers fall back to the legacy
+    object path.
+    """
+    if type(solver) is not DualDecompositionSolver:
+        return None
+    tolerance = (
+        DEFAULT_DUAL_TOLERANCE if dual_tolerance is None else float(dual_tolerance)
+    )
+    return KernelOptions(
+        dual_iterations=solver.iterations,
+        dual_tolerance=tolerance,
+        # ``dual_tolerance=0`` promises an exact replay of the legacy
+        # iteration schedule, which a warm multiplier seed would break.
+        warm_start=warm_start and tolerance > 0.0,
+        polish_rounds=solver.polish_rounds,
+        primal_check_every=solver.primal_check_every,
+        feasibility_tolerance=solver.tolerance,
+        initial_step=solver.initial_step,
+    )
+
+
+class _RouteBlock:
+    """Compiled arrays of one (request, candidate route) pair."""
+
+    __slots__ = ("keys", "p", "p_list", "row_triples", "hops")
+
+    def __init__(
+        self,
+        keys: List[Tuple[object, Tuple[object, object]]],
+        p: np.ndarray,
+        row_triples: np.ndarray,
+    ) -> None:
+        self.keys = keys
+        self.p = p
+        self.p_list = [float(v) for v in p]
+        self.row_triples = row_triples
+        self.hops = len(keys)
+
+
+class SlotKernel:
+    """Compiled per-slot evaluator of route combinations (see module docstring).
+
+    Built once per (slot context, request set, candidate routes, weights,
+    budget cap); every distinct route combination is solved at most once and
+    cached, and consecutive solves share warm-started dual multipliers.
+    """
+
+    def __init__(
+        self,
+        context: "SlotContext",
+        requests: Sequence["SDPair"],
+        candidate_routes: Sequence[Sequence["Route"]],
+        utility_weight: float = 1.0,
+        cost_weight: float = 0.0,
+        budget_cap: Optional[float] = None,
+        options: Optional[KernelOptions] = None,
+    ) -> None:
+        check_non_negative(utility_weight, "utility_weight")
+        check_non_negative(cost_weight, "cost_weight")
+        if budget_cap is not None:
+            check_non_negative(budget_cap, "budget_cap")
+        self._requests = list(requests)
+        self._candidates = [list(routes) for routes in candidate_routes]
+        self._utility_weight = float(utility_weight)
+        self._cost_weight = float(cost_weight)
+        self._budget_cap = None if budget_cap is None else float(budget_cap)
+        self._options = options if options is not None else KernelOptions()
+
+        graph = context.graph
+        snapshot = context.snapshot
+
+        # ----- global constraint-row registry (nodes, edges, budget) ----- #
+        node_row: Dict[object, int] = {}
+        edge_row: Dict[Tuple[object, object], int] = {}
+        capacities: List[float] = []
+        edge_success: Dict[Tuple[object, object], float] = {}
+
+        def row_of_node(node: object) -> int:
+            row = node_row.get(node)
+            if row is None:
+                row = len(capacities)
+                node_row[node] = row
+                capacities.append(float(snapshot.available_qubits(node)))
+            return row
+
+        def row_of_edge(key: Tuple[object, object]) -> int:
+            row = edge_row.get(key)
+            if row is None:
+                row = len(capacities)
+                edge_row[key] = row
+                capacities.append(float(snapshot.available_channels(key)))
+            return row
+
+        self._blocks: List[List[_RouteBlock]] = []
+        for request, routes in zip(self._requests, self._candidates):
+            blocks: List[_RouteBlock] = []
+            for route in routes:
+                keys: List[Tuple[object, Tuple[object, object]]] = []
+                successes: List[float] = []
+                triples: List[Tuple[int, int, int]] = []
+                for edge in route.edges:
+                    key = edge
+                    if key not in edge_success:
+                        edge_success[key] = float(graph.slot_success(key))
+                    keys.append((request, key))
+                    successes.append(edge_success[key])
+                    triples.append(
+                        (row_of_node(key[0]), row_of_node(key[1]), row_of_edge(key))
+                    )
+                blocks.append(
+                    _RouteBlock(
+                        keys=keys,
+                        p=np.asarray(successes, dtype=float),
+                        row_triples=np.asarray(triples, dtype=np.intp).reshape(-1, 3),
+                    )
+                )
+            self._blocks.append(blocks)
+
+        self._budget_row: Optional[int] = None
+        if self._budget_cap is not None:
+            self._budget_row = len(capacities)
+            capacities.append(self._budget_cap)
+        self._capacities = np.asarray(capacities, dtype=float)
+        self._num_rows = len(capacities)
+
+        # ----- warm-start state shared across combinations --------------- #
+        self._warm_mult = np.zeros(self._num_rows, dtype=float)
+        self._warm_ready = False
+        self._step_offset = 0
+
+        self._cache: Dict[Tuple[int, ...], "AllocationOutcome"] = {}
+        self.evaluations = 0
+        self.stats: Dict[str, int] = {
+            "solves": 0,
+            "cache_hits": 0,
+            "dual_iterations": 0,
+            "early_stops": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Evaluator interface (drop-in for the legacy _CombinationEvaluator)
+    # ------------------------------------------------------------------ #
+    def selection_for(self, assignment: Tuple[int, ...]) -> Dict["SDPair", "Route"]:
+        """The route mapping corresponding to an index assignment."""
+        return {
+            request: self._candidates[i][choice]
+            for i, (request, choice) in enumerate(zip(self._requests, assignment))
+        }
+
+    def outcome_for(self, assignment: Tuple[int, ...]) -> "AllocationOutcome":
+        """Allocate qubits for the combination, with caching."""
+        key = tuple(int(choice) for choice in assignment)
+        outcome = self._cache.get(key)
+        if outcome is None:
+            outcome = self._solve(key)
+            self._cache[key] = outcome
+            self.evaluations += 1
+        else:
+            self.stats["cache_hits"] += 1
+        return outcome
+
+    def objective(self, assignment: Tuple[int, ...]) -> float:
+        """P2 objective of the combination; ``-inf`` when infeasible."""
+        outcome = self.outcome_for(assignment)
+        if not outcome.feasible:
+            return float("-inf")
+        return outcome.objective
+
+    # ------------------------------------------------------------------ #
+    # Per-combination solve
+    # ------------------------------------------------------------------ #
+    def _solve(self, assignment: Tuple[int, ...]) -> "AllocationOutcome":
+        self.stats["solves"] += 1
+        outcome_cls = _outcome_class()
+        blocks = [self._blocks[i][choice] for i, choice in enumerate(assignment)]
+        n = sum(block.hops for block in blocks)
+        if n == 0:
+            return outcome_cls(allocation={}, objective=0.0, feasible=True, cost=0)
+
+        keys: List[Tuple[object, Tuple[object, object]]] = []
+        p_list: List[float] = []
+        for block in blocks:
+            keys.extend(block.keys)
+            p_list.extend(block.p_list)
+        p = np.concatenate([block.p for block in blocks])
+        triples = np.vstack([block.row_triples for block in blocks])
+
+        # Active constraints, ordered exactly as the legacy problem builder
+        # orders them (nodes by first touch, then edges, then the budget) so
+        # the repair pass visits them in the same sequence.
+        seen_nodes: Dict[int, None] = {}
+        seen_edges: Dict[int, None] = {}
+        for u_row, v_row, e_row in triples.tolist():
+            if u_row not in seen_nodes:
+                seen_nodes[u_row] = None
+            if v_row not in seen_nodes:
+                seen_nodes[v_row] = None
+            if e_row not in seen_edges:
+                seen_edges[e_row] = None
+        order: List[int] = list(seen_nodes) + list(seen_edges)
+        if self._budget_row is not None:
+            order.append(self._budget_row)
+        order_array = np.asarray(order, dtype=np.intp)
+        m = len(order)
+
+        local = np.empty(self._num_rows, dtype=np.intp)
+        local[order_array] = np.arange(m)
+        rows_local = local[triples]
+        if self._budget_row is not None:
+            rows_local = np.hstack(
+                [rows_local, np.full((n, 1), m - 1, dtype=np.intp)]
+            )
+        width = rows_local.shape[1]
+
+        membership = np.zeros((m, n), dtype=float)
+        membership[rows_local.ravel(), np.repeat(np.arange(n), width)] = 1.0
+        membership_t = membership.T.copy()
+        capacities = self._capacities[order_array]
+        var_rows = [rows_local[i] for i in range(n)]
+
+        lower = np.ones(n, dtype=float)
+        lower_loads = membership.sum(axis=1)
+        raw_upper = (capacities - lower_loads + 1.0)[rows_local].min(axis=1)
+        infeasible_bounds = bool(np.any(raw_upper < 1.0))
+        upper = np.maximum(raw_upper, 1.0)
+
+        V = self._utility_weight
+        q = self._cost_weight
+        options = self._options
+        tolerance = options.feasibility_tolerance
+
+        degenerate = (p <= 0.0) | (p >= 1.0)
+        fast_path = not bool(np.any(degenerate))
+        a = -np.log1p(-np.clip(p, 0.0, 1.0 - 1e-15))
+        va = V * a
+        neg_log1p = np.log1p(-p)
+
+        def objective_np(x: np.ndarray) -> float:
+            """Mirror of :meth:`AllocationProblem.objective_array`."""
+            if fast_path:
+                log_terms = np.log(-np.expm1(x * neg_log1p))
+                return float(V * log_terms.sum() - q * x.sum())
+            log_terms = np.empty_like(x)
+            safe = p < 1.0
+            log_terms[safe] = np.log(-np.expm1(x[safe] * neg_log1p[safe]))
+            log_terms[~safe] = 0.0
+            return float(V * log_terms.sum() - q * x.sum())
+
+        def row_loads(x: np.ndarray) -> np.ndarray:
+            return membership @ x
+
+        def is_feasible(x: np.ndarray, tol: float) -> bool:
+            """Mirror of :meth:`AllocationProblem.is_feasible`."""
+            if np.any(x < lower - tol):
+                return False
+            return not np.any(membership @ x > capacities + tol)
+
+        def repair(x: np.ndarray) -> np.ndarray:
+            """Mirror of :meth:`AllocationProblem.repair_feasibility`.
+
+            Reductions only ever shrink ``x``, so the rows violated after the
+            initial clip are a superset of the rows that need work — the
+            common near-feasible iterate costs one matvec and no row loop.
+            """
+            np.clip(x, lower, upper, out=x)
+            violated = np.nonzero(membership @ x - capacities > 1e-12)[0]
+            for r in violated:
+                members = np.nonzero(membership[r])[0]
+                load = float(x[members].sum())
+                excess = load - capacities[r]
+                if excess <= 1e-12:
+                    continue
+                headroom = x[members] - lower[members]
+                total_headroom = headroom.sum()
+                if total_headroom <= 0:
+                    continue
+                reduction = np.minimum(headroom, headroom * (excess / total_headroom))
+                shortfall = excess - reduction.sum()
+                if shortfall > 1e-12:
+                    order_h = np.argsort(-(headroom - reduction))
+                    for index in order_h:
+                        available = headroom[index] - reduction[index]
+                        take = min(available, shortfall)
+                        reduction[index] += take
+                        shortfall -= take
+                        if shortfall <= 1e-12:
+                            break
+                x[members] = x[members] - reduction
+            return x
+
+        def integer_objective(values: np.ndarray) -> float:
+            """Mirror of :meth:`AllocationProblem.objective` on integers."""
+            utility = 0.0
+            for p_i, value in zip(p_list, values):
+                utility += log_multi_channel_success(p_i, float(value))
+            return V * utility - q * float(values.sum())
+
+        def finish(
+            relaxed: ContinuousSolution, rounded: IntegerSolution
+        ) -> "AllocationOutcome":
+            allocation = {
+                key: int(value) for key, value in zip(keys, rounded.values)
+            }
+            return outcome_cls(
+                allocation=allocation,
+                objective=rounded.objective,
+                feasible=rounded.feasible,
+                cost=int(sum(rounded.values)) if rounded.feasible else 0,
+                integer_solution=rounded,
+                relaxed_solution=relaxed,
+            )
+
+        # ----- minimum-footprint infeasibility: reject the combination --- #
+        if infeasible_bounds or np.any(lower_loads > capacities + 1e-6):
+            relaxed = ContinuousSolution(
+                values=tuple(1.0 for _ in range(n)),
+                objective=objective_np(lower),
+                feasible=False,
+            )
+            values = lower.astype(int)
+            rounded = IntegerSolution(
+                values=tuple(int(v) for v in values),
+                objective=integer_objective(lower),
+                feasible=False,
+            )
+            return finish(relaxed, rounded)
+
+        # ----- warm-started projected-subgradient dual ascent ------------ #
+        step_scale = options.initial_step
+        if step_scale is None:
+            step_scale = max(V, 1.0) / max(float(capacities.max()), 1.0)
+
+        # Warm starts and replay mode are mutually exclusive: a warm seed (or
+        # saving the last oscillating iterate as one) would break the
+        # ``dual_tolerance=0`` promise of replaying the legacy schedule.
+        warm_enabled = options.warm_start and options.dual_tolerance > 0.0
+        warm = warm_enabled and self._warm_ready
+        mult = self._warm_mult[order_array].copy() if warm else np.zeros(m, dtype=float)
+        offset = self._step_offset if warm else 0
+
+        base_prices = np.full(n, q)
+        best_x: Optional[np.ndarray] = None
+        best_objective = -math.inf
+        best_dual = math.inf
+        best_mult: Optional[np.ndarray] = None
+        gap_tolerance = options.dual_tolerance
+        max_iterations = options.dual_iterations
+        check_every = options.primal_check_every
+        used = max_iterations
+        x = lower.copy()
+
+        def polish(candidate: np.ndarray, rounds: Optional[int] = None) -> np.ndarray:
+            rounds = options.polish_rounds if rounds is None else rounds
+            if rounds > 0:
+                cyclic_coordinate_polish(
+                    candidate, lower, upper, p, V, q, row_loads(candidate),
+                    capacities, var_rows, rounds,
+                )
+            return candidate
+
+        def best_response(prices: np.ndarray) -> np.ndarray:
+            if fast_path:
+                x = np.log1p(va / np.maximum(prices, 1e-300)) / a
+                x = np.where(prices <= 0.0, upper, x)
+                np.clip(x, lower, upper, out=x)
+                return x
+            return _closed_form_best_response(prices, p, V, lower, upper)
+
+        polished_final = False
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            if gap_tolerance > 0.0:
+                # Adaptive mode: Polyak-sized steps aimed at the best polished
+                # primal bound, with a duality-gap early stop.  The repaired
+                # subgradient iterate alone is a weak primal bound — polishing
+                # every candidate is what makes the gap certify within a
+                # handful of iterations (and what sizes the steps well).
+                polished_final = True
+                step_cap = 5.0 * step_scale
+                for k in range(max_iterations):
+                    prices = base_prices + membership_t @ mult
+                    x = best_response(prices)
+                    violation = membership @ x - capacities
+                    dual_value = objective_np(x) - float(mult @ violation)
+                    improved = dual_value < best_dual
+                    if improved:
+                        best_dual = dual_value
+                        best_mult = mult.copy()
+                    if improved or k == 0:
+                        # A tighter dual iterate is also the better primal
+                        # candidate; repairing/polishing only then skips the
+                        # oscillating iterates.  One polish round tightens
+                        # the primal bound enough for the gap test; the
+                        # winner gets the remaining rounds after the loop.
+                        repaired = repair(x.copy())
+                        if is_feasible(repaired, tolerance):
+                            candidate = polish(
+                                repaired, rounds=min(options.polish_rounds, 1)
+                            )
+                            objective = objective_np(candidate)
+                            if objective > best_objective:
+                                best_objective = objective
+                                best_x = candidate
+                    if (
+                        best_x is not None
+                        and best_dual - best_objective
+                        <= gap_tolerance * max(1.0, abs(best_objective))
+                    ):
+                        used = k + 1
+                        self.stats["early_stops"] += 1
+                        break
+                    # Polyak step towards the best primal bound; the reduced
+                    # violation zeroes rows whose multiplier is pinned at 0.
+                    effective = np.where((mult > 0.0) | (violation > 0.0), violation, 0.0)
+                    norm2 = float(effective @ effective)
+                    step = (dual_value - best_objective) / max(norm2, 1e-12)
+                    if not (0.0 < step < step_cap):
+                        step = (
+                            step_cap
+                            if step >= step_cap
+                            else step_scale / math.sqrt(offset + k + 1.0)
+                        )
+                    mult = np.maximum(0.0, mult + step * violation)
+            else:
+                # Replay mode (``dual_tolerance=0``): the legacy solver's
+                # fixed subgradient schedule, checkpoints and final polish,
+                # reproduced exactly — the cross-check reference.
+                for k in range(max_iterations):
+                    prices = base_prices + membership_t @ mult
+                    x = best_response(prices)
+                    violation = membership @ x - capacities
+                    step = step_scale / math.sqrt(offset + k + 1.0)
+                    mult = np.maximum(0.0, mult + step * violation)
+                    if (k + 1) % check_every == 0 or k == max_iterations - 1:
+                        repaired = repair(x.copy())
+                        if is_feasible(repaired, tolerance):
+                            objective = objective_np(repaired)
+                            if objective > best_objective:
+                                best_objective = objective
+                                best_x = repaired
+
+        self.stats["dual_iterations"] += used
+        if warm_enabled:
+            # Seed the next combination with the multipliers of the best dual
+            # bound seen (the last subgradient iterate oscillates; the best
+            # iterate is the tight one).
+            self._warm_mult[order_array] = mult if best_mult is None else best_mult
+            self._warm_ready = True
+            self._step_offset = min(offset + used, options.step_offset_cap)
+
+        if best_x is None:
+            best_x = repair(x.copy())
+            polished_final = False
+        if polished_final:
+            # The winning candidate saw one polish round in the loop; give it
+            # the remaining rounds to reach the legacy polish effort.
+            best_x = polish(best_x, rounds=max(options.polish_rounds - 1, 0))
+        else:
+            best_x = polish(best_x)
+        best_objective = objective_np(best_x)
+        relaxed_feasible = is_feasible(best_x, tolerance)
+        relaxed = ContinuousSolution(
+            values=tuple(float(v) for v in best_x),
+            objective=best_objective,
+            feasible=relaxed_feasible,
+            iterations=used,
+        )
+
+        # ----- down-round and hand out the surplus ----------------------- #
+        floored = np.maximum(np.floor(best_x + 1e-9), 1.0)
+        if not (relaxed_feasible and is_feasible(floored, 1e-6)):
+            rounded = IntegerSolution(
+                values=tuple(int(v) for v in floored),
+                objective=integer_objective(floored),
+                feasible=False,
+            )
+            return finish(relaxed, rounded)
+
+        loads = row_loads(floored)
+        slack_total = float(np.sum(np.maximum(capacities - loads, 0.0)))
+        surplus_pass(
+            floored, upper, p, V, q, loads, capacities, rows_local,
+            int(slack_total) + n,
+        )
+        objective = integer_objective(floored)
+        if not math.isfinite(objective):
+            objective = float("-inf")
+        rounded = IntegerSolution(
+            values=tuple(int(v) for v in floored),
+            objective=objective,
+            feasible=True,
+        )
+        return finish(relaxed, rounded)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import optimize
@@ -71,6 +71,75 @@ def _closed_form_best_response(
             stationary = np.log1p(1.0 / s) / a[regular]
         x[regular] = stationary
     return np.clip(x, lower, upper)
+
+
+def cyclic_coordinate_polish(
+    x: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    successes: np.ndarray,
+    utility_weight: float,
+    cost_weight: float,
+    loads: np.ndarray,
+    capacities: np.ndarray,
+    var_rows: Sequence[Sequence[int]],
+    rounds: int,
+) -> np.ndarray:
+    """Exact cyclic coordinate maximisation within residual capacities.
+
+    Each coordinate is set to its closed-form maximiser given the residual
+    capacity of the constraints it belongs to (``var_rows[i]`` lists the
+    constraint rows of variable ``i``; ``loads`` is updated in place
+    alongside ``x``).  Shared by :class:`DualDecompositionSolver` and the
+    compiled slot kernel so both paths polish to the same point; scalar
+    arithmetic per coordinate replaces the former per-coordinate
+    ``np.asarray([...])`` round trips.
+    """
+    price = float(cost_weight)
+    n = int(x.shape[0])
+    for _ in range(rounds):
+        for i in range(n):
+            hi = float(upper[i])
+            xi = float(x[i])
+            rows = var_rows[i]
+            for r in rows:
+                headroom = float(capacities[r]) - (float(loads[r]) - xi)
+                if headroom < hi:
+                    hi = headroom
+            lo = float(lower[i])
+            if hi < lo:
+                continue
+            if price <= 0.0:
+                best = hi
+            else:
+                p_i = float(successes[i])
+                if p_i <= 0.0 or p_i >= 1.0:
+                    best = lo
+                else:
+                    a_i = -math.log1p(-min(p_i, 1.0 - 1e-15))
+                    va_i = utility_weight * a_i
+                    if va_i <= 0.0:
+                        # s would be +inf: the stationary point is 0,
+                        # clipped up to the lower bound.
+                        best = lo
+                    else:
+                        s = price / va_i
+                        if s == 0.0:
+                            # Underflowed price: 1/s is +inf, the stationary
+                            # point exceeds any bound.
+                            best = hi
+                        else:
+                            best = math.log1p(1.0 / s) / a_i
+                            if best < lo:
+                                best = lo
+                            elif best > hi:
+                                best = hi
+            delta = best - xi
+            if abs(delta) > 1e-12:
+                for r in rows:
+                    loads[r] += delta
+                x[i] = best
+    return x
 
 
 @dataclass
@@ -210,41 +279,25 @@ class DualDecompositionSolver(RelaxedSolver):
         """Cyclic exact coordinate maximisation within the residual capacities."""
         if self.polish_rounds == 0:
             return x
-        lower = problem.lower_bounds()
-        upper = problem.upper_bounds()
-        successes = problem.slot_successes()
         constraints = problem.constraints
-        var_constraints = [[] for _ in range(problem.num_variables)]
+        var_constraints: list = [[] for _ in range(problem.num_variables)]
         for c_index, constraint in enumerate(constraints):
             for member in constraint.members:
                 var_constraints[member].append(c_index)
         loads = np.asarray([c.load(x) for c in constraints], dtype=float)
         capacities = np.asarray([c.capacity for c in constraints], dtype=float)
-
-        for _ in range(self.polish_rounds):
-            for i in range(problem.num_variables):
-                # Largest value coordinate i may take given residual capacity.
-                headroom = math.inf
-                for c_index in var_constraints[i]:
-                    headroom = min(headroom, capacities[c_index] - (loads[c_index] - x[i]))
-                hi = min(upper[i], headroom)
-                lo = lower[i]
-                if hi < lo:
-                    continue
-                price = np.asarray([problem.cost_weight])
-                best = _closed_form_best_response(
-                    price,
-                    np.asarray([successes[i]]),
-                    problem.utility_weight,
-                    np.asarray([lo]),
-                    np.asarray([hi]),
-                )[0]
-                delta = best - x[i]
-                if abs(delta) > 1e-12:
-                    for c_index in var_constraints[i]:
-                        loads[c_index] += delta
-                    x[i] = best
-        return x
+        return cyclic_coordinate_polish(
+            x,
+            problem.lower_bounds(),
+            problem.upper_bounds(),
+            problem.slot_successes(),
+            problem.utility_weight,
+            problem.cost_weight,
+            loads,
+            capacities,
+            var_constraints,
+            self.polish_rounds,
+        )
 
 
 @dataclass

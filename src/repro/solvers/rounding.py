@@ -7,20 +7,127 @@ the allocation feasible, the surplus pass only adds channels where all
 constraints still have slack, and the resulting integer solution satisfies
 ``n* >= 1`` and ``ñ* − n* <= 1`` (paper, Eq. 8), which drives the
 ``Δ``-optimality bound of Proposition 2.
+
+The surplus pass operates on flat arrays (:func:`surplus_pass`) so the same
+vectorised routine serves both the legacy object path and the compiled slot
+kernel — the per-coordinate Python loop that used to recompute every
+marginal gain on every pass is gone.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.network.channels import log_multi_channel_success
 from repro.solvers.allocation_problem import (
     AllocationProblem,
     ContinuousSolution,
     IntegerSolution,
 )
+
+#: Minimal gain that justifies handing out one more surplus channel.
+_GAIN_EPSILON = 1e-12
+
+
+def _marginal_gain(
+    slot_success: float, value: float, utility_weight: float, cost_weight: float
+) -> float:
+    """Objective gain of one extra channel: ``V·[log P(n+1) − log P(n)] − q``.
+
+    ``-inf`` marks variables that can never profit (``p = 0`` yields a
+    ``-inf − -inf`` marginal in the object path, which is equally never
+    selected).
+    """
+    if slot_success <= 0.0:
+        return float("-inf")
+    gain = log_multi_channel_success(slot_success, value + 1.0) - log_multi_channel_success(
+        slot_success, value
+    )
+    if math.isnan(gain):
+        return float("-inf")
+    return utility_weight * gain - cost_weight
+
+
+def surplus_pass(
+    values: np.ndarray,
+    upper: np.ndarray,
+    slot_successes: Sequence[float],
+    utility_weight: float,
+    cost_weight: float,
+    loads: np.ndarray,
+    capacities: np.ndarray,
+    var_rows: Sequence[Sequence[int]],
+    max_passes: int,
+) -> None:
+    """Greedily hand out leftover capacity, one channel at a time (in place).
+
+    ``values`` (float array of integral values) and ``loads`` are updated in
+    place; ``var_rows[i]`` lists the constraint rows variable ``i`` belongs
+    to.  Each pass increments the variable with the largest positive
+    marginal gain among those whose constraints all retain at least one unit
+    of slack; near-ties (within 1e-12) resolve to the lowest index, matching
+    the original scan order.
+    """
+    n = int(values.shape[0])
+    if n == 0 or max_passes <= 0:
+        return
+    m = int(capacities.shape[0])
+
+    # Pad the per-variable row lists into a rectangular gather matrix; the
+    # dummy row m has infinite slack so it never masks anything.  A 2-D
+    # index array (the kernel's compiled form) is used as-is.
+    if isinstance(var_rows, np.ndarray) and var_rows.ndim == 2:
+        rows_matrix = var_rows
+    else:
+        width = max((len(rows) for rows in var_rows), default=0)
+        if width == 0:
+            rows_matrix = np.full((n, 1), m, dtype=np.intp)
+        else:
+            rows_matrix = np.full((n, width), m, dtype=np.intp)
+            for i, rows in enumerate(var_rows):
+                if len(rows):
+                    rows_matrix[i, : len(rows)] = rows
+
+    # Initial marginal gains, vectorised: V·[log P(n+1) − log P(n)] − q with
+    # the degenerate probabilities pinned exactly as _marginal_gain pins them.
+    p = np.asarray(slot_successes, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lp = np.log1p(-np.clip(p, 0.0, 1.0 - 1e-15))
+        new_log = np.log(-np.expm1((values + 1.0) * lp))
+        old_log = np.log(-np.expm1(values * lp))
+        gains = utility_weight * (new_log - old_log) - cost_weight
+    gains[p <= 0.0] = -math.inf
+    gains[p >= 1.0] = -cost_weight
+    gains[np.isnan(gains)] = -math.inf
+
+    slack_ext = np.empty(m + 1, dtype=float)
+    slack_ext[m] = math.inf
+    for _ in range(max_passes):
+        slack_ext[:m] = capacities - loads
+        eligible = (values + 1.0 <= upper + 1e-9) & (
+            slack_ext[rows_matrix].min(axis=1) >= 1.0 - 1e-9
+        )
+        masked = np.where(eligible, gains, -math.inf)
+        best_gain = float(masked.max())
+        if best_gain <= _GAIN_EPSILON:
+            break
+        if math.isinf(best_gain):
+            best_index = int(np.argmax(np.isposinf(masked)))
+        else:
+            best_index = int(np.argmax(masked > best_gain - _GAIN_EPSILON))
+        values[best_index] += 1.0
+        rows = var_rows[best_index]
+        if len(rows):
+            loads[np.asarray(rows, dtype=np.intp)] += 1.0
+        gains[best_index] = _marginal_gain(
+            float(slot_successes[best_index]),
+            float(values[best_index]),
+            utility_weight,
+            cost_weight,
+        )
 
 
 def round_down_with_surplus(
@@ -69,31 +176,19 @@ def round_down_with_surplus(
         slack_total = float(np.sum(np.maximum(capacities - loads, 0.0))) if len(constraints) else 0.0
         max_surplus_passes = int(slack_total) + n
 
-    variables = problem.variables
-    for _ in range(max_surplus_passes):
-        best_index = -1
-        best_gain = 0.0
-        for i in range(n):
-            if values[i] + 1 > variables[i].upper + 1e-9:
-                continue
-            has_slack = all(
-                loads[c_index] + 1.0 <= capacities[c_index] + 1e-9
-                for c_index in var_constraints[i]
-            )
-            if not has_slack:
-                continue
-            gain = (
-                problem.utility_weight * variables[i].marginal_log_gain(float(values[i]))
-                - problem.cost_weight
-            )
-            if gain > best_gain + 1e-12:
-                best_gain = gain
-                best_index = i
-        if best_index < 0:
-            break
-        values[best_index] += 1
-        for c_index in var_constraints[best_index]:
-            loads[c_index] += 1.0
+    working = values.astype(float)
+    surplus_pass(
+        working,
+        problem.upper_bounds(),
+        problem.slot_successes(),
+        problem.utility_weight,
+        problem.cost_weight,
+        loads,
+        capacities,
+        var_constraints,
+        max_surplus_passes,
+    )
+    values = working.astype(int)
 
     objective = problem.objective(values)
     # Guard against pathological float issues: the returned point must be

@@ -1,0 +1,333 @@
+"""Tests for the compiled slot kernel (repro.solvers.kernel).
+
+The kernel is the default fast path of every per-slot solve; the legacy
+object path (``use_kernel=False``) stays as the cross-checking reference.
+These tests pin the equivalence between the two:
+
+* **replay mode** (``dual_tolerance=0``, no warm start) reproduces the
+  legacy dual-decomposition schedule exactly — allocations equal, objectives
+  within 1e-9;
+* the **adaptive mode** (warm-started dual solves + duality-gap early stop)
+  produces identical :class:`SlotDecision`\\ s on randomised instances;
+* warm-start state never leaks across combinations in a way that changes
+  integer outcomes.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import QubitAllocator
+from repro.core.per_slot import PerSlotSolver
+from repro.core.problem import SlotContext
+from repro.core.route_selection import (
+    ExhaustiveRouteSelector,
+    GibbsRouteSelector,
+    _build_evaluator,
+    _CombinationEvaluator,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.solvers.kernel import (
+    DEFAULT_DUAL_TOLERANCE,
+    KernelOptions,
+    SlotKernel,
+    kernel_options_for,
+)
+from repro.solvers.relaxed import DualDecompositionSolver, SLSQPSolver
+
+
+def make_context(graph_seed: int, trace_seed: int, min_requests: int = 2) -> SlotContext:
+    """A slot context sampled from a real (small) topology and trace."""
+    config = ExperimentConfig(
+        num_nodes=9, horizon=10, total_budget=400.0, trials=1, max_pairs=4,
+        gibbs_iterations=15, num_candidate_routes=3, base_seed=2024,
+    )
+    graph = config.build_graph(seed=graph_seed)
+    trace = config.build_trace(graph, seed=trace_seed)
+    for t in range(trace.horizon):
+        slot = trace.slot(t)
+        if slot.num_requests >= min_requests:
+            return SlotContext(
+                t=slot.t, graph=graph, snapshot=slot.snapshot,
+                requests=slot.requests,
+                candidate_routes={r: trace.routes_for(r) for r in slot.requests},
+            )
+    raise AssertionError("no slot with enough requests in the sampled trace")
+
+
+def request_candidates(context: SlotContext):
+    requests = list(context.servable_requests())
+    candidates = [list(context.routes_for(r)) for r in requests]
+    return requests, candidates
+
+
+WEIGHT_SETTINGS = [
+    (2500.0, 10.0, None),     # OSCAR: V large, queue price, no cap
+    (2500.0, 150.0, None),    # OSCAR under a long queue
+    (1.0, 0.0, 20.0),         # myopic baseline: per-slot budget cap
+    (1.0, 0.0, None),         # unconstrained per-slot utility
+]
+
+
+class TestKernelOptions:
+    def test_defaults(self):
+        options = KernelOptions()
+        assert options.dual_iterations == 150
+        assert options.dual_tolerance == DEFAULT_DUAL_TOLERANCE
+        assert options.warm_start
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelOptions(dual_iterations=0)
+        with pytest.raises(ValueError):
+            KernelOptions(dual_tolerance=-1.0)
+        with pytest.raises(ValueError):
+            KernelOptions(primal_check_every=0)
+        with pytest.raises(ValueError):
+            KernelOptions(polish_rounds=-1)
+
+    def test_derived_from_dual_solver(self):
+        solver = DualDecompositionSolver(iterations=99, polish_rounds=3)
+        options = kernel_options_for(solver, dual_tolerance=1e-5)
+        assert options.dual_iterations == 99
+        assert options.polish_rounds == 3
+        assert options.dual_tolerance == 1e-5
+
+    def test_incompatible_solver_returns_none(self):
+        assert kernel_options_for(SLSQPSolver()) is None
+
+    def test_replay_tolerance_disables_warm_start(self):
+        # dual_tolerance=0 promises an exact legacy replay, which a warm
+        # multiplier seed would break — even through the public path where
+        # warm_start is left at its default.
+        options = kernel_options_for(DualDecompositionSolver(), dual_tolerance=0.0)
+        assert options.warm_start is False
+
+    def test_dual_solver_subclass_returns_none(self):
+        class Custom(DualDecompositionSolver):
+            pass
+
+        assert kernel_options_for(Custom()) is None
+
+
+class TestEvaluatorSelection:
+    def test_kernel_selected_by_default(self):
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        evaluator = _build_evaluator(
+            context, requests, candidates, QubitAllocator(),
+            1.0, 0.0, None, True, DEFAULT_DUAL_TOLERANCE,
+        )
+        assert isinstance(evaluator, SlotKernel)
+
+    def test_legacy_when_disabled(self):
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        evaluator = _build_evaluator(
+            context, requests, candidates, QubitAllocator(),
+            1.0, 0.0, None, False, DEFAULT_DUAL_TOLERANCE,
+        )
+        assert isinstance(evaluator, _CombinationEvaluator)
+
+    def test_legacy_when_solver_incompatible(self):
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        evaluator = _build_evaluator(
+            context, requests, candidates, QubitAllocator(solver=SLSQPSolver()),
+            1.0, 0.0, None, True, DEFAULT_DUAL_TOLERANCE,
+        )
+        assert isinstance(evaluator, _CombinationEvaluator)
+
+
+class TestPerSlotSolverConstruction:
+    def test_exhaustive_only_accepts_gibbs_incompatible_parameters(self):
+        # The Gibbs selector is built lazily, so exhaustive-only
+        # configurations keep working with parameters its validation rejects.
+        context = make_context(1, 51, min_requests=1)
+        solver = PerSlotSolver(selector_mode="exhaustive", gamma=0.0)
+        solution = solver.solve(context, utility_weight=1.0, seed=3)
+        assert solution.used_exhaustive
+
+
+class TestReplayModeMatchesLegacyExactly:
+    """``dual_tolerance=0`` + no warm start replays the legacy schedule."""
+
+    def test_public_compile_path_is_exact(self):
+        # QubitAllocator.compile with dual_tolerance=0 (warm_start untouched)
+        # must also be bit-exact — the kernel_options_for guard, not the
+        # test's explicit warm_start=False, is what guarantees it.
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        sizes = [len(c) for c in candidates]
+        allocator = QubitAllocator()
+        kernel = allocator.compile(
+            context, requests, candidates, 2500.0, 10.0, dual_tolerance=0.0
+        )
+        for assignment in itertools.islice(
+            itertools.product(*[range(s) for s in sizes]), 6
+        ):
+            selection = {
+                r: candidates[i][assignment[i]] for i, r in enumerate(requests)
+            }
+            legacy = allocator.allocate(
+                context, selection, utility_weight=2500.0, cost_weight=10.0
+            )
+            fast = kernel.outcome_for(assignment)
+            assert fast.allocation == dict(legacy.allocation)
+            assert np.allclose(
+                np.asarray(fast.relaxed_solution.values),
+                np.asarray(legacy.relaxed_solution.values),
+                atol=1e-9,
+            )
+
+    @pytest.mark.parametrize("graph_seed,trace_seed", [(1, 51), (2, 52), (3, 53)])
+    def test_every_combination_matches(self, graph_seed, trace_seed):
+        context = make_context(graph_seed, trace_seed)
+        requests, candidates = request_candidates(context)
+        sizes = [len(c) for c in candidates]
+        allocator = QubitAllocator()
+        for V, q, cap in WEIGHT_SETTINGS:
+            kernel = SlotKernel(
+                context, requests, candidates, V, q, cap,
+                options=KernelOptions(dual_tolerance=0.0, warm_start=False),
+            )
+            for assignment in itertools.islice(
+                itertools.product(*[range(s) for s in sizes]), 8
+            ):
+                selection = {
+                    r: candidates[i][assignment[i]] for i, r in enumerate(requests)
+                }
+                legacy = allocator.allocate(
+                    context, selection, utility_weight=V, cost_weight=q, budget_cap=cap
+                )
+                fast = kernel.outcome_for(assignment)
+                assert fast.feasible == legacy.feasible
+                assert fast.allocation == dict(legacy.allocation)
+                assert fast.objective == pytest.approx(legacy.objective, abs=1e-9)
+                assert fast.cost == legacy.cost
+                if legacy.relaxed_solution is not None:
+                    assert np.allclose(
+                        np.asarray(fast.relaxed_solution.values),
+                        np.asarray(legacy.relaxed_solution.values),
+                        atol=1e-9,
+                    )
+
+
+class TestAdaptiveModeDecisions:
+    """Warm start + early stop leave the per-slot decisions unchanged."""
+
+    @pytest.mark.parametrize("graph_seed", [0, 1, 2, 3])
+    def test_per_slot_decisions_identical(self, graph_seed):
+        context = make_context(graph_seed, graph_seed + 50, min_requests=1)
+        for V, q, cap in [(2500.0, 10.0, None), (1.0, 0.0, 20.0)]:
+            fast = PerSlotSolver(use_kernel=True).solve(
+                context, utility_weight=V, cost_weight=q, budget_cap=cap, seed=42
+            )
+            slow = PerSlotSolver(use_kernel=False).solve(
+                context, utility_weight=V, cost_weight=q, budget_cap=cap, seed=42
+            )
+            assert fast.decision.num_served == slow.decision.num_served
+            assert set(fast.decision.unserved) == set(slow.decision.unserved)
+            assert dict(fast.decision.selection) == dict(slow.decision.selection)
+            assert dict(fast.decision.allocation) == dict(slow.decision.allocation)
+            assert fast.objective == pytest.approx(slow.objective, abs=1e-9)
+
+    def test_selector_paths_agree(self):
+        context = make_context(2, 52)
+        for selector_fast, selector_slow in [
+            (
+                ExhaustiveRouteSelector(use_kernel=True),
+                ExhaustiveRouteSelector(use_kernel=False),
+            ),
+            (
+                GibbsRouteSelector(iterations=25, use_kernel=True),
+                GibbsRouteSelector(iterations=25, use_kernel=False),
+            ),
+        ]:
+            fast = selector_fast.select(context, context.servable_requests(), 2500.0, 10.0, seed=7)
+            slow = selector_slow.select(context, context.servable_requests(), 2500.0, 10.0, seed=7)
+            assert dict(fast.selection) == dict(slow.selection)
+            assert dict(fast.outcome.allocation) == dict(slow.outcome.allocation)
+            assert fast.objective == pytest.approx(slow.objective, abs=1e-9)
+            assert fast.evaluations == slow.evaluations
+
+
+class TestWarmStartState:
+    def test_outcomes_do_not_depend_on_evaluation_order(self):
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        sizes = [len(c) for c in candidates]
+        combos = list(itertools.islice(
+            itertools.product(*[range(s) for s in sizes]), 6
+        ))
+        forward = SlotKernel(context, requests, candidates, 2500.0, 10.0)
+        backward = SlotKernel(context, requests, candidates, 2500.0, 10.0)
+        outcomes_f = {a: forward.outcome_for(a) for a in combos}
+        outcomes_b = {a: backward.outcome_for(a) for a in reversed(combos)}
+        for a in combos:
+            assert outcomes_f[a].allocation == outcomes_b[a].allocation
+            assert outcomes_f[a].objective == pytest.approx(
+                outcomes_b[a].objective, abs=1e-9
+            )
+
+    def test_early_stops_engage_on_revisits(self):
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        sizes = [len(c) for c in candidates]
+        kernel = SlotKernel(context, requests, candidates, 2500.0, 10.0)
+        for assignment in itertools.islice(
+            itertools.product(*[range(s) for s in sizes]), 8
+        ):
+            kernel.outcome_for(assignment)
+        assert kernel.stats["early_stops"] > 0
+        # Far fewer subgradient steps than the fixed 150-per-solve budget.
+        assert kernel.stats["dual_iterations"] < 150 * kernel.stats["solves"] / 2
+
+    def test_cache_counts_distinct_solves(self):
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        kernel = SlotKernel(context, requests, candidates, 2500.0, 10.0)
+        a = tuple(0 for _ in requests)
+        first = kernel.outcome_for(a)
+        second = kernel.outcome_for(a)
+        assert first is second
+        assert kernel.evaluations == 1
+        assert kernel.stats["cache_hits"] == 1
+
+
+class TestKernelEdgeCases:
+    def test_infeasible_budget_cap_matches_legacy(self):
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        # A cap below one channel per edge makes every combination infeasible.
+        kernel = SlotKernel(context, requests, candidates, 1.0, 0.0, budget_cap=1.0)
+        assignment = tuple(0 for _ in requests)
+        selection = {r: candidates[i][0] for i, r in enumerate(requests)}
+        legacy = QubitAllocator().allocate(
+            context, selection, utility_weight=1.0, cost_weight=0.0, budget_cap=1.0
+        )
+        fast = kernel.outcome_for(assignment)
+        assert not fast.feasible and not legacy.feasible
+        assert fast.allocation == dict(legacy.allocation)
+        assert kernel.objective(assignment) == float("-inf")
+
+    def test_validates_weights(self):
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        with pytest.raises(ValueError):
+            SlotKernel(context, requests, candidates, utility_weight=-1.0)
+        with pytest.raises(ValueError):
+            SlotKernel(context, requests, candidates, cost_weight=-0.5)
+        with pytest.raises(ValueError):
+            SlotKernel(context, requests, candidates, budget_cap=-2.0)
+
+    def test_selection_for_maps_routes(self):
+        context = make_context(1, 51)
+        requests, candidates = request_candidates(context)
+        kernel = SlotKernel(context, requests, candidates)
+        assignment = tuple(0 for _ in requests)
+        selection = kernel.selection_for(assignment)
+        assert selection == {r: candidates[i][0] for i, r in enumerate(requests)}
