@@ -1,0 +1,178 @@
+"""Tracked benchmark of horizon-compiled solving vs. the recompile-per-slot kernel.
+
+Measures the end-to-end wall clock of the Figure-3 time-evolving run (OSCAR
+vs. MA vs. MF over a whole horizon, Monte-Carlo realisation on) with the
+kernel structure cache enabled (``kernel_cache=True``, the default: one
+compiled structure per topology, re-bound every slot, warm-start duals
+carried slot-to-slot, batched exhaustive enumeration) and disabled
+(``kernel_cache=False``: the PR-3-era kernel that recompiles its flat arrays
+every slot).  Reports
+
+* **fig3 end-to-end** — wall clock and speedup of the cached over the
+  recompile path, asserting their summary tables are byte-identical;
+* **slots/sec** — horizon throughput (slots × policies / second) of both
+  paths, the headline number of the ROADMAP's "as fast as the hardware
+  allows" goal;
+* **kernel stats** — structure compiles vs re-binds, solves, prune/memo/
+  cache reuse over the cached run.
+
+Writes the numbers to ``BENCH_horizon.json`` (``--output``); with ``--check
+BASELINE.json`` it exits non-zero when the measured speedup falls below 80 %
+of the committed baseline's speedup, or when the tables diverge — speedup
+ratios are compared rather than absolute times so the check is stable across
+machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/horizon_bench.py --output BENCH_horizon.json
+    PYTHONPATH=src python benchmarks/horizon_bench.py --quick --check benchmarks/BENCH_horizon_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import fig3_time_evolving
+from repro.experiments.config import ExperimentConfig
+from repro.network.store import default_topology_store
+from repro.version import __version__
+
+#: Regression threshold: fail when the speedup drops below this fraction of
+#: the committed baseline's speedup.
+REGRESSION_FRACTION = 0.8
+
+
+def bench_config(quick: bool) -> ExperimentConfig:
+    """The fig3 configuration under benchmark (ExperimentConfig.small scale)."""
+    config = ExperimentConfig.small()
+    if quick:
+        config = config.with_overrides(horizon=16, trials=1)
+    else:
+        config = config.with_overrides(trials=1)
+    return config
+
+
+def run_fig3(config: ExperimentConfig, repeats: int):
+    """Best-of-``repeats`` wall clock of one fig3 run; returns (s, tables, stats)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        # The topology store would hide the graph/trace build cost from the
+        # second repetition onwards for both paths equally; clearing it keeps
+        # every repetition a full, cold end-to-end run.
+        default_topology_store.clear()
+        started = time.perf_counter()
+        result = fig3_time_evolving.run(config)
+        best = min(best, time.perf_counter() - started)
+    stats = None
+    if result.comparison is not None:
+        from repro.api import RunRecord
+
+        stats = RunRecord.from_comparison(result.comparison).kernel_stats()
+    return best, result.format_tables(), stats
+
+
+def run_benchmarks(quick: bool) -> dict:
+    config = bench_config(quick)
+    repeats = 2 if quick else 3
+
+    cached_s, cached_tables, cached_stats = run_fig3(config, repeats)
+    recompile_s, recompile_tables, _ = run_fig3(
+        config.with_overrides(kernel_cache=False), repeats
+    )
+
+    policies = 3  # OSCAR, MA, MF
+    slot_units = config.horizon * config.trials * policies
+    return {
+        "meta": {
+            "version": __version__,
+            "quick": quick,
+            "horizon": config.horizon,
+            "trials": config.trials,
+            "num_nodes": config.num_nodes,
+            "python": sys.version.split()[0],
+        },
+        "fig3": {
+            "cached_s": round(cached_s, 3),
+            "recompile_s": round(recompile_s, 3),
+            "speedup": round(recompile_s / cached_s, 3),
+            "tables_identical": cached_tables == recompile_tables,
+        },
+        "throughput": {
+            "cached_slots_per_s": round(slot_units / cached_s, 1),
+            "recompile_slots_per_s": round(slot_units / recompile_s, 1),
+        },
+        "kernel": cached_stats,
+    }
+
+
+def check_against_baseline(results: dict, baseline: dict) -> list:
+    """Regressions vs the committed baseline (see module docstring)."""
+    failures = []
+    baseline_quick = (baseline.get("meta") or {}).get("quick")
+    if baseline_quick is not None and baseline_quick != results["meta"]["quick"]:
+        return [
+            "baseline was recorded with quick=%s but this run used quick=%s; "
+            "compare like against like (benchmarks/BENCH_horizon_quick.json is "
+            "the quick-mode baseline)" % (baseline_quick, results["meta"]["quick"])
+        ]
+    current = (results.get("fig3") or {}).get("speedup")
+    reference = (baseline.get("fig3") or {}).get("speedup")
+    if current is not None and reference is not None:
+        if current < REGRESSION_FRACTION * reference:
+            failures.append(
+                f"fig3: horizon speedup {current:.2f}x fell below "
+                f"{REGRESSION_FRACTION:.0%} of baseline {reference:.2f}x"
+            )
+    # slots/sec guard: the cached path must stay ahead of the recompile path
+    # by the baseline's margin (a ratio, so machine-independent).
+    cur = results.get("throughput") or {}
+    ref = baseline.get("throughput") or {}
+    if cur.get("recompile_slots_per_s") and ref.get("recompile_slots_per_s"):
+        cur_ratio = cur["cached_slots_per_s"] / cur["recompile_slots_per_s"]
+        ref_ratio = ref["cached_slots_per_s"] / ref["recompile_slots_per_s"]
+        if cur_ratio < REGRESSION_FRACTION * ref_ratio:
+            failures.append(
+                f"throughput: cached/recompile slots-per-sec ratio "
+                f"{cur_ratio:.2f} fell below {REGRESSION_FRACTION:.0%} of "
+                f"baseline {ref_ratio:.2f}"
+            )
+    if not results["fig3"]["tables_identical"]:
+        failures.append("fig3: cached and recompile summary tables diverged")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter horizon for CI smoke runs")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the benchmark JSON to this file")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail when the speedup regresses >20%% vs this baseline JSON")
+    arguments = parser.parse_args(argv)
+
+    results = run_benchmarks(quick=arguments.quick)
+    print(json.dumps(results, indent=2))
+
+    if arguments.output:
+        Path(arguments.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"[written to {arguments.output}]", file=sys.stderr)
+
+    if arguments.check:
+        baseline = json.loads(Path(arguments.check).read_text())
+        failures = check_against_baseline(results, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("[no regression against baseline]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

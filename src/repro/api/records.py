@@ -30,6 +30,25 @@ PathLike = Union[str, Path]
 SCHEMA_VERSION = 1
 
 
+def merge_kernel_stats(stats_mappings) -> Optional[Dict[str, int]]:
+    """Sum integer kernel-counter mappings; ``None`` when none are present.
+
+    The single merge implementation behind :meth:`RunRecord.kernel_stats`,
+    :meth:`repro.api.study.StudyResult.kernel_stats` and the horizon
+    benchmark — skips non-mapping entries (results without kernel
+    diagnostics contribute nothing).
+    """
+    totals: Dict[str, int] = {}
+    found = False
+    for stats in stats_mappings:
+        if not isinstance(stats, Mapping):
+            continue
+        found = True
+        for key, value in stats.items():
+            totals[key] = totals.get(key, 0) + int(value)
+    return totals if found else None
+
+
 def _provider_record_to_dict(record: ProviderSlotRecord) -> Dict[str, object]:
     return {
         "t": record.t,
@@ -141,6 +160,22 @@ class RunRecord:
             "qubits": sum(r.qubit_utilisation for r in records) / len(records),
             "channels": sum(r.channel_utilisation for r in records) / len(records),
         }
+
+    def kernel_stats(self) -> Optional[Dict[str, int]]:
+        """Aggregate compiled-kernel statistics across trials and line-up.
+
+        Sums the per-policy ``diagnostics["kernel"]`` counters (solves,
+        cache/memo hits, structure re-binds vs recompiles, dual iterations,
+        …) every horizon produced.  Returns ``None`` when no result carries
+        kernel diagnostics — legacy-solver runs, runs with the kernel cache
+        disabled, or records loaded from JSON (diagnostics are in-memory
+        only).
+        """
+        return merge_kernel_stats(
+            result.diagnostics.get("kernel")
+            for trial in self.trials
+            for result in trial.values()
+        )
 
     # ------------------------------------------------------------------ #
     # Serialisation

@@ -57,6 +57,7 @@ CONFIG_INJECTED_FIELDS = (
     "exhaustive_limit",
     "use_kernel",
     "dual_tolerance",
+    "kernel_cache",
 )
 
 

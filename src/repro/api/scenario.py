@@ -66,7 +66,7 @@ WORKLOAD_FIELDS = frozenset(
 BUDGET_FIELDS = frozenset(
     {"total_budget", "trade_off_v", "initial_queue", "gamma"}
 )
-SOLVER_FIELDS = frozenset({"use_kernel", "dual_tolerance"})
+SOLVER_FIELDS = frozenset({"use_kernel", "dual_tolerance", "kernel_cache"})
 
 
 @dataclass(frozen=True)
@@ -302,6 +302,9 @@ class Scenario:
         per-combination object path (the cross-checking reference).
         ``dual_tolerance`` tunes the kernel's duality-gap early stop
         (``0`` replays the legacy fixed iteration schedule on the kernel).
+        ``kernel_cache`` (default ``True``) re-binds one compiled kernel
+        structure across slots and horizons, carrying warm-start duals
+        slot-to-slot; ``False`` recompiles the kernel every slot.
         """
         if fast is not None:
             overrides["use_kernel"] = bool(fast)

@@ -418,6 +418,18 @@ class StudyResult:
         """The legacy per-point :class:`ComparisonResult` views (grid order)."""
         return [record.to_comparison() for record in self.records]
 
+    def kernel_stats(self) -> Optional[Dict[str, int]]:
+        """Compiled-kernel statistics summed over every point of the grid.
+
+        Aggregates :meth:`RunRecord.kernel_stats` across the study; points
+        served from the result store (or run on the legacy solver) carry no
+        kernel diagnostics and contribute nothing.  ``None`` when no point
+        carried any.
+        """
+        from repro.api.records import merge_kernel_stats
+
+        return merge_kernel_stats(record.kernel_stats() for record in self.records)
+
     def format_summary(
         self,
         metrics: Sequence[str] = ("average_success_rate", "total_cost"),

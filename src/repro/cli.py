@@ -74,6 +74,8 @@ def _config_from_args(arguments: argparse.Namespace) -> ExperimentConfig:
         overrides["base_seed"] = arguments.seed
     if getattr(arguments, "legacy_solver", False):
         overrides["use_kernel"] = False
+    if getattr(arguments, "no_kernel_cache", False):
+        overrides["kernel_cache"] = False
     if getattr(arguments, "dual_tolerance", None) is not None:
         overrides["dual_tolerance"] = arguments.dual_tolerance
     if overrides:
@@ -115,6 +117,26 @@ def command_figure(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_stats_line(stats) -> Optional[str]:
+    """One human-readable line of aggregate compiled-kernel statistics."""
+    if not stats:
+        return None
+    binds = stats.get("binds", 0)
+    compiles = stats.get("structure_compiles", 0)
+    solves = stats.get("solves", 0)
+    reused = (
+        stats.get("cache_hits", 0)
+        + stats.get("memo_hits", 0)
+        + stats.get("pruned", 0)
+    )
+    iterations = stats.get("dual_iterations", 0)
+    return (
+        f"[kernel] {solves} solve(s), {reused} reused/pruned, "
+        f"{binds} bind(s) from {compiles} compiled structure(s), "
+        f"{iterations} dual iteration(s)"
+    )
+
+
 def command_compare(arguments: argparse.Namespace) -> int:
     """Run a policy comparison through the facade and print the summary."""
     config = _config_from_args(arguments)
@@ -131,6 +153,10 @@ def command_compare(arguments: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         print("hint: `python -m repro policies` lists the registry", file=sys.stderr)
         return 2
+    if arguments.progress:
+        line = _kernel_stats_line(record.kernel_stats())
+        if line:
+            print(line, file=sys.stderr)
     if arguments.json:
         print(json.dumps(record.to_dict(), indent=2))
     else:
@@ -199,6 +225,10 @@ def command_sweep(arguments: argparse.Namespace) -> int:
     except (api.UnknownPolicyError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if arguments.progress:
+        line = _kernel_stats_line(result.kernel_stats())
+        if line:
+            print(line, file=sys.stderr)
     if arguments.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -239,6 +269,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--legacy-solver", action="store_true",
                          help="disable the compiled slot kernel and run the "
                               "legacy per-combination solver (cross-check)")
+        sub.add_argument("--no-kernel-cache", action="store_true",
+                         help="recompile the slot kernel every slot instead "
+                              "of re-binding the cached structure (benchmark "
+                              "reference)")
         sub.add_argument("--dual-tolerance", type=float, default=None,
                          help="kernel duality-gap early-stop tolerance "
                               "(0 replays the full fixed iteration schedule)")

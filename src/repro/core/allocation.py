@@ -81,17 +81,36 @@ class QubitAllocator:
         budget_cap: Optional[float] = None,
         dual_tolerance: Optional[float] = None,
         warm_start: bool = True,
+        cache=None,
     ):
-        """Compile the slot kernel for this allocator, or ``None``.
+        """Compile (or re-bind) the slot kernel for this allocator, or ``None``.
 
         Returns a :class:`~repro.solvers.kernel.SlotKernel` — an incremental
         evaluator of route combinations sharing warm-started dual solves —
         when this allocator's relaxed solver maps onto the kernel (i.e. it is
         a plain :class:`DualDecompositionSolver`); returns ``None`` otherwise
         so callers fall back to the legacy per-combination object path.
+
+        With a :class:`~repro.solvers.kernel.KernelCache` in ``cache`` the
+        kernel is *bound* against the cache's compiled structure for this
+        graph (re-used across the drop-retry loop, consecutive slots and
+        whole horizons, carrying warm-start dual multipliers slot-to-slot)
+        instead of compiling its flat arrays from scratch.
         """
         from repro.solvers.kernel import SlotKernel, kernel_options_for
 
+        if cache is not None:
+            return cache.bind(
+                self,
+                context,
+                requests,
+                candidate_routes,
+                utility_weight=utility_weight,
+                cost_weight=cost_weight,
+                budget_cap=budget_cap,
+                dual_tolerance=dual_tolerance,
+                warm_start=warm_start,
+            )
         options = kernel_options_for(
             self.solver, dual_tolerance=dual_tolerance, warm_start=warm_start
         )

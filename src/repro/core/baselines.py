@@ -50,6 +50,7 @@ class _MyopicBase(RoutingPolicy):
     relaxed_solver: Optional[RelaxedSolver] = None
     use_kernel: bool = True
     dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
+    kernel_cache: bool = True
     name: str = "myopic"
 
     _tracker: BudgetTracker = field(init=False, repr=False)
@@ -68,6 +69,7 @@ class _MyopicBase(RoutingPolicy):
             relaxed_solver=self.relaxed_solver,
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
+            kernel_cache=self.kernel_cache,
         )
         self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
 
@@ -76,6 +78,9 @@ class _MyopicBase(RoutingPolicy):
         # stays untouched so reused policy objects are not silently rescaled.
         self._run_horizon = horizon
         self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
+        # Fresh runs must not inherit compiled structures or warm-start
+        # duals from a previous run of the same policy object.
+        self._solver.reset()
 
     def _slot_cap(self) -> float:
         """The per-slot budget cap for the *next* slot (subclass hook)."""
@@ -99,10 +104,14 @@ class _MyopicBase(RoutingPolicy):
         return self._tracker
 
     def diagnostics(self) -> dict:
-        return {
+        diagnostics = {
             "spent": self._tracker.spent,
             "per_slot_costs": self._tracker.per_slot_costs,
         }
+        kernel = self._solver.kernel_stats()
+        if kernel is not None:
+            diagnostics["kernel"] = kernel
+        return diagnostics
 
 
 @dataclass

@@ -209,17 +209,27 @@ class MultiUserSimulator:
                 )
                 realized: List[bool] = []
                 if self.realize:
+                    # One batched draw per (user, slot) — bit-identical to
+                    # realising each served request sequentially.
+                    items = []
                     for request in decision.served_requests:
                         route = decision.route_for(request)
                         assert route is not None
-                        allocation = {
-                            key: decision.channels_for(request, key) for key in route.edges
-                        }
-                        realized.append(
-                            link_layer.realize_route(
-                                route, allocation, slot=t, seed=realization_rng
-                            ).succeeded
+                        items.append(
+                            (
+                                route,
+                                {
+                                    key: decision.channels_for(request, key)
+                                    for key in route.edges
+                                },
+                            )
                         )
+                    realized.extend(
+                        realization.succeeded
+                        for realization in link_layer.realize_routes(
+                            items, slot=t, seed=realization_rng
+                        )
+                    )
                     realized.extend([False] * len(decision.unserved))
 
                 per_user_records[user.name].append(

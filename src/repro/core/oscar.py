@@ -66,6 +66,11 @@ class OscarPolicy(RoutingPolicy):
     dual_tolerance:
         Relative duality-gap tolerance of the kernel's early stop (0 keeps
         the full fixed iteration budget).
+    kernel_cache:
+        Re-bind one compiled kernel structure across slots and whole
+        horizons (carrying warm-start duals slot-to-slot) instead of
+        recompiling it per slot; disable to benchmark against the
+        recompile-per-slot kernel path.
     """
 
     total_budget: float = 5000.0
@@ -80,6 +85,7 @@ class OscarPolicy(RoutingPolicy):
     relaxed_solver: Optional[RelaxedSolver] = None
     use_kernel: bool = True
     dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
+    kernel_cache: bool = True
     name: str = "OSCAR"
 
     _queue: VirtualQueue = field(init=False, repr=False)
@@ -103,6 +109,7 @@ class OscarPolicy(RoutingPolicy):
             relaxed_solver=self.relaxed_solver,
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
+            kernel_cache=self.kernel_cache,
         )
         self._run_horizon = self.horizon
         self._queue = VirtualQueue.for_budget(
@@ -128,6 +135,9 @@ class OscarPolicy(RoutingPolicy):
         )
         self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
         self._objective_history = []
+        # Fresh runs must not inherit compiled structures or warm-start
+        # duals from a previous run of the same policy object.
+        self._solver.reset()
 
     @property
     def run_horizon(self) -> int:
@@ -164,9 +174,13 @@ class OscarPolicy(RoutingPolicy):
 
     def diagnostics(self) -> dict:
         """Queue history, spending and per-slot P2 objectives of the current run."""
-        return {
+        diagnostics = {
             "queue_history": self._queue.history,
             "spent": self._tracker.spent,
             "per_slot_costs": self._tracker.per_slot_costs,
             "objective_history": list(self._objective_history),
         }
+        kernel = self._solver.kernel_stats()
+        if kernel is not None:
+            diagnostics["kernel"] = kernel
+        return diagnostics

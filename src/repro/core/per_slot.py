@@ -22,7 +22,7 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.allocation import QubitAllocator
 from repro.core.problem import SlotContext, SlotDecision
@@ -31,7 +31,7 @@ from repro.core.route_selection import (
     GibbsRouteSelector,
     RouteSelectionResult,
 )
-from repro.solvers.kernel import DEFAULT_DUAL_TOLERANCE
+from repro.solvers.kernel import DEFAULT_DUAL_TOLERANCE, KernelCache
 from repro.solvers.relaxed import RelaxedSolver
 from repro.utils.rng import SeedLike, as_generator
 from repro.workload.requests import SDPair
@@ -39,13 +39,23 @@ from repro.workload.requests import SDPair
 
 @dataclass(frozen=True)
 class PerSlotSolution:
-    """Outcome of solving P2 for one slot."""
+    """Outcome of solving P2 for one slot.
+
+    ``selector`` names the selector that actually ran (``"exhaustive"`` or
+    ``"gibbs"``); ``used_exhaustive`` is true when the route-combination
+    space was searched *exhaustively* — either because the exhaustive
+    selector ran, or because the space contained at most one combination, in
+    which case the Gibbs sampler trivially visits all of it.  Use
+    ``selector`` when you need to know which code path executed and
+    ``used_exhaustive`` when you need to know whether the result is exact.
+    """
 
     decision: SlotDecision
     objective: float
     evaluations: int
     used_exhaustive: bool
     dropped_requests: Tuple[SDPair, ...] = ()
+    selector: str = "exhaustive"
 
     @property
     def cost(self) -> int:
@@ -60,6 +70,14 @@ class PerSlotSolver:
     ``selector_mode`` is one of ``"auto"`` (default: exhaustive when the
     number of route combinations is at most ``exhaustive_limit``, Gibbs
     otherwise), ``"exhaustive"`` or ``"gibbs"``.
+
+    ``kernel_cache`` (default on, only meaningful with ``use_kernel``) makes
+    both selectors re-bind one compiled
+    :class:`~repro.solvers.kernel.CompiledStructure` per topology across the
+    drop-retry loop, consecutive slots and whole horizons — carrying
+    warm-start dual multipliers slot-to-slot — instead of recompiling the
+    kernel's flat arrays every slot.  Disable it to fall back to the
+    PR-3-era recompile-per-slot kernel (the benchmark reference).
     """
 
     selector_mode: str = "auto"
@@ -70,9 +88,11 @@ class PerSlotSolver:
     relaxed_solver: Optional[RelaxedSolver] = None
     use_kernel: bool = True
     dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
+    kernel_cache: bool = True
     _allocator: QubitAllocator = field(init=False, repr=False)
     _exhaustive: ExhaustiveRouteSelector = field(init=False, repr=False)
     _gibbs: Optional[GibbsRouteSelector] = field(init=False, repr=False)
+    _cache: Optional[KernelCache] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.selector_mode not in ("auto", "exhaustive", "gibbs"):
@@ -85,6 +105,11 @@ class PerSlotSolver:
             self._allocator = QubitAllocator(solver=self.relaxed_solver)
         else:
             self._allocator = QubitAllocator()
+        # One kernel cache per solver (i.e. per policy): selectors re-bind
+        # its compiled structures instead of recompiling per slot, and the
+        # warm-start duals it carries never leak across policies — which is
+        # what keeps parallel study workers byte-identical to serial runs.
+        self._cache = KernelCache() if (self.use_kernel and self.kernel_cache) else None
         # Selectors are stateless across slots; building them once keeps the
         # drop-retry loop in :meth:`solve` from re-allocating them on every
         # iteration.  The Gibbs selector is built lazily so exhaustive-only
@@ -94,6 +119,7 @@ class PerSlotSolver:
             allocator=self._allocator,
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
+            kernel_cache=self._cache,
         )
         self._gibbs = None
 
@@ -101,6 +127,26 @@ class PerSlotSolver:
     def allocator(self) -> QubitAllocator:
         """The Algorithm-2 allocator used for every combination evaluation."""
         return self._allocator
+
+    def reset(self) -> None:
+        """Forget compiled structures, warm-start duals and kernel stats.
+
+        Policies call this from their own ``reset`` so that re-running the
+        same policy object produces bit-identical results: nothing carried
+        over from a previous run can influence the next one.
+        """
+        if self._cache is not None:
+            self._cache.reset()
+
+    def kernel_stats(self) -> Optional[Dict[str, int]]:
+        """Aggregate kernel statistics since the last :meth:`reset`.
+
+        Returns ``None`` when the solver runs without a kernel cache (legacy
+        path, or ``kernel_cache=False``).
+        """
+        if self._cache is None:
+            return None
+        return self._cache.aggregate_stats()
 
     def _gibbs_selector(self) -> GibbsRouteSelector:
         if self._gibbs is None:
@@ -111,6 +157,7 @@ class PerSlotSolver:
                 parallel_updates=self.parallel_updates,
                 use_kernel=self.use_kernel,
                 dual_tolerance=self.dual_tolerance,
+                kernel_cache=self._cache,
             )
         return self._gibbs
 
@@ -122,8 +169,16 @@ class PerSlotSolver:
         cost_weight: float,
         budget_cap: Optional[float],
         seed: SeedLike,
-    ) -> Tuple[RouteSelectionResult, bool]:
-        """Run the configured route selector; returns (result, used_exhaustive)."""
+    ) -> Tuple[RouteSelectionResult, str, bool]:
+        """Run the configured route selector.
+
+        Returns ``(result, selector, exhaustive_search)`` where ``selector``
+        is the selector that ran (``"exhaustive"``/``"gibbs"``) and
+        ``exhaustive_search`` whether the combination space was covered
+        exhaustively — true for the exhaustive selector, and also for a
+        Gibbs run over a space of at most one combination (which the sampler
+        necessarily visits in full).
+        """
         combinations = self._exhaustive.combination_count(context, requests)
         use_exhaustive = self.selector_mode == "exhaustive" or (
             self.selector_mode == "auto" and combinations <= self.exhaustive_limit
@@ -132,11 +187,11 @@ class PerSlotSolver:
             result = self._exhaustive.select(
                 context, requests, utility_weight, cost_weight, budget_cap, seed
             )
-            return result, True
+            return result, "exhaustive", True
         result = self._gibbs_selector().select(
             context, requests, utility_weight, cost_weight, budget_cap, seed
         )
-        return result, True if combinations <= 1 else False
+        return result, "gibbs", combinations <= 1
 
     def solve(
         self,
@@ -156,11 +211,19 @@ class PerSlotSolver:
         servable = list(context.servable_requests())
         no_routes = tuple(r for r in context.requests if r not in set(servable))
 
+        # Shortest-candidate hop counts, used to pick drop-retry victims.
+        # Computed once up front instead of once per retry iteration.
+        min_hops: Dict[SDPair, int] = {
+            request: min(route.hops for route in context.routes_for(request))
+            for request in servable
+        }
+
         dropped: List[SDPair] = []
         evaluations = 0
+        selector = "exhaustive"
         used_exhaustive = True
         while True:
-            result, used_exhaustive = self._select(
+            result, selector, used_exhaustive = self._select(
                 context, servable, utility_weight, cost_weight, budget_cap, rng
             )
             evaluations += result.evaluations
@@ -169,11 +232,7 @@ class PerSlotSolver:
             # Infeasible even for the best combination: drop the request with
             # the longest shortest-candidate route (it consumes the most
             # resources at the minimum allocation) and retry.
-            def min_hops(request: SDPair) -> int:
-                routes = context.routes_for(request)
-                return min(route.hops for route in routes)
-
-            victim = max(servable, key=min_hops)
+            victim = max(servable, key=min_hops.__getitem__)
             servable.remove(victim)
             dropped.append(victim)
 
@@ -186,6 +245,7 @@ class PerSlotSolver:
                 evaluations=evaluations,
                 used_exhaustive=used_exhaustive,
                 dropped_requests=tuple(dropped),
+                selector=selector,
             )
 
         decision = SlotDecision(
@@ -199,4 +259,5 @@ class PerSlotSolver:
             evaluations=evaluations,
             used_exhaustive=used_exhaustive,
             dropped_requests=tuple(dropped),
+            selector=selector,
         )

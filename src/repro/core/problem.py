@@ -41,6 +41,20 @@ class SlotContext:
         missing = [r for r in self.requests if r not in self.candidate_routes]
         if missing:
             raise ValueError(f"requests missing candidate routes: {missing}")
+        # Both selectors, the drop-retry loop and the solver's victim
+        # ranking call routes_for/servable_requests repeatedly every slot;
+        # the context is frozen, so the answers are computed once.  (Plain
+        # attributes — not fields — so dataclass equality/repr ignore them.)
+        object.__setattr__(
+            self,
+            "_routes_cache",
+            {r: tuple(routes) for r, routes in self.candidate_routes.items()},
+        )
+        object.__setattr__(
+            self,
+            "_servable",
+            tuple(r for r in self.requests if len(self.candidate_routes[r]) > 0),
+        )
 
     @property
     def num_requests(self) -> int:
@@ -48,12 +62,12 @@ class SlotContext:
         return len(self.requests)
 
     def routes_for(self, request: SDPair) -> Tuple[Route, ...]:
-        """Candidate routes for ``request``."""
-        return tuple(self.candidate_routes[request])
+        """Candidate routes for ``request`` (cached — the context is frozen)."""
+        return self._routes_cache[request]
 
     def servable_requests(self) -> Tuple[SDPair, ...]:
-        """Requests that have at least one candidate route."""
-        return tuple(r for r in self.requests if len(self.candidate_routes[r]) > 0)
+        """Requests that have at least one candidate route (cached)."""
+        return self._servable
 
     def restricted_to(self, requests: Iterable[SDPair]) -> "SlotContext":
         """A context containing only the given subset of requests."""

@@ -19,6 +19,7 @@ provided:
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -117,12 +118,17 @@ def _build_evaluator(
     budget_cap: Optional[float],
     use_kernel: bool,
     dual_tolerance: float,
+    kernel_cache=None,
 ):
     """The combination evaluator: compiled slot kernel or legacy object path.
 
     The kernel shares compiled arrays and warm-started dual multipliers
-    across every combination a selector visits; the legacy path re-derives
-    an :class:`AllocationProblem` per combination and remains the
+    across every combination a selector visits; with a
+    :class:`~repro.solvers.kernel.KernelCache` it additionally *re-binds*
+    the compiled structure (and carries the warm duals) across the
+    drop-retry loop, consecutive slots and whole horizons instead of
+    recompiling per slot.  The legacy path re-derives an
+    :class:`AllocationProblem` per combination and remains the
     cross-checking reference (``use_kernel=False``, or a relaxed solver the
     kernel cannot represent).
     """
@@ -135,6 +141,7 @@ def _build_evaluator(
             cost_weight=cost_weight,
             budget_cap=budget_cap,
             dual_tolerance=dual_tolerance,
+            cache=kernel_cache,
         )
         if kernel is not None:
             return kernel
@@ -146,11 +153,18 @@ def _build_evaluator(
 
 @dataclass
 class ExhaustiveRouteSelector:
-    """Brute-force route selection (exact, exponential in ``|Φ_t|``)."""
+    """Brute-force route selection (exact, exponential in ``|Φ_t|``).
+
+    ``kernel_cache`` (a :class:`~repro.solvers.kernel.KernelCache`, usually
+    owned by the :class:`~repro.core.per_slot.PerSlotSolver`) lets every
+    ``select`` call re-bind the compiled kernel structure instead of
+    recompiling it per slot.
+    """
 
     allocator: QubitAllocator = field(default_factory=QubitAllocator)
     use_kernel: bool = True
     dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
+    kernel_cache: Optional[object] = None
 
     def select(
         self,
@@ -170,10 +184,24 @@ class ExhaustiveRouteSelector:
         evaluator = _build_evaluator(
             context, requests, candidates, self.allocator,
             utility_weight, cost_weight, budget_cap,
-            self.use_kernel, self.dual_tolerance,
+            self.use_kernel, self.dual_tolerance, self.kernel_cache,
         )
         sizes = [len(routes) for routes in candidates]
-        best_assignment, best_objective = exhaustive_optimise(sizes, evaluator.objective)
+        best = None
+        best_of = getattr(evaluator, "best_of", None)
+        if best_of is not None:
+            # Horizon-compiled kernels solve the whole enumeration in one
+            # lock-step batched dual ascent and prune combinations whose
+            # dual bound cannot beat the best rounded objective; ties and
+            # enumeration order are preserved, so the selected combination
+            # matches the sequential walk.  (None outside horizon mode.)
+            best = best_of(itertools.product(*[range(size) for size in sizes]))
+        if best is not None:
+            best_assignment, best_objective = best
+        else:
+            best_assignment, best_objective = exhaustive_optimise(
+                sizes, evaluator.objective
+            )
         outcome = evaluator.outcome_for(best_assignment)
         return RouteSelectionResult(
             selection=evaluator.selection_for(best_assignment),
@@ -209,6 +237,7 @@ class GibbsRouteSelector:
     paper_sign: bool = False
     use_kernel: bool = True
     dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
+    kernel_cache: Optional[object] = None
 
     def __post_init__(self) -> None:
         check_positive(self.gamma, "gamma")
@@ -224,7 +253,7 @@ class GibbsRouteSelector:
         different groups, and groups can safely evolve simultaneously.
         """
         node_sets = [
-            set().union(*[set(route.nodes) for route in routes]) if routes else set()
+            set().union(*[route.node_set for route in routes]) if routes else set()
             for routes in candidates
         ]
         groups: List[List[int]] = []
@@ -261,7 +290,7 @@ class GibbsRouteSelector:
         evaluator = _build_evaluator(
             context, requests, candidates, self.allocator,
             utility_weight, cost_weight, budget_cap,
-            self.use_kernel, self.dual_tolerance,
+            self.use_kernel, self.dual_tolerance, self.kernel_cache,
         )
         sizes = [len(routes) for routes in candidates]
 

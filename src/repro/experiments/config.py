@@ -25,6 +25,7 @@ from repro.core.oscar import OscarPolicy
 from repro.core.policy import RoutingPolicy
 from repro.network.graph import QDNGraph
 from repro.network.resources import ResourceProcess, StaticResources
+from repro.network.store import TopologyStore, default_topology_store
 from repro.network.topology import TOPOLOGY_KINDS, CapacityRanges, build_topology
 from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.validation import check_positive
@@ -74,8 +75,12 @@ class ExperimentConfig:
     # cross-check against the legacy per-combination object path.
     # ``dual_tolerance`` is the kernel's relative duality-gap early-stop
     # threshold (0 replays the legacy fixed iteration schedule).
+    # ``kernel_cache`` re-binds one compiled kernel structure across slots
+    # and whole horizons (warm-start duals carried slot-to-slot); disable it
+    # to benchmark the recompile-per-slot kernel path.
     use_kernel: bool = True
     dual_tolerance: float = 1e-4
+    kernel_cache: bool = True
 
     # --- experiment bookkeeping ------------------------------------------- #
     trials: int = 5
@@ -165,20 +170,61 @@ class ExperimentConfig:
             channel_max=self.channel_capacity_max,
         )
 
-    def build_graph(self, seed: SeedLike = None) -> QDNGraph:
-        """Generate one topology of the configured family (Waxman by default)."""
+    def build_graph(
+        self,
+        seed: SeedLike = None,
+        store: Optional[TopologyStore] = default_topology_store,
+    ) -> QDNGraph:
+        """Generate one topology of the configured family (Waxman by default).
+
+        Generation is deterministic in the configuration and the integer
+        seed, so identical requests are served from the process-wide
+        :class:`~repro.network.store.TopologyStore` instead of re-running
+        the Waxman/bisection construction — every worker of a sweep used to
+        rebuild the same graph once per policy unit and study point.  Pass
+        ``store=None`` (or a non-integer seed, e.g. a live generator) to
+        bypass the store; stored graphs are shared and must not be mutated.
+        Subclasses bypass the store automatically: the cache key covers the
+        base class's topology fields, and an overridden factory could depend
+        on state the key does not see.
+        """
         if seed is None:
             seed = derive_seed(self.base_seed, "topology")
-        return build_topology(
+
+        def build() -> QDNGraph:
+            return build_topology(
+                self.topology_kind,
+                num_nodes=self.num_nodes,
+                target_degree=self.target_degree,
+                alpha=self.waxman_alpha,
+                area=self.area,
+                capacities=self.capacity_ranges(),
+                attempts_per_slot=self.attempts_per_slot,
+                seed=seed,
+            )
+
+        if (
+            store is None
+            or type(self) is not ExperimentConfig
+            or not isinstance(seed, int)
+        ):
+            return build()
+        key = (
+            "graph",
             self.topology_kind,
-            num_nodes=self.num_nodes,
-            target_degree=self.target_degree,
-            alpha=self.waxman_alpha,
-            area=self.area,
-            capacities=self.capacity_ranges(),
-            attempts_per_slot=self.attempts_per_slot,
-            seed=seed,
+            self.num_nodes,
+            self.area,
+            self.waxman_alpha,
+            self.target_degree,
+            self.qubit_capacity_min,
+            self.qubit_capacity_max,
+            self.channel_capacity_min,
+            self.channel_capacity_max,
+            self.attempt_success,
+            self.attempts_per_slot,
+            int(seed),
         )
+        return store.graph_for(key, build)
 
     def request_process(self) -> RequestProcess:
         """The paper's uniform EC request process."""
@@ -188,19 +234,54 @@ class ExperimentConfig:
         """Resource availability process (full availability by default)."""
         return StaticResources()
 
-    def build_trace(self, graph: QDNGraph, seed: SeedLike = None) -> WorkloadTrace:
-        """Sample one frozen workload trace for ``graph``."""
+    def build_trace(
+        self,
+        graph: QDNGraph,
+        seed: SeedLike = None,
+        store: Optional[TopologyStore] = default_topology_store,
+    ) -> WorkloadTrace:
+        """Sample one frozen workload trace for ``graph``.
+
+        Traces are frozen (immutable) realisations, deterministic in the
+        workload configuration, the graph and the integer seed — so when
+        ``graph`` came out of the :class:`TopologyStore` the trace (and its
+        candidate-route tables, the expensive part) is memoised there too.
+        Non-integer seeds, foreign graphs, subclasses (whose overridden
+        request/resource processes the key cannot see) or ``store=None``
+        bypass the store.
+        """
         if seed is None:
             seed = derive_seed(self.base_seed, "trace")
-        return generate_trace(
-            graph,
-            horizon=self.horizon,
-            request_process=self.request_process(),
-            resource_process=self.resource_process(),
-            num_candidate_routes=self.num_candidate_routes,
-            max_extra_hops=self.max_extra_hops,
-            seed=seed,
+
+        def build() -> WorkloadTrace:
+            return generate_trace(
+                graph,
+                horizon=self.horizon,
+                request_process=self.request_process(),
+                resource_process=self.resource_process(),
+                num_candidate_routes=self.num_candidate_routes,
+                max_extra_hops=self.max_extra_hops,
+                seed=seed,
+            )
+
+        token = store.token_for(graph) if store is not None else None
+        if (
+            token is None
+            or type(self) is not ExperimentConfig
+            or not isinstance(seed, int)
+        ):
+            return build()
+        key = (
+            "trace",
+            token,
+            self.horizon,
+            self.min_pairs,
+            self.max_pairs,
+            self.num_candidate_routes,
+            self.max_extra_hops,
+            int(seed),
         )
+        return store.trace_for(key, build)
 
     # ------------------------------------------------------------------ #
     # Policies
@@ -217,6 +298,7 @@ class ExperimentConfig:
             exhaustive_limit=self.exhaustive_limit,
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
+            kernel_cache=self.kernel_cache,
         )
         parameters.update(overrides)
         return OscarPolicy(**parameters)
@@ -231,6 +313,7 @@ class ExperimentConfig:
             exhaustive_limit=self.exhaustive_limit,
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
+            kernel_cache=self.kernel_cache,
         )
         parameters.update(overrides)
         return MyopicFixedPolicy(**parameters)
@@ -245,6 +328,7 @@ class ExperimentConfig:
             exhaustive_limit=self.exhaustive_limit,
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
+            kernel_cache=self.kernel_cache,
         )
         parameters.update(overrides)
         return MyopicAdaptivePolicy(**parameters)
@@ -259,6 +343,7 @@ class ExperimentConfig:
             exhaustive_limit=self.exhaustive_limit,
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
+            kernel_cache=self.kernel_cache,
         )
         parameters.update(overrides)
         return UnconstrainedPolicy(**parameters)

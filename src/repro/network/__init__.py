@@ -45,6 +45,7 @@ from repro.network.resources import (
     MarkovOccupancy,
 )
 from repro.network.io import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.network.store import TopologyStore, default_topology_store
 from repro.network import topology
 
 __all__ = [

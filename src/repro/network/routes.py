@@ -72,6 +72,21 @@ class Route:
         """Number of edges in the route."""
         return len(self.edges)
 
+    @property
+    def node_set(self) -> frozenset:
+        """The route's nodes as a frozenset (cached on first access).
+
+        Routes are immutable, and resource-overlap checks
+        (:meth:`shares_resources_with`, the parallel-Gibbs grouping) run in
+        the per-slot hot path — building the set once per route instead of
+        per comparison keeps them cheap.
+        """
+        cached = self.__dict__.get("_node_set")
+        if cached is None:
+            cached = frozenset(self.nodes)
+            object.__setattr__(self, "_node_set", cached)
+        return cached
+
     def physical_length(self, graph: QDNGraph) -> float:
         """Total physical length of the route in the given graph."""
         return sum(graph.edge(key).length for key in self.edges)
@@ -87,7 +102,7 @@ class Route:
         SD pairs whose candidate routes never share resources can update
         their selections simultaneously.
         """
-        return bool(set(self.nodes) & set(other.nodes))
+        return not self.node_set.isdisjoint(other.node_set)
 
     def is_valid_in(self, graph: QDNGraph) -> bool:
         """Whether every edge of the route exists in ``graph``."""

@@ -1,0 +1,122 @@
+"""The process-wide topology store.
+
+Sweep execution (``Study``'s point × policy × trial work queue, parallel
+``Session`` trials) deliberately re-derives every unit of work from
+``(config, trial)`` so results never depend on which process runs what.  The
+flip side is redundancy: every unit rebuilds the same Waxman topology and
+re-runs the same Yen k-shortest-route construction as its siblings — e.g. a
+budget sweep's points all share one topology per trial, and every policy
+unit of a line-up rebuilds the graph its siblings already built.
+
+:class:`TopologyStore` removes that redundancy without touching the
+execution model: it memoises built :class:`~repro.network.graph.QDNGraph`\\ s
+and frozen :class:`~repro.workload.traces.WorkloadTrace`\\ s per *process*,
+keyed by the full content of their build recipe (topology family and
+parameters, capacity ranges, link physics, workload parameters — and the
+integer seed).  Because generation is deterministic in the key, a store hit
+returns an object identical in content to what a rebuild would produce; and
+because the store is per-process, parallel workers stay isolated — nothing
+is shared or pickled across processes, so parallel runs remain byte-identical
+to serial ones.
+
+Entries are bounded (LRU); the graphs handed out are shared, so callers must
+treat them as immutable (the experiment pipeline only ever reads them — a
+caller that wants to mutate a stored graph should build a private copy with
+``store=None``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+#: Key of one stored artefact: a hashable recipe tuple.
+StoreKey = Tuple[Hashable, ...]
+
+
+class TopologyStore:
+    """Per-process memo of built topologies and workload traces (see module docstring)."""
+
+    def __init__(self, max_graphs: int = 16, max_traces: int = 16) -> None:
+        if max_graphs < 1 or max_traces < 1:
+            raise ValueError("store capacities must be at least 1")
+        self.max_graphs = int(max_graphs)
+        self.max_traces = int(max_traces)
+        self._graphs: "OrderedDict[StoreKey, object]" = OrderedDict()
+        self._traces: "OrderedDict[StoreKey, object]" = OrderedDict()
+        self._tokens: Dict[int, int] = {}
+        self._next_token = 0
+        self.stats: Dict[str, int] = {
+            "graph_hits": 0,
+            "graph_misses": 0,
+            "trace_hits": 0,
+            "trace_misses": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Graphs
+    # ------------------------------------------------------------------ #
+    def graph_for(self, key: StoreKey, build: Callable[[], T]) -> T:
+        """The graph stored under ``key``, building (and storing) on miss."""
+        graph = self._graphs.get(key)
+        if graph is not None:
+            self._graphs.move_to_end(key)
+            self.stats["graph_hits"] += 1
+            return graph  # type: ignore[return-value]
+        self.stats["graph_misses"] += 1
+        graph = build()
+        self._graphs[key] = graph
+        self._tokens[id(graph)] = self._next_token
+        self._next_token += 1
+        while len(self._graphs) > self.max_graphs:
+            evicted_key, evicted = self._graphs.popitem(last=False)
+            self._tokens.pop(id(evicted), None)
+        return graph
+
+    def token_for(self, graph: object) -> Optional[int]:
+        """A stable identity token for a *stored* graph (``None`` otherwise).
+
+        Trace keys embed this token instead of re-hashing the whole graph:
+        only graphs this store built (and therefore controls the lifetime
+        of) are eligible, which is exactly the set for which ``id()`` reuse
+        cannot occur while the entry lives.
+        """
+        return self._tokens.get(id(graph))
+
+    # ------------------------------------------------------------------ #
+    # Traces
+    # ------------------------------------------------------------------ #
+    def trace_for(self, key: StoreKey, build: Callable[[], T]) -> T:
+        """The trace stored under ``key``, building (and storing) on miss."""
+        trace = self._traces.get(key)
+        if trace is not None:
+            self._traces.move_to_end(key)
+            self.stats["trace_hits"] += 1
+            return trace  # type: ignore[return-value]
+        self.stats["trace_misses"] += 1
+        trace = build()
+        self._traces[key] = trace
+        while len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every stored artefact and reset the hit/miss counters."""
+        self._graphs.clear()
+        self._traces.clear()
+        self._tokens.clear()
+        for key in self.stats:
+            self.stats[key] = 0
+
+    def __len__(self) -> int:
+        return len(self._graphs) + len(self._traces)
+
+
+#: The process-wide store used by :class:`~repro.experiments.config.ExperimentConfig`
+#: (and through it by ``Scenario``, ``Study`` and ``simulate_policies`` runs).
+default_topology_store = TopologyStore()

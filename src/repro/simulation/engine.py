@@ -96,18 +96,24 @@ class SlottedSimulator:
             realized: List[bool] = []
             fidelities: List[float] = []
             if self.realize:
+                # One batched RNG draw realises every served request's route
+                # for this slot (bit-identical to per-request realisation).
+                items = []
                 for request in decision.served_requests:
                     route = decision.route_for(request)
                     assert route is not None
-                    allocation = {
-                        key: decision.channels_for(request, key) for key in route.edges
-                    }
-                    realization = link_layer.realize_route(
-                        route,
-                        allocation,
-                        slot=slot_trace.t,
-                        seed=realization_rng,
+                    items.append(
+                        (
+                            route,
+                            {
+                                key: decision.channels_for(request, key)
+                                for key in route.edges
+                            },
+                        )
                     )
+                for realization in link_layer.realize_routes(
+                    items, slot=slot_trace.t, seed=realization_rng
+                ):
                     realized.append(realization.succeeded)
                     fidelities.append(realization.fidelity)
                 # Unserved requests trivially fail.

@@ -18,7 +18,7 @@ import numpy as np
 from repro.network.graph import EdgeKey, QDNGraph
 from repro.network.routes import Route
 from repro.physics.decoherence import DecoherenceModel
-from repro.physics.entanglement import EntanglementGenerator
+from repro.physics.entanglement import EntanglementGenerator, sample_successes
 from repro.physics.qubit import BellPair
 from repro.physics.swapping import swap_chain
 from repro.simulation.clock import SlotClock
@@ -98,6 +98,55 @@ class LinkLayerSimulator:
             edge_outcomes=outcomes,
             fidelity=self.base_fidelity if succeeded else 0.0,
         )
+
+    def realize_routes(
+        self,
+        items: Sequence[Tuple[Route, Mapping[EdgeKey, int]]],
+        slot: int = 0,
+        seed: SeedLike = None,
+    ) -> List[RouteRealization]:
+        """Realise one EC per (route, allocation) pair — batched per slot.
+
+        In fast (Bernoulli) mode the per-edge success draws of *all* routes
+        are taken in a single batched ``Generator.random(n)`` call per slot;
+        NumPy fills the batch from the same bit stream as sequential scalar
+        draws, so the outcomes are bit-identical to looping
+        :meth:`realize_route` over ``items`` with the same generator (edges
+        with no allocated channel consume no randomness, as before).  The
+        detailed attempt-level mode keeps its sequential physics simulation.
+        """
+        rng = as_generator(seed)
+        if self.detailed:
+            return [
+                self._realize_route_detailed(route, allocation, slot, rng)
+                for route, allocation in items
+            ]
+        flat_edges: List[Tuple[int, EdgeKey]] = []
+        thresholds: List[float] = []
+        for index, (route, allocation) in enumerate(items):
+            for key in route.edges:
+                channels = int(allocation.get(key, 0))
+                if channels > 0:
+                    flat_edges.append((index, key))
+                    thresholds.append(self.graph.link_success(key, channels))
+        draws = sample_successes(thresholds, rng)
+
+        per_route_outcomes: List[Dict[EdgeKey, bool]] = [
+            {key: False for key in route.edges} for route, _ in items
+        ]
+        for (index, key), success in zip(flat_edges, draws):
+            per_route_outcomes[index][key] = bool(success)
+        realizations: List[RouteRealization] = []
+        for (route, _), outcomes in zip(items, per_route_outcomes):
+            succeeded = all(outcomes.values()) if outcomes else True
+            realizations.append(
+                RouteRealization(
+                    succeeded=succeeded,
+                    edge_outcomes=outcomes,
+                    fidelity=self.base_fidelity if succeeded else 0.0,
+                )
+            )
+        return realizations
 
     # ------------------------------------------------------------------ #
     # Detailed (attempt-level) mode

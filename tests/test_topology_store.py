@@ -1,0 +1,126 @@
+"""Tests of the process-wide topology store."""
+
+from __future__ import annotations
+
+import json
+
+from repro import api
+from repro.experiments.config import ExperimentConfig
+from repro.network.store import TopologyStore, default_topology_store
+
+
+def fresh_store() -> TopologyStore:
+    return TopologyStore(max_graphs=4, max_traces=4)
+
+
+class TestGraphMemoisation:
+    def test_same_recipe_returns_same_object(self):
+        store = fresh_store()
+        config = ExperimentConfig.tiny()
+        a = config.build_graph(seed=11, store=store)
+        b = config.build_graph(seed=11, store=store)
+        assert a is b
+        assert store.stats["graph_hits"] == 1
+        assert store.stats["graph_misses"] == 1
+
+    def test_different_seed_or_config_misses(self):
+        store = fresh_store()
+        config = ExperimentConfig.tiny()
+        a = config.build_graph(seed=11, store=store)
+        b = config.build_graph(seed=12, store=store)
+        c = config.with_overrides(num_nodes=9).build_graph(seed=11, store=store)
+        assert a is not b and a is not c
+        assert store.stats["graph_misses"] == 3
+
+    def test_stored_graph_content_matches_unstored_build(self):
+        store = fresh_store()
+        config = ExperimentConfig.tiny()
+        stored = config.build_graph(seed=11, store=store)
+        plain = config.build_graph(seed=11, store=None)
+        assert stored is not plain
+        assert stored.nodes == plain.nodes
+        assert stored.edges == plain.edges
+        assert [stored.qubit_capacity(n) for n in stored.nodes] == [
+            plain.qubit_capacity(n) for n in plain.nodes
+        ]
+        assert [stored.channel_capacity(k) for k in stored.edges] == [
+            plain.channel_capacity(k) for k in plain.edges
+        ]
+
+    def test_generator_seed_bypasses_store(self):
+        import numpy as np
+
+        store = fresh_store()
+        config = ExperimentConfig.tiny()
+        config.build_graph(seed=np.random.default_rng(1), store=store)
+        assert store.stats["graph_misses"] == 0 and len(store) == 0
+
+    def test_eviction_bounds_the_store(self):
+        store = TopologyStore(max_graphs=2, max_traces=2)
+        config = ExperimentConfig.tiny()
+        graphs = [config.build_graph(seed=s, store=store) for s in (1, 2, 3)]
+        assert len(store._graphs) == 2
+        # The evicted (oldest) graph lost its token; the newest kept theirs.
+        assert store.token_for(graphs[0]) is None
+        assert store.token_for(graphs[2]) is not None
+
+
+class TestTraceMemoisation:
+    def test_trace_memoised_for_stored_graphs(self):
+        store = fresh_store()
+        config = ExperimentConfig.tiny()
+        graph = config.build_graph(seed=11, store=store)
+        a = config.build_trace(graph, seed=7, store=store)
+        b = config.build_trace(graph, seed=7, store=store)
+        assert a is b
+        assert store.stats["trace_hits"] == 1
+
+    def test_foreign_graph_bypasses_trace_store(self):
+        store = fresh_store()
+        config = ExperimentConfig.tiny()
+        graph = config.build_graph(seed=11, store=None)
+        a = config.build_trace(graph, seed=7, store=store)
+        b = config.build_trace(graph, seed=7, store=store)
+        assert a is not b
+        assert store.stats["trace_misses"] == 0
+
+    def test_workload_fields_are_part_of_the_key(self):
+        store = fresh_store()
+        config = ExperimentConfig.tiny()
+        graph = config.build_graph(seed=11, store=store)
+        a = config.build_trace(graph, seed=7, store=store)
+        b = config.with_overrides(max_pairs=2).build_trace(graph, seed=7, store=store)
+        assert a is not b
+
+
+class TestDefaultStoreIntegration:
+    def test_session_trials_share_topologies_across_policies(self):
+        default_topology_store.clear()
+        config = ExperimentConfig.tiny()
+        scenario = api.Scenario.from_config(config).with_policies("oscar", "mf")
+        first = api.run_scenario(scenario)
+        # A second identical run re-uses both the graph and the trace.
+        before = dict(default_topology_store.stats)
+        second = api.run_scenario(scenario)
+        after = default_topology_store.stats
+        assert after["graph_hits"] > before["graph_hits"]
+        assert after["trace_hits"] > before["trace_hits"]
+        a = json.dumps(
+            [{k: v.summary() for k, v in t.items()} for t in first.trials],
+            sort_keys=True,
+        )
+        b = json.dumps(
+            [{k: v.summary() for k, v in t.items()} for t in second.trials],
+            sort_keys=True,
+        )
+        assert a == b
+
+    def test_clear_resets_everything(self):
+        store = fresh_store()
+        config = ExperimentConfig.tiny()
+        graph = config.build_graph(seed=11, store=store)
+        config.build_trace(graph, seed=7, store=store)
+        assert len(store) == 2
+        store.clear()
+        assert len(store) == 0
+        assert all(v == 0 for v in store.stats.values())
