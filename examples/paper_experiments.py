@@ -29,10 +29,11 @@ from repro.experiments import (
     fig6_network_size,
     fig7_control_v,
     fig8_initial_queue,
+    fig9_fidelity,
 )
 from repro.experiments.config import ExperimentConfig
 
-FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations")
+FIGURES = ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations")
 
 #: Scale name → base scenario (the facade's presets mirror the config's).
 SCALES = {
@@ -63,6 +64,8 @@ def run_figure(name: str, config: ExperimentConfig, workers: int = 1) -> str:
         return fig7_control_v.run(config, workers=workers).format_tables()
     if name == "fig8":
         return fig8_initial_queue.run(config, workers=workers).format_tables()
+    if name == "fig9":
+        return fig9_fidelity.run(config, workers=workers).format_tables()
     if name == "ablations":
         return ablations.run_all(config, workers=workers)
     raise ValueError(f"unknown figure {name!r}; choose from {FIGURES} or 'all'")

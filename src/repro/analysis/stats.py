@@ -10,10 +10,35 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as scipy_stats
+
+
+def merge_stat_mappings(
+    stats_mappings, cast: Optional[Callable[[object], object]] = None
+) -> Optional[Dict[str, object]]:
+    """Sum counter mappings key by key; ``None`` when none are present.
+
+    The single merge implementation behind the kernel-stats and
+    physical-stats aggregation (``RunRecord.kernel_stats()`` /
+    ``physical_stats()`` and their ``StudyResult`` counterparts).
+    Non-mapping entries contribute nothing — results without diagnostics are
+    simply skipped.  ``cast`` coerces each value before summing (the kernel
+    merge uses ``int``); without it values keep their numeric type, so float
+    accumulators like a fidelity sum stay floats.
+    """
+    totals: Dict[str, object] = {}
+    found = False
+    for stats in stats_mappings:
+        if not isinstance(stats, Mapping):
+            continue
+        found = True
+        for key, value in stats.items():
+            value = cast(value) if cast is not None else value
+            totals[key] = totals.get(key, 0) + value
+    return totals if found else None
 
 
 @dataclass(frozen=True)

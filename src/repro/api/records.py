@@ -33,20 +33,15 @@ SCHEMA_VERSION = 1
 def merge_kernel_stats(stats_mappings) -> Optional[Dict[str, int]]:
     """Sum integer kernel-counter mappings; ``None`` when none are present.
 
-    The single merge implementation behind :meth:`RunRecord.kernel_stats`,
+    The merge behind :meth:`RunRecord.kernel_stats`,
     :meth:`repro.api.study.StudyResult.kernel_stats` and the horizon
-    benchmark — skips non-mapping entries (results without kernel
-    diagnostics contribute nothing).
+    benchmark — a thin cast-to-int wrapper over
+    :func:`repro.analysis.stats.merge_stat_mappings` (the physical-stats
+    merge shares the same implementation without the cast).
     """
-    totals: Dict[str, int] = {}
-    found = False
-    for stats in stats_mappings:
-        if not isinstance(stats, Mapping):
-            continue
-        found = True
-        for key, value in stats.items():
-            totals[key] = totals.get(key, 0) + int(value)
-    return totals if found else None
+    from repro.analysis.stats import merge_stat_mappings
+
+    return merge_stat_mappings(stats_mappings, cast=int)
 
 
 def _provider_record_to_dict(record: ProviderSlotRecord) -> Dict[str, object]:
@@ -173,6 +168,26 @@ class RunRecord:
         """
         return merge_kernel_stats(
             result.diagnostics.get("kernel")
+            for trial in self.trials
+            for result in trial.values()
+        )
+
+    def physical_stats(self) -> Optional[Dict[str, float]]:
+        """Aggregate physical-layer statistics across trials and line-up.
+
+        Sums the per-run ``diagnostics["physical"]`` counters every
+        physical-layer engine produced (attempts, purification rounds and
+        failures, cutoff discards, swap failures, deliveries, raw pairs
+        consumed, delivered-fidelity sum — see
+        :class:`repro.simulation.physical.PhysicalStats`).  Returns ``None``
+        when no result carries physical diagnostics: runs with the physical
+        layer disabled, or records loaded from JSON (diagnostics are
+        in-memory only, exactly like :meth:`kernel_stats`).
+        """
+        from repro.simulation.physical import merge_physical_stats
+
+        return merge_physical_stats(
+            result.diagnostics.get("physical")
             for trial in self.trials
             for result in trial.values()
         )

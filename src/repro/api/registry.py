@@ -37,6 +37,7 @@ from repro.core.baselines import (
     ShortestRouteUniformPolicy,
     UnconstrainedPolicy,
 )
+from repro.core.fidelity import FidelityAwarePolicy
 from repro.core.oscar import OscarPolicy
 from repro.core.policy import RoutingPolicy
 from repro.experiments.config import ExperimentConfig
@@ -87,6 +88,36 @@ class UnknownPolicyError(KeyError):
 def _normalise(name: str) -> str:
     """Canonical spelling of a policy name: lower-case, hyphen-separated."""
     return name.strip().lower().replace("_", "-").replace(" ", "-")
+
+
+def apply_fidelity_constraint(
+    policy: RoutingPolicy, config: ExperimentConfig
+) -> RoutingPolicy:
+    """Wrap ``policy`` for fidelity-constrained mode when the config asks for it.
+
+    With the physical layer enabled, ``physical_fidelity_constrained`` set
+    and a positive ``physical_fidelity_target``, the policy is wrapped in a
+    :class:`~repro.core.fidelity.FidelityAwarePolicy` whose route model uses
+    the physical model's best-case per-edge delivered fidelity
+    (:meth:`~repro.simulation.physical.PhysicalModel.edge_fidelity_bound`) —
+    candidate routes that cannot deliver the target even under full
+    purification are filtered before route selection, so every base policy
+    gains the constraint without modification (the paper's Sec. III-C
+    point).  Every registry ``make`` applies this, which is how the
+    constraint reaches scenarios, studies and the CLI uniformly.
+    """
+    model = config.physical_model()
+    if (
+        model is None
+        or not config.physical_fidelity_constrained
+        or model.fidelity_target <= 0.0
+    ):
+        return policy
+    return FidelityAwarePolicy(
+        base=policy,
+        fidelity_model=model.route_fidelity_model(),
+        fidelity_target=model.fidelity_target,
+    )
 
 
 def _factory_from_class(cls: type) -> PolicyFactory:
@@ -222,11 +253,15 @@ class PolicyRegistry:
 
         ``config`` supplies the defaults (budget, horizon, solver settings);
         keyword arguments override individual parameters.  Without a config
-        the paper's defaults (:meth:`ExperimentConfig.paper`) apply.
+        the paper's defaults (:meth:`ExperimentConfig.paper`) apply.  When
+        the config runs the physical layer in fidelity-constrained mode the
+        built policy is wrapped so only routes able to deliver the fidelity
+        target remain eligible (see :func:`apply_fidelity_constraint`).
         """
         canonical = self.canonical_name(name)
         config = config if config is not None else ExperimentConfig.paper()
-        return self._factories[canonical](config, **kwargs)
+        policy = self._factories[canonical](config, **kwargs)
+        return apply_fidelity_constraint(policy, config)
 
 
 #: The process-wide default registry used by :func:`make_policy` and the

@@ -67,6 +67,15 @@ BUDGET_FIELDS = frozenset(
     {"total_budget", "trade_off_v", "initial_queue", "gamma"}
 )
 SOLVER_FIELDS = frozenset({"use_kernel", "dual_tolerance", "kernel_cache"})
+PHYSICAL_FIELDS = frozenset(
+    {
+        "physical_enabled", "physical_swap_success", "physical_link_fidelity",
+        "physical_memory_time", "physical_dwell_fraction",
+        "physical_purify_rounds", "physical_cutoff_fidelity",
+        "physical_fidelity_target", "physical_fidelity_constrained",
+        "physical_engine",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -93,14 +102,25 @@ class PolicySpec:
             policy.name = self.label
         return policy
 
-    def display_name(self, registry: Optional[PolicyRegistry] = None) -> str:
-        """The name this entry will carry in results."""
+    def display_name(
+        self,
+        registry: Optional[PolicyRegistry] = None,
+        config: Optional[ExperimentConfig] = None,
+    ) -> str:
+        """The name this entry will carry in results.
+
+        ``config`` should be the configuration the policy will actually be
+        built against — registry wrappers that rename the policy (the
+        fidelity-constrained mode's ``+F>=…`` suffix) depend on it; without
+        one a neutral tiny config probes the bare factory.
+        """
         if self.label:
             return self.label
         registry = registry if registry is not None else default_registry
+        probe_config = config if config is not None else ExperimentConfig.tiny()
         # Fall back to the spec name when the registry cannot resolve it yet.
         try:
-            probe = registry.make(self.name, ExperimentConfig.tiny(), **dict(self.kwargs))
+            probe = registry.make(self.name, probe_config, **dict(self.kwargs))
         except Exception:
             return self.name
         return probe.name
@@ -310,6 +330,35 @@ class Scenario:
             overrides["use_kernel"] = bool(fast)
         return self._with_fields(SOLVER_FIELDS, "with_solver", overrides)
 
+    def with_physical(self, enabled: bool = True, **overrides) -> "Scenario":
+        """Configure the physical delivery co-simulation layer.
+
+        ``with_physical()`` switches it on with the defaults; keyword
+        arguments accept the short names of the ``physical_*`` config fields
+        (the prefix is added automatically)::
+
+            scenario.with_physical(
+                swap_success=0.98, purify_rounds=2,
+                fidelity_target=0.6, fidelity_constrained=True,
+            )
+
+        ``swap_success`` is the Bell-state-measurement success probability,
+        ``memory_time`` the decoherence T2 in seconds, ``purify_rounds`` the
+        requested BBPSSW recurrence rounds per link (clipped per edge by its
+        channel allocation), ``cutoff_fidelity`` the memory cutoff policy,
+        ``fidelity_target`` the delivered-fidelity target and
+        ``fidelity_constrained`` whether registry-built policies are wrapped
+        so only target-capable routes are eligible.  ``engine`` selects
+        ``"vectorized"`` (default) or the per-pair ``"reference"``
+        implementation — bit-identical under the same seeds.
+        ``with_physical(False)`` switches the layer back off.
+        """
+        mapped: Dict[str, object] = {"physical_enabled": bool(enabled)}
+        for key, value in overrides.items():
+            name = key if key.startswith("physical_") else f"physical_{key}"
+            mapped[name] = value
+        return self._with_fields(PHYSICAL_FIELDS, "with_physical", mapped)
+
     def with_trials(self, trials: int) -> "Scenario":
         """Number of independent trials (fresh topology + trace each)."""
         return self.with_config(trials=int(trials))
@@ -389,7 +438,11 @@ class Scenario:
             return tuple(user.name for user in self.users)
         if self.lineup_factory is not None:
             return tuple(p.name for p in self.lineup_factory(self.config))
-        return tuple(spec.display_name(registry) for spec in self.policies)
+        # Probe against this scenario's config so config-dependent renames
+        # (the fidelity-constrained wrapper's suffix) match the result keys.
+        return tuple(
+            spec.display_name(registry, config=self.config) for spec in self.policies
+        )
 
     def build_policies(
         self, registry: Optional[PolicyRegistry] = None

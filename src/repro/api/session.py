@@ -60,6 +60,7 @@ def execute_trial(
     """
     config = scenario.config
     seed = config.base_seed
+    physical = config.physical_model()
     graph = config.build_graph(seed=derive_seed(seed, "graph", trial))
     if scenario.is_multiuser:
         simulator = MultiUserSimulator(
@@ -69,6 +70,7 @@ def execute_trial(
             num_candidate_routes=config.num_candidate_routes,
             max_extra_hops=config.max_extra_hops,
             realize=config.realize,
+            physical=physical,
         )
         provider_cb = None
         if on_slot is not None:
@@ -87,6 +89,7 @@ def execute_trial(
         realize=config.realize,
         seed=derive_seed(seed, "run", trial),
         on_slot=on_slot,
+        physical=physical,
     )
     return results, ()
 

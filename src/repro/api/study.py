@@ -65,6 +65,7 @@ from typing import (
 from repro.api.records import RunRecord
 from repro.api.scenario import (
     BUDGET_FIELDS,
+    PHYSICAL_FIELDS,
     SOLVER_FIELDS,
     TOPOLOGY_FIELDS,
     WORKLOAD_FIELDS,
@@ -94,6 +95,7 @@ _AXIS_GROUPS: Dict[str, Optional[frozenset]] = {
     "workload": WORKLOAD_FIELDS,
     "budget": BUDGET_FIELDS,
     "solver": SOLVER_FIELDS,
+    "physical": PHYSICAL_FIELDS,
     "config": None,
 }
 
@@ -106,7 +108,9 @@ def resolve_config_path(path: str) -> str:
     ``"topology.num_nodes"`` → ``"num_nodes"`` (validated against the
     topology field group), ``"budget.total_budget"`` → ``"total_budget"``,
     plain ``"horizon"`` → ``"horizon"``.  ``"topology.kind"`` is accepted as
-    an alias for ``topology_kind``.
+    an alias for ``topology_kind``, and the ``physical`` group accepts the
+    short field names (``"physical.swap_success"`` →
+    ``"physical_swap_success"``).
     """
     parts = str(path).split(".")
     if len(parts) == 1:
@@ -117,6 +121,8 @@ def resolve_config_path(path: str) -> str:
         raise ValueError(f"axis path {path!r} has too many components (max one dot)")
     if group == "topology" and name == "kind":
         name = "topology_kind"
+    if group == "physical" and not name.startswith("physical_"):
+        name = f"physical_{name}"
     if group is not None:
         if group not in _AXIS_GROUPS:
             raise ValueError(
@@ -254,6 +260,7 @@ def run_study_unit(scenario: Scenario, trial: int, unit_index: int) -> Simulatio
         trace=trace,
         total_budget=config.total_budget,
         realize=config.realize,
+        physical=config.physical_model(),
     )
     return simulator.run(policies[unit_index], seed=rngs[unit_index])
 
@@ -402,15 +409,18 @@ class StudyResult:
         """Across-trial mean of ``metric`` per line-up entry, point by point.
 
         Entries absent from a point (e.g. under a policies axis) yield NaN,
-        keeping every series aligned with :attr:`points`.
+        keeping every series aligned with :attr:`points`; so do metrics a
+        point did not measure (the physical-layer metrics of a point run
+        without the physical layer).
         """
         names = self.lineup
         out: Dict[str, List[float]] = {name: [] for name in names}
         for summary in self.summaries():
             for name in names:
                 metrics = summary.get(name)
+                aggregate = metrics.get(metric) if metrics is not None else None
                 out[name].append(
-                    float(metrics[metric].mean) if metrics is not None else float("nan")
+                    float(aggregate.mean) if aggregate is not None else float("nan")
                 )
         return out
 
@@ -429,6 +439,18 @@ class StudyResult:
         from repro.api.records import merge_kernel_stats
 
         return merge_kernel_stats(record.kernel_stats() for record in self.records)
+
+    def physical_stats(self) -> Optional[Dict[str, float]]:
+        """Physical-layer statistics summed over every point of the grid.
+
+        Aggregates :meth:`RunRecord.physical_stats` across the study; points
+        without a physical layer (or served from the result store —
+        diagnostics are in-memory only) contribute nothing.  ``None`` when
+        no point carried any.
+        """
+        from repro.simulation.physical import merge_physical_stats
+
+        return merge_physical_stats(record.physical_stats() for record in self.records)
 
     def format_summary(
         self,
@@ -452,8 +474,9 @@ class StudyResult:
             for name in names:
                 entry = summary.get(name)
                 for metric in metrics:
+                    aggregate = entry.get(metric) if entry is not None else None
                     row.append(
-                        float(entry[metric].mean) if entry is not None else float("nan")
+                        float(aggregate.mean) if aggregate is not None else float("nan")
                     )
             rows.append(row)
         if title is None:

@@ -5,9 +5,12 @@ writing any Python (all built on the :mod:`repro.api` facade):
 
 * ``python -m repro info`` — print the paper's default configuration and the
   derived quantities (per-slot budget, link success probabilities).
-* ``python -m repro figure fig3 --scale small`` — regenerate one figure of
-  the paper (``fig3`` … ``fig8`` or ``ablations``) and optionally save the
-  plain-text report with ``--output``.
+* ``python -m repro figure fig3 --scale small`` — regenerate one figure
+  (``fig3`` … ``fig8`` of the paper, the physical-layer ``fig9``, or
+  ``ablations``) and optionally save the plain-text report with
+  ``--output``.  Every command accepts the physical-layer flags
+  (``--physical``, ``--swap-p``, ``--decoherence-t2``, ``--purify-rounds``,
+  ``--fidelity-target``, ``--fidelity-constrained``).
 * ``python -m repro compare --scale tiny`` — run a policy comparison and
   print the summary table; ``--policies`` picks any registered policies,
   ``--workers`` parallelises the trials, ``--progress`` streams progress,
@@ -38,6 +41,7 @@ from repro.experiments import (
     fig6_network_size,
     fig7_control_v,
     fig8_initial_queue,
+    fig9_fidelity,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.persistence import save_text_report
@@ -54,6 +58,7 @@ FIGURE_RUNNERS = {
     "fig6": lambda config, workers: fig6_network_size.run(config, workers=workers),
     "fig7": lambda config, workers: fig7_control_v.run(config, workers=workers),
     "fig8": lambda config, workers: fig8_initial_queue.run(config, workers=workers),
+    "fig9": lambda config, workers: fig9_fidelity.run(config, workers=workers),
     "ablations": lambda config, workers: ablations.run_all_report(config, workers=workers),
 }
 
@@ -78,9 +83,46 @@ def _config_from_args(arguments: argparse.Namespace) -> ExperimentConfig:
         overrides["kernel_cache"] = False
     if getattr(arguments, "dual_tolerance", None) is not None:
         overrides["dual_tolerance"] = arguments.dual_tolerance
+    # Physical-layer flags: any parameter flag implies --physical.
+    enable_physical = bool(getattr(arguments, "physical", False))
+    explicit = _explicit_physical_fields(arguments)
+    for flag, field in _PHYSICAL_FLAG_FIELDS.items():
+        if field in explicit:
+            overrides[field] = getattr(arguments, flag)
+    if "physical_fidelity_constrained" in explicit:
+        overrides["physical_fidelity_constrained"] = True
+    if enable_physical or explicit:
+        overrides["physical_enabled"] = True
     if overrides:
         config = config.with_overrides(**overrides)
     return config
+
+
+#: Value-taking physical CLI flags mapped to their config fields.
+_PHYSICAL_FLAG_FIELDS = {
+    "swap_p": "physical_swap_success",
+    "decoherence_t2": "physical_memory_time",
+    "purify_rounds": "physical_purify_rounds",
+    "fidelity_target": "physical_fidelity_target",
+    "physical_engine": "physical_engine",
+}
+
+
+def _explicit_physical_fields(arguments: argparse.Namespace) -> set:
+    """The ``physical_*`` config fields the user pinned on the command line.
+
+    Used both to apply the flags and to tell ``fig9`` which of its defaults
+    must yield to the user's values (even values that coincide with a field
+    default, e.g. ``--swap-p 1.0``).
+    """
+    explicit = {
+        field
+        for flag, field in _PHYSICAL_FLAG_FIELDS.items()
+        if getattr(arguments, flag, None) is not None
+    }
+    if getattr(arguments, "fidelity_constrained", False):
+        explicit.add("physical_fidelity_constrained")
+    return explicit
 
 
 def command_info(arguments: argparse.Namespace) -> int:
@@ -102,6 +144,12 @@ def command_info(arguments: argparse.Namespace) -> int:
 def command_figure(arguments: argparse.Namespace) -> int:
     """Regenerate one of the paper's figures."""
     config = _config_from_args(arguments)
+    if arguments.name == "fig9":
+        # Merge fig9's defining physical defaults around the user's explicit
+        # flags: pinned knobs win, everything else gets the figure's values.
+        config = fig9_fidelity.fig9_config(
+            config, explicit=_explicit_physical_fields(arguments)
+        )
     started = time.time()
     result = FIGURE_RUNNERS[arguments.name](config, arguments.workers)
     elapsed = time.time() - started
@@ -117,8 +165,8 @@ def command_figure(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _kernel_stats_line(stats) -> Optional[str]:
-    """One human-readable line of aggregate compiled-kernel statistics."""
+def _kernel_stats_fragment(stats) -> Optional[str]:
+    """The solver half of the health line (kernel reuse + solver exactness)."""
     if not stats:
         return None
     binds = stats.get("binds", 0)
@@ -130,11 +178,54 @@ def _kernel_stats_line(stats) -> Optional[str]:
         + stats.get("pruned", 0)
     )
     iterations = stats.get("dual_iterations", 0)
-    return (
-        f"[kernel] {solves} solve(s), {reused} reused/pruned, "
+    fragment = (
+        f"kernel {solves} solve(s), {reused} reused/pruned, "
         f"{binds} bind(s) from {compiles} compiled structure(s), "
         f"{iterations} dual iteration(s)"
     )
+    exhaustive = stats.get("exhaustive_slots")
+    if exhaustive is not None:
+        fragment += (
+            f"; {exhaustive} exhaustive / {stats.get('gibbs_slots', 0)} gibbs slot(s)"
+        )
+    return fragment
+
+
+def _physical_stats_fragment(stats) -> Optional[str]:
+    """The physical half of the health line (delivery chain accounting)."""
+    if not stats:
+        return None
+    attempts = int(stats.get("attempts", 0))
+    delivered = int(stats.get("delivered", 0))
+    served = int(stats.get("fidelity_served", 0))
+    mean_fidelity = (
+        stats.get("fidelity_sum", 0.0) / delivered if delivered else 0.0
+    )
+    losses = (
+        f"{int(stats.get('purify_failures', 0))} purify"
+        f"/{int(stats.get('cutoff_discards', 0))} cutoff"
+        f"/{int(stats.get('swap_failures', 0))} swap loss(es)"
+    )
+    return (
+        f"physical {delivered}/{attempts} delivered (mean F {mean_fidelity:.3f}), "
+        f"{served} fidelity-served, {losses}, "
+        f"{int(stats.get('pairs_consumed', 0))} raw pair(s)"
+    )
+
+
+def _health_line(kernel_stats, physical_stats) -> Optional[str]:
+    """One line summarising solver and physical-layer health together."""
+    fragments = [
+        fragment
+        for fragment in (
+            _kernel_stats_fragment(kernel_stats),
+            _physical_stats_fragment(physical_stats),
+        )
+        if fragment
+    ]
+    if not fragments:
+        return None
+    return "[health] " + " | ".join(fragments)
 
 
 def command_compare(arguments: argparse.Namespace) -> int:
@@ -154,7 +245,7 @@ def command_compare(arguments: argparse.Namespace) -> int:
         print("hint: `python -m repro policies` lists the registry", file=sys.stderr)
         return 2
     if arguments.progress:
-        line = _kernel_stats_line(record.kernel_stats())
+        line = _health_line(record.kernel_stats(), record.physical_stats())
         if line:
             print(line, file=sys.stderr)
     if arguments.json:
@@ -226,7 +317,7 @@ def command_sweep(arguments: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if arguments.progress:
-        line = _kernel_stats_line(result.kernel_stats())
+        line = _health_line(result.kernel_stats(), result.physical_stats())
         if line:
             print(line, file=sys.stderr)
     if arguments.json:
@@ -276,6 +367,34 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--dual-tolerance", type=float, default=None,
                          help="kernel duality-gap early-stop tolerance "
                               "(0 replays the full fixed iteration schedule)")
+        sub.add_argument("--physical", action="store_true",
+                         help="simulate the physical delivery chain "
+                              "(swap/purify/decohere) under every realised EC")
+        sub.add_argument("--swap-p", type=float, default=None, dest="swap_p",
+                         help="Bell-state-measurement success probability "
+                              "(implies --physical)")
+        sub.add_argument("--decoherence-t2", type=float, default=None,
+                         dest="decoherence_t2",
+                         help="memory decoherence time constant in seconds "
+                              "(implies --physical)")
+        sub.add_argument("--purify-rounds", type=int, default=None,
+                         dest="purify_rounds",
+                         help="requested BBPSSW recurrence rounds per link, "
+                              "clipped by each edge's channel allocation "
+                              "(implies --physical)")
+        sub.add_argument("--fidelity-target", type=float, default=None,
+                         dest="fidelity_target",
+                         help="delivered-fidelity target (implies --physical)")
+        sub.add_argument("--fidelity-constrained", action="store_true",
+                         help="only count a request as served when its route "
+                              "can deliver the fidelity target (re-ranks "
+                              "candidate routes; implies --physical)")
+        sub.add_argument("--physical-engine", default=None,
+                         choices=["vectorized", "reference"],
+                         dest="physical_engine",
+                         help="physical-layer engine implementation "
+                              "(bit-identical; reference is the per-pair "
+                              "cross-check, implies --physical)")
 
     info = subparsers.add_parser("info", help="print the configuration and derived quantities")
     add_common(info)

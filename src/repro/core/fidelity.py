@@ -34,8 +34,13 @@ class RouteFidelityModel:
 
     ``link_fidelity`` is the fidelity of a freshly generated link; per-edge
     overrides can be supplied for heterogeneous hardware.  End-to-end
-    fidelity follows the Werner chain composition of
-    :func:`repro.physics.fidelity.fidelity_of_chain`.
+    fidelity is the iterated Werner-swap composition of
+    :func:`repro.physics.fidelity.fidelity_after_swap` (via
+    :func:`repro.physics.fidelity.fidelity_of_chain`, which is defined as
+    exactly that fold) — the same single source of truth the physical
+    delivery engines in :mod:`repro.simulation.physical` compose fidelities
+    with, so the analytic route model and the simulated physical layer can
+    never drift apart.
     """
 
     link_fidelity: float = 0.98

@@ -24,6 +24,7 @@ from repro.core.problem import SlotContext, SlotDecision
 from repro.network.graph import EdgeKey, NodeName, QDNGraph, ResourceSnapshot
 from repro.network.routes import Route, build_candidate_routes
 from repro.simulation.link_layer import LinkLayerSimulator
+from repro.simulation.physical import PhysicalModel
 from repro.simulation.results import SimulationResult, SlotRecord
 from repro.utils.rng import SeedLike, as_generator, spawn_rngs
 from repro.utils.validation import check_non_negative, check_positive
@@ -107,6 +108,12 @@ class MultiUserSimulator:
         provider would pre-compute them).
     realize:
         Monte-Carlo-realise every EC (adds realized success information).
+    physical:
+        Optional :class:`~repro.simulation.physical.PhysicalModel`: when set
+        every tenant's realised ECs additionally run the physical delivery
+        chain (each user gets its own engine so the provider can account
+        physical resources per tenant).  Requires ``realize=True``; when
+        ``None`` the run consumes exactly the historical random streams.
     """
 
     graph: QDNGraph
@@ -115,6 +122,7 @@ class MultiUserSimulator:
     num_candidate_routes: int = 4
     max_extra_hops: Optional[int] = 2
     realize: bool = True
+    physical: Optional[PhysicalModel] = None
 
     def __post_init__(self) -> None:
         check_positive(self.horizon, "horizon")
@@ -155,7 +163,17 @@ class MultiUserSimulator:
         user's records then cover only the slots simulated so far).
         """
         rng = as_generator(seed)
-        request_rng, decision_rng, realization_rng = spawn_rngs(rng, 3)
+        engines = None
+        if self.physical is not None:
+            if not self.realize:
+                raise ValueError("the physical layer requires realize=True")
+            # The fourth stream exists only when the physical layer is on, so
+            # disabled runs stay byte-identical to the historical ones.
+            request_rng, decision_rng, realization_rng, physical_rng = spawn_rngs(rng, 4)
+            engines = {user.name: self.physical.build_engine() for user in self.users}
+        else:
+            request_rng, decision_rng, realization_rng = spawn_rngs(rng, 3)
+            physical_rng = None
         link_layer = LinkLayerSimulator(graph=self.graph)
 
         for user in self.users:
@@ -208,6 +226,9 @@ class MultiUserSimulator:
                     for request in decision.served_requests
                 )
                 realized: List[bool] = []
+                delivered: List[bool] = []
+                delivered_fidelities: List[float] = []
+                fidelity_served: List[bool] = []
                 if self.realize:
                     # One batched draw per (user, slot) — bit-identical to
                     # realising each served request sequentially.
@@ -230,6 +251,13 @@ class MultiUserSimulator:
                             items, slot=t, seed=realization_rng
                         )
                     )
+                    if engines is not None:
+                        delivered, delivered_fidelities, fidelity_served = (
+                            engines[user.name].realize_decision(
+                                items, realized, len(decision.unserved),
+                                seed=physical_rng,
+                            )
+                        )
                     realized.extend([False] * len(decision.unserved))
 
                 per_user_records[user.name].append(
@@ -241,6 +269,9 @@ class MultiUserSimulator:
                         utility=decision.utility(self.graph),
                         success_probabilities=success_probabilities,
                         realized_successes=tuple(realized),
+                        delivered_successes=tuple(delivered),
+                        delivered_fidelities=tuple(delivered_fidelities),
+                        fidelity_served=tuple(fidelity_served),
                     )
                 )
                 slot_cost += decision.cost()
@@ -260,13 +291,19 @@ class MultiUserSimulator:
             if on_slot is not None and on_slot(provider_record) is False:
                 break
 
+        def user_diagnostics(user: QDNUser) -> Mapping[str, object]:
+            diagnostics = user.policy.diagnostics()
+            if engines is not None:
+                diagnostics = engines[user.name].merge_diagnostics(diagnostics)
+            return diagnostics
+
         user_results = {
             user.name: SimulationResult(
                 policy_name=f"{user.name}:{user.policy.name}",
                 horizon=self.horizon,
                 total_budget=user.total_budget,
                 records=tuple(per_user_records[user.name]),
-                diagnostics=user.policy.diagnostics(),
+                diagnostics=user_diagnostics(user),
             )
             for user in self.users
         }

@@ -93,6 +93,8 @@ class PerSlotSolver:
     _exhaustive: ExhaustiveRouteSelector = field(init=False, repr=False)
     _gibbs: Optional[GibbsRouteSelector] = field(init=False, repr=False)
     _cache: Optional[KernelCache] = field(init=False, repr=False)
+    _exhaustive_slots: int = field(init=False, repr=False, default=0)
+    _gibbs_slots: int = field(init=False, repr=False, default=0)
 
     def __post_init__(self) -> None:
         if self.selector_mode not in ("auto", "exhaustive", "gibbs"):
@@ -137,16 +139,26 @@ class PerSlotSolver:
         """
         if self._cache is not None:
             self._cache.reset()
+        self._exhaustive_slots = 0
+        self._gibbs_slots = 0
 
     def kernel_stats(self) -> Optional[Dict[str, int]]:
         """Aggregate kernel statistics since the last :meth:`reset`.
 
         Returns ``None`` when the solver runs without a kernel cache (legacy
-        path, or ``kernel_cache=False``).
+        path, or ``kernel_cache=False``).  Besides the cache's counters the
+        mapping carries ``exhaustive_slots`` / ``gibbs_slots`` — how many
+        slot solves covered the combination space exhaustively (the
+        ``used_exhaustive`` flag of each :class:`PerSlotSolution`, summed) —
+        so run-level health lines can report solver exactness alongside the
+        kernel reuse counters.
         """
         if self._cache is None:
             return None
-        return self._cache.aggregate_stats()
+        stats = self._cache.aggregate_stats()
+        stats["exhaustive_slots"] = self._exhaustive_slots
+        stats["gibbs_slots"] = self._gibbs_slots
+        return stats
 
     def _gibbs_selector(self) -> GibbsRouteSelector:
         if self._gibbs is None:
@@ -235,6 +247,11 @@ class PerSlotSolver:
             victim = max(servable, key=min_hops.__getitem__)
             servable.remove(victim)
             dropped.append(victim)
+
+        if used_exhaustive:
+            self._exhaustive_slots += 1
+        else:
+            self._gibbs_slots += 1
 
         unserved = tuple(no_routes) + tuple(dropped)
         if not result.selection:

@@ -9,6 +9,7 @@ from repro.experiments import (
     fig6_network_size,
     fig7_control_v,
     fig8_initial_queue,
+    fig9_fidelity,
     ablations,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "fig6_network_size",
     "fig7_control_v",
     "fig8_initial_queue",
+    "fig9_fidelity",
     "ablations",
 ]

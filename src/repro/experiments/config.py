@@ -23,7 +23,9 @@ from repro.core.baselines import (
 )
 from repro.core.oscar import OscarPolicy
 from repro.core.policy import RoutingPolicy
+from repro.network.channels import DECOHERENCE_TIME_S
 from repro.network.graph import QDNGraph
+from repro.simulation.physical import ENGINE_KINDS, PhysicalModel
 from repro.network.resources import ResourceProcess, StaticResources
 from repro.network.store import TopologyStore, default_topology_store
 from repro.network.topology import TOPOLOGY_KINDS, CapacityRanges, build_topology
@@ -82,6 +84,25 @@ class ExperimentConfig:
     dual_tolerance: float = 1e-4
     kernel_cache: bool = True
 
+    # --- physical layer (repro.simulation.physical) ------------------------ #
+    # ``physical_enabled`` switches on the physical delivery co-simulation:
+    # every realised EC additionally runs its swap/purify/decohere chain and
+    # the records carry delivered fidelities.  Disabled (the default) the
+    # simulators consume exactly the historical random streams, so every
+    # existing figure stays byte-identical.  ``physical_fidelity_constrained``
+    # additionally wraps registry-built policies so a request only counts as
+    # served when its route can deliver ``physical_fidelity_target``.
+    physical_enabled: bool = False
+    physical_swap_success: float = 1.0
+    physical_link_fidelity: float = 0.98
+    physical_memory_time: float = DECOHERENCE_TIME_S
+    physical_dwell_fraction: float = 0.5
+    physical_purify_rounds: int = 0
+    physical_cutoff_fidelity: float = 0.0
+    physical_fidelity_target: float = 0.0
+    physical_fidelity_constrained: bool = False
+    physical_engine: str = "vectorized"
+
     # --- experiment bookkeeping ------------------------------------------- #
     trials: int = 5
     base_seed: int = 2024
@@ -96,6 +117,11 @@ class ExperimentConfig:
         check_positive(self.num_nodes, "num_nodes")
         check_positive(self.horizon, "horizon")
         check_positive(self.trials, "trials")
+        if self.physical_engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"unknown physical engine {self.physical_engine!r}; "
+                f"choose from {', '.join(ENGINE_KINDS)}"
+            )
 
     # ------------------------------------------------------------------ #
     # Presets
@@ -225,6 +251,29 @@ class ExperimentConfig:
             int(seed),
         )
         return store.graph_for(key, build)
+
+    def physical_model(self) -> Optional[PhysicalModel]:
+        """The configured physical-layer model, or ``None`` when disabled.
+
+        This is the single place the flat ``physical_*`` fields become the
+        :class:`~repro.simulation.physical.PhysicalModel` the simulators
+        consume; the slot length (``attempts_per_slot`` × attempt duration)
+        comes from the link-physics section so the memory dwell matches the
+        configured slot.
+        """
+        if not self.physical_enabled:
+            return None
+        return PhysicalModel(
+            swap_success=self.physical_swap_success,
+            link_fidelity=self.physical_link_fidelity,
+            memory_time=self.physical_memory_time,
+            attempts_per_slot=self.attempts_per_slot,
+            dwell_fraction=self.physical_dwell_fraction,
+            purify_rounds=self.physical_purify_rounds,
+            cutoff_fidelity=self.physical_cutoff_fidelity,
+            fidelity_target=self.physical_fidelity_target,
+            engine=self.physical_engine,
+        )
 
     def request_process(self) -> RequestProcess:
         """The paper's uniform EC request process."""

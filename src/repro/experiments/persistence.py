@@ -41,6 +41,9 @@ def result_to_dict(result: SimulationResult) -> Dict:
                 "success_probabilities": list(record.success_probabilities),
                 "realized_successes": [bool(v) for v in record.realized_successes],
                 "queue_length": record.queue_length,
+                "delivered_successes": [bool(v) for v in record.delivered_successes],
+                "delivered_fidelities": list(record.delivered_fidelities),
+                "fidelity_served": [bool(v) for v in record.fidelity_served],
             }
             for record in result.records
         ],
@@ -59,6 +62,13 @@ def result_from_dict(payload: Mapping) -> SimulationResult:
             success_probabilities=tuple(float(p) for p in entry["success_probabilities"]),
             realized_successes=tuple(bool(v) for v in entry.get("realized_successes", [])),
             queue_length=entry.get("queue_length"),
+            delivered_successes=tuple(
+                bool(v) for v in entry.get("delivered_successes", [])
+            ),
+            delivered_fidelities=tuple(
+                float(v) for v in entry.get("delivered_fidelities", [])
+            ),
+            fidelity_served=tuple(bool(v) for v in entry.get("fidelity_served", [])),
         )
         for entry in payload["records"]
     )

@@ -39,6 +39,17 @@ SUMMARY_METRICS = (
     "budget_violation",
     "served_fraction",
     "fairness",
+    "delivered_success_rate",
+    "mean_delivered_fidelity",
+    "fidelity_served_rate",
+)
+
+#: The subset of :data:`SUMMARY_METRICS` that only exists when a run
+#: simulated the physical layer; absent (not zero) otherwise.
+PHYSICAL_SUMMARY_METRICS = (
+    "delivered_success_rate",
+    "mean_delivered_fidelity",
+    "fidelity_served_rate",
 )
 
 
@@ -77,7 +88,11 @@ class ComparisonResult:
     def summary(self) -> Dict[str, Dict[str, TrialAggregate]]:
         """Mean ± CI of the headline metrics for every policy.
 
-        The metric names are :data:`SUMMARY_METRICS`.
+        The metric names are :data:`SUMMARY_METRICS`; the
+        :data:`PHYSICAL_SUMMARY_METRICS` subset is reported only for
+        policies whose runs simulated the physical layer (absence means
+        "not simulated", a different statement than a measured zero, and
+        keeps legacy report text unchanged for physical-free runs).
         """
         metrics: Dict[str, Callable[[SimulationResult], float]] = {
             "average_utility": lambda r: r.average_utility(),
@@ -91,14 +106,23 @@ class ComparisonResult:
                 r.all_success_probabilities(include_unserved=True)
             ),
         }
-        assert set(metrics) == set(SUMMARY_METRICS)
-        return {
-            name: {
-                metric_name: self.aggregate_metric(name, metric)
-                for metric_name, metric in metrics.items()
-            }
-            for name in self.policy_names
+        physical_metrics: Dict[str, Callable[[SimulationResult], float]] = {
+            "delivered_success_rate": lambda r: r.delivered_success_rate(),
+            "mean_delivered_fidelity": lambda r: r.mean_delivered_fidelity(),
+            "fidelity_served_rate": lambda r: r.fidelity_served_rate(),
         }
+        assert set(metrics) | set(physical_metrics) == set(SUMMARY_METRICS)
+        assert set(physical_metrics) == set(PHYSICAL_SUMMARY_METRICS)
+        summaries: Dict[str, Dict[str, TrialAggregate]] = {}
+        for name in self.policy_names:
+            selected = dict(metrics)
+            if any(result.has_physical_data for result in self.results_for(name)):
+                selected.update(physical_metrics)
+            summaries[name] = {
+                metric_name: self.aggregate_metric(name, metric)
+                for metric_name, metric in selected.items()
+            }
+        return summaries
 
     def mean_series(self, policy_name: str, kind: str) -> List[float]:
         """Across-trial mean of a per-slot series of one policy.

@@ -16,8 +16,17 @@ Monte-Carlo validator and by the examples).
 """
 
 from repro.physics.qubit import BellState, Qubit, BellPair
-from repro.physics.entanglement import EntanglementGenerator, GenerationResult
-from repro.physics.swapping import SwapResult, entanglement_swap, swap_chain
+from repro.physics.entanglement import (
+    EntanglementGenerator,
+    GenerationResult,
+    sample_successes,
+)
+from repro.physics.swapping import (
+    SwapResult,
+    entanglement_swap,
+    sample_swap_successes,
+    swap_chain,
+)
 from repro.physics.teleportation import TeleportationOutcome, teleport
 from repro.physics.decoherence import DecoherenceModel
 from repro.physics.fidelity import (
@@ -28,11 +37,14 @@ from repro.physics.fidelity import (
 )
 from repro.physics.purification import (
     PurificationOutcome,
+    SampledPurification,
+    purification_ladder,
     purification_success_probability,
     purified_fidelity,
     purify_pair,
     recurrence_purification,
     rounds_to_reach,
+    sample_purification,
 )
 
 __all__ = [
@@ -41,8 +53,10 @@ __all__ = [
     "BellPair",
     "EntanglementGenerator",
     "GenerationResult",
+    "sample_successes",
     "SwapResult",
     "entanglement_swap",
+    "sample_swap_successes",
     "swap_chain",
     "TeleportationOutcome",
     "teleport",
@@ -52,9 +66,12 @@ __all__ = [
     "werner_parameter",
     "werner_fidelity",
     "PurificationOutcome",
+    "SampledPurification",
+    "purification_ladder",
     "purification_success_probability",
     "purified_fidelity",
     "purify_pair",
     "recurrence_purification",
     "rounds_to_reach",
+    "sample_purification",
 ]

@@ -28,7 +28,7 @@ from repro.utils.validation import check_in_range, check_positive, check_probabi
 
 
 def sample_successes(
-    probabilities: Sequence[float], rng: np.random.Generator
+    probabilities: Sequence[float], seed: SeedLike = None
 ) -> np.ndarray:
     """Batched Bernoulli draws of per-edge slot successes.
 
@@ -36,8 +36,11 @@ def sample_successes(
     NumPy fills the batch from the same bit stream, so the outcome of each
     edge is *bit-identical* to the sequential loop it replaces — results do
     not change when callers switch to the batched form, only the number of
-    RNG round-trips per slot does.
+    RNG round-trips per slot does.  ``seed`` accepts anything
+    :func:`repro.utils.rng.as_generator` does (callers threading a live
+    generator through a simulation pass it unchanged).
     """
+    rng = as_generator(seed)
     p = np.asarray(probabilities, dtype=float)
     if p.size == 0:
         return np.zeros(0, dtype=bool)
@@ -162,21 +165,21 @@ class EntanglementGenerator:
             attempts_used=attempts_used,
         )
 
-    def simulate_success(
-        self, channels: int, rng: np.random.Generator
-    ) -> bool:
+    def simulate_success(self, channels: int, seed: SeedLike = None) -> bool:
         """Fast Bernoulli draw of "did this edge succeed this slot?".
 
         Statistically identical to :meth:`generate` succeeding, but without
         materialising the pair; used by the slotted simulator when only the
-        success/failure outcome matters.
+        success/failure outcome matters.  ``seed`` accepts anything
+        :func:`repro.utils.rng.as_generator` does.
         """
+        rng = as_generator(seed)
         if channels <= 0:
             return False
         return bool(rng.random() < self.edge_success_probability(channels))
 
     def simulate_successes(
-        self, channels: Sequence[int], rng: np.random.Generator
+        self, channels: Sequence[int], seed: SeedLike = None
     ) -> np.ndarray:
         """Vectorised :meth:`simulate_success` over many channel counts.
 
@@ -185,6 +188,7 @@ class EntanglementGenerator:
         reported as failures), exactly mirroring — bit for bit — a loop of
         scalar :meth:`simulate_success` calls on the same generator.
         """
+        rng = as_generator(seed)
         counts = np.asarray(channels, dtype=float)
         outcomes = np.zeros(counts.shape, dtype=bool)
         positive = counts > 0

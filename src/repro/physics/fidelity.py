@@ -43,17 +43,23 @@ def fidelity_after_swap(fidelity_a: float, fidelity_b: float) -> float:
 def fidelity_of_chain(link_fidelities: Iterable[float]) -> float:
     """End-to-end fidelity of a repeater chain of Werner links.
 
-    Swapping is associative in the Werner-parameter picture, so the chain
-    fidelity is ``F = (3 Π w_i + 1)/4``.  An empty chain is meaningless and
-    raises ``ValueError``.
+    Defined as the left fold of :func:`fidelity_after_swap`: swapping is
+    associative in the Werner-parameter picture, so this equals the closed
+    form ``F = (3 Π w_i + 1)/4``.  Implementing the chain as iterated swaps
+    keeps a single source of truth for every consumer — the analytic route
+    model in :mod:`repro.core.fidelity` and the physical delivery engines in
+    :mod:`repro.simulation.physical` compose fidelities through exactly the
+    same operation.  An empty chain is meaningless and raises
+    ``ValueError``.
     """
-    parameters = [werner_parameter(f) for f in link_fidelities]
-    if not parameters:
+    fidelities = [float(f) for f in link_fidelities]
+    if not fidelities:
         raise ValueError("a chain needs at least one link")
-    product = 1.0
-    for parameter in parameters:
-        product *= parameter
-    return werner_fidelity(product)
+    current = fidelities[0]
+    check_in_range(current, 0.0, 1.0, "fidelity")
+    for next_fidelity in fidelities[1:]:
+        current = fidelity_after_swap(current, next_fidelity)
+    return current
 
 
 def max_chain_length_for_target(link_fidelity: float, target: float) -> int:

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_range, check_positive
 
 #: Purification only helps above this fidelity (the BBPSSW fixed-point floor).
@@ -85,19 +86,82 @@ def recurrence_purification(base_fidelity: float, rounds: int) -> PurificationOu
     needs *both* of its inputs, which is already accounted for by the
     doubling of consumed pairs, and its own measurement success).
     """
-    check_in_range(base_fidelity, 0.0, 1.0, "base_fidelity")
-    if rounds < 0:
-        raise ValueError(f"rounds must be non-negative, got {rounds}")
-    fidelity = base_fidelity
+    probabilities, fidelity = purification_ladder(base_fidelity, rounds)
     success = 1.0
-    for _ in range(rounds):
-        success *= purification_success_probability(fidelity, fidelity)
-        fidelity = purified_fidelity(fidelity, fidelity)
+    for probability in probabilities:
+        success *= probability
     return PurificationOutcome(
         fidelity=fidelity,
         success_probability=success,
         rounds=rounds,
         pairs_consumed=2**rounds,
+    )
+
+
+def purification_ladder(base_fidelity: float, rounds: int) -> Tuple[Tuple[float, ...], float]:
+    """Per-round success probabilities and the final fidelity of a recurrence schedule.
+
+    Round ``k`` combines two identical pairs of the round-``k−1`` fidelity,
+    so the ladder is fully determined by ``base_fidelity``: the returned
+    tuple holds one BBPSSW success probability per round, and the second
+    element is the fidelity after all ``rounds`` rounds succeeded.  This is
+    the shared deterministic backbone of :func:`recurrence_purification`,
+    :func:`sample_purification` and the physical-layer engines — every
+    consumer sees bit-identical probabilities because they all come from
+    this one function.
+    """
+    check_in_range(base_fidelity, 0.0, 1.0, "base_fidelity")
+    if rounds < 0:
+        raise ValueError(f"rounds must be non-negative, got {rounds}")
+    probabilities: List[float] = []
+    fidelity = base_fidelity
+    for _ in range(rounds):
+        probabilities.append(purification_success_probability(fidelity, fidelity))
+        fidelity = purified_fidelity(fidelity, fidelity)
+    return tuple(probabilities), fidelity
+
+
+@dataclass(frozen=True)
+class SampledPurification:
+    """One stochastic realisation of a recurrence purification schedule."""
+
+    succeeded: bool
+    fidelity: float
+    rounds: int
+    pairs_consumed: int
+    failed_round: Optional[int] = None
+
+
+def sample_purification(
+    base_fidelity: float, rounds: int, seed: SeedLike = None
+) -> SampledPurification:
+    """Sample one realisation of ``rounds`` recurrence purification rounds.
+
+    Draws exactly ``rounds`` uniforms from the generator — one per scheduled
+    round, *even after a failure* — so that batched samplers (which draw all
+    rounds of many links in one vectorised call) consume an identical random
+    stream and stay bit-identical to this per-pair reference.  On success the
+    output fidelity is the deterministic ladder fidelity; on failure the pair
+    is destroyed (``fidelity`` 0, ``failed_round`` is the 1-based index of
+    the first failed round).  ``seed`` accepts anything
+    :func:`repro.utils.rng.as_generator` does.
+    """
+    rng = as_generator(seed)
+    probabilities, fidelity = purification_ladder(base_fidelity, rounds)
+    failed_round: Optional[int] = None
+    if rounds:
+        draws = rng.random(rounds)
+        for index, probability in enumerate(probabilities):
+            if draws[index] >= probability:
+                failed_round = index + 1
+                break
+    succeeded = failed_round is None
+    return SampledPurification(
+        succeeded=succeeded,
+        fidelity=fidelity if succeeded else 0.0,
+        rounds=rounds,
+        pairs_consumed=2**rounds,
+        failed_round=failed_round,
     )
 
 

@@ -16,10 +16,36 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.physics.fidelity import fidelity_after_swap
 from repro.physics.qubit import BellPair, BellState
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_probability
+
+
+def sample_swap_successes(
+    count: int, success_probability: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Sample the outcomes of ``count`` Bell-state measurements at once.
+
+    Draws exactly ``count`` uniforms in one batched call — NumPy fills the
+    batch from the same bit stream as sequential scalar draws, so a chain
+    simulated swap by swap and a vectorised engine batching every swap of a
+    slot consume identical randomness.  All draws happen even when an early
+    swap fails (a scheduled measurement consumes its randomness regardless),
+    which is what keeps the per-pair reference engine and the batched engine
+    of :mod:`repro.simulation.physical` bit-identical.  A success probability
+    of 1 still consumes no randomness only when ``count`` is 0; deterministic
+    swaps are the caller's short-circuit to apply.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    check_probability(success_probability, "success_probability")
+    rng = as_generator(seed)
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    return rng.random(count) < success_probability
 
 
 @dataclass(frozen=True)

@@ -1,9 +1,21 @@
-"""Simulators: a discrete-event engine, an attempt-level link layer and the
-slot-based network simulator that drives every experiment in the paper."""
+"""Simulators: a discrete-event engine, an attempt-level link layer, the
+slot-based network simulator that drives every experiment in the paper, and
+the physical-layer co-simulation subsystem (swap/purify/decohere delivery
+chains with delivered-fidelity accounting)."""
 
 from repro.simulation.clock import SlotClock
 from repro.simulation.events import Event, EventQueue, EventDrivenSimulator
 from repro.simulation.link_layer import LinkLayerSimulator, RouteRealization
+from repro.simulation.physical import (
+    PhysicalEngine,
+    PhysicalModel,
+    PhysicalSlotOutcome,
+    PhysicalStats,
+    ReferencePhysicalEngine,
+    VectorizedPhysicalEngine,
+    build_physical_engine,
+    merge_physical_stats,
+)
 from repro.simulation.results import SlotRecord, SimulationResult
 from repro.simulation.engine import SlottedSimulator, simulate_policies
 
@@ -14,6 +26,14 @@ __all__ = [
     "EventDrivenSimulator",
     "LinkLayerSimulator",
     "RouteRealization",
+    "PhysicalEngine",
+    "PhysicalModel",
+    "PhysicalSlotOutcome",
+    "PhysicalStats",
+    "ReferencePhysicalEngine",
+    "VectorizedPhysicalEngine",
+    "build_physical_engine",
+    "merge_physical_stats",
     "SlotRecord",
     "SimulationResult",
     "SlottedSimulator",

@@ -17,6 +17,7 @@ from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext
 from repro.network.graph import QDNGraph
 from repro.simulation.link_layer import LinkLayerSimulator
+from repro.simulation.physical import PhysicalModel
 from repro.simulation.results import SimulationResult, SlotRecord
 from repro.utils.rng import SeedLike, as_generator, spawn_rngs
 from repro.workload.traces import WorkloadTrace
@@ -47,6 +48,13 @@ class SlottedSimulator:
         Use the attempt-level physics simulation instead of per-edge
         Bernoulli draws when realising ECs (slower; mainly for validation
         and examples).
+    physical:
+        Optional :class:`~repro.simulation.physical.PhysicalModel`: when
+        set, every realised EC additionally runs the physical delivery chain
+        (purification, decoherence/cutoff, swapping) and the records carry
+        delivered fidelities.  Requires ``realize=True``.  When ``None``
+        (the default) nothing changes — the run consumes exactly the same
+        random streams as before the physical layer existed.
     """
 
     graph: QDNGraph
@@ -54,6 +62,7 @@ class SlottedSimulator:
     total_budget: float = 5000.0
     realize: bool = True
     detailed_link_layer: bool = False
+    physical: Optional[PhysicalModel] = None
 
     def run(
         self,
@@ -67,7 +76,17 @@ class SlottedSimulator:
         returning ``False`` from the callback stops the simulation early.
         """
         rng = as_generator(seed)
-        decision_rng, realization_rng = spawn_rngs(rng, 2)
+        engine = None
+        if self.physical is not None:
+            if not self.realize:
+                raise ValueError("the physical layer requires realize=True")
+            # A third stream is spawned only when the physical layer is on,
+            # so disabled runs stay byte-identical to the historical ones.
+            decision_rng, realization_rng, physical_rng = spawn_rngs(rng, 3)
+            engine = self.physical.build_engine()
+        else:
+            decision_rng, realization_rng = spawn_rngs(rng, 2)
+            physical_rng = None
         link_layer = LinkLayerSimulator(graph=self.graph, detailed=self.detailed_link_layer)
 
         policy.reset(self.graph, self.trace.horizon)
@@ -95,6 +114,9 @@ class SlottedSimulator:
             )
             realized: List[bool] = []
             fidelities: List[float] = []
+            delivered: List[bool] = []
+            delivered_fidelities: List[float] = []
+            fidelity_served: List[bool] = []
             if self.realize:
                 # One batched RNG draw realises every served request's route
                 # for this slot (bit-identical to per-request realisation).
@@ -116,6 +138,16 @@ class SlottedSimulator:
                 ):
                     realized.append(realization.succeeded)
                     fidelities.append(realization.fidelity)
+                if engine is not None:
+                    # The physical delivery chain consumes the link outcomes
+                    # and its own spawned stream (shared by both engine
+                    # implementations, which draw identically from it).
+                    delivered, delivered_fidelities, fidelity_served = (
+                        engine.realize_decision(
+                            items, realized, len(decision.unserved),
+                            seed=physical_rng,
+                        )
+                    )
                 # Unserved requests trivially fail.
                 realized.extend([False] * len(decision.unserved))
                 fidelities.extend([0.0] * len(decision.unserved))
@@ -136,17 +168,23 @@ class SlottedSimulator:
                 realized_successes=tuple(realized),
                 realized_fidelities=tuple(fidelities),
                 queue_length=queue_length,
+                delivered_successes=tuple(delivered),
+                delivered_fidelities=tuple(delivered_fidelities),
+                fidelity_served=tuple(fidelity_served),
             )
             records.append(record)
             if on_slot is not None and on_slot(policy.name, record) is False:
                 break
 
+        diagnostics = policy.diagnostics()
+        if engine is not None:
+            diagnostics = engine.merge_diagnostics(diagnostics)
         return SimulationResult(
             policy_name=policy.name,
             horizon=self.trace.horizon,
             total_budget=self.total_budget,
             records=tuple(records),
-            diagnostics=policy.diagnostics(),
+            diagnostics=diagnostics,
         )
 
 
@@ -158,16 +196,23 @@ def simulate_policies(
     realize: bool = True,
     seed: SeedLike = None,
     on_slot: Optional[SlotCallback] = None,
+    physical: Optional[PhysicalModel] = None,
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the *same* trace and collect their results.
 
     Each policy gets its own independent random stream (for Gibbs sampling
     and EC realisation) derived from ``seed``, so results are reproducible
     yet uncorrelated across policies.  ``on_slot`` is forwarded to every
-    policy's run (see :class:`SlottedSimulator`).
+    policy's run (see :class:`SlottedSimulator`); ``physical`` switches on
+    the physical delivery chain for every policy (each run gets its own
+    fresh engine and spawned stream).
     """
     simulator = SlottedSimulator(
-        graph=graph, trace=trace, total_budget=total_budget, realize=realize
+        graph=graph,
+        trace=trace,
+        total_budget=total_budget,
+        realize=realize,
+        physical=physical,
     )
     rngs = spawn_rngs(seed, len(list(policies)))
     results: Dict[str, SimulationResult] = {}

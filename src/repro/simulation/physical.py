@@ -1,0 +1,552 @@
+"""The physical-layer co-simulation subsystem.
+
+The routing layer declares a request "served" the moment every link of its
+route succeeds; this module simulates what happens *after* that moment —
+the physical delivery chain of a slotted quantum data network:
+
+* **Purification** — each link may schedule BBPSSW recurrence rounds against
+  the qubit budget its allocation paid for (round ``k`` consumes ``2^k`` raw
+  pairs, so an edge with ``n`` channels affords ``⌊log2 n⌋`` rounds, see
+  :func:`repro.workload.budget.purification_rounds_within_budget`).
+* **Decoherence** — the purified pair waits in quantum memory until the end
+  of the slot; its Werner parameter decays with the configured memory time
+  (:mod:`repro.physics.decoherence`).  A *cutoff policy* discards pairs
+  whose stored fidelity falls below a threshold.
+* **Swapping** — the route's links are fused by Bell-state measurements,
+  each succeeding with a configurable probability
+  (:mod:`repro.physics.swapping`); fidelities compose through the iterated
+  Werner swap of :func:`repro.physics.fidelity.fidelity_of_chain`, the same
+  single source of truth the analytic
+  :class:`repro.core.fidelity.RouteFidelityModel` uses.
+
+Two engines implement the chain.  :class:`ReferencePhysicalEngine` walks it
+request by request with scalar draws (the obviously-correct per-pair
+implementation); :class:`VectorizedPhysicalEngine` schedules every
+purification round and swap of a slot up front and takes **one** batched
+``Generator.random(n)`` draw — NumPy fills the batch from the same bit
+stream as sequential scalar draws, so the two engines are *bit-identical*
+under the same spawned RNG streams (the same guarantee PR 4 established for
+link realisation).  Every scheduled operation consumes its randomness even
+when an earlier stage already failed; that fixed draw schedule is what makes
+the batching exact rather than approximate.
+
+The subsystem is configured by one :class:`PhysicalModel` object threaded
+through :class:`repro.experiments.config.ExperimentConfig`
+(``physical_*`` fields), ``Scenario.with_physical(...)``, the ``physical.*``
+study axis group and the CLI (``--physical``, ``--swap-p``,
+``--decoherence-t2``, ``--purify-rounds``, ``--fidelity-target``).  Engines
+accumulate :class:`PhysicalStats` which surface as
+``RunRecord.physical_stats()`` / ``StudyResult.physical_stats()`` and in the
+CLI ``--progress`` health line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.network.channels import (
+    ATTEMPT_DURATION_S,
+    DECOHERENCE_TIME_S,
+    DEFAULT_ATTEMPTS_PER_SLOT,
+)
+from repro.network.graph import EdgeKey
+from repro.network.routes import Route
+from repro.physics.decoherence import DecoherenceModel
+from repro.physics.entanglement import sample_successes
+from repro.physics.fidelity import fidelity_of_chain
+from repro.physics.purification import (
+    PURIFICATION_THRESHOLD,
+    purification_ladder,
+    sample_purification,
+)
+from repro.physics.swapping import sample_swap_successes
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_range, check_positive
+from repro.workload.budget import purification_rounds_within_budget
+
+#: The two engine implementations (``vectorized`` is the default).
+ENGINE_KINDS = ("vectorized", "reference")
+
+#: One slot's physical input: the chosen route, its per-edge channel
+#: allocation, and whether the link layer realised every link this slot.
+PhysicalItem = Tuple[Route, Mapping[EdgeKey, int], bool]
+
+
+@dataclass(frozen=True)
+class PhysicalModel:
+    """Configuration of the physical delivery chain.
+
+    Parameters
+    ----------
+    swap_success:
+        Success probability of one Bell-state measurement (the paper assumes
+        ≈1 and notes imperfect swapping "would simply appear as an extra
+        product term in Eq. 2" — this is that term, simulated).
+    link_fidelity:
+        Fidelity of a freshly generated elementary pair.
+    memory_time:
+        Decoherence (T2) time constant of quantum memory, seconds.
+    attempt_duration / attempts_per_slot:
+        Define the slot's wall-clock length (their product).
+    dwell_fraction:
+        Fraction of the slot a pair waits in memory before the swaps run at
+        the slot boundary (0.5 ≙ generated mid-slot on average).  The dwell
+        is deterministic so that both engines schedule identical randomness.
+    purify_rounds:
+        Requested BBPSSW recurrence rounds per link; the affordable schedule
+        is clipped per edge by its channel allocation
+        (:func:`repro.workload.budget.purification_rounds_within_budget`)
+        and to zero when the link fidelity is at or below the BBPSSW
+        threshold of 0.5 (purification would then hurt).
+    cutoff_fidelity:
+        Memory cutoff policy: a stored pair whose post-decoherence fidelity
+        falls below this threshold is discarded and the request fails.
+    fidelity_target:
+        End-to-end delivered-fidelity target; 0 disables it.  With a target,
+        delivered requests are additionally classified as fidelity-served.
+    engine:
+        ``"vectorized"`` (batched draws, default) or ``"reference"``
+        (per-pair scalar draws) — bit-identical under the same streams.
+    """
+
+    swap_success: float = 1.0
+    link_fidelity: float = 0.98
+    memory_time: float = DECOHERENCE_TIME_S
+    attempt_duration: float = ATTEMPT_DURATION_S
+    attempts_per_slot: int = DEFAULT_ATTEMPTS_PER_SLOT
+    dwell_fraction: float = 0.5
+    purify_rounds: int = 0
+    cutoff_fidelity: float = 0.0
+    fidelity_target: float = 0.0
+    engine: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        check_in_range(self.swap_success, 0.0, 1.0, "swap_success")
+        check_in_range(self.link_fidelity, 0.0, 1.0, "link_fidelity")
+        check_positive(self.memory_time, "memory_time")
+        check_positive(self.attempt_duration, "attempt_duration")
+        check_positive(self.attempts_per_slot, "attempts_per_slot")
+        check_in_range(self.dwell_fraction, 0.0, 1.0, "dwell_fraction")
+        if self.purify_rounds < 0:
+            raise ValueError(f"purify_rounds must be non-negative, got {self.purify_rounds}")
+        check_in_range(self.cutoff_fidelity, 0.0, 1.0, "cutoff_fidelity")
+        check_in_range(self.fidelity_target, 0.0, 1.0, "fidelity_target")
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"unknown physical engine {self.engine!r}; choose from {', '.join(ENGINE_KINDS)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def dwell_time(self) -> float:
+        """Seconds a stored pair waits in memory before the slot-end swaps."""
+        return self.attempts_per_slot * self.attempt_duration * self.dwell_fraction
+
+    def decoherence_model(self) -> DecoherenceModel:
+        """The :mod:`repro.physics.decoherence` model this configuration implies.
+
+        All decay in the physical layer goes through this one model (scalar
+        :func:`math.exp`, never a NumPy ufunc), so both engines — and any
+        future consumer of the decay law — stay bit-identical by
+        construction.
+        """
+        return DecoherenceModel(memory_time=self.memory_time)
+
+    def survival_factor(self) -> float:
+        """The Werner-parameter multiplier the dwell in memory costs."""
+        return self.decoherence_model().survival_factor(self.dwell_time)
+
+    def decohered_fidelity(self, fidelity: float) -> float:
+        """``fidelity`` after waiting out the slot dwell in quantum memory."""
+        return self.decoherence_model().fidelity_after(fidelity, self.dwell_time)
+
+    def affordable_rounds(self, channels: int) -> int:
+        """Purification rounds one edge can schedule given its allocation."""
+        if self.purify_rounds <= 0 or self.link_fidelity <= PURIFICATION_THRESHOLD:
+            return 0
+        return purification_rounds_within_budget(channels, self.purify_rounds)
+
+    def edge_fidelity_bound(self) -> float:
+        """Best-case delivered fidelity of one link (full purification, then decoherence).
+
+        This is the optimistic per-edge fidelity the fidelity-constrained
+        servability hook feeds into the analytic
+        :class:`~repro.core.fidelity.RouteFidelityModel`: a route that misses
+        the target even under this bound can never deliver it physically, so
+        filtering it from the candidate set is exact, not heuristic.
+        """
+        rounds = 0
+        if self.purify_rounds > 0 and self.link_fidelity > PURIFICATION_THRESHOLD:
+            rounds = self.purify_rounds
+        _, purified = purification_ladder(self.link_fidelity, rounds)
+        return self.decohered_fidelity(purified)
+
+    def route_fidelity_model(self):
+        """The analytic route model matching this physical configuration.
+
+        Used to re-rank (filter) candidate routes in fidelity-constrained
+        mode; built on :class:`repro.core.fidelity.RouteFidelityModel`, whose
+        chain composition is the same iterated Werner swap the engines use.
+        """
+        from repro.core.fidelity import RouteFidelityModel  # lazy: avoids a package cycle
+
+        return RouteFidelityModel(link_fidelity=self.edge_fidelity_bound())
+
+    def build_engine(self) -> "PhysicalEngine":
+        """A fresh engine (zeroed stats, empty plan caches) for one run."""
+        if self.engine == "reference":
+            return ReferencePhysicalEngine(self)
+        return VectorizedPhysicalEngine(self)
+
+
+@dataclass
+class PhysicalStats:
+    """Physical-resource accounting of one engine run (all counters cumulative).
+
+    ``requests`` counts every routed request presented to the engine;
+    ``attempts`` those whose links all materialised (the rest are
+    ``link_failures``).  Each attempt fails at exactly one stage —
+    purification, cutoff or swapping — or is ``delivered``;
+    ``fidelity_served`` is the subset of deliveries meeting the fidelity
+    target (equal to ``delivered`` when no target is set).
+    ``pairs_consumed`` is the raw Bell pairs spent by attempts (one per link
+    plus the purification overhead ``2^rounds − 1``); ``fidelity_sum``
+    accumulates delivered fidelity so that the mean is
+    ``fidelity_sum / delivered``.
+    """
+
+    requests: int = 0
+    link_failures: int = 0
+    attempts: int = 0
+    purify_rounds: int = 0
+    purify_failures: int = 0
+    cutoff_discards: int = 0
+    swaps: int = 0
+    swap_failures: int = 0
+    delivered: int = 0
+    fidelity_served: int = 0
+    pairs_consumed: int = 0
+    fidelity_sum: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """A plain mapping (what run diagnostics carry and merges consume)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def mean_delivered_fidelity(self) -> float:
+        """Mean fidelity over delivered requests (0 when nothing delivered)."""
+        if self.delivered == 0:
+            return 0.0
+        return self.fidelity_sum / self.delivered
+
+
+def merge_physical_stats(stats_mappings) -> Optional[Dict[str, float]]:
+    """Sum physical-stats mappings; ``None`` when none are present.
+
+    The merge behind ``RunRecord.physical_stats()``,
+    ``StudyResult.physical_stats()`` and the physical benchmark — shares its
+    implementation (:func:`repro.analysis.stats.merge_stat_mappings`) with
+    the kernel merge, but without the cast-to-int: ``fidelity_sum`` is a
+    float and must stay one.
+    """
+    from repro.analysis.stats import merge_stat_mappings
+
+    return merge_stat_mappings(stats_mappings)
+
+
+@dataclass(frozen=True)
+class EdgePlan:
+    """The deterministic per-edge schedule implied by one channel allocation.
+
+    Everything that does not need randomness is resolved here once per
+    distinct channel count: the affordable purification rounds and their
+    per-round success probabilities, the post-purification-post-decoherence
+    fidelity of the stored pair, whether it survives the cutoff policy, and
+    the raw pairs the schedule consumes.
+    """
+
+    channels: int
+    rounds: int
+    round_probs: Tuple[float, ...]
+    fidelity: float
+    cutoff_ok: bool
+    pairs_consumed: int
+
+
+@dataclass(frozen=True)
+class PhysicalSlotOutcome:
+    """Per-request delivery outcome of one slot, aligned with the input order."""
+
+    delivered: Tuple[bool, ...]
+    fidelities: Tuple[float, ...]
+    fidelity_ok: Tuple[bool, ...]
+
+
+class PhysicalEngine:
+    """Shared machinery of the two engine implementations.
+
+    Holds the model, the cumulative :class:`PhysicalStats`, the per-channel
+    :class:`EdgePlan` cache and the per-allocation chain-fidelity memo.  The
+    subclasses differ *only* in how they consume randomness (scalar draws
+    vs. one batched draw per slot); all deterministic fidelity algebra runs
+    through the same scalar helpers here, which is what makes bit-identity a
+    structural property instead of a numerical accident.
+    """
+
+    def __init__(self, model: PhysicalModel):
+        self.model = model
+        self.stats = PhysicalStats()
+        self._plans: Dict[int, EdgePlan] = {}
+        self._chain_cache: Dict[Tuple[int, ...], float] = {}
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def reset(self) -> None:
+        """Zero the statistics (plan caches are pure and survive resets)."""
+        self.stats = PhysicalStats()
+
+    # ------------------------------------------------------------------ #
+    # Deterministic schedules (shared by both engines)
+    # ------------------------------------------------------------------ #
+    def plan_for(self, channels: int) -> EdgePlan:
+        """The :class:`EdgePlan` of an edge allocated ``channels`` channels."""
+        plan = self._plans.get(channels)
+        if plan is None:
+            rounds = self.model.affordable_rounds(channels)
+            round_probs, purified = purification_ladder(self.model.link_fidelity, rounds)
+            fidelity = self.model.decohered_fidelity(purified)
+            plan = EdgePlan(
+                channels=channels,
+                rounds=rounds,
+                round_probs=round_probs,
+                fidelity=fidelity,
+                cutoff_ok=fidelity >= self.model.cutoff_fidelity,
+                pairs_consumed=2**rounds,
+            )
+            self._plans[channels] = plan
+        return plan
+
+    def chain_fidelity(self, plans: Sequence[EdgePlan]) -> float:
+        """Delivered end-to-end fidelity of a route with these edge plans (memoised)."""
+        key = tuple(plan.channels for plan in plans)
+        fidelity = self._chain_cache.get(key)
+        if fidelity is None:
+            fidelity = fidelity_of_chain(plan.fidelity for plan in plans)
+            self._chain_cache[key] = fidelity
+        return fidelity
+
+    def _finish_request(
+        self,
+        index: int,
+        plans: Sequence[EdgePlan],
+        purify_ok: bool,
+        cutoff_ok: bool,
+        swap_ok: bool,
+        delivered: List[bool],
+        fidelities: List[float],
+        fidelity_ok: List[bool],
+    ) -> None:
+        """Attribute one attempt's outcome (purify → cutoff → swap precedence)."""
+        stats = self.stats
+        if not purify_ok:
+            stats.purify_failures += 1
+            return
+        if not cutoff_ok:
+            stats.cutoff_discards += 1
+            return
+        if not swap_ok:
+            stats.swap_failures += 1
+            return
+        fidelity = self.chain_fidelity(plans)
+        stats.delivered += 1
+        stats.fidelity_sum += fidelity
+        delivered[index] = True
+        fidelities[index] = fidelity
+        target = self.model.fidelity_target
+        ok = target <= 0.0 or fidelity >= target
+        fidelity_ok[index] = ok
+        if ok:
+            stats.fidelity_served += 1
+
+    def realize_slot(
+        self, items: Sequence[PhysicalItem], seed: SeedLike = None
+    ) -> PhysicalSlotOutcome:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Simulator integration (shared by SlottedSimulator / MultiUserSimulator)
+    # ------------------------------------------------------------------ #
+    def realize_decision(
+        self,
+        items: Sequence[Tuple[Route, Mapping[EdgeKey, int]]],
+        realized: Sequence[bool],
+        num_unserved: int,
+        seed: SeedLike = None,
+    ) -> Tuple[List[bool], List[float], List[bool]]:
+        """Run one slot decision's served routes through the delivery chain.
+
+        ``items`` are the served requests' ``(route, allocation)`` pairs in
+        decision order and ``realized`` their link-layer outcomes; unserved
+        requests are padded as failures, mirroring how the simulators pad
+        the link-layer lists.  Returns the aligned ``(delivered,
+        delivered_fidelities, fidelity_served)`` lists the slot record
+        stores.
+        """
+        outcome = self.realize_slot(
+            [
+                (route, allocation, bool(realized[index]))
+                for index, (route, allocation) in enumerate(items)
+            ],
+            seed=seed,
+        )
+        delivered = list(outcome.delivered) + [False] * num_unserved
+        fidelities = list(outcome.fidelities) + [0.0] * num_unserved
+        fidelity_ok = list(outcome.fidelity_ok) + [False] * num_unserved
+        return delivered, fidelities, fidelity_ok
+
+    def merge_diagnostics(self, diagnostics: Mapping[str, object]) -> Dict[str, object]:
+        """``diagnostics`` plus this engine's stats under the ``"physical"`` key."""
+        merged = dict(diagnostics)
+        merged["physical"] = self.stats.to_dict()
+        return merged
+
+
+class ReferencePhysicalEngine(PhysicalEngine):
+    """The per-pair reference implementation: one scalar draw per operation.
+
+    Walks every request's chain with the granular physics entry points
+    (:func:`repro.physics.purification.sample_purification` per link,
+    :func:`repro.physics.swapping.sample_swap_successes` per chain).  Every
+    scheduled operation consumes its randomness even after an earlier
+    failure, so the draw schedule matches the vectorised engine exactly.
+    """
+
+    def realize_slot(
+        self, items: Sequence[PhysicalItem], seed: SeedLike = None
+    ) -> PhysicalSlotOutcome:
+        rng = as_generator(seed)
+        stats = self.stats
+        count = len(items)
+        delivered = [False] * count
+        fidelities = [0.0] * count
+        fidelity_ok = [False] * count
+        draw_swaps = self.model.swap_success < 1.0
+
+        for index, (route, allocation, links_ok) in enumerate(items):
+            stats.requests += 1
+            if not links_ok:
+                stats.link_failures += 1
+                continue
+            stats.attempts += 1
+            plans = [self.plan_for(int(allocation.get(key, 0))) for key in route.edges]
+
+            purify_ok = True
+            for plan in plans:
+                stats.pairs_consumed += plan.pairs_consumed
+                if plan.rounds:
+                    stats.purify_rounds += plan.rounds
+                    sampled = sample_purification(
+                        self.model.link_fidelity, plan.rounds, seed=rng
+                    )
+                    purify_ok = purify_ok and sampled.succeeded
+
+            cutoff_ok = all(plan.cutoff_ok for plan in plans)
+
+            num_swaps = route.hops - 1
+            stats.swaps += num_swaps
+            swap_ok = True
+            if num_swaps > 0 and draw_swaps:
+                outcomes = sample_swap_successes(
+                    num_swaps, self.model.swap_success, seed=rng
+                )
+                swap_ok = bool(outcomes.all())
+
+            self._finish_request(
+                index, plans, purify_ok, cutoff_ok, swap_ok,
+                delivered, fidelities, fidelity_ok,
+            )
+
+        return PhysicalSlotOutcome(
+            delivered=tuple(delivered),
+            fidelities=tuple(fidelities),
+            fidelity_ok=tuple(fidelity_ok),
+        )
+
+
+class VectorizedPhysicalEngine(PhysicalEngine):
+    """The batched implementation: one ``Generator.random(n)`` draw per slot.
+
+    Assembles the full success-threshold vector of the slot — every
+    purification round of every link, then every swap, request by request in
+    input order — and realises it with a single batched uniform draw
+    (:func:`repro.physics.entanglement.sample_successes`).  NumPy fills the
+    batch from the same bit stream as the reference engine's sequential
+    scalar draws, so the outcomes are bit-identical; only the number of RNG
+    round-trips per slot changes (one, instead of one per link and chain).
+    """
+
+    def realize_slot(
+        self, items: Sequence[PhysicalItem], seed: SeedLike = None
+    ) -> PhysicalSlotOutcome:
+        rng = as_generator(seed)
+        stats = self.stats
+        count = len(items)
+        delivered = [False] * count
+        fidelities = [0.0] * count
+        fidelity_ok = [False] * count
+        draw_swaps = self.model.swap_success < 1.0
+
+        # Pass 1 — deterministic: schedule every draw of the slot.
+        thresholds: List[float] = []
+        candidates: List[Tuple[int, List[EdgePlan], int, int, bool]] = []
+        for index, (route, allocation, links_ok) in enumerate(items):
+            stats.requests += 1
+            if not links_ok:
+                stats.link_failures += 1
+                continue
+            stats.attempts += 1
+            plans = [self.plan_for(int(allocation.get(key, 0))) for key in route.edges]
+            purify_draws = 0
+            for plan in plans:
+                stats.pairs_consumed += plan.pairs_consumed
+                if plan.rounds:
+                    stats.purify_rounds += plan.rounds
+                    thresholds.extend(plan.round_probs)
+                    purify_draws += plan.rounds
+            num_swaps = route.hops - 1
+            stats.swaps += num_swaps
+            swap_draws = num_swaps if draw_swaps else 0
+            if swap_draws:
+                thresholds.extend([self.model.swap_success] * swap_draws)
+            cutoff_ok = all(plan.cutoff_ok for plan in plans)
+            candidates.append((index, plans, purify_draws, swap_draws, cutoff_ok))
+
+        # One batched draw realises every scheduled operation of the slot.
+        outcomes = sample_successes(thresholds, rng)
+
+        # Pass 2 — attribute each attempt from its slice of the batch.
+        cursor = 0
+        for index, plans, purify_draws, swap_draws, cutoff_ok in candidates:
+            purify_ok = bool(outcomes[cursor : cursor + purify_draws].all())
+            cursor += purify_draws
+            swap_ok = bool(outcomes[cursor : cursor + swap_draws].all())
+            cursor += swap_draws
+            self._finish_request(
+                index, plans, purify_ok, cutoff_ok, swap_ok,
+                delivered, fidelities, fidelity_ok,
+            )
+
+        return PhysicalSlotOutcome(
+            delivered=tuple(delivered),
+            fidelities=tuple(fidelities),
+            fidelity_ok=tuple(fidelity_ok),
+        )
+
+
+def build_physical_engine(model: PhysicalModel) -> PhysicalEngine:
+    """Function-style alias of :meth:`PhysicalModel.build_engine`."""
+    return model.build_engine()

@@ -28,6 +28,15 @@ class SlotRecord:
     realized_successes: Tuple[bool, ...] = ()
     realized_fidelities: Tuple[float, ...] = ()
     queue_length: Optional[float] = None
+    # Physical-layer delivery outcomes (empty unless the run simulated the
+    # physical chain — see :mod:`repro.simulation.physical`).  ``delivered``
+    # marks requests whose end-to-end pair actually materialised (links AND
+    # purification AND cutoff AND swaps); ``delivered_fidelities`` their
+    # delivered fidelity (0 for failures); ``fidelity_served`` whether the
+    # delivery also met the configured fidelity target.
+    delivered_successes: Tuple[bool, ...] = ()
+    delivered_fidelities: Tuple[float, ...] = ()
+    fidelity_served: Tuple[bool, ...] = ()
 
     @property
     def num_unserved(self) -> int:
@@ -51,6 +60,13 @@ class SlotRecord:
         if self.num_requests == 0:
             return 0.0
         return float(sum(self.realized_successes)) / self.num_requests
+
+    @property
+    def delivered_success_rate(self) -> float:
+        """Fraction of this slot's requests whose end-to-end pair was delivered."""
+        if self.num_requests == 0:
+            return 0.0
+        return float(sum(self.delivered_successes)) / self.num_requests
 
 
 @dataclass(frozen=True)
@@ -159,9 +175,69 @@ class SimulationResult:
         served = sum(record.num_served for record in self.records)
         return served / total
 
+    # ------------------------------------------------------------------ #
+    # Physical-layer delivery metrics (see repro.simulation.physical)
+    # ------------------------------------------------------------------ #
+    @property
+    def has_physical_data(self) -> bool:
+        """Whether this run simulated the physical delivery chain.
+
+        True when any slot carries delivery outcomes; summaries only report
+        the physical metrics in that case, so a disabled run never prints a
+        misleading "measured zero" fidelity.
+        """
+        return any(record.delivered_successes for record in self.records)
+
+    def delivered_success_rate(self) -> float:
+        """Fraction of all requests whose end-to-end pair was physically delivered."""
+        total_requests = sum(record.num_requests for record in self.records)
+        if total_requests == 0:
+            return 0.0
+        total = sum(sum(record.delivered_successes) for record in self.records)
+        return total / total_requests
+
+    def fidelity_served_rate(self) -> float:
+        """Fraction of all requests delivered at or above the fidelity target.
+
+        Equals :meth:`delivered_success_rate` when no target is configured
+        (every delivery then counts as fidelity-served).
+        """
+        total_requests = sum(record.num_requests for record in self.records)
+        if total_requests == 0:
+            return 0.0
+        total = sum(sum(record.fidelity_served) for record in self.records)
+        return total / total_requests
+
+    def all_delivered_fidelities(self, delivered_only: bool = True) -> List[float]:
+        """Per-request delivered fidelities pooled over the run (Fig. 9).
+
+        ``delivered_only`` keeps only materialised deliveries; otherwise
+        failed requests contribute their recorded 0.
+        """
+        values: List[float] = []
+        for record in self.records:
+            for delivered, fidelity in zip(
+                record.delivered_successes, record.delivered_fidelities
+            ):
+                if delivered or not delivered_only:
+                    values.append(fidelity)
+        return values
+
+    def mean_delivered_fidelity(self) -> float:
+        """Mean fidelity over delivered requests (0 when nothing was delivered)."""
+        fidelities = self.all_delivered_fidelities(delivered_only=True)
+        if not fidelities:
+            return 0.0
+        return float(np.mean(fidelities))
+
     def summary(self) -> Dict[str, float]:
-        """A flat summary dictionary used by the reporting layer."""
-        return {
+        """A flat summary dictionary used by the reporting layer.
+
+        The physical-layer metrics appear only when the run simulated the
+        physical chain — their absence means "not simulated", which is a
+        different statement than a measured zero.
+        """
+        summary = {
             "average_utility": self.average_utility(),
             "average_success_rate": self.average_success_rate(),
             "realized_success_rate": self.realized_success_rate(),
@@ -170,3 +246,8 @@ class SimulationResult:
             "budget_violation": self.budget_violation,
             "served_fraction": self.served_fraction(),
         }
+        if self.has_physical_data:
+            summary["delivered_success_rate"] = self.delivered_success_rate()
+            summary["mean_delivered_fidelity"] = self.mean_delivered_fidelity()
+            summary["fidelity_served_rate"] = self.fidelity_served_rate()
+        return summary

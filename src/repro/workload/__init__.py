@@ -9,7 +9,11 @@ from repro.workload.requests import (
     DiurnalRequestProcess,
     FixedRequestSequence,
 )
-from repro.workload.budget import BudgetTracker, per_slot_budget_share
+from repro.workload.budget import (
+    BudgetTracker,
+    per_slot_budget_share,
+    purification_rounds_within_budget,
+)
 from repro.workload.traces import SlotTrace, WorkloadTrace, generate_trace
 from repro.workload.io import load_trace, save_trace, trace_from_dict, trace_to_dict
 
@@ -23,6 +27,7 @@ __all__ = [
     "FixedRequestSequence",
     "BudgetTracker",
     "per_slot_budget_share",
+    "purification_rounds_within_budget",
     "SlotTrace",
     "WorkloadTrace",
     "generate_trace",

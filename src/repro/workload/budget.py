@@ -23,6 +23,29 @@ def per_slot_budget_share(total_budget: float, horizon: int) -> float:
     return total_budget / horizon
 
 
+def purification_rounds_within_budget(channels: int, requested_rounds: int) -> int:
+    """Recurrence rounds affordable on one edge given its channel allocation.
+
+    Round ``k`` of recurrence purification consumes ``2^k`` raw pairs, and an
+    edge that was allocated ``channels`` parallel channels in a slot can
+    supply at most ``channels`` raw pairs — so the affordable schedule is the
+    largest ``k ≤ requested_rounds`` with ``2^k ≤ channels``.  This is the
+    qubit-budget side of purification scheduling: the physical layer
+    (:mod:`repro.simulation.physical`) asks for ``requested_rounds`` and this
+    function clips the schedule to what the slot's allocation actually paid
+    for.  An unallocated edge (0 channels) affords no purification.
+    """
+    if channels < 0:
+        raise ValueError(f"channels must be non-negative, got {channels}")
+    if requested_rounds < 0:
+        raise ValueError(f"requested_rounds must be non-negative, got {requested_rounds}")
+    if channels <= 1 or requested_rounds == 0:
+        return 0
+    # Largest k with 2^k <= channels: the position of the highest set bit.
+    affordable = int(channels).bit_length() - 1
+    return min(requested_rounds, affordable)
+
+
 def adaptive_budget_share(
     total_budget: float, spent: float, slot: int, horizon: int
 ) -> float:

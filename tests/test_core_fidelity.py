@@ -98,3 +98,48 @@ class TestFidelityAwarePolicy:
             FidelityAwarePolicy(
                 base=MyopicFixedPolicy(total_budget=10.0, horizon=5), fidelity_target=1.5
             )
+
+
+class TestUnifiedFidelityModel:
+    """core.fidelity delegates to physics.fidelity.fidelity_after_swap."""
+
+    def test_route_fidelity_is_iterated_fidelity_after_swap(self):
+        from repro.physics.fidelity import fidelity_after_swap
+
+        model = RouteFidelityModel(link_fidelity=0.94)
+        route = Route.from_nodes([0, 1, 2, 3, 4])
+        folded = 0.94
+        for _ in range(3):
+            folded = fidelity_after_swap(folded, 0.94)
+        assert model.route_fidelity(route) == folded
+
+    def test_regression_pins_current_analytic_values(self):
+        # The closed Werner-product form F = (3 Π w_i + 1) / 4 the model
+        # historically used; the iterated-swap delegation must keep every
+        # value (tight tolerance: the fold only reassociates float ops).
+        model = RouteFidelityModel(link_fidelity=0.98)
+        for hops, expected in [
+            (1, 0.98),
+            (2, 0.9605333333333332),
+            (3, 0.9415857777777776),
+            (4, 0.9231434903703702),
+        ]:
+            route = Route.from_nodes(list(range(hops + 1)))
+            product = ((4 * 0.98 - 1) / 3) ** hops
+            assert expected == pytest.approx((3 * product + 1) / 4, rel=1e-12)
+            assert model.route_fidelity(route) == pytest.approx(expected, rel=1e-12)
+
+    def test_physical_engine_and_route_model_share_chain_composition(self):
+        # The physical layer's delivered chain fidelity and the analytic
+        # route model must compose identically (same fold, same floats).
+        from repro.physics.fidelity import fidelity_of_chain
+        from repro.simulation.physical import PhysicalModel
+
+        model = PhysicalModel(link_fidelity=0.97, dwell_fraction=0.0)
+        engine = model.build_engine()
+        plans = [engine.plan_for(2) for _ in range(3)]
+        assert engine.chain_fidelity(plans) == fidelity_of_chain([0.97] * 3)
+        analytic = RouteFidelityModel(link_fidelity=0.97)
+        assert engine.chain_fidelity(plans) == analytic.route_fidelity(
+            Route.from_nodes([0, 1, 2, 3])
+        )

@@ -1,0 +1,94 @@
+"""Direct unit tests for repro.physics.decoherence."""
+
+import math
+
+import pytest
+
+from repro.network.channels import DECOHERENCE_TIME_S
+from repro.physics.decoherence import DecoherenceModel
+from repro.physics.fidelity import (
+    MIXED_STATE_FIDELITY,
+    werner_fidelity,
+    werner_parameter,
+)
+from repro.physics.qubit import BellPair
+
+
+class TestSurvivalFactor:
+    def test_defaults_to_paper_memory_time(self):
+        assert DecoherenceModel().memory_time == DECOHERENCE_TIME_S
+
+    def test_no_elapsed_time_means_no_decay(self):
+        assert DecoherenceModel().survival_factor(0.0) == pytest.approx(1.0)
+
+    def test_one_time_constant_decays_to_1_over_e(self):
+        model = DecoherenceModel(memory_time=2.0)
+        assert model.survival_factor(2.0) == pytest.approx(math.exp(-1.0))
+
+    def test_monotonically_decreasing_in_time(self):
+        model = DecoherenceModel(memory_time=1.0)
+        values = [model.survival_factor(t) for t in (0.0, 0.1, 0.5, 1.0, 5.0)]
+        assert values == sorted(values, reverse=True)
+        assert all(0.0 < v <= 1.0 for v in values)
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ValueError):
+            DecoherenceModel().survival_factor(-0.1)
+
+    def test_non_positive_memory_time_rejected(self):
+        with pytest.raises(ValueError):
+            DecoherenceModel(memory_time=0.0)
+
+
+class TestFidelityAfter:
+    def test_matches_werner_parameter_decay(self):
+        model = DecoherenceModel(memory_time=1.46)
+        fidelity = 0.97
+        elapsed = 0.33
+        expected = werner_fidelity(
+            werner_parameter(fidelity) * model.survival_factor(elapsed)
+        )
+        assert model.fidelity_after(fidelity, elapsed) == expected
+
+    def test_fidelity_monotonically_decreases_with_storage_time(self):
+        model = DecoherenceModel(memory_time=1.0)
+        series = [model.fidelity_after(0.95, t) for t in (0.0, 0.2, 0.5, 1.0, 3.0)]
+        assert series == sorted(series, reverse=True)
+
+    def test_decays_towards_the_mixed_state_floor(self):
+        model = DecoherenceModel(memory_time=0.01)
+        assert model.fidelity_after(0.99, 10.0) == pytest.approx(
+            MIXED_STATE_FIDELITY, abs=1e-9
+        )
+
+    def test_perfect_memory_limit(self):
+        model = DecoherenceModel(memory_time=1e12)
+        assert model.fidelity_after(0.9, 1.0) == pytest.approx(0.9, abs=1e-9)
+
+
+class TestEvolvePair:
+    def test_pair_fidelity_decays_between_creation_and_now(self):
+        model = DecoherenceModel(memory_time=1.0)
+        pair = BellPair(node_a="a", node_b="b", fidelity=0.98, created_at=1.0)
+        evolved = model.evolve_pair(pair, now=1.5)
+        assert evolved.fidelity == model.fidelity_after(0.98, 0.5)
+        assert evolved.nodes == pair.nodes
+
+    def test_now_before_creation_clamps_to_zero_elapsed(self):
+        model = DecoherenceModel(memory_time=1.0)
+        pair = BellPair(node_a="a", node_b="b", fidelity=0.9, created_at=2.0)
+        assert model.evolve_pair(pair, now=1.0).fidelity == pytest.approx(0.9)
+
+
+class TestUsableLifetime:
+    def test_roundtrips_through_fidelity_after(self):
+        model = DecoherenceModel(memory_time=1.46)
+        lifetime = model.usable_lifetime(0.95, threshold=0.7)
+        assert lifetime > 0
+        assert model.fidelity_after(0.95, lifetime) == pytest.approx(0.7)
+
+    def test_already_below_threshold(self):
+        assert DecoherenceModel().usable_lifetime(0.6, threshold=0.7) == 0.0
+
+    def test_threshold_at_mixed_floor_is_infinite(self):
+        assert DecoherenceModel().usable_lifetime(0.9, threshold=0.25) == math.inf

@@ -145,3 +145,90 @@ class TestFidelityModelIntegration:
         ).with_purification(link_target=0.92)
         assert model.edge_fidelity(edge_key(0, 1)) >= 0.8
         assert model.edge_fidelity(edge_key(1, 2)) >= 0.92
+
+
+class TestPurificationLadder:
+    def test_ladder_matches_recurrence(self):
+        from repro.physics.purification import purification_ladder
+
+        probabilities, fidelity = purification_ladder(0.85, 3)
+        outcome = recurrence_purification(0.85, 3)
+        assert fidelity == outcome.fidelity
+        product = 1.0
+        for probability in probabilities:
+            product *= probability
+        assert product == outcome.success_probability
+        assert len(probabilities) == 3
+
+    def test_zero_rounds(self):
+        from repro.physics.purification import purification_ladder
+
+        probabilities, fidelity = purification_ladder(0.85, 0)
+        assert probabilities == () and fidelity == 0.85
+
+    def test_negative_rounds_rejected(self):
+        from repro.physics.purification import purification_ladder
+
+        with pytest.raises(ValueError):
+            purification_ladder(0.9, -1)
+
+
+class TestSamplePurification:
+    def test_integer_seed_is_reproducible(self):
+        from repro.physics.purification import sample_purification
+
+        a = sample_purification(0.8, 3, seed=42)
+        b = sample_purification(0.8, 3, seed=42)
+        assert a == b
+        assert a.rounds == 3 and a.pairs_consumed == 8
+
+    def test_seedlike_generator_and_int_agree(self):
+        import numpy as np
+        from repro.physics.purification import sample_purification
+
+        from_int = sample_purification(0.8, 2, seed=7)
+        from_generator = sample_purification(0.8, 2, seed=np.random.default_rng(7))
+        assert from_int == from_generator
+
+    def test_consumes_exactly_rounds_draws_even_on_failure(self):
+        # The fixed draw schedule is what keeps the batched engine
+        # bit-identical to the per-pair reference: a failed round must not
+        # change how much randomness the schedule consumes.
+        import numpy as np
+        from repro.physics.purification import sample_purification
+
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            sample_purification(0.55, 4, seed=rng)  # 0.55: failures are common
+            reference = np.random.default_rng(seed)
+            reference.random(4)
+            assert rng.bit_generator.state == reference.bit_generator.state
+
+    def test_success_gets_ladder_fidelity_failure_destroys_pair(self):
+        from repro.physics.purification import (
+            purification_ladder,
+            sample_purification,
+        )
+
+        _, ladder_fidelity = purification_ladder(0.9, 2)
+        successes = 0
+        for seed in range(50):
+            outcome = sample_purification(0.9, 2, seed=seed)
+            if outcome.succeeded:
+                successes += 1
+                assert outcome.fidelity == ladder_fidelity
+                assert outcome.failed_round is None
+            else:
+                assert outcome.fidelity == 0.0
+                assert 1 <= outcome.failed_round <= 2
+        assert successes > 0
+
+    def test_zero_rounds_always_succeeds_and_draws_nothing(self):
+        import numpy as np
+        from repro.physics.purification import sample_purification
+
+        rng = np.random.default_rng(3)
+        state_before = rng.bit_generator.state
+        outcome = sample_purification(0.8, 0, seed=rng)
+        assert outcome.succeeded and outcome.fidelity == 0.8
+        assert rng.bit_generator.state == state_before
