@@ -1,0 +1,194 @@
+"""Tracked benchmark of the event-driven backend vs. the slotted engine.
+
+Two measurements:
+
+* **core** — the event loop alone: long cancel-heavy chains of scheduled
+  events and repeating timers, reported as events/s, normalised against a
+  bare ``heapq`` push/pop loop measured in the same process.  The headline
+  number is the dimensionless ``relative_throughput`` (loop events/s over
+  raw heap ops/s), which is stable across machines.
+* **fig3 at zero latency** — the Figure-3 time-evolution run end to end on
+  both backends with the signaling latency at zero, asserting the summary
+  tables are byte-identical (the standing slotted/event equivalence
+  contract) and recording ``relative_speed`` (slotted seconds over event
+  seconds; the solver dominates both, so this hovers near 1).
+
+Writes the numbers to ``BENCH_eventsim.json`` (``--output``); with
+``--check BASELINE.json`` it exits non-zero when the backends diverge or a
+relative metric falls below 80 % of the committed baseline's (ratios, not
+absolute times, so the check is stable across machines).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/eventsim_bench.py --output BENCH_eventsim.json
+    PYTHONPATH=src python benchmarks/eventsim_bench.py --quick --check benchmarks/BENCH_eventsim_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import fig3_time_evolving
+from repro.experiments.config import ExperimentConfig
+from repro.network.store import default_topology_store
+from repro.simulation.events import EventLoop
+from repro.version import __version__
+
+#: Regression threshold: fail when a relative metric drops below this
+#: fraction of the committed baseline's value.
+REGRESSION_FRACTION = 0.8
+
+
+def run_event_loop(events: int) -> float:
+    """One cancel-heavy event-loop pass; returns seconds for `events` firings."""
+
+    def chain(loop, event):
+        # Each firing schedules two successors and cancels one of them —
+        # the cancellation path is what separates the loop from a bare heap.
+        keep = loop.schedule(1.0, name="keep", callback=chain)
+        drop = loop.schedule(2.0, name="drop", callback=None)
+        loop.cancel(drop)
+        del keep
+
+    loop = EventLoop()
+    loop.schedule(1.0, name="seed", callback=chain)
+    ticks = loop.schedule_repeating(0.5, name="tick")
+    started = time.perf_counter()
+    loop.run(max_events=events)
+    seconds = time.perf_counter() - started
+    ticks.cancel()
+    return seconds
+
+
+def run_heap_baseline(operations: int) -> float:
+    """A bare heapq push/pop loop of the same length (the normaliser)."""
+    heap = []
+    counter = 0
+    started = time.perf_counter()
+    for index in range(operations):
+        heapq.heappush(heap, (float(index % 97), counter, None))
+        counter += 1
+        if heap and index % 2:
+            heapq.heappop(heap)
+    return time.perf_counter() - started
+
+
+def bench_core(quick: bool, repeats: int) -> dict:
+    events = 50_000 if quick else 200_000
+    loop_s = float("inf")
+    heap_s = float("inf")
+    for _ in range(repeats):
+        loop_s = min(loop_s, run_event_loop(events))
+        heap_s = min(heap_s, run_heap_baseline(events))
+    events_per_s = events / loop_s
+    heap_ops_per_s = events / heap_s
+    return {
+        "events": events,
+        "loop_s": round(loop_s, 4),
+        "events_per_s": round(events_per_s, 1),
+        "heap_ops_per_s": round(heap_ops_per_s, 1),
+        "relative_throughput": round(events_per_s / heap_ops_per_s, 4),
+    }
+
+
+def fig3_config(quick: bool, backend: str) -> ExperimentConfig:
+    """The reduced-scale fig3 configuration on one backend."""
+    return ExperimentConfig.tiny().with_overrides(
+        horizon=6 if quick else 10,
+        trials=1,
+        backend=backend,
+    )
+
+
+def bench_fig3(quick: bool, backend: str) -> tuple:
+    default_topology_store.clear()
+    started = time.perf_counter()
+    result = fig3_time_evolving.run(config=fig3_config(quick, backend), seed=7)
+    return time.perf_counter() - started, result.format_tables()
+
+
+def run_benchmarks(quick: bool) -> dict:
+    repeats = 2 if quick else 3
+
+    core_results = bench_core(quick, repeats)
+    slotted_s, slotted_tables = bench_fig3(quick, "slotted")
+    event_s, event_tables = bench_fig3(quick, "event")
+
+    return {
+        "meta": {
+            "version": __version__,
+            "quick": quick,
+            "python": sys.version.split()[0],
+        },
+        "core": core_results,
+        "fig3": {
+            "slotted_s": round(slotted_s, 3),
+            "event_s": round(event_s, 3),
+            "relative_speed": round(slotted_s / event_s, 3),
+            "tables_identical": slotted_tables == event_tables,
+        },
+    }
+
+
+def check_against_baseline(results: dict, baseline: dict) -> list:
+    """Regressions vs the committed baseline (see module docstring)."""
+    failures = []
+    baseline_quick = (baseline.get("meta") or {}).get("quick")
+    if baseline_quick is not None and baseline_quick != results["meta"]["quick"]:
+        return [
+            "baseline was recorded with quick=%s but this run used quick=%s; "
+            "compare like against like (benchmarks/BENCH_eventsim_quick.json "
+            "is the quick-mode baseline)" % (baseline_quick, results["meta"]["quick"])
+        ]
+    if not results["fig3"]["tables_identical"]:
+        failures.append(
+            "fig3: slotted and event-backend summary tables diverged at zero latency"
+        )
+    for section, metric in (("core", "relative_throughput"), ("fig3", "relative_speed")):
+        current = (results.get(section) or {}).get(metric)
+        reference = (baseline.get(section) or {}).get(metric)
+        if current is not None and reference is not None:
+            if current < REGRESSION_FRACTION * reference:
+                failures.append(
+                    f"{section}: {metric} {current:.3f} fell below "
+                    f"{REGRESSION_FRACTION:.0%} of baseline {reference:.3f}"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller event counts and horizon for CI smoke runs")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the benchmark JSON to this file")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail on backend divergence or >20%% relative "
+                             "regression vs this baseline JSON")
+    arguments = parser.parse_args(argv)
+
+    results = run_benchmarks(quick=arguments.quick)
+    print(json.dumps(results, indent=2))
+
+    if arguments.output:
+        Path(arguments.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"[written to {arguments.output}]", file=sys.stderr)
+
+    if arguments.check:
+        baseline = json.loads(Path(arguments.check).read_text())
+        failures = check_against_baseline(results, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("[no regression against baseline]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

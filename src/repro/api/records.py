@@ -192,6 +192,26 @@ class RunRecord:
             for result in trial.values()
         )
 
+    def event_stats(self) -> Optional[Dict[str, float]]:
+        """Aggregate event-backend statistics across trials and line-up.
+
+        Sums the per-run ``diagnostics["eventsim"]`` counters the
+        event-driven backend produced (events processed, pairs generated,
+        heralds, swap messages, confirmations, deadline misses,
+        cutoff-expired pairs, deliveries — see
+        :class:`repro.simulation.eventsim.EventStats`).  Returns ``None``
+        when no result carries event diagnostics: slotted-backend runs, or
+        records loaded from JSON (diagnostics are in-memory only, exactly
+        like :meth:`kernel_stats`).
+        """
+        from repro.simulation.eventsim import merge_event_stats
+
+        return merge_event_stats(
+            result.diagnostics.get("eventsim")
+            for trial in self.trials
+            for result in trial.values()
+        )
+
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #

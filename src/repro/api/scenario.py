@@ -76,6 +76,9 @@ PHYSICAL_FIELDS = frozenset(
         "physical_engine",
     }
 )
+TIMING_FIELDS = frozenset(
+    {"backend", "signaling_latency_s", "edge_latency_s", "slot_guard_time_s"}
+)
 
 
 @dataclass(frozen=True)
@@ -359,6 +362,37 @@ class Scenario:
             mapped[name] = value
         return self._with_fields(PHYSICAL_FIELDS, "with_physical", mapped)
 
+    def with_backend(self, backend: str = "event", **overrides) -> "Scenario":
+        """Select the simulation backend and its timing configuration.
+
+        ``with_backend()`` switches to the event-driven co-simulation
+        backend (:mod:`repro.simulation.eventsim`); ``with_backend("slotted")``
+        returns to the paper's slotted abstraction.  Keyword arguments accept
+        the timing fields plus convenience aliases::
+
+            scenario.with_backend(latency=0.05)                 # 50 ms one-way
+            scenario.with_backend(edge_latencies={"0|3": 0.2})  # per-edge map
+            scenario.with_backend(guard_time=0.1)               # deadline slack
+
+        ``latency`` maps to ``signaling_latency_s`` (the default one-way
+        classical latency of every edge), ``edge_latencies`` to
+        ``edge_latency_s`` (per-edge overrides keyed by
+        :func:`repro.simulation.eventsim.edge_latency_key` strings) and
+        ``guard_time`` to ``slot_guard_time_s`` (extra slot time beyond the
+        attempt window, available for classical message round-trips).  With
+        zero latency the event backend reproduces the slotted backend's
+        realised outcomes exactly.
+        """
+        aliases = {
+            "latency": "signaling_latency_s",
+            "edge_latencies": "edge_latency_s",
+            "guard_time": "slot_guard_time_s",
+        }
+        mapped: Dict[str, object] = {"backend": str(backend)}
+        for key, value in overrides.items():
+            mapped[aliases.get(key, key)] = value
+        return self._with_fields(TIMING_FIELDS, "with_backend", mapped)
+
     def with_trials(self, trials: int) -> "Scenario":
         """Number of independent trials (fresh topology + trace each)."""
         return self.with_config(trials=int(trials))
@@ -466,6 +500,11 @@ class Scenario:
             names = [user.name for user in self.users]
             if len(set(names)) != len(names):
                 raise ValueError("user names must be unique")
+            if self.config.backend != "slotted":
+                raise ValueError(
+                    "multi-user scenarios run on the slotted backend only; "
+                    "drop with_backend() or the tenant line-up"
+                )
         elif self.lineup_factory is None:
             if not self.policies:
                 raise ValueError("the policy line-up is empty")

@@ -63,6 +63,11 @@ def execute_trial(
     physical = config.physical_model()
     graph = config.build_graph(seed=derive_seed(seed, "graph", trial))
     if scenario.is_multiuser:
+        if config.backend != "slotted":
+            raise ValueError(
+                "multi-user scenarios run on the slotted backend only; "
+                "drop with_backend() or the tenant line-up"
+            )
         simulator = MultiUserSimulator(
             graph=graph,
             users=scenario.build_users(),
@@ -90,6 +95,8 @@ def execute_trial(
         seed=derive_seed(seed, "run", trial),
         on_slot=on_slot,
         physical=physical,
+        backend=config.backend,
+        timing=config.timing_model(),
     )
     return results, ()
 

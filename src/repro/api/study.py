@@ -67,6 +67,7 @@ from repro.api.scenario import (
     BUDGET_FIELDS,
     PHYSICAL_FIELDS,
     SOLVER_FIELDS,
+    TIMING_FIELDS,
     TOPOLOGY_FIELDS,
     WORKLOAD_FIELDS,
     PolicyLike,
@@ -76,7 +77,7 @@ from repro.api.scenario import (
 from repro.api.session import execute_trial
 from repro.experiments.config import ExperimentConfig
 from repro.network.topology import TOPOLOGY_KINDS
-from repro.simulation.engine import SlottedSimulator
+from repro.simulation.engine import build_simulator
 from repro.simulation.results import SimulationResult
 from repro.utils.rng import derive_seed, spawn_rngs
 
@@ -96,6 +97,7 @@ _AXIS_GROUPS: Dict[str, Optional[frozenset]] = {
     "budget": BUDGET_FIELDS,
     "solver": SOLVER_FIELDS,
     "physical": PHYSICAL_FIELDS,
+    "timing": TIMING_FIELDS,
     "config": None,
 }
 
@@ -108,9 +110,12 @@ def resolve_config_path(path: str) -> str:
     ``"topology.num_nodes"`` → ``"num_nodes"`` (validated against the
     topology field group), ``"budget.total_budget"`` → ``"total_budget"``,
     plain ``"horizon"`` → ``"horizon"``.  ``"topology.kind"`` is accepted as
-    an alias for ``topology_kind``, and the ``physical`` group accepts the
+    an alias for ``topology_kind``, the ``physical`` group accepts the
     short field names (``"physical.swap_success"`` →
-    ``"physical_swap_success"``).
+    ``"physical_swap_success"``), and the ``timing`` group accepts the
+    :meth:`Scenario.with_backend` aliases (``"timing.latency"`` →
+    ``"signaling_latency_s"``, ``"timing.guard_time"`` →
+    ``"slot_guard_time_s"``).
     """
     parts = str(path).split(".")
     if len(parts) == 1:
@@ -123,6 +128,12 @@ def resolve_config_path(path: str) -> str:
         name = "topology_kind"
     if group == "physical" and not name.startswith("physical_"):
         name = f"physical_{name}"
+    if group == "timing":
+        name = {
+            "latency": "signaling_latency_s",
+            "edge_latencies": "edge_latency_s",
+            "guard_time": "slot_guard_time_s",
+        }.get(name, name)
     if group is not None:
         if group not in _AXIS_GROUPS:
             raise ValueError(
@@ -255,12 +266,14 @@ def run_study_unit(scenario: Scenario, trial: int, unit_index: int) -> Simulatio
     trace = config.build_trace(graph, seed=derive_seed(seed, "trace", trial))
     policies = scenario.build_policies()
     rngs = spawn_rngs(derive_seed(seed, "run", trial), len(policies))
-    simulator = SlottedSimulator(
-        graph=graph,
-        trace=trace,
+    simulator = build_simulator(
+        graph,
+        trace,
+        backend=config.backend,
         total_budget=config.total_budget,
         realize=config.realize,
         physical=config.physical_model(),
+        timing=config.timing_model(),
     )
     return simulator.run(policies[unit_index], seed=rngs[unit_index])
 
@@ -451,6 +464,18 @@ class StudyResult:
         from repro.simulation.physical import merge_physical_stats
 
         return merge_physical_stats(record.physical_stats() for record in self.records)
+
+    def event_stats(self) -> Optional[Dict[str, float]]:
+        """Event-backend statistics summed over every point of the grid.
+
+        Aggregates :meth:`RunRecord.event_stats` across the study; points
+        run on the slotted backend (or served from the result store —
+        diagnostics are in-memory only) contribute nothing.  ``None`` when
+        no point carried any.
+        """
+        from repro.simulation.eventsim import merge_event_stats
+
+        return merge_event_stats(record.event_stats() for record in self.records)
 
     def format_summary(
         self,

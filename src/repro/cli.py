@@ -6,11 +6,12 @@ writing any Python (all built on the :mod:`repro.api` facade):
 * ``python -m repro info`` — print the paper's default configuration and the
   derived quantities (per-slot budget, link success probabilities).
 * ``python -m repro figure fig3 --scale small`` — regenerate one figure
-  (``fig3`` … ``fig8`` of the paper, the physical-layer ``fig9``, or
-  ``ablations``) and optionally save the plain-text report with
-  ``--output``.  Every command accepts the physical-layer flags
-  (``--physical``, ``--swap-p``, ``--decoherence-t2``, ``--purify-rounds``,
-  ``--fidelity-target``, ``--fidelity-constrained``).
+  (``fig3`` … ``fig8`` of the paper, the physical-layer ``fig9``, the
+  timing study ``fig10``, or ``ablations``) and optionally save the
+  plain-text report with ``--output``.  Every command accepts the
+  physical-layer flags (``--physical``, ``--swap-p``, ``--decoherence-t2``,
+  ``--purify-rounds``, ``--fidelity-target``, ``--fidelity-constrained``)
+  and the timing flags (``--backend``, ``--signaling-latency``).
 * ``python -m repro compare --scale tiny`` — run a policy comparison and
   print the summary table; ``--policies`` picks any registered policies,
   ``--workers`` parallelises the trials, ``--progress`` streams progress,
@@ -42,6 +43,7 @@ from repro.experiments import (
     fig7_control_v,
     fig8_initial_queue,
     fig9_fidelity,
+    fig10_timing,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.persistence import save_text_report
@@ -59,6 +61,7 @@ FIGURE_RUNNERS = {
     "fig7": lambda config, workers: fig7_control_v.run(config, workers=workers),
     "fig8": lambda config, workers: fig8_initial_queue.run(config, workers=workers),
     "fig9": lambda config, workers: fig9_fidelity.run(config, workers=workers),
+    "fig10": lambda config, workers: fig10_timing.run(config, workers=workers),
     "ablations": lambda config, workers: ablations.run_all_report(config, workers=workers),
 }
 
@@ -93,6 +96,13 @@ def _config_from_args(arguments: argparse.Namespace) -> ExperimentConfig:
         overrides["physical_fidelity_constrained"] = True
     if enable_physical or explicit:
         overrides["physical_enabled"] = True
+    # Timing flags: a latency implies the event-driven backend.
+    if getattr(arguments, "backend", None) is not None:
+        overrides["backend"] = arguments.backend
+    if getattr(arguments, "signaling_latency", None) is not None:
+        overrides["signaling_latency_s"] = arguments.signaling_latency
+        if getattr(arguments, "backend", None) is None:
+            overrides["backend"] = "event"
     if overrides:
         config = config.with_overrides(**overrides)
     return config
@@ -148,6 +158,10 @@ def command_figure(arguments: argparse.Namespace) -> int:
         # Merge fig9's defining physical defaults around the user's explicit
         # flags: pinned knobs win, everything else gets the figure's values.
         config = fig9_fidelity.fig9_config(
+            config, explicit=_explicit_physical_fields(arguments)
+        )
+    elif arguments.name == "fig10":
+        config = fig10_timing.fig10_config(
             config, explicit=_explicit_physical_fields(arguments)
         )
     started = time.time()
@@ -213,13 +227,30 @@ def _physical_stats_fragment(stats) -> Optional[str]:
     )
 
 
-def _health_line(kernel_stats, physical_stats) -> Optional[str]:
-    """One line summarising solver and physical-layer health together."""
+def _eventsim_stats_fragment(stats) -> Optional[str]:
+    """The event-backend third of the health line (signaling accounting)."""
+    if not stats:
+        return None
+    events = int(stats.get("events", 0))
+    delivered = int(stats.get("delivered", 0))
+    messages = int(stats.get("messages", 0))
+    round_trips = messages / delivered if delivered else 0.0
+    return (
+        f"eventsim {events} event(s), {delivered} delivered "
+        f"({round_trips:.2f} msg(s)/delivery), "
+        f"{int(stats.get('deadline_misses', 0))} deadline miss(es), "
+        f"{int(stats.get('cutoff_expired_pairs', 0))} cutoff-expired pair(s)"
+    )
+
+
+def _health_line(kernel_stats, physical_stats, event_stats=None) -> Optional[str]:
+    """One line summarising solver, physical and event-backend health."""
     fragments = [
         fragment
         for fragment in (
             _kernel_stats_fragment(kernel_stats),
             _physical_stats_fragment(physical_stats),
+            _eventsim_stats_fragment(event_stats),
         )
         if fragment
     ]
@@ -245,7 +276,9 @@ def command_compare(arguments: argparse.Namespace) -> int:
         print("hint: `python -m repro policies` lists the registry", file=sys.stderr)
         return 2
     if arguments.progress:
-        line = _health_line(record.kernel_stats(), record.physical_stats())
+        line = _health_line(
+            record.kernel_stats(), record.physical_stats(), record.event_stats()
+        )
         if line:
             print(line, file=sys.stderr)
     if arguments.json:
@@ -317,7 +350,9 @@ def command_sweep(arguments: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if arguments.progress:
-        line = _health_line(result.kernel_stats(), result.physical_stats())
+        line = _health_line(
+            result.kernel_stats(), result.physical_stats(), result.event_stats()
+        )
         if line:
             print(line, file=sys.stderr)
     if arguments.json:
@@ -395,6 +430,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="physical-layer engine implementation "
                               "(bit-identical; reference is the per-pair "
                               "cross-check, implies --physical)")
+        sub.add_argument("--backend", default=None,
+                         choices=["slotted", "event"],
+                         help="simulation backend: the slot-batched engine "
+                              "or the event-driven engine with classical "
+                              "signaling (default: slotted)")
+        sub.add_argument("--signaling-latency", type=float, default=None,
+                         dest="signaling_latency",
+                         help="classical one-way signaling latency per edge "
+                              "in seconds (implies --backend event)")
 
     info = subparsers.add_parser("info", help="print the configuration and derived quantities")
     add_common(info)

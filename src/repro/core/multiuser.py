@@ -23,6 +23,7 @@ from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext, SlotDecision
 from repro.network.graph import EdgeKey, NodeName, QDNGraph, ResourceSnapshot
 from repro.network.routes import Route, build_candidate_routes
+from repro.simulation.clock import SlotClock
 from repro.simulation.link_layer import LinkLayerSimulator
 from repro.simulation.physical import PhysicalModel
 from repro.simulation.results import SimulationResult, SlotRecord
@@ -175,6 +176,7 @@ class MultiUserSimulator:
             request_rng, decision_rng, realization_rng = spawn_rngs(rng, 3)
             physical_rng = None
         link_layer = LinkLayerSimulator(graph=self.graph)
+        clock = SlotClock(attempts_per_slot=self.graph.attempts_per_slot)
 
         for user in self.users:
             user.policy.reset(self.graph, self.horizon)
@@ -272,6 +274,8 @@ class MultiUserSimulator:
                         delivered_successes=tuple(delivered),
                         delivered_fidelities=tuple(delivered_fidelities),
                         fidelity_served=tuple(fidelity_served),
+                        slot_start_s=clock.slot_start(t),
+                        slot_end_s=clock.slot_end(t),
                     )
                 )
                 slot_cost += decision.cost()

@@ -10,6 +10,7 @@ from repro.experiments import (
     fig7_control_v,
     fig8_initial_queue,
     fig9_fidelity,
+    fig10_timing,
     ablations,
 )
 
@@ -24,5 +25,6 @@ __all__ = [
     "fig7_control_v",
     "fig8_initial_queue",
     "fig9_fidelity",
+    "fig10_timing",
     "ablations",
 ]

@@ -25,12 +25,14 @@ from repro.core.oscar import OscarPolicy
 from repro.core.policy import RoutingPolicy
 from repro.network.channels import DECOHERENCE_TIME_S
 from repro.network.graph import QDNGraph
+from repro.simulation.engine import BACKEND_KINDS
+from repro.simulation.eventsim import TimingModel
 from repro.simulation.physical import ENGINE_KINDS, PhysicalModel
 from repro.network.resources import ResourceProcess, StaticResources
 from repro.network.store import TopologyStore, default_topology_store
 from repro.network.topology import TOPOLOGY_KINDS, CapacityRanges, build_topology
 from repro.utils.rng import SeedLike, derive_seed
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_non_negative, check_positive
 from repro.workload.requests import RequestProcess, UniformRequestProcess
 from repro.workload.traces import WorkloadTrace, generate_trace
 
@@ -103,6 +105,21 @@ class ExperimentConfig:
     physical_fidelity_constrained: bool = False
     physical_engine: str = "vectorized"
 
+    # --- timing / simulation backend (repro.simulation.eventsim) ----------- #
+    # ``backend`` selects the simulation backend: the paper's slotted
+    # abstraction (default) or the event-driven co-simulation with classical
+    # signaling latency.  ``signaling_latency_s`` is the default one-way
+    # classical latency per edge; ``edge_latency_s`` overrides it per edge
+    # (keys are ``repro.simulation.eventsim.edge_latency_key`` strings so the
+    # map survives JSON round trips); ``slot_guard_time_s`` extends each slot
+    # beyond the attempt window — the slack available for classical message
+    # round-trips.  With zero latency the event backend reproduces the
+    # slotted backend's realised outcomes exactly.
+    backend: str = "slotted"
+    signaling_latency_s: float = 0.0
+    edge_latency_s: Optional[Dict[str, float]] = None
+    slot_guard_time_s: float = 0.0
+
     # --- experiment bookkeeping ------------------------------------------- #
     trials: int = 5
     base_seed: int = 2024
@@ -122,6 +139,16 @@ class ExperimentConfig:
                 f"unknown physical engine {self.physical_engine!r}; "
                 f"choose from {', '.join(ENGINE_KINDS)}"
             )
+        if self.backend not in BACKEND_KINDS:
+            raise ValueError(
+                f"unknown simulation backend {self.backend!r}; "
+                f"choose from {', '.join(BACKEND_KINDS)}"
+            )
+        check_non_negative(self.signaling_latency_s, "signaling_latency_s")
+        check_non_negative(self.slot_guard_time_s, "slot_guard_time_s")
+        if self.edge_latency_s:
+            for key, value in self.edge_latency_s.items():
+                check_non_negative(value, f"edge_latency_s[{key!r}]")
 
     # ------------------------------------------------------------------ #
     # Presets
@@ -273,6 +300,20 @@ class ExperimentConfig:
             cutoff_fidelity=self.physical_cutoff_fidelity,
             fidelity_target=self.physical_fidelity_target,
             engine=self.physical_engine,
+        )
+
+    def timing_model(self) -> TimingModel:
+        """The classical-signaling timing model of the ``timing`` fields.
+
+        This is the single place the flat ``backend``-adjacent fields become
+        the :class:`~repro.simulation.eventsim.TimingModel` the simulators
+        consume.  Always defined (the slotted backend uses only its
+        ``guard_time``, for slot timestamps).
+        """
+        return TimingModel(
+            signaling_latency_s=self.signaling_latency_s,
+            edge_latency_s=dict(self.edge_latency_s) if self.edge_latency_s else None,
+            guard_time=self.slot_guard_time_s,
         )
 
     def request_process(self) -> RequestProcess:

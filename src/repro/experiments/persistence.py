@@ -44,6 +44,8 @@ def result_to_dict(result: SimulationResult) -> Dict:
                 "delivered_successes": [bool(v) for v in record.delivered_successes],
                 "delivered_fidelities": list(record.delivered_fidelities),
                 "fidelity_served": [bool(v) for v in record.fidelity_served],
+                "slot_start_s": record.slot_start_s,
+                "slot_end_s": record.slot_end_s,
             }
             for record in result.records
         ],
@@ -69,6 +71,8 @@ def result_from_dict(payload: Mapping) -> SimulationResult:
                 float(v) for v in entry.get("delivered_fidelities", [])
             ),
             fidelity_served=tuple(bool(v) for v in entry.get("fidelity_served", [])),
+            slot_start_s=entry.get("slot_start_s"),
+            slot_end_s=entry.get("slot_end_s"),
         )
         for entry in payload["records"]
     )

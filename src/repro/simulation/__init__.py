@@ -1,10 +1,11 @@
 """Simulators: a discrete-event engine, an attempt-level link layer, the
-slot-based network simulator that drives every experiment in the paper, and
-the physical-layer co-simulation subsystem (swap/purify/decohere delivery
-chains with delivered-fidelity accounting)."""
+slot-based network simulator that drives every experiment in the paper, the
+physical-layer co-simulation subsystem (swap/purify/decohere delivery chains
+with delivered-fidelity accounting), and the event-driven backend that adds
+classical-signaling latency on top of the same record schema."""
 
 from repro.simulation.clock import SlotClock
-from repro.simulation.events import Event, EventQueue, EventDrivenSimulator
+from repro.simulation.events import Event, EventLoop, EventQueue, Timer
 from repro.simulation.link_layer import LinkLayerSimulator, RouteRealization
 from repro.simulation.physical import (
     PhysicalEngine,
@@ -17,13 +18,29 @@ from repro.simulation.physical import (
     merge_physical_stats,
 )
 from repro.simulation.results import SlotRecord, SimulationResult
-from repro.simulation.engine import SlottedSimulator, simulate_policies
+from repro.simulation.engine import (
+    BACKEND_KINDS,
+    SlottedSimulator,
+    build_simulator,
+    simulate_policies,
+)
+from repro.simulation.eventsim import (
+    EventDrivenSimulator,
+    EventStats,
+    MemoryAgent,
+    SlotBridge,
+    SwapProtocol,
+    TimingModel,
+    edge_latency_key,
+    merge_event_stats,
+)
 
 __all__ = [
     "SlotClock",
     "Event",
+    "EventLoop",
     "EventQueue",
-    "EventDrivenSimulator",
+    "Timer",
     "LinkLayerSimulator",
     "RouteRealization",
     "PhysicalEngine",
@@ -36,6 +53,16 @@ __all__ = [
     "merge_physical_stats",
     "SlotRecord",
     "SimulationResult",
+    "BACKEND_KINDS",
     "SlottedSimulator",
+    "build_simulator",
     "simulate_policies",
+    "EventDrivenSimulator",
+    "EventStats",
+    "MemoryAgent",
+    "SlotBridge",
+    "SwapProtocol",
+    "TimingModel",
+    "edge_latency_key",
+    "merge_event_stats",
 ]

@@ -16,11 +16,16 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext
 from repro.network.graph import QDNGraph
+from repro.simulation.clock import SlotClock
 from repro.simulation.link_layer import LinkLayerSimulator
 from repro.simulation.physical import PhysicalModel
 from repro.simulation.results import SimulationResult, SlotRecord
 from repro.utils.rng import SeedLike, as_generator, spawn_rngs
 from repro.workload.traces import WorkloadTrace
+
+#: The two simulation backends: the paper's slotted abstraction and the
+#: event-driven co-simulation (see :mod:`repro.simulation.eventsim`).
+BACKEND_KINDS = ("slotted", "event")
 
 #: Per-slot streaming hook: called with ``(policy_name, record)`` after every
 #: simulated slot.  Returning ``False`` stops the run early (the result then
@@ -55,6 +60,12 @@ class SlottedSimulator:
         delivered fidelities.  Requires ``realize=True``.  When ``None``
         (the default) nothing changes — the run consumes exactly the same
         random streams as before the physical layer existed.
+    clock:
+        Optional :class:`~repro.simulation.clock.SlotClock` used to stamp
+        each record with its wall-clock slot boundaries (``slot_start_s`` /
+        ``slot_end_s``); defaults to the graph's attempt schedule with no
+        guard time.  The clock never affects outcomes on this backend —
+        only the timestamps.
     """
 
     graph: QDNGraph
@@ -63,6 +74,7 @@ class SlottedSimulator:
     realize: bool = True
     detailed_link_layer: bool = False
     physical: Optional[PhysicalModel] = None
+    clock: Optional[SlotClock] = None
 
     def run(
         self,
@@ -88,6 +100,7 @@ class SlottedSimulator:
             decision_rng, realization_rng = spawn_rngs(rng, 2)
             physical_rng = None
         link_layer = LinkLayerSimulator(graph=self.graph, detailed=self.detailed_link_layer)
+        clock = self.clock or SlotClock(attempts_per_slot=self.graph.attempts_per_slot)
 
         policy.reset(self.graph, self.trace.horizon)
         records: List[SlotRecord] = []
@@ -171,6 +184,8 @@ class SlottedSimulator:
                 delivered_successes=tuple(delivered),
                 delivered_fidelities=tuple(delivered_fidelities),
                 fidelity_served=tuple(fidelity_served),
+                slot_start_s=clock.slot_start(slot_trace.t),
+                slot_end_s=clock.slot_end(slot_trace.t),
             )
             records.append(record)
             if on_slot is not None and on_slot(policy.name, record) is False:
@@ -188,6 +203,58 @@ class SlottedSimulator:
         )
 
 
+def build_simulator(
+    graph: QDNGraph,
+    trace: WorkloadTrace,
+    backend: str = "slotted",
+    total_budget: float = 5000.0,
+    realize: bool = True,
+    detailed_link_layer: bool = False,
+    physical: Optional[PhysicalModel] = None,
+    timing=None,
+):
+    """Construct the simulator for ``backend`` (``"slotted"`` or ``"event"``).
+
+    Both backends expose the same ``run(policy, seed, on_slot)`` interface
+    and produce the same record schema, so every caller (``simulate_policies``,
+    the api session, the study runner) dispatches through this one factory.
+    ``timing`` is a :class:`~repro.simulation.eventsim.TimingModel`; its
+    ``guard_time`` shapes the :class:`SlotClock` of *both* backends (the
+    slotted backend only uses it for timestamps), while its latencies only
+    exist on the event backend.
+    """
+    if backend not in BACKEND_KINDS:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; choose from {', '.join(BACKEND_KINDS)}"
+        )
+    # Imported lazily: eventsim imports this module for SlottedSimulator.
+    from repro.simulation.eventsim import EventDrivenSimulator, TimingModel
+
+    timing = timing or TimingModel()
+    clock = SlotClock(
+        attempts_per_slot=graph.attempts_per_slot, guard_time=timing.guard_time
+    )
+    if backend == "event":
+        return EventDrivenSimulator(
+            graph=graph,
+            trace=trace,
+            total_budget=total_budget,
+            realize=realize,
+            physical=physical,
+            timing=timing,
+            clock=clock,
+        )
+    return SlottedSimulator(
+        graph=graph,
+        trace=trace,
+        total_budget=total_budget,
+        realize=realize,
+        detailed_link_layer=detailed_link_layer,
+        physical=physical,
+        clock=clock,
+    )
+
+
 def simulate_policies(
     graph: QDNGraph,
     trace: WorkloadTrace,
@@ -197,6 +264,8 @@ def simulate_policies(
     seed: SeedLike = None,
     on_slot: Optional[SlotCallback] = None,
     physical: Optional[PhysicalModel] = None,
+    backend: str = "slotted",
+    timing=None,
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the *same* trace and collect their results.
 
@@ -205,14 +274,17 @@ def simulate_policies(
     yet uncorrelated across policies.  ``on_slot`` is forwarded to every
     policy's run (see :class:`SlottedSimulator`); ``physical`` switches on
     the physical delivery chain for every policy (each run gets its own
-    fresh engine and spawned stream).
+    fresh engine and spawned stream).  ``backend`` / ``timing`` select and
+    configure the simulation backend (see :func:`build_simulator`).
     """
-    simulator = SlottedSimulator(
-        graph=graph,
-        trace=trace,
+    simulator = build_simulator(
+        graph,
+        trace,
+        backend=backend,
         total_budget=total_budget,
         realize=realize,
         physical=physical,
+        timing=timing,
     )
     rngs = spawn_rngs(seed, len(list(policies)))
     results: Dict[str, SimulationResult] = {}

@@ -1,0 +1,689 @@
+"""The event-driven co-simulation backend.
+
+The slotted simulator (:mod:`repro.simulation.engine`) treats a slot as one
+atomic routing round: generation, heralding, swapping and delivery all
+complete instantly at the slot boundary.  This module is the second backend
+behind the same interface — a discrete-event simulation in which those steps
+take *time*:
+
+* **Link generation processes** — each allocated edge attempts elementary
+  pair generation attempt by attempt (``ATTEMPT_DURATION_S`` per tick, all
+  channels in parallel), so a pair materialises at a concrete wall-clock
+  instant within the slot instead of "at the slot".
+* **Heralding** — the endpoints of an edge only learn of a success after the
+  classical one-way latency of that edge (:meth:`TimingModel.latency_of`).
+* **Swapping protocol** — swaps run left-to-right along the route; a swap
+  node fuses its two segments only once *both* heralds (or the upstream
+  swap-outcome message) have arrived, and its own outcome message then
+  propagates down the route until the end node confirms the end-to-end pair.
+* **Memory agents** — stored pairs decohere over their *actual* dwell time
+  (generation to consumption-by-swap) instead of the slotted backend's
+  deterministic ``dwell_fraction`` of a slot, and the memory-cutoff policy
+  is applied to the timed fidelity.
+* **SlotBridge** — the routing policies are invoked, unmodified, at
+  :class:`~repro.simulation.clock.SlotClock` boundaries; a request is served
+  only if its end-to-end confirmation arrives by the slot deadline (attempt
+  window plus ``guard_time``), so classical latency degrades throughput.
+
+**Zero-latency equivalence.**  With ``signaling_latency_s = 0`` the backend
+reproduces the slotted backend's per-slot served counts *exactly*, by
+construction: it consumes the same spawned RNG streams in the same order —
+the same ``policy.decide`` calls on the decision stream and, per slot, the
+same single batched uniform draw over the same success thresholds in
+:meth:`~repro.simulation.link_layer.LinkLayerSimulator.realize_routes`'s flat
+edge order.  Each uniform ``u`` is used twice: ``u < threshold`` is the
+slotted success indicator (bit-identical), and the truncated-geometric
+inverse CDF maps the *same* ``u`` to the first successful attempt tick (see
+:func:`first_success_attempt`), which is what gives every pair a wall-clock
+generation time without consuming extra randomness.  At zero latency every
+confirmation lands inside the slot, so the realised outcomes coincide; at
+positive latency the identical pairs are generated but confirmations can
+miss the deadline — the throughput loss is purely a timing effect, never a
+sampling artefact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.policy import RoutingPolicy
+from repro.core.problem import SlotContext
+from repro.network.graph import EdgeKey, QDNGraph
+from repro.network.routes import Route
+from repro.physics.entanglement import sample_successes
+from repro.physics.fidelity import fidelity_of_chain
+from repro.physics.purification import purification_ladder
+from repro.simulation.clock import SlotClock
+from repro.simulation.events import Event, EventLoop
+from repro.simulation.link_layer import LinkLayerSimulator
+from repro.simulation.physical import PhysicalModel, PhysicalStats
+from repro.simulation.results import SimulationResult, SlotRecord
+from repro.utils.rng import SeedLike, as_generator, spawn_rngs
+from repro.utils.validation import check_non_negative
+from repro.workload.traces import WorkloadTrace
+
+
+def edge_latency_key(u: object, v: object) -> str:
+    """Canonical string key of an undirected edge in a per-edge latency map."""
+    return "|".join(sorted((str(u), str(v))))
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Classical-signaling timing configuration of the event backend.
+
+    ``signaling_latency_s`` is the default one-way classical latency of every
+    edge; ``edge_latency_s`` optionally overrides it per edge, keyed by
+    :func:`edge_latency_key` (``"u|v"`` with the endpoints sorted as
+    strings, which is how :class:`~repro.experiments.config.ExperimentConfig`
+    keeps the map JSON-serialisable).  ``guard_time`` extends the slot beyond
+    the attempt window (see :class:`~repro.simulation.clock.SlotClock`) —
+    generation only runs inside the attempt window, so the guard is exactly
+    the slack available for classical message round-trips.
+    """
+
+    signaling_latency_s: float = 0.0
+    edge_latency_s: Optional[Mapping[str, float]] = None
+    guard_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.signaling_latency_s, "signaling_latency_s")
+        check_non_negative(self.guard_time, "guard_time")
+        if self.edge_latency_s:
+            for key, value in self.edge_latency_s.items():
+                check_non_negative(value, f"edge_latency_s[{key!r}]")
+
+    def latency_of(self, key: EdgeKey) -> float:
+        """One-way classical latency of edge ``key`` in seconds."""
+        if self.edge_latency_s:
+            override = self.edge_latency_s.get(edge_latency_key(*key))
+            if override is not None:
+                return float(override)
+        return float(self.signaling_latency_s)
+
+
+@dataclass
+class EventStats:
+    """Protocol-level accounting of one event-driven run (all cumulative).
+
+    ``events`` is the event-loop total; ``messages`` counts the classical
+    messages (heralds, swap outcomes, confirmations) consumed by *delivered*
+    requests, so ``messages / delivered`` is the mean herald round-trips per
+    delivered pair the CLI health line reports.  ``deadline_misses`` counts
+    requests whose links all materialised but whose end-to-end confirmation
+    did not reach the end node by the slot deadline — the pure latency loss
+    relative to the slotted abstraction.  ``cutoff_expired_pairs`` counts
+    stored pairs discarded because their *timed* fidelity fell below the
+    memory cutoff by the moment a swap consumed them.
+    """
+
+    events: int = 0
+    slots: int = 0
+    pairs_generated: int = 0
+    heralds: int = 0
+    swap_messages: int = 0
+    confirmations: int = 0
+    deadline_misses: int = 0
+    cutoff_expired_pairs: int = 0
+    delivered: int = 0
+    messages: int = 0
+
+    def to_dict(self) -> Dict[str, float]:
+        """A plain mapping (what run diagnostics carry and merges consume)."""
+        return {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+
+    def mean_round_trips(self) -> float:
+        """Mean classical messages per delivered pair (0 when none delivered)."""
+        if self.delivered == 0:
+            return 0.0
+        return self.messages / self.delivered
+
+
+def merge_event_stats(stats_mappings) -> Optional[Dict[str, float]]:
+    """Sum event-stats mappings; ``None`` when none are present.
+
+    The merge behind ``RunRecord.event_stats()`` and
+    ``StudyResult.event_stats()`` — same implementation as the kernel and
+    physical merges (:func:`repro.analysis.stats.merge_stat_mappings`).
+    """
+    from repro.analysis.stats import merge_stat_mappings
+
+    return merge_stat_mappings(stats_mappings)
+
+
+def first_success_attempt(u: float, attempt_success: float, attempts: int) -> int:
+    """The first successful attempt tick implied by the slot-level draw ``u``.
+
+    An edge with per-tick success probability ``q`` (all channels attempting
+    in parallel) succeeds within the slot with ``P = 1 − (1 − q)^A`` — the
+    same value as the slotted threshold ``link_success`` — and the slotted
+    backend realises it as ``u < P``.  Conditional on that success, ``u`` is
+    uniform on ``(0, P)``, so the truncated-geometric quantile
+    ``⌈log(1 − u) / log(1 − q)⌉`` turns the *same* draw into the first
+    successful tick: no extra randomness, and the success indicator stays
+    bit-identical to the slotted Bernoulli.
+    """
+    if attempt_success >= 1.0:
+        return 1
+    if attempt_success <= 0.0:
+        return attempts
+    tick = math.ceil(math.log1p(-u) / math.log1p(-attempt_success))
+    return min(max(tick, 1), attempts)
+
+
+class SwapProtocol:
+    """Sequential entanglement swapping along one route, with messaging.
+
+    Nodes ``v_0 … v_h`` along the route; edge ``j`` connects ``v_j`` and
+    ``v_{j+1}`` with one-way classical latency ``L_j``.  A pair generated on
+    edge ``j`` at ``g_j`` is heralded to both endpoints at ``g_j + L_j``.
+    Swaps execute left to right: ``v_1`` fuses edges 0 and 1 once both
+    heralds arrive; each later swap node ``v_s`` waits for the upstream swap
+    outcome (sent over edge ``s−1``... travelling edge ``s−1``'s classical
+    channel) *and* its right-hand herald; the final outcome propagates over
+    the last edge to the end node, whose arrival time is the request's
+    confirmation.  At zero latency the confirmation time collapses to
+    ``max_j g_j``, which always lands inside the slot — the slotted model.
+
+    Each elementary pair dwells in memory from its generation ``g_j`` until
+    the swap that consumes it (``consumed[j]``); the memory agent applies
+    decoherence and the cutoff policy over these actual dwell times.
+    """
+
+    __slots__ = (
+        "route",
+        "latencies",
+        "stats",
+        "hops",
+        "generated",
+        "ready",
+        "consumed",
+        "segment_known",
+        "next_swap",
+        "confirm_time",
+        "messages",
+        "pending",
+    )
+
+    def __init__(self, route: Route, latencies: Sequence[float], stats: EventStats):
+        self.route = route
+        self.latencies = list(latencies)
+        self.stats = stats
+        self.hops = route.hops
+        self.generated: List[Optional[float]] = [None] * self.hops
+        self.ready: List[Optional[float]] = [None] * self.hops
+        self.consumed: List[Optional[float]] = [None] * self.hops
+        self.segment_known: Optional[float] = None
+        self.next_swap = 1
+        self.confirm_time: Optional[float] = None
+        self.messages = 0
+        self.pending: List[Event] = []
+
+    @property
+    def all_generated(self) -> bool:
+        """Whether every edge of the route produced an elementary pair."""
+        return all(g is not None for g in self.generated)
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def schedule_generation(self, loop: EventLoop, position: int, time: float) -> None:
+        """Schedule edge ``position``'s pair to materialise at ``time``."""
+        self.generated[position] = time
+        self.pending.append(
+            loop.schedule_at(time, name="generate", callback=self._make_generated(position))
+        )
+
+    def _make_generated(self, position: int):
+        def on_generated(loop: EventLoop, event: Event) -> None:
+            self.stats.pairs_generated += 1
+            # Herald the success to both endpoints after the one-way latency.
+            self.pending.append(
+                loop.schedule(
+                    self.latencies[position],
+                    name="herald",
+                    callback=self._make_herald(position),
+                )
+            )
+
+        return on_generated
+
+    def _make_herald(self, position: int):
+        def on_herald(loop: EventLoop, event: Event) -> None:
+            self.ready[position] = loop.now
+            self.stats.heralds += 1
+            self.messages += 1
+            self._advance(loop)
+
+        return on_herald
+
+    def _on_segment_message(self, loop: EventLoop, event: Event) -> None:
+        self.segment_known = loop.now
+        self.stats.swap_messages += 1
+        self.messages += 1
+        self._advance(loop)
+
+    def _on_confirm(self, loop: EventLoop, event: Event) -> None:
+        self.confirm_time = loop.now
+        self.stats.confirmations += 1
+        self.messages += 1
+
+    def _advance(self, loop: EventLoop) -> None:
+        if self.hops == 1:
+            # No swaps: the herald itself is the end-to-end confirmation.
+            if self.confirm_time is None and self.ready[0] is not None:
+                self.consumed[0] = loop.now
+                self.confirm_time = loop.now
+                self.stats.confirmations += 1
+            return
+        while self.next_swap <= self.hops - 1:
+            swap = self.next_swap
+            left_known = self.ready[0] if swap == 1 else self.segment_known
+            if left_known is None or self.ready[swap] is None:
+                return
+            # ``_advance`` runs from the event that completed the last
+            # precondition, so ``loop.now`` is exactly max(left, right).
+            if swap == 1:
+                self.consumed[0] = loop.now
+            self.consumed[swap] = loop.now
+            self.segment_known = None
+            self.next_swap = swap + 1
+            if swap == self.hops - 1:
+                self.pending.append(
+                    loop.schedule(self.latencies[swap], name="confirm", callback=self._on_confirm)
+                )
+            else:
+                self.pending.append(
+                    loop.schedule(
+                        self.latencies[swap],
+                        name="swap-message",
+                        callback=self._on_segment_message,
+                    )
+                )
+
+    def cancel_pending(self, loop: EventLoop) -> int:
+        """Cancel events still pending past the slot deadline; returns count."""
+        cancelled = 0
+        for event in self.pending:
+            if loop.cancel(event):
+                cancelled += 1
+        self.pending.clear()
+        return cancelled
+
+
+@dataclass
+class SlotBridge:
+    """Aligns the event loop with :class:`SlotClock` boundaries.
+
+    The bridge is what lets OSCAR and the baselines run unmodified on the
+    event backend: at every slot start it advances the loop to the boundary
+    and invokes the policy's ``decide`` exactly as the slotted simulator
+    does; the simulator then schedules the slot's protocol events and the
+    bridge steps the loop to the slot deadline (attempt window + guard
+    time), after which the slot is finalised from what actually confirmed.
+    """
+
+    loop: EventLoop
+    clock: SlotClock
+
+    def open_slot(self, slot: int) -> float:
+        """Advance the loop to the slot boundary; returns the start time."""
+        start = self.clock.slot_start(slot)
+        self.loop.run_until(start)
+        return start
+
+    def decide(self, policy: RoutingPolicy, context: SlotContext, seed: SeedLike):
+        """Invoke the routing policy exactly as the slotted backend does."""
+        return policy.decide(context, seed=seed)
+
+    def close_slot(self, slot: int) -> float:
+        """Run the loop to the slot deadline; returns the deadline time."""
+        deadline = self.clock.slot_end(slot)
+        self.loop.run_until(deadline)
+        return deadline
+
+
+class MemoryAgent:
+    """Applies the physical decoherence/cutoff model over actual dwell times.
+
+    Mirrors the slotted physical engines' deterministic per-edge schedule
+    (affordable purification rounds and their success probabilities, raw
+    pairs consumed) but defers the decoherence decay until the protocol
+    knows *when* each pair was consumed: the stored fidelity decays over
+    ``consumed − generated`` instead of the fixed ``dwell_fraction`` of a
+    slot, and the cutoff policy tests that timed fidelity.
+    """
+
+    def __init__(self, model: PhysicalModel):
+        self.model = model
+        self.stats = PhysicalStats()
+        self.decoherence = model.decoherence_model()
+        # channels -> (rounds, round_probs, purified fidelity, pairs consumed)
+        self._ladders: Dict[int, Tuple[int, Tuple[float, ...], float, int]] = {}
+
+    def ladder_for(self, channels: int) -> Tuple[int, Tuple[float, ...], float, int]:
+        entry = self._ladders.get(channels)
+        if entry is None:
+            rounds = self.model.affordable_rounds(channels)
+            round_probs, purified = purification_ladder(self.model.link_fidelity, rounds)
+            entry = (rounds, round_probs, purified, 2**rounds)
+            self._ladders[channels] = entry
+        return entry
+
+    def stored_fidelity(self, purified: float, dwell: float) -> float:
+        """Fidelity of a purified pair after ``dwell`` seconds in memory."""
+        return self.decoherence.fidelity_after(purified, max(0.0, dwell))
+
+
+@dataclass
+class EventDrivenSimulator:
+    """Runs one policy over one frozen workload trace, event by event.
+
+    A drop-in second backend behind the :class:`SlottedSimulator` interface:
+    same constructor shape, same ``run(policy, seed, on_slot)`` entry point,
+    same :class:`SlotRecord` / :class:`SimulationResult` schema.  ``timing``
+    configures classical signaling latency (see :class:`TimingModel`); with
+    the default zero-latency timing the realised outcomes are bit-identical
+    to the slotted backend (see the module docstring).  Event-protocol
+    accounting lands in the run diagnostics under ``"eventsim"``.
+    """
+
+    graph: QDNGraph
+    trace: WorkloadTrace
+    total_budget: float = 5000.0
+    realize: bool = True
+    physical: Optional[PhysicalModel] = None
+    timing: TimingModel = field(default_factory=TimingModel)
+    clock: Optional[SlotClock] = None
+
+    def run(
+        self,
+        policy: RoutingPolicy,
+        seed: SeedLike = None,
+        on_slot=None,
+    ) -> SimulationResult:
+        """Simulate ``policy`` over the whole trace and return its result."""
+        rng = as_generator(seed)
+        memory: Optional[MemoryAgent] = None
+        if self.physical is not None:
+            if not self.realize:
+                raise ValueError("the physical layer requires realize=True")
+            # Same stream discipline as the slotted backend: the third
+            # stream exists only when the physical layer is on.
+            decision_rng, realization_rng, physical_rng = spawn_rngs(rng, 3)
+            memory = MemoryAgent(self.physical)
+        else:
+            decision_rng, realization_rng = spawn_rngs(rng, 2)
+            physical_rng = None
+        clock = self.clock or SlotClock(
+            attempts_per_slot=self.graph.attempts_per_slot,
+            guard_time=self.timing.guard_time,
+        )
+        # Only for its base_fidelity: confirmed ECs report the same realised
+        # fidelity constant as the slotted fast mode.
+        link_layer = LinkLayerSimulator(graph=self.graph, clock=clock)
+        loop = EventLoop()
+        bridge = SlotBridge(loop=loop, clock=clock)
+        stats = EventStats()
+
+        policy.reset(self.graph, self.trace.horizon)
+        records: List[SlotRecord] = []
+        for slot_trace in self.trace.slots:
+            slot_start = bridge.open_slot(slot_trace.t)
+            stats.slots += 1
+            context = SlotContext(
+                t=slot_trace.t,
+                graph=self.graph,
+                snapshot=slot_trace.snapshot,
+                requests=slot_trace.requests,
+                candidate_routes={
+                    request: tuple(self.trace.routes_for(request))
+                    for request in slot_trace.requests
+                },
+            )
+            decision = bridge.decide(policy, context, decision_rng)
+            if not decision.respects_snapshot(slot_trace.snapshot):
+                raise RuntimeError(
+                    f"policy {policy.name!r} violated capacity constraints in slot {slot_trace.t}"
+                )
+
+            success_probabilities = tuple(
+                decision.success_probability(self.graph, request)
+                for request in decision.served_requests
+            )
+            realized: List[bool] = []
+            fidelities: List[float] = []
+            delivered: List[bool] = []
+            delivered_fidelities: List[float] = []
+            fidelity_served: List[bool] = []
+            if self.realize:
+                items = []
+                for request in decision.served_requests:
+                    route = decision.route_for(request)
+                    assert route is not None
+                    items.append(
+                        (
+                            route,
+                            {
+                                key: decision.channels_for(request, key)
+                                for key in route.edges
+                            },
+                        )
+                    )
+                protocols = self._launch_protocols(
+                    loop, items, slot_start, clock, realization_rng, stats
+                )
+                deadline = bridge.close_slot(slot_trace.t)
+                for protocol in protocols:
+                    protocol.cancel_pending(loop)
+                    confirmed = protocol.confirm_time is not None
+                    if confirmed:
+                        stats.delivered += 1
+                        stats.messages += protocol.messages
+                    elif protocol.all_generated:
+                        stats.deadline_misses += 1
+                    realized.append(confirmed)
+                    fidelities.append(link_layer.base_fidelity if confirmed else 0.0)
+                if memory is not None:
+                    delivered, delivered_fidelities, fidelity_served = (
+                        self._realize_physical(items, protocols, memory, physical_rng, stats)
+                    )
+                    delivered.extend([False] * len(decision.unserved))
+                    delivered_fidelities.extend([0.0] * len(decision.unserved))
+                    fidelity_served.extend([False] * len(decision.unserved))
+                # Unserved requests trivially fail.
+                realized.extend([False] * len(decision.unserved))
+                fidelities.extend([0.0] * len(decision.unserved))
+            else:
+                deadline = bridge.close_slot(slot_trace.t)
+
+            queue_length: Optional[float] = None
+            diagnostics = policy.diagnostics()
+            history = diagnostics.get("queue_history")
+            if isinstance(history, list) and history:
+                queue_length = float(history[-1])
+
+            record = SlotRecord(
+                t=slot_trace.t,
+                num_requests=slot_trace.num_requests,
+                num_served=decision.num_served,
+                cost=decision.cost(),
+                utility=decision.utility(self.graph),
+                success_probabilities=success_probabilities,
+                realized_successes=tuple(realized),
+                realized_fidelities=tuple(fidelities),
+                queue_length=queue_length,
+                delivered_successes=tuple(delivered),
+                delivered_fidelities=tuple(delivered_fidelities),
+                fidelity_served=tuple(fidelity_served),
+                slot_start_s=slot_start,
+                slot_end_s=deadline,
+            )
+            records.append(record)
+            if on_slot is not None and on_slot(policy.name, record) is False:
+                break
+
+        stats.events = loop.events_processed
+        diagnostics = dict(policy.diagnostics())
+        if memory is not None:
+            diagnostics["physical"] = memory.stats.to_dict()
+        diagnostics["eventsim"] = stats.to_dict()
+        return SimulationResult(
+            policy_name=policy.name,
+            horizon=self.trace.horizon,
+            total_budget=self.total_budget,
+            records=tuple(records),
+            diagnostics=diagnostics,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Protocol scheduling
+    # ------------------------------------------------------------------ #
+    def _launch_protocols(
+        self,
+        loop: EventLoop,
+        items: Sequence[Tuple[Route, Mapping[EdgeKey, int]]],
+        slot_start: float,
+        clock: SlotClock,
+        realization_rng,
+        stats: EventStats,
+    ) -> List[SwapProtocol]:
+        """Sample the slot's link outcomes and schedule the protocol events.
+
+        The thresholds are assembled in exactly the flat edge order of
+        :meth:`LinkLayerSimulator.realize_routes` and realised with one
+        batched uniform draw from the realization stream — the same stream
+        consumption, hence bit-identical success indicators.  Each uniform
+        additionally yields the first successful attempt tick (see
+        :func:`first_success_attempt`), giving every generated pair its
+        wall-clock generation time.
+        """
+        flat: List[Tuple[int, int, EdgeKey, int]] = []
+        thresholds: List[float] = []
+        for index, (route, allocation) in enumerate(items):
+            for position, key in enumerate(route.edges):
+                channels = int(allocation.get(key, 0))
+                if channels > 0:
+                    flat.append((index, position, key, channels))
+                    thresholds.append(self.graph.link_success(key, channels))
+        # Matches sample_successes(thresholds, rng): one Generator.random(n)
+        # call — but we keep the uniforms, which double as generation times.
+        uniforms = realization_rng.random(len(thresholds)) if thresholds else []
+
+        protocols = [
+            SwapProtocol(
+                route,
+                [self.timing.latency_of(key) for key in route.edges],
+                stats,
+            )
+            for route, _ in items
+        ]
+        for entry, u, threshold in zip(flat, uniforms, thresholds):
+            index, position, key, channels = entry
+            if not u < threshold:
+                continue
+            per_tick = 1.0 - (1.0 - self.graph.attempt_success(key)) ** channels
+            tick = first_success_attempt(float(u), per_tick, clock.attempts_per_slot)
+            generated = slot_start + tick * clock.attempt_duration
+            protocols[index].schedule_generation(loop, position, generated)
+        return protocols
+
+    # ------------------------------------------------------------------ #
+    # Timed physical chain
+    # ------------------------------------------------------------------ #
+    def _realize_physical(
+        self,
+        items: Sequence[Tuple[Route, Mapping[EdgeKey, int]]],
+        protocols: Sequence[SwapProtocol],
+        memory: MemoryAgent,
+        physical_rng,
+        stats: EventStats,
+    ) -> Tuple[List[bool], List[float], List[bool]]:
+        """Run the slot's confirmed requests through the timed delivery chain.
+
+        Randomness mirrors the vectorised slotted engine exactly: one
+        batched draw over every purification round then every swap, request
+        by request in decision order, confirmed requests only — at zero
+        latency "confirmed" coincides with the slotted "links realised", so
+        the draw schedule (and hence the stream) is identical.  What differs
+        is deterministic: each pair's stored fidelity decays over its actual
+        dwell time and the cutoff tests that timed fidelity, so delivered
+        fidelities respond to classical latency.
+        """
+        model = memory.model
+        pstats = memory.stats
+        draw_swaps = model.swap_success < 1.0
+
+        thresholds: List[float] = []
+        candidates: List[Tuple[int, list, int, int, SwapProtocol]] = []
+        for index, ((route, allocation), protocol) in enumerate(zip(items, protocols)):
+            pstats.requests += 1
+            if protocol.confirm_time is None:
+                pstats.link_failures += 1
+                continue
+            pstats.attempts += 1
+            plans = [memory.ladder_for(int(allocation.get(key, 0))) for key in route.edges]
+            purify_draws = 0
+            for rounds, round_probs, _, pairs_consumed in plans:
+                pstats.pairs_consumed += pairs_consumed
+                if rounds:
+                    pstats.purify_rounds += rounds
+                    thresholds.extend(round_probs)
+                    purify_draws += rounds
+            num_swaps = route.hops - 1
+            pstats.swaps += num_swaps
+            swap_draws = num_swaps if draw_swaps else 0
+            if swap_draws:
+                thresholds.extend([model.swap_success] * swap_draws)
+            candidates.append((index, plans, purify_draws, swap_draws, protocol))
+
+        outcomes = sample_successes(thresholds, physical_rng)
+
+        count = len(items)
+        delivered = [False] * count
+        fidelities = [0.0] * count
+        fidelity_ok = [False] * count
+        cursor = 0
+        for index, plans, purify_draws, swap_draws, protocol in candidates:
+            purify_ok = bool(outcomes[cursor : cursor + purify_draws].all())
+            cursor += purify_draws
+            swap_ok = bool(outcomes[cursor : cursor + swap_draws].all())
+            cursor += swap_draws
+
+            # Memory agent: decay each stored pair over its actual dwell.
+            link_fidelities: List[float] = []
+            cutoff_ok = True
+            for position, (_, _, purified, _) in enumerate(plans):
+                consumed = protocol.consumed[position]
+                if consumed is None:
+                    consumed = protocol.confirm_time
+                generated = protocol.generated[position]
+                assert generated is not None and consumed is not None
+                fidelity = memory.stored_fidelity(purified, consumed - generated)
+                link_fidelities.append(fidelity)
+                if fidelity < model.cutoff_fidelity:
+                    cutoff_ok = False
+                    stats.cutoff_expired_pairs += 1
+
+            if not purify_ok:
+                pstats.purify_failures += 1
+                continue
+            if not cutoff_ok:
+                pstats.cutoff_discards += 1
+                continue
+            if not swap_ok:
+                pstats.swap_failures += 1
+                continue
+            fidelity = fidelity_of_chain(link_fidelities)
+            pstats.delivered += 1
+            pstats.fidelity_sum += fidelity
+            delivered[index] = True
+            fidelities[index] = fidelity
+            target = model.fidelity_target
+            ok = target <= 0.0 or fidelity >= target
+            fidelity_ok[index] = ok
+            if ok:
+                pstats.fidelity_served += 1
+        return delivered, fidelities, fidelity_ok

@@ -37,6 +37,11 @@ class SlotRecord:
     delivered_successes: Tuple[bool, ...] = ()
     delivered_fidelities: Tuple[float, ...] = ()
     fidelity_served: Tuple[bool, ...] = ()
+    # Wall-clock slot boundaries stamped from the simulator's SlotClock
+    # (``slot_end_s`` includes the guard time); ``None`` on records produced
+    # before timestamps existed.
+    slot_start_s: Optional[float] = None
+    slot_end_s: Optional[float] = None
 
     @property
     def num_unserved(self) -> int:
