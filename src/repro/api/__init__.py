@@ -83,6 +83,25 @@ from repro.api.study import (
     StudyResult,
     run_study,
 )
+from repro.serving import (
+    AdmissionPolicy,
+    AlwaysAdmit,
+    ArrivalProcess,
+    BacklogThreshold,
+    PoissonArrivals,
+    ServingModel,
+    ServingSimulator,
+    SessionSpec,
+    TokenBucket,
+    TraceArrivals,
+    UnknownAdmissionPolicyError,
+    available_admission_policies,
+    jain_fairness,
+    make_admission_policy,
+    mean_sojourn_slots,
+    register_admission_policy,
+    serving_requests_per_second,
+)
 
 __all__ = [
     # registry
@@ -110,6 +129,24 @@ __all__ = [
     "run_study",
     # records
     "RunRecord",
+    # serving
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "ArrivalProcess",
+    "BacklogThreshold",
+    "PoissonArrivals",
+    "ServingModel",
+    "ServingSimulator",
+    "SessionSpec",
+    "TokenBucket",
+    "TraceArrivals",
+    "UnknownAdmissionPolicyError",
+    "available_admission_policies",
+    "jain_fairness",
+    "make_admission_policy",
+    "mean_sojourn_slots",
+    "register_admission_policy",
+    "serving_requests_per_second",
     # events / observers
     "CallbackObserver",
     "EarlyStop",

@@ -212,6 +212,69 @@ class RunRecord:
             for result in trial.values()
         )
 
+    def serving_stats(self) -> Optional[Dict[str, float]]:
+        """Aggregate serving-layer statistics across trials.
+
+        Sums the per-run ``diagnostics["serving"]`` counters the serving
+        scheduler produced (sessions arrived/admitted/rejected/departed,
+        requests arrived/served/dropped, sojourn slots, cost, the Jain
+        fairness raw moments, simulated seconds — see
+        :class:`repro.serving.scheduler.ServingSimulator`).  Returns
+        ``None`` when no result carries serving diagnostics: batch runs, or
+        records loaded from JSON (diagnostics are in-memory only, exactly
+        like :meth:`kernel_stats`).
+        """
+        from repro.serving.scheduler import merge_serving_stats
+
+        return merge_serving_stats(
+            result.diagnostics.get("serving")
+            for trial in self.trials
+            for result in trial.values()
+        )
+
+    def wall_time_s(self) -> Optional[float]:
+        """Total simulated wall-clock seconds across trials.
+
+        Each trial contributes the longest stamped span among its line-up
+        results (the line-up shares one simulated timeline per trial);
+        trials without :class:`~repro.simulation.clock.SlotClock` stamps —
+        legacy payloads — contribute nothing.  ``None`` when no trial
+        carries stamps.
+        """
+        total = 0.0
+        found = False
+        for trial in self.trials:
+            spans = [
+                span
+                for span in (result.wall_time_s() for result in trial.values())
+                if span is not None
+            ]
+            if spans:
+                found = True
+                total += max(spans)
+        return total if found else None
+
+    def requests_per_second(self) -> Optional[float]:
+        """Simulated requests per simulated second, over all stamped results.
+
+        Total requests divided by total stamped span, both summed over every
+        line-up result of every trial (so a line-up replaying one trace N
+        times scales numerator and denominator alike).  ``None`` when no
+        result carries slot-clock stamps or the stamped span is zero.
+        """
+        total_seconds = 0.0
+        total_requests = 0
+        for trial in self.trials:
+            for result in trial.values():
+                span = result.wall_time_s()
+                if span is None:
+                    continue
+                total_seconds += span
+                total_requests += sum(r.num_requests for r in result.records)
+        if total_seconds <= 0.0:
+            return None
+        return total_requests / total_seconds
+
     # ------------------------------------------------------------------ #
     # Serialisation
     # ------------------------------------------------------------------ #

@@ -79,6 +79,30 @@ PHYSICAL_FIELDS = frozenset(
 TIMING_FIELDS = frozenset(
     {"backend", "signaling_latency_s", "edge_latency_s", "slot_guard_time_s"}
 )
+SERVING_FIELDS = frozenset(
+    {
+        "serving_enabled", "serving_arrival_kind", "serving_arrival_rate",
+        "serving_arrival_trace", "serving_session_rate",
+        "serving_session_lifetime", "serving_renew_probability",
+        "serving_session_budget", "serving_admission",
+        "serving_admission_threshold", "serving_token_rate",
+        "serving_token_burst", "serving_shards", "serving_merge_every",
+        "serving_shard_workers",
+    }
+)
+
+
+def unsupported_backend_error(backend: str, feature: str, remedy: str) -> ValueError:
+    """A targeted error for an unsupported ``backend × feature`` combination.
+
+    Names the exact combination (instead of a generic failure) so the fix —
+    usually dropping ``with_backend(...)`` or the conflicting feature — is
+    obvious from the message alone.
+    """
+    return ValueError(
+        f"unsupported combination: backend={backend!r} with {feature}; "
+        f"{feature} runs on the slotted backend only — {remedy}"
+    )
 
 
 @dataclass(frozen=True)
@@ -393,6 +417,35 @@ class Scenario:
             mapped[aliases.get(key, key)] = value
         return self._with_fields(TIMING_FIELDS, "with_backend", mapped)
 
+    def with_serving(self, enabled: bool = True, **overrides) -> "Scenario":
+        """Configure the open-system serving layer (:mod:`repro.serving`).
+
+        ``with_serving()`` switches it on with the defaults; keyword
+        arguments accept the short names of the ``serving_*`` config fields
+        (the prefix is added automatically)::
+
+            scenario.with_serving(
+                arrival_rate=2.0, session_lifetime=40,
+                admission="token-bucket", shards=4, merge_every=5,
+            )
+
+        ``arrival_kind`` selects ``"poisson"`` joins at ``arrival_rate``
+        sessions/slot or ``"trace"`` replaying the ``arrival_trace`` per-slot
+        join counts; each session issues ``session_rate`` requests/slot over
+        a geometric lifetime of mean ``session_lifetime`` slots and renews
+        with ``renew_probability``.  ``admission`` names the gate policy
+        (``always``, ``backlog-threshold`` with ``admission_threshold``,
+        ``token-bucket`` with ``token_rate``/``token_burst``).  ``shards``,
+        ``merge_every`` and ``shard_workers`` configure the sharded
+        scheduler — results are byte-identical for any shard layout under a
+        fixed seed.  ``with_serving(False)`` switches the layer back off.
+        """
+        mapped: Dict[str, object] = {"serving_enabled": bool(enabled)}
+        for key, value in overrides.items():
+            name = key if key.startswith("serving_") else f"serving_{key}"
+            mapped[name] = value
+        return self._with_fields(SERVING_FIELDS, "with_serving", mapped)
+
     def with_trials(self, trials: int) -> "Scenario":
         """Number of independent trials (fresh topology + trace each)."""
         return self.with_config(trials=int(trials))
@@ -462,14 +515,27 @@ class Scenario:
         return bool(self.users)
 
     @property
+    def is_serving(self) -> bool:
+        """Whether this scenario runs the open-system serving layer."""
+        return bool(self.config.serving_enabled)
+
+    @property
     def kind(self) -> str:
-        """``"multiuser"`` or ``"comparison"``."""
-        return "multiuser" if self.is_multiuser else "comparison"
+        """``"multiuser"``, ``"serving"`` or ``"comparison"``."""
+        if self.is_multiuser:
+            return "multiuser"
+        if self.is_serving:
+            return "serving"
+        return "comparison"
 
     def lineup_names(self, registry: Optional[PolicyRegistry] = None) -> Tuple[str, ...]:
-        """The names results will be keyed by (policies or users)."""
+        """The names results will be keyed by (policies, users or "serving")."""
         if self.is_multiuser:
             return tuple(user.name for user in self.users)
+        if self.is_serving:
+            from repro.serving.scheduler import SERVING_LINEUP_NAME
+
+            return (SERVING_LINEUP_NAME,)
         if self.lineup_factory is not None:
             return tuple(p.name for p in self.lineup_factory(self.config))
         # Probe against this scenario's config so config-dependent renames
@@ -501,9 +567,23 @@ class Scenario:
             if len(set(names)) != len(names):
                 raise ValueError("user names must be unique")
             if self.config.backend != "slotted":
+                raise unsupported_backend_error(
+                    self.config.backend,
+                    f"a multi-user tenant line-up ({len(self.users)} user(s))",
+                    "use with_backend('slotted') or drop the tenant line-up",
+                )
+            if self.is_serving:
                 raise ValueError(
-                    "multi-user scenarios run on the slotted backend only; "
-                    "drop with_backend() or the tenant line-up"
+                    "unsupported combination: the serving layer and a "
+                    "multi-user tenant line-up are mutually exclusive; "
+                    "drop with_serving() or the tenant line-up"
+                )
+        elif self.is_serving:
+            if self.config.backend != "slotted":
+                raise unsupported_backend_error(
+                    self.config.backend,
+                    "the serving layer (with_serving)",
+                    "use with_backend('slotted') or with_serving(False)",
                 )
         elif self.lineup_factory is None:
             if not self.policies:

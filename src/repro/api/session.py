@@ -36,8 +36,9 @@ from repro.api.events import (
     TrialStarted,
 )
 from repro.api.records import RunRecord
-from repro.api.scenario import Scenario
+from repro.api.scenario import Scenario, unsupported_backend_error
 from repro.core.multiuser import MultiUserSimulator, ProviderSlotRecord
+from repro.serving.scheduler import SERVING_LINEUP_NAME
 from repro.simulation.engine import simulate_policies
 from repro.simulation.results import SimulationResult
 from repro.utils.rng import derive_seed
@@ -62,11 +63,48 @@ def execute_trial(
     seed = config.base_seed
     physical = config.physical_model()
     graph = config.build_graph(seed=derive_seed(seed, "graph", trial))
+    if scenario.is_serving:
+        from repro.serving.scheduler import ServingSimulator
+        from repro.simulation.clock import SlotClock
+
+        if scenario.is_multiuser:
+            raise ValueError(
+                "unsupported combination: the serving layer and a multi-user "
+                "tenant line-up are mutually exclusive; drop with_serving() "
+                "or the tenant line-up"
+            )
+        if config.backend != "slotted":
+            raise unsupported_backend_error(
+                config.backend,
+                "the serving layer (with_serving)",
+                "use with_backend('slotted') or with_serving(False)",
+            )
+        simulator = ServingSimulator(
+            graph=graph,
+            model=config.serving_model(),
+            horizon=config.horizon,
+            total_budget=config.total_budget,
+            initial_queue=config.initial_queue,
+            num_candidate_routes=config.num_candidate_routes,
+            max_extra_hops=config.max_extra_hops,
+            clock=SlotClock(
+                attempts_per_slot=config.attempts_per_slot,
+                guard_time=config.slot_guard_time_s,
+            ),
+        )
+        serving_cb = None
+        if on_slot is not None:
+            serving_cb = lambda record: on_slot(SERVING_LINEUP_NAME, record)
+        result = simulator.run(
+            seed=derive_seed(seed, "serving", trial), on_slot=serving_cb
+        )
+        return {result.policy_name: result}, ()
     if scenario.is_multiuser:
         if config.backend != "slotted":
-            raise ValueError(
-                "multi-user scenarios run on the slotted backend only; "
-                "drop with_backend() or the tenant line-up"
+            raise unsupported_backend_error(
+                config.backend,
+                f"a multi-user tenant line-up ({len(scenario.users)} user(s))",
+                "use with_backend('slotted') or drop the tenant line-up",
             )
         simulator = MultiUserSimulator(
             graph=graph,

@@ -66,6 +66,7 @@ from repro.api.records import RunRecord
 from repro.api.scenario import (
     BUDGET_FIELDS,
     PHYSICAL_FIELDS,
+    SERVING_FIELDS,
     SOLVER_FIELDS,
     TIMING_FIELDS,
     TOPOLOGY_FIELDS,
@@ -98,6 +99,7 @@ _AXIS_GROUPS: Dict[str, Optional[frozenset]] = {
     "solver": SOLVER_FIELDS,
     "physical": PHYSICAL_FIELDS,
     "timing": TIMING_FIELDS,
+    "serving": SERVING_FIELDS,
     "config": None,
 }
 
@@ -112,7 +114,9 @@ def resolve_config_path(path: str) -> str:
     plain ``"horizon"`` → ``"horizon"``.  ``"topology.kind"`` is accepted as
     an alias for ``topology_kind``, the ``physical`` group accepts the
     short field names (``"physical.swap_success"`` →
-    ``"physical_swap_success"``), and the ``timing`` group accepts the
+    ``"physical_swap_success"``), the ``serving`` group likewise
+    (``"serving.arrival_rate"`` → ``"serving_arrival_rate"``), and the
+    ``timing`` group accepts the
     :meth:`Scenario.with_backend` aliases (``"timing.latency"`` →
     ``"signaling_latency_s"``, ``"timing.guard_time"`` →
     ``"slot_guard_time_s"``).
@@ -128,6 +132,8 @@ def resolve_config_path(path: str) -> str:
         name = "topology_kind"
     if group == "physical" and not name.startswith("physical_"):
         name = f"physical_{name}"
+    if group == "serving" and not name.startswith("serving_"):
+        name = f"serving_{name}"
     if group == "timing":
         name = {
             "latency": "signaling_latency_s",
@@ -243,9 +249,11 @@ def _unit_count(scenario: Scenario) -> Optional[int]:
     """Units one trial splits into: one per policy, or ``None`` (whole trial).
 
     Multi-user trials cannot be split — the tenants interact through the
-    shared provider — so they run as a single unit.
+    shared provider — so they run as a single unit.  Serving trials likewise:
+    the scheduler owns its own sharding, and the whole open system shares
+    one admission queue.
     """
-    if scenario.is_multiuser:
+    if scenario.is_multiuser or scenario.is_serving:
         return None
     return len(scenario.lineup_names())
 
@@ -476,6 +484,18 @@ class StudyResult:
         from repro.simulation.eventsim import merge_event_stats
 
         return merge_event_stats(record.event_stats() for record in self.records)
+
+    def serving_stats(self) -> Optional[Dict[str, float]]:
+        """Serving-layer statistics summed over every point of the grid.
+
+        Aggregates :meth:`RunRecord.serving_stats` across the study; points
+        without the serving layer (or served from the result store —
+        diagnostics are in-memory only) contribute nothing.  ``None`` when
+        no point carried any.
+        """
+        from repro.serving.scheduler import merge_serving_stats
+
+        return merge_serving_stats(record.serving_stats() for record in self.records)
 
     def format_summary(
         self,

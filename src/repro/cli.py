@@ -21,6 +21,10 @@ writing any Python (all built on the :mod:`repro.api` facade):
   ``--axis``/``--values`` pairs (plus ``--topologies``) expand into a grid
   whose point × policy × trial units drain one worker pool; ``--store DIR``
   makes the sweep resumable, ``--json`` prints the StudyResult payload.
+* ``python -m repro serve --scale tiny --arrival-rate 1.0`` — run the
+  open-system serving layer (streaming session arrivals, online admission,
+  sharded scheduling) and print the serving metrics table; ``--shards`` and
+  ``--shard-workers`` change only the execution layout, never the results.
 * ``python -m repro policies`` — list the policy registry.
 """
 
@@ -243,14 +247,42 @@ def _eventsim_stats_fragment(stats) -> Optional[str]:
     )
 
 
-def _health_line(kernel_stats, physical_stats, event_stats=None) -> Optional[str]:
-    """One line summarising solver, physical and event-backend health."""
+def _serving_stats_fragment(stats) -> Optional[str]:
+    """The serving quarter of the health line (open-system accounting)."""
+    if not stats:
+        return None
+    from repro.serving.scheduler import (
+        jain_fairness,
+        mean_sojourn_slots,
+        serving_requests_per_second,
+    )
+
+    served = int(stats.get("requests_served", 0))
+    arrived = int(stats.get("requests_arrived", 0))
+    admitted = int(stats.get("sessions_admitted", 0))
+    rejected = int(stats.get("sessions_rejected", 0))
+    rate = serving_requests_per_second(stats)
+    sojourn = mean_sojourn_slots(stats)
+    return (
+        f"serving {served}/{arrived} request(s) served "
+        f"({0.0 if rate is None else rate:.1f} req/s simulated), "
+        f"{admitted} admitted/{rejected} rejected session(s), "
+        f"mean sojourn {0.0 if sojourn is None else sojourn:.2f} slot(s), "
+        f"Jain {jain_fairness(stats):.3f}"
+    )
+
+
+def _health_line(
+    kernel_stats, physical_stats, event_stats=None, serving_stats=None
+) -> Optional[str]:
+    """One line summarising solver, physical, event and serving health."""
     fragments = [
         fragment
         for fragment in (
             _kernel_stats_fragment(kernel_stats),
             _physical_stats_fragment(physical_stats),
             _eventsim_stats_fragment(event_stats),
+            _serving_stats_fragment(serving_stats),
         )
         if fragment
     ]
@@ -277,7 +309,10 @@ def command_compare(arguments: argparse.Namespace) -> int:
         return 2
     if arguments.progress:
         line = _health_line(
-            record.kernel_stats(), record.physical_stats(), record.event_stats()
+            record.kernel_stats(),
+            record.physical_stats(),
+            record.event_stats(),
+            record.serving_stats(),
         )
         if line:
             print(line, file=sys.stderr)
@@ -351,7 +386,10 @@ def command_sweep(arguments: argparse.Namespace) -> int:
         return 2
     if arguments.progress:
         line = _health_line(
-            result.kernel_stats(), result.physical_stats(), result.event_stats()
+            result.kernel_stats(),
+            result.physical_stats(),
+            result.event_stats(),
+            result.serving_stats(),
         )
         if line:
             print(line, file=sys.stderr)
@@ -368,6 +406,97 @@ def command_sweep(arguments: argparse.Namespace) -> int:
     if arguments.output:
         path = result.save(Path(arguments.output))
         print(f"[study written to {path}]", file=sys.stderr if arguments.json else sys.stdout)
+    return 0
+
+
+#: Value-taking serving CLI flags mapped to their config fields.
+_SERVING_FLAG_FIELDS = {
+    "horizon": "horizon",
+    "arrival_kind": "serving_arrival_kind",
+    "arrival_rate": "serving_arrival_rate",
+    "session_rate": "serving_session_rate",
+    "session_lifetime": "serving_session_lifetime",
+    "renew_probability": "serving_renew_probability",
+    "session_budget": "serving_session_budget",
+    "admission": "serving_admission",
+    "admission_threshold": "serving_admission_threshold",
+    "token_rate": "serving_token_rate",
+    "token_burst": "serving_token_burst",
+    "shards": "serving_shards",
+    "merge_every": "serving_merge_every",
+    "shard_workers": "serving_shard_workers",
+}
+
+
+def _format_serving_report(record) -> str:
+    """The serving metrics table (deterministic — used by the CI shard check)."""
+    from repro.serving.scheduler import (
+        jain_fairness,
+        mean_sojourn_slots,
+        serving_requests_per_second,
+    )
+
+    stats = record.serving_stats() or {}
+    rate = serving_requests_per_second(stats)
+    sojourn = mean_sojourn_slots(stats)
+    wall = record.wall_time_s()
+    rows = [
+        ["sessions arrived", int(stats.get("sessions_arrived", 0))],
+        ["sessions admitted", int(stats.get("sessions_admitted", 0))],
+        ["sessions rejected", int(stats.get("sessions_rejected", 0))],
+        ["sessions departed", int(stats.get("sessions_departed", 0))],
+        ["sessions renewed", int(stats.get("sessions_renewed", 0))],
+        ["requests arrived", int(stats.get("requests_arrived", 0))],
+        ["requests served", int(stats.get("requests_served", 0))],
+        ["requests realized", int(stats.get("requests_realized", 0))],
+        ["requests dropped", int(stats.get("requests_dropped", 0))],
+        ["requests backlogged", int(stats.get("requests_backlog", 0))],
+        ["qubits spent", f"{stats.get('cost_spent', 0.0):.1f}"],
+        ["mean sojourn (slots)", f"{0.0 if sojourn is None else sojourn:.3f}"],
+        ["Jain fairness", f"{jain_fairness(stats):.4f}"],
+        ["requests/s (simulated)", f"{0.0 if rate is None else rate:.2f}"],
+        ["simulated seconds", f"{0.0 if wall is None else wall:.2f}"],
+    ]
+    return format_table(["serving metric", "value"], rows, title="Serving run")
+
+
+def command_serve(arguments: argparse.Namespace) -> int:
+    """Run the open-system serving layer and print the serving metrics."""
+    overrides = {"serving_enabled": True}
+    for flag, field in _SERVING_FLAG_FIELDS.items():
+        value = getattr(arguments, flag, None)
+        if value is not None:
+            overrides[field] = value
+    observers = [api.ProgressObserver()] if arguments.progress else []
+    try:
+        # with_overrides validates eagerly (unknown admission policy,
+        # negative rates, ...), so it sits inside the error envelope too.
+        config = _config_from_args(arguments).with_overrides(**overrides)
+        scenario = api.Scenario.from_config(config, name=f"serve/{arguments.scale}")
+        record = api.run_scenario(
+            scenario, workers=arguments.workers, observers=observers
+        )
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if arguments.progress:
+        line = _health_line(
+            record.kernel_stats(),
+            record.physical_stats(),
+            record.event_stats(),
+            record.serving_stats(),
+        )
+        if line:
+            print(line, file=sys.stderr)
+    if arguments.json:
+        print(json.dumps(record.to_dict(), indent=2))
+    else:
+        print(record.format_summary(title="Serving line-up (mean over trials)"))
+        print()
+        print(_format_serving_report(record))
+    if arguments.output:
+        path = record.save(Path(arguments.output))
+        print(f"[serving record written to {path}]", file=sys.stderr if arguments.json else sys.stdout)
     return 0
 
 
@@ -497,6 +626,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream per-point progress to stderr")
     add_common(sweep)
     sweep.set_defaults(handler=command_sweep)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the open-system serving layer (streaming sessions)"
+    )
+    serve.add_argument("--horizon", type=int, default=None,
+                       help="override the number of simulated slots")
+    serve.add_argument("--arrival-kind", default=None, choices=["poisson", "trace"],
+                       dest="arrival_kind",
+                       help="session arrival process (default: poisson)")
+    serve.add_argument("--arrival-rate", type=float, default=None, dest="arrival_rate",
+                       help="mean session joins per slot (poisson arrivals)")
+    serve.add_argument("--session-rate", type=float, default=None, dest="session_rate",
+                       help="mean EC requests per session per slot")
+    serve.add_argument("--session-lifetime", type=float, default=None,
+                       dest="session_lifetime",
+                       help="mean session lifetime in slots (geometric)")
+    serve.add_argument("--renew-probability", type=float, default=None,
+                       dest="renew_probability",
+                       help="probability a session renews at expiry")
+    serve.add_argument("--session-budget", type=float, default=None,
+                       dest="session_budget",
+                       help="qubit budget one session may spend per slot")
+    serve.add_argument("--admission", default=None,
+                       help="admission policy (always, backlog-threshold, token-bucket)")
+    serve.add_argument("--admission-threshold", type=float, default=None,
+                       dest="admission_threshold",
+                       help="virtual-queue backlog above which sessions are rejected")
+    serve.add_argument("--token-rate", type=float, default=None, dest="token_rate",
+                       help="token-bucket refill per slot")
+    serve.add_argument("--token-burst", type=float, default=None, dest="token_burst",
+                       help="token-bucket capacity")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="scheduler shards (results identical for any value)")
+    serve.add_argument("--merge-every", type=int, default=None, dest="merge_every",
+                       help="slots between shard state merges")
+    serve.add_argument("--shard-workers", type=int, default=None, dest="shard_workers",
+                       help="worker processes advancing shards (1 = in-process)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes for trial execution (default: 1)")
+    serve.add_argument("--progress", action="store_true",
+                       help="stream per-trial progress and the [health] line to stderr")
+    serve.add_argument("--json", action="store_true",
+                       help="print the run record as JSON instead of the tables")
+    serve.add_argument("--output", default=None,
+                       help="write the full run record (JSON) to this file")
+    add_common(serve)
+    serve.set_defaults(handler=command_serve)
 
     policies = subparsers.add_parser("policies", help="list the policy registry")
     policies.set_defaults(handler=command_policies)

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (lazy import at runtime)
+    from repro.serving.scheduler import ServingModel
 
 from repro.core.baselines import (
     MyopicAdaptivePolicy,
@@ -120,6 +123,35 @@ class ExperimentConfig:
     edge_latency_s: Optional[Dict[str, float]] = None
     slot_guard_time_s: float = 0.0
 
+    # --- serving layer (repro.serving) ------------------------------------- #
+    # ``serving_enabled`` switches a scenario from the closed batch system to
+    # the open serving system: sessions stream in (``serving_arrival_kind``
+    # "poisson" at ``serving_arrival_rate`` joins/slot, or "trace" replaying
+    # ``serving_arrival_trace`` per-slot join counts), each issuing
+    # ``serving_session_rate`` EC requests/slot for a geometric lifetime of
+    # mean ``serving_session_lifetime`` slots (renewing with probability
+    # ``serving_renew_probability``).  Joins are gated by the
+    # ``serving_admission`` policy (see repro.serving.admission); active
+    # sessions are partitioned over ``serving_shards`` consistent-hash shards
+    # whose state merges every ``serving_merge_every`` slots, optionally on
+    # ``serving_shard_workers`` worker processes — byte-identical for any
+    # shard layout under a fixed seed.
+    serving_enabled: bool = False
+    serving_arrival_kind: str = "poisson"
+    serving_arrival_rate: float = 0.5
+    serving_arrival_trace: Optional[List[int]] = None
+    serving_session_rate: float = 2.0
+    serving_session_lifetime: float = 20.0
+    serving_renew_probability: float = 0.0
+    serving_session_budget: float = 8.0
+    serving_admission: str = "backlog-threshold"
+    serving_admission_threshold: float = 200.0
+    serving_token_rate: float = 1.0
+    serving_token_burst: float = 4.0
+    serving_shards: int = 1
+    serving_merge_every: int = 1
+    serving_shard_workers: int = 1
+
     # --- experiment bookkeeping ------------------------------------------- #
     trials: int = 5
     base_seed: int = 2024
@@ -149,6 +181,10 @@ class ExperimentConfig:
         if self.edge_latency_s:
             for key, value in self.edge_latency_s.items():
                 check_non_negative(value, f"edge_latency_s[{key!r}]")
+        if self.serving_enabled:
+            # Building the model validates every serving field (arrival kind,
+            # admission name, shard/merge counts) in one place.
+            self.serving_model()
 
     # ------------------------------------------------------------------ #
     # Presets
@@ -314,6 +350,39 @@ class ExperimentConfig:
             signaling_latency_s=self.signaling_latency_s,
             edge_latency_s=dict(self.edge_latency_s) if self.edge_latency_s else None,
             guard_time=self.slot_guard_time_s,
+        )
+
+    def serving_model(self) -> Optional["ServingModel"]:
+        """The configured serving-layer model, or ``None`` when disabled.
+
+        The single place the flat ``serving_*`` fields become the
+        :class:`~repro.serving.scheduler.ServingModel` the
+        :class:`~repro.serving.scheduler.ServingSimulator` consumes;
+        constructing it validates every serving field.
+        """
+        if not self.serving_enabled:
+            return None
+        from repro.serving.scheduler import ServingModel
+
+        return ServingModel(
+            arrival_kind=self.serving_arrival_kind,
+            arrival_rate=self.serving_arrival_rate,
+            arrival_trace=(
+                tuple(self.serving_arrival_trace)
+                if self.serving_arrival_trace is not None
+                else None
+            ),
+            session_rate=self.serving_session_rate,
+            session_lifetime=self.serving_session_lifetime,
+            renew_probability=self.serving_renew_probability,
+            session_budget=self.serving_session_budget,
+            admission=self.serving_admission,
+            admission_threshold=self.serving_admission_threshold,
+            token_rate=self.serving_token_rate,
+            token_burst=self.serving_token_burst,
+            shards=self.serving_shards,
+            merge_every=self.serving_merge_every,
+            shard_workers=self.serving_shard_workers,
         )
 
     def request_process(self) -> RequestProcess:

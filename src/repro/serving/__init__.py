@@ -1,0 +1,74 @@
+"""The open-system serving layer: streaming arrivals, admission, sharding.
+
+Batch runs solve a fixed request set over a fixed horizon; this package
+turns the same simulators into a long-lived service.  Three pieces:
+
+* :mod:`repro.serving.arrivals` — streaming session sources (Poisson and
+  trace-driven) with per-user lifecycles (join, renew, depart mid-run) and
+  seed-derived per-session RNG streams.
+* :mod:`repro.serving.admission` — pluggable admission policies gating
+  joins on the Lyapunov virtual-queue backlog (always-admit,
+  backlog-threshold, token-bucket), registered by name.
+* :mod:`repro.serving.scheduler` — the sharded session scheduler:
+  consistent-hash partitioning, periodic state merge, optional process-pool
+  shard workers, byte-identical for any shard layout under a fixed seed.
+
+Enable it on any scenario with ``Scenario.with_serving(...)`` or run
+``python -m repro serve``.
+"""
+
+from repro.serving.admission import (
+    AdmissionPolicy,
+    AdmissionState,
+    AlwaysAdmit,
+    BacklogThreshold,
+    TokenBucket,
+    UnknownAdmissionPolicyError,
+    available_admission_policies,
+    make_admission_policy,
+    register_admission_policy,
+)
+from repro.serving.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    PoissonArrivals,
+    SessionSpec,
+    TraceArrivals,
+    build_arrivals,
+)
+from repro.serving.scheduler import (
+    SERVING_LINEUP_NAME,
+    ServingModel,
+    ServingSimulator,
+    jain_fairness,
+    mean_sojourn_slots,
+    merge_serving_stats,
+    serving_requests_per_second,
+    shard_for_session,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "SERVING_LINEUP_NAME",
+    "AdmissionPolicy",
+    "AdmissionState",
+    "AlwaysAdmit",
+    "ArrivalProcess",
+    "BacklogThreshold",
+    "PoissonArrivals",
+    "ServingModel",
+    "ServingSimulator",
+    "SessionSpec",
+    "TokenBucket",
+    "TraceArrivals",
+    "UnknownAdmissionPolicyError",
+    "available_admission_policies",
+    "build_arrivals",
+    "jain_fairness",
+    "make_admission_policy",
+    "mean_sojourn_slots",
+    "merge_serving_stats",
+    "register_admission_policy",
+    "serving_requests_per_second",
+    "shard_for_session",
+]

@@ -235,6 +235,21 @@ class SimulationResult:
             return 0.0
         return float(np.mean(fidelities))
 
+    def wall_time_s(self) -> Optional[float]:
+        """Simulated wall-clock span covered by this run's records, in seconds.
+
+        Derived from the :class:`SlotClock` stamps
+        (``slot_start_s``/``slot_end_s``): the span from the earliest
+        stamped slot start to the latest stamped slot end.  ``None`` when no
+        record carries stamps — legacy payloads predating the timestamps
+        round-trip through here safely.
+        """
+        starts = [r.slot_start_s for r in self.records if r.slot_start_s is not None]
+        ends = [r.slot_end_s for r in self.records if r.slot_end_s is not None]
+        if not starts or not ends:
+            return None
+        return float(max(ends) - min(starts))
+
     def summary(self) -> Dict[str, float]:
         """A flat summary dictionary used by the reporting layer.
 

@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.network.graph import NodeName, QDNGraph
-from repro.utils.validation import check_positive, check_probability
+from repro.utils.validation import check_non_negative, check_positive, check_probability
 
 
 @dataclass(frozen=True)
@@ -109,14 +109,15 @@ class PoissonRequestProcess(RequestProcess):
 
     Models a DQC job-arrival process where each job needs one EC; the
     truncation reflects the paper's assumption of an upper bound ``F`` on
-    ``|Φ_t|``.
+    ``|Φ_t|``.  ``rate=0`` is a valid silent source (it never emits a
+    request) so sweeps can include an idle point.
     """
 
     rate: float = 3.0
     max_pairs: int = 8
 
     def __post_init__(self) -> None:
-        check_positive(self.rate, "rate")
+        check_non_negative(self.rate, "rate")
         check_positive(self.max_pairs, "max_pairs")
 
     def max_pairs_per_slot(self) -> int:

@@ -142,3 +142,61 @@ class TestRoundTrip:
         assert description["kind"] == "comparison"
         assert description["lineup"] == ["OSCAR", "MA", "MF"]
         assert description["config.num_nodes"] == ExperimentConfig.tiny().num_nodes
+
+
+class TestServingScenario:
+    def test_with_serving_sets_fields(self):
+        scenario = api.Scenario.tiny().with_serving(
+            arrival_rate=1.25, shards=3, admission="token-bucket"
+        )
+        config = scenario.config
+        assert config.serving_enabled is True
+        assert config.serving_arrival_rate == 1.25
+        assert config.serving_shards == 3
+        assert config.serving_admission == "token-bucket"
+        assert scenario.is_serving
+        assert scenario.kind == "serving"
+        assert scenario.lineup_names() == ("serving",)
+
+    def test_with_serving_false_disables(self):
+        scenario = api.Scenario.tiny().with_serving().with_serving(False)
+        assert not scenario.is_serving
+        assert scenario.kind == "comparison"
+
+    def test_serving_defaults_off(self):
+        assert not api.Scenario.tiny().is_serving
+
+    def test_unknown_serving_field_rejected(self):
+        with pytest.raises(TypeError):
+            api.Scenario.tiny().with_serving(arrival_rage=1.0)
+
+    def test_serving_round_trips_through_dict(self):
+        scenario = api.Scenario.tiny("srv").with_serving(
+            arrival_kind="trace", arrival_trace=[1, 0, 2]
+        )
+        rebuilt = api.Scenario.from_dict(scenario.to_dict())
+        assert rebuilt.is_serving
+        assert rebuilt.config.serving_arrival_trace == [1, 0, 2]
+
+    def test_serving_rejects_event_backend_with_targeted_error(self):
+        scenario = api.Scenario.tiny().with_serving().with_backend("event")
+        with pytest.raises(ValueError) as excinfo:
+            scenario.validate()
+        message = str(excinfo.value)
+        assert "backend='event'" in message
+        assert "serving layer" in message
+        assert "slotted" in message
+
+    def test_serving_rejects_multiuser_lineup(self):
+        scenario = api.Scenario.tiny().with_serving().with_user("tenant")
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            scenario.validate()
+
+    def test_multiuser_rejects_event_backend_with_targeted_error(self):
+        scenario = api.Scenario.tiny().with_user("tenant").with_backend("event")
+        with pytest.raises(ValueError) as excinfo:
+            scenario.validate()
+        message = str(excinfo.value)
+        assert "backend='event'" in message
+        assert "tenant line-up" in message
+        assert "slotted" in message

@@ -380,3 +380,75 @@ class TestFigureRewire:
         assert len(figure.average_utility) == 2
         assert len(figure.theorem1_bounds) == 2
         assert figure.study.axis_values("V") == [100.0, 500.0]
+
+
+class TestServingStudies:
+    def test_serving_axis_short_names_resolve(self):
+        assert resolve_config_path("serving.arrival_rate") == "serving_arrival_rate"
+        assert resolve_config_path("serving.serving_shards") == "serving_shards"
+        assert resolve_config_path("serving.admission") == "serving_admission"
+
+    def test_serving_axis_rejects_foreign_fields(self):
+        with pytest.raises(ValueError):
+            resolve_config_path("serving.total_budget")
+
+    def test_serving_trials_are_not_unit_split(self):
+        from repro.api.study import _unit_count
+
+        serving = api.Scenario.tiny().with_serving()
+        assert _unit_count(serving) is None
+        comparison = api.Scenario.tiny().with_policies("oscar", "ma")
+        assert _unit_count(comparison) == 2
+
+    def test_study_over_serving_axis(self):
+        base = (
+            api.Scenario.tiny("serving-sweep")
+            .with_serving(arrival_rate=1.0, session_rate=2.0)
+            .with_trials(1)
+            .with_seed(5)
+        )
+        result = (
+            api.Study("serving-sweep")
+            .base(base)
+            .over("serving.arrival_rate", [0.5, 2.0], label="lambda")
+            .run()
+        )
+        assert len(result.records) == 2
+        stats = result.serving_stats()
+        assert stats is not None
+        assert stats["sessions_arrived"] > 0
+        low, high = result.records
+        assert (
+            low.serving_stats()["sessions_arrived"]
+            < high.serving_stats()["sessions_arrived"]
+        )
+
+    def test_serving_study_parallel_matches_serial(self):
+        import json as _json
+
+        from repro.experiments.persistence import result_to_dict
+
+        def payload(result):
+            return _json.dumps(
+                [
+                    {
+                        name: result_to_dict(res)
+                        for name, res in record.trials[0].items()
+                    }
+                    for record in result.records
+                ],
+                sort_keys=True,
+            )
+
+        base = (
+            api.Scenario.tiny("serving-par")
+            .with_serving(arrival_rate=1.0)
+            .with_trials(1)
+            .with_seed(9)
+        )
+        study = lambda: (
+            api.Study("serving-par")
+            .base(base)
+            .over("serving.arrival_rate", [0.5, 1.5])
+        )
+        assert payload(study().run(workers=1)) == payload(study().run(workers=2))

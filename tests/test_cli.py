@@ -156,3 +156,52 @@ class TestFigureCommand:
         assert payload["figure"] == "fig8"
         assert payload["study"]["name"] == "fig8"
         assert len(payload["study"]["points"]) == len(payload["q0_values"])
+
+
+class TestServeCommand:
+    def test_runs_and_prints_serving_tables(self, capsys):
+        assert main(["serve", "--scale", "tiny", "--trials", "1",
+                     "--arrival-rate", "1.0"]) == 0
+        output = capsys.readouterr().out
+        assert "Serving run" in output
+        assert "requests served" in output
+        assert "Jain fairness" in output
+
+    def test_shard_layout_does_not_change_stdout(self, capsys):
+        assert main(["serve", "--scale", "tiny", "--trials", "1",
+                     "--arrival-rate", "1.0"]) == 0
+        single = capsys.readouterr().out
+        assert main(["serve", "--scale", "tiny", "--trials", "1",
+                     "--arrival-rate", "1.0", "--shards", "3"]) == 0
+        sharded = capsys.readouterr().out
+        assert single == sharded
+
+    def test_health_line_on_stderr(self, capsys):
+        assert main(["serve", "--scale", "tiny", "--trials", "1",
+                     "--arrival-rate", "1.0", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[health] serving" in captured.err
+        assert "[health]" not in captured.out
+
+    def test_json_output(self, capsys):
+        assert main(["serve", "--scale", "tiny", "--trials", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "serving"
+
+    def test_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "serving.json"
+        assert main(["serve", "--scale", "tiny", "--trials", "1",
+                     "--output", str(target)]) == 0
+        assert json.loads(target.read_text())["kind"] == "serving"
+
+    def test_event_backend_rejected_with_targeted_error(self, capsys):
+        assert main(["serve", "--scale", "tiny", "--trials", "1",
+                     "--backend", "event"]) == 2
+        error = capsys.readouterr().err
+        assert "backend='event'" in error
+        assert "slotted" in error
+
+    def test_unknown_admission_rejected(self, capsys):
+        assert main(["serve", "--scale", "tiny", "--trials", "1",
+                     "--admission", "front-door"]) == 2
+        assert "admission" in capsys.readouterr().err

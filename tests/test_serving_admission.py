@@ -1,0 +1,127 @@
+"""Tests for repro.serving.admission: policies and the name registry."""
+
+import pickle
+
+import pytest
+
+from repro.serving.admission import (
+    AdmissionState,
+    AlwaysAdmit,
+    BacklogThreshold,
+    TokenBucket,
+    UnknownAdmissionPolicyError,
+    available_admission_policies,
+    canonical_admission_name,
+    make_admission_policy,
+    register_admission_policy,
+)
+from repro.serving.arrivals import SessionSpec
+
+
+def spec(session_id=0):
+    return SessionSpec(
+        session_id=session_id,
+        joined_slot=0,
+        source=0,
+        destination=1,
+        request_rate=1.0,
+        lifetime=5,
+        renew_probability=0.0,
+        seed=1,
+    )
+
+
+def state(backlog=0.0, t=0, pending=0, active=0):
+    return AdmissionState(
+        t=t, backlog=backlog, pending_requests=pending, active_sessions=active
+    )
+
+
+class TestPolicies:
+    def test_always_admits(self):
+        policy = AlwaysAdmit()
+        assert policy.admit(spec(), state(backlog=1e9))
+
+    def test_backlog_threshold_boundary(self):
+        policy = BacklogThreshold(threshold=10.0)
+        assert policy.admit(spec(), state(backlog=10.0))
+        assert not policy.admit(spec(), state(backlog=10.0001))
+
+    def test_backlog_threshold_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            BacklogThreshold(threshold=-1.0)
+
+    def test_token_bucket_burst_then_starve(self):
+        policy = TokenBucket(rate=0.0, burst=2.0)
+        policy.reset()
+        decisions = [policy.admit(spec(i), state()) for i in range(4)]
+        assert decisions == [True, True, False, False]
+
+    def test_token_bucket_refills_per_slot(self):
+        policy = TokenBucket(rate=1.0, burst=1.0)
+        policy.reset()
+        assert policy.admit(spec(0), state())
+        assert not policy.admit(spec(1), state())
+        policy.on_slot(1)
+        assert policy.admit(spec(2), state())
+
+    def test_token_bucket_refill_capped_at_burst(self):
+        policy = TokenBucket(rate=10.0, burst=2.0)
+        policy.reset()
+        for t in range(5):
+            policy.on_slot(t)
+        decisions = [policy.admit(spec(i), state()) for i in range(3)]
+        assert decisions == [True, True, False]
+
+    def test_token_bucket_reset_restores_burst(self):
+        policy = TokenBucket(rate=0.0, burst=1.0)
+        policy.reset()
+        assert policy.admit(spec(0), state())
+        policy.reset()
+        assert policy.admit(spec(1), state())
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_admission_policies()
+        assert names == ("always", "backlog-threshold", "token-bucket")
+
+    def test_aliases_resolve(self):
+        assert canonical_admission_name("always-admit") == "always"
+        assert canonical_admission_name("open") == "always"
+        assert canonical_admission_name("lyapunov") == "backlog-threshold"
+        assert canonical_admission_name("Token_Bucket") == "token-bucket"
+
+    def test_make_by_name_with_kwargs(self):
+        policy = make_admission_policy("backlog", threshold=42.0)
+        assert isinstance(policy, BacklogThreshold)
+        assert policy.threshold == 42.0
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(UnknownAdmissionPolicyError) as excinfo:
+            make_admission_policy("token-buckit")
+        assert "token-bucket" in str(excinfo.value)
+
+    def test_error_pickles(self):
+        error = UnknownAdmissionPolicyError("nope", ["always"])
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.name == "nope"
+        assert clone.known == ("always",)
+
+    def test_register_decorator(self):
+        @register_admission_policy("test-reject-all")
+        class RejectAll(AlwaysAdmit):
+            def admit(self, spec, state):
+                return False
+
+        try:
+            policy = make_admission_policy("test-reject-all")
+            assert not policy.admit(spec(), state())
+        finally:
+            _deregister("test-reject-all")
+
+
+def _deregister(name):
+    from repro.serving import admission
+
+    admission._FACTORIES.pop(name, None)

@@ -1,0 +1,152 @@
+"""Tests for repro.serving.arrivals: session specs and arrival processes."""
+
+import pytest
+
+from repro.serving.arrivals import (
+    ARRIVAL_KINDS,
+    PoissonArrivals,
+    SessionSpec,
+    TraceArrivals,
+    build_arrivals,
+)
+
+
+def collect_joins(process, graph, horizon, seed=7):
+    process.reset(graph, base_seed=seed)
+    joins = []
+    for t in range(horizon):
+        joins.append(process.joins(t))
+    return joins
+
+
+class TestSessionSpec:
+    def spec(self, **overrides):
+        fields = dict(
+            session_id=0,
+            joined_slot=0,
+            source=0,
+            destination=1,
+            request_rate=2.0,
+            lifetime=10,
+            renew_probability=0.0,
+            seed=42,
+        )
+        fields.update(overrides)
+        return SessionSpec(**fields)
+
+    def test_valid_spec(self):
+        spec = self.spec()
+        assert spec.endpoints == (0, 1)
+
+    def test_endpoints_sorted(self):
+        spec = self.spec(source=3, destination=1)
+        assert spec.endpoints == (1, 3)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            self.spec(source=1, destination=1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            self.spec(request_rate=-0.5)
+
+    def test_zero_rate_allowed(self):
+        assert self.spec(request_rate=0.0).request_rate == 0.0
+
+    def test_nonpositive_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            self.spec(lifetime=0)
+
+    def test_renew_probability_bounds(self):
+        with pytest.raises(ValueError):
+            self.spec(renew_probability=1.5)
+        assert self.spec(renew_probability=1.0).renew_probability == 1.0
+
+
+class TestPoissonArrivals:
+    def test_deterministic_given_seed(self, small_waxman):
+        a = collect_joins(PoissonArrivals(arrival_rate=1.5), small_waxman, 20, seed=3)
+        b = collect_joins(PoissonArrivals(arrival_rate=1.5), small_waxman, 20, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self, small_waxman):
+        a = collect_joins(PoissonArrivals(arrival_rate=1.5), small_waxman, 20, seed=3)
+        b = collect_joins(PoissonArrivals(arrival_rate=1.5), small_waxman, 20, seed=4)
+        assert a != b
+
+    def test_zero_rate_is_a_valid_silent_source(self, small_waxman):
+        joins = collect_joins(PoissonArrivals(arrival_rate=0.0), small_waxman, 30)
+        assert all(not slot for slot in joins)
+
+    def test_session_ids_unique_and_sequential(self, small_waxman):
+        joins = collect_joins(PoissonArrivals(arrival_rate=2.0), small_waxman, 15)
+        specs = [spec for slot in joins for spec in slot]
+        assert [spec.session_id for spec in specs] == list(range(len(specs)))
+
+    def test_session_seeds_distinct(self, small_waxman):
+        joins = collect_joins(PoissonArrivals(arrival_rate=2.0), small_waxman, 15)
+        seeds = [spec.seed for slot in joins for spec in slot]
+        assert len(seeds) == len(set(seeds))
+        assert len(seeds) > 0
+
+    def test_lifetimes_at_least_one_slot(self, small_waxman):
+        joins = collect_joins(
+            PoissonArrivals(arrival_rate=2.0, mean_lifetime=1.0), small_waxman, 15
+        )
+        for slot in joins:
+            for spec in slot:
+                assert spec.lifetime >= 1
+
+    def test_endpoints_are_distinct_graph_nodes(self, small_waxman):
+        joins = collect_joins(PoissonArrivals(arrival_rate=2.0), small_waxman, 10)
+        nodes = set(small_waxman.nodes)
+        for slot in joins:
+            for spec in slot:
+                assert spec.source in nodes and spec.destination in nodes
+                assert spec.source != spec.destination
+
+    def test_negative_arrival_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(arrival_rate=-1.0)
+
+    def test_requires_reset_before_joins(self):
+        with pytest.raises(AttributeError):
+            PoissonArrivals().joins(0)
+
+
+class TestTraceArrivals:
+    def test_schedule_replayed_and_cycled(self, small_waxman):
+        joins = collect_joins(TraceArrivals(schedule=(2, 0, 1)), small_waxman, 6)
+        assert [len(slot) for slot in joins] == [2, 0, 1, 2, 0, 1]
+
+    def test_empty_schedule_is_silent(self, small_waxman):
+        joins = collect_joins(TraceArrivals(schedule=()), small_waxman, 10)
+        assert all(not slot for slot in joins)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            TraceArrivals(schedule=(1, -2))
+
+    def test_deterministic_given_seed(self, small_waxman):
+        a = collect_joins(TraceArrivals(schedule=(1, 2)), small_waxman, 8, seed=9)
+        b = collect_joins(TraceArrivals(schedule=(1, 2)), small_waxman, 8, seed=9)
+        assert a == b
+
+
+class TestBuildArrivals:
+    def test_kinds_registry(self):
+        assert set(ARRIVAL_KINDS) == {"poisson", "trace"}
+
+    def test_poisson_factory(self):
+        process = build_arrivals("poisson", arrival_rate=0.25)
+        assert isinstance(process, PoissonArrivals)
+        assert process.arrival_rate == 0.25
+
+    def test_trace_factory(self):
+        process = build_arrivals("trace", arrival_trace=(1, 0, 2))
+        assert isinstance(process, TraceArrivals)
+        assert process.schedule == (1, 0, 2)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="poisson"):
+            build_arrivals("bursty")

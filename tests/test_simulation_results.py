@@ -130,3 +130,32 @@ class TestSimulationResultAggregates:
     def test_zero_budget_utilisation(self):
         result = make_result([make_record(cost=0)], budget=0.0)
         assert result.budget_utilisation == 0.0
+
+
+class TestWallTime:
+    def stamped(self, t, start, end):
+        return SlotRecord(
+            t=t,
+            num_requests=1,
+            num_served=1,
+            cost=1,
+            utility=0.5,
+            success_probabilities=(0.5,),
+            slot_start_s=start,
+            slot_end_s=end,
+        )
+
+    def test_span_from_stamps(self):
+        result = make_result([self.stamped(0, 0.0, 0.7), self.stamped(1, 0.7, 1.4)])
+        assert result.wall_time_s() == pytest.approx(1.4)
+
+    def test_none_without_stamps(self):
+        result = make_result([make_record(t=0), make_record(t=1)])
+        assert result.wall_time_s() is None
+
+    def test_partial_stamps_use_stamped_slots(self):
+        result = make_result([make_record(t=0), self.stamped(1, 0.7, 1.4)])
+        assert result.wall_time_s() == pytest.approx(0.7)
+
+    def test_empty_result_is_none(self):
+        assert make_result([]).wall_time_s() is None

@@ -79,7 +79,7 @@ class TestPoissonRequestProcess:
 
     def test_invalid_rate_rejected(self):
         with pytest.raises(ValueError):
-            PoissonRequestProcess(rate=0.0)
+            PoissonRequestProcess(rate=-0.1)
 
 
 class TestHotspotRequestProcess:
@@ -134,3 +134,18 @@ class TestUniqueEndpointPairs:
             SDPair(source=2, destination=3),
         ]
         assert unique_endpoint_pairs(pairs) == [(0, 1), (2, 3)]
+
+
+class TestZeroRatePoisson:
+    def test_zero_rate_is_valid(self):
+        process = PoissonRequestProcess(rate=0.0)
+        assert process.rate == 0.0
+
+    def test_zero_rate_emits_few_requests(self, line_graph, rng):
+        process = PoissonRequestProcess(rate=0.0)
+        for t in range(50):
+            assert process.sample(t, line_graph, rng) == []
+
+    def test_max_pairs_still_positive(self):
+        with pytest.raises(ValueError):
+            PoissonRequestProcess(rate=1.0, max_pairs=0)

@@ -72,3 +72,42 @@ class TestGenerateTrace:
         for routes in trace.candidate_routes.values():
             for route in routes:
                 assert route.hops <= bound
+
+
+class TestEdgeCases:
+    def test_single_slot_horizon(self, small_waxman):
+        trace = generate_trace(small_waxman, horizon=1, seed=4)
+        assert trace.horizon == 1
+        assert trace.slots[0].t == 0
+        assert trace.total_requests() == trace.slots[0].num_requests
+
+    def test_zero_horizon_rejected(self, small_waxman):
+        with pytest.raises(ValueError):
+            generate_trace(small_waxman, horizon=0, seed=4)
+
+    def test_empty_trace_via_zero_rate_process(self, small_waxman):
+        from repro.workload.requests import PoissonRequestProcess
+
+        trace = generate_trace(
+            small_waxman,
+            horizon=6,
+            request_process=PoissonRequestProcess(rate=0.0),
+            seed=4,
+        )
+        assert trace.total_requests() == 0
+        assert trace.max_requests_per_slot() == 0
+        assert trace.candidate_routes == {}
+        assert trace.max_route_hops() == 0
+
+    def test_empty_slots_trace_accessors(self):
+        from repro.workload.traces import WorkloadTrace
+
+        trace = WorkloadTrace(slots=(), candidate_routes={})
+        assert trace.horizon == 0
+        assert trace.total_requests() == 0
+        assert trace.max_requests_per_slot() == 0
+
+    def test_routes_for_unknown_pair_is_empty(self, small_waxman):
+        trace = generate_trace(small_waxman, horizon=2, seed=4)
+        unknown = SDPair(source=-1, destination=-2)
+        assert trace.routes_for(unknown) == []
