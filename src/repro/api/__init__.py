@@ -75,6 +75,20 @@ from repro.api.registry import (
 )
 from repro.api.scenario import PolicySpec, Scenario, UserSpec
 from repro.api.session import Session, compare, execute_trial, run_scenario
+from repro.faults import (
+    FaultModel,
+    FaultSchedule,
+    FaultState,
+    FaultStats,
+    InterruptGuard,
+    Outage,
+    PoolSupervisor,
+    RunCheckpoint,
+    WorkerPoolError,
+    checkpoint_key,
+    fault_availability,
+    merge_fault_stats,
+)
 from repro.api.study import (
     ResultStore,
     Study,
@@ -87,6 +101,7 @@ from repro.serving import (
     AdmissionPolicy,
     AlwaysAdmit,
     ArrivalProcess,
+    AvailabilityGate,
     BacklogThreshold,
     PoissonArrivals,
     ServingModel,
@@ -129,10 +144,24 @@ __all__ = [
     "run_study",
     # records
     "RunRecord",
+    # faults / resilience
+    "FaultModel",
+    "FaultSchedule",
+    "FaultState",
+    "FaultStats",
+    "InterruptGuard",
+    "Outage",
+    "PoolSupervisor",
+    "RunCheckpoint",
+    "WorkerPoolError",
+    "checkpoint_key",
+    "fault_availability",
+    "merge_fault_stats",
     # serving
     "AdmissionPolicy",
     "AlwaysAdmit",
     "ArrivalProcess",
+    "AvailabilityGate",
     "BacklogThreshold",
     "PoissonArrivals",
     "ServingModel",

@@ -232,6 +232,25 @@ class RunRecord:
             for result in trial.values()
         )
 
+    def fault_stats(self) -> Optional[Dict[str, int]]:
+        """Aggregate fault-injection statistics across trials and line-up.
+
+        Sums the per-run ``diagnostics["faults"]`` counters the simulators
+        produced under an active fault schedule (element downtime, degraded
+        slots, failures/repairs, unservable and interrupted requests — see
+        :class:`repro.faults.FaultStats`).  Returns ``None`` when no result
+        carries fault diagnostics: fault-free runs, or records loaded from
+        JSON (diagnostics are in-memory only, exactly like
+        :meth:`kernel_stats`).
+        """
+        from repro.faults import merge_fault_stats
+
+        return merge_fault_stats(
+            result.diagnostics.get("faults")
+            for trial in self.trials
+            for result in trial.values()
+        )
+
     def wall_time_s(self) -> Optional[float]:
         """Total simulated wall-clock seconds across trials.
 

@@ -59,6 +59,7 @@ CONFIG_INJECTED_FIELDS = (
     "use_kernel",
     "dual_tolerance",
     "kernel_cache",
+    "solve_deadline",
 )
 
 

@@ -66,7 +66,9 @@ WORKLOAD_FIELDS = frozenset(
 BUDGET_FIELDS = frozenset(
     {"total_budget", "trade_off_v", "initial_queue", "gamma"}
 )
-SOLVER_FIELDS = frozenset({"use_kernel", "dual_tolerance", "kernel_cache"})
+SOLVER_FIELDS = frozenset(
+    {"use_kernel", "dual_tolerance", "kernel_cache", "solve_deadline"}
+)
 PHYSICAL_FIELDS = frozenset(
     {
         "physical_enabled", "physical_swap_success", "physical_link_fidelity",
@@ -87,7 +89,14 @@ SERVING_FIELDS = frozenset(
         "serving_session_budget", "serving_admission",
         "serving_admission_threshold", "serving_token_rate",
         "serving_token_burst", "serving_shards", "serving_merge_every",
-        "serving_shard_workers",
+        "serving_shard_workers", "serving_shard_timeout_s",
+        "serving_min_availability",
+    }
+)
+FAULT_FIELDS = frozenset(
+    {
+        "fault_enabled", "fault_node_mtbf", "fault_edge_mtbf", "fault_mttr",
+        "fault_outages", "fault_aware",
     }
 )
 
@@ -352,6 +361,11 @@ class Scenario:
         ``kernel_cache`` (default ``True``) re-binds one compiled kernel
         structure across slots and horizons, carrying warm-start duals
         slot-to-slot; ``False`` recompiles the kernel every slot.
+        ``solve_deadline`` caps the per-slot solve at a deterministic
+        number of combination evaluations: slots over budget degrade
+        exhaustive → Gibbs → greedy (see
+        :class:`~repro.core.per_slot.PerSlotSolver`); ``0`` (default) keeps
+        the solve unlimited.
         """
         if fast is not None:
             overrides["use_kernel"] = bool(fast)
@@ -445,6 +459,37 @@ class Scenario:
             name = key if key.startswith("serving_") else f"serving_{key}"
             mapped[name] = value
         return self._with_fields(SERVING_FIELDS, "with_serving", mapped)
+
+    def with_faults(self, enabled: bool = True, **overrides) -> "Scenario":
+        """Configure the deterministic fault-injection layer (:mod:`repro.faults`).
+
+        ``with_faults()`` switches it on with the defaults (no transient
+        outages until an MTBF is set); keyword arguments accept the short
+        names of the ``fault_*`` config fields (the prefix is added
+        automatically)::
+
+            scenario.with_faults(
+                node_mtbf=100.0, edge_mtbf=50.0, mttr=5.0,
+                outages=[["node", "3", 20, 10]],
+            )
+
+        ``node_mtbf``/``edge_mtbf`` are mean up-times in slots of the
+        seeded transient outage processes (``0`` disables that element
+        class), ``mttr`` the mean down-time, ``outages`` scripted one-shot
+        failures as ``[kind, element, start, duration]`` entries.
+        ``aware`` (default ``True``) lets policies see the degraded
+        topology — routes over failed elements leave the candidate sets;
+        ``aware=False`` keeps the full sets and the affected requests are
+        lost at realization time.  The fault schedule is derived from its
+        own spawned seed stream, so enabling it never perturbs topology,
+        trace or realization draws — and fault-free runs stay
+        byte-identical.  ``with_faults(False)`` switches the layer off.
+        """
+        mapped: Dict[str, object] = {"fault_enabled": bool(enabled)}
+        for key, value in overrides.items():
+            name = key if key.startswith("fault_") else f"fault_{key}"
+            mapped[name] = value
+        return self._with_fields(FAULT_FIELDS, "with_faults", mapped)
 
     def with_trials(self, trials: int) -> "Scenario":
         """Number of independent trials (fresh topology + trace each)."""

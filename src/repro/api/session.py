@@ -18,7 +18,6 @@ deterministic in both modes.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +37,7 @@ from repro.api.events import (
 from repro.api.records import RunRecord
 from repro.api.scenario import Scenario, unsupported_backend_error
 from repro.core.multiuser import MultiUserSimulator, ProviderSlotRecord
+from repro.faults import PoolSupervisor, RunCheckpoint, checkpoint_key
 from repro.serving.scheduler import SERVING_LINEUP_NAME
 from repro.simulation.engine import simulate_policies
 from repro.simulation.results import SimulationResult
@@ -63,6 +63,11 @@ def execute_trial(
     seed = config.base_seed
     physical = config.physical_model()
     graph = config.build_graph(seed=derive_seed(seed, "graph", trial))
+    # The fault schedule draws from its own spawned stream, so enabling it
+    # perturbs no other stream; fault-free runs skip this branch entirely.
+    faults = None
+    if config.fault_enabled:
+        faults = config.build_faults(graph, derive_seed(seed, "faults", trial))
     if scenario.is_serving:
         from repro.serving.scheduler import ServingSimulator
         from repro.simulation.clock import SlotClock
@@ -91,6 +96,7 @@ def execute_trial(
                 attempts_per_slot=config.attempts_per_slot,
                 guard_time=config.slot_guard_time_s,
             ),
+            faults=faults,
         )
         serving_cb = None
         if on_slot is not None:
@@ -100,6 +106,11 @@ def execute_trial(
         )
         return {result.policy_name: result}, ()
     if scenario.is_multiuser:
+        if faults is not None:
+            raise ValueError(
+                "unsupported combination: fault injection and a multi-user "
+                "tenant line-up; drop with_faults() or the tenant line-up"
+            )
         if config.backend != "slotted":
             raise unsupported_backend_error(
                 config.backend,
@@ -135,6 +146,7 @@ def execute_trial(
         physical=physical,
         backend=config.backend,
         timing=config.timing_model(),
+        faults=faults,
     )
     return results, ()
 
@@ -161,11 +173,31 @@ class Session:
         Emit per-slot events.  With ``workers > 1`` the slot events of a
         trial are replayed after the trial completes.  Disable for very
         large runs where only trial-level progress matters.
+    checkpoint:
+        Optional :class:`~repro.faults.RunCheckpoint`.  Completed trials
+        are periodically snapshotted to disk, and a fresh run of the same
+        scenario resumes from the snapshot instead of recomputing —
+        resumed results are byte-identical because every trial is a pure
+        function of ``(scenario, trial_index)``.
+    stop_flag:
+        Optional zero-argument callable polled between trials (e.g.
+        :meth:`~repro.faults.InterruptGuard.stop_requested`).  When it
+        returns ``True`` the run winds down cleanly after the current
+        trial, marking the record ``stopped_early``.
+    max_retries / worker_timeout_s:
+        Supervision knobs for parallel runs (see
+        :class:`~repro.faults.PoolSupervisor`): retry rounds after worker
+        deaths, and the optional progress deadline that turns a hung
+        worker into a retriable failure.
     """
 
     workers: int = 1
     observers: Sequence[RunObserver] = ()
     stream_slots: bool = True
+    checkpoint: Optional[RunCheckpoint] = None
+    stop_flag: Optional[Callable[[], bool]] = None
+    max_retries: int = 3
+    worker_timeout_s: Optional[float] = None
 
     def run(self, scenario: Scenario) -> RunRecord:
         """Execute every trial of ``scenario`` and return the unified record."""
@@ -182,30 +214,50 @@ class Session:
             )
         )
 
-        stopped_early = False
+        key: Optional[str] = None
         completed: List[TrialOutcome] = []
+        if self.checkpoint is not None:
+            key = checkpoint_key(scenario.to_dict())
+            completed.extend(self.checkpoint.load(key)[:trials])
+        resumed = len(completed)
+
+        stopped_early = False
+        recoveries = 0
         try:
             # Both modes append into `completed` as trials finish, so the
             # trials completed before an EarlyStop are preserved.
-            if self.workers > 1 and trials > 1:
-                self._run_parallel(scenario, trials, completed)
+            if self.workers > 1 and trials - resumed > 1:
+                recoveries = self._run_parallel(scenario, trials, completed, key)
             else:
-                self._run_serial(scenario, trials, completed)
+                self._run_serial(scenario, trials, completed, key)
         except EarlyStop:
             stopped_early = True
+        if self._stop_requested():
+            stopped_early = True
 
+        if self.checkpoint is not None and key is not None:
+            if stopped_early or len(completed) < trials:
+                self.checkpoint.save(key, completed)
+            else:
+                self.checkpoint.clear()
+
+        meta = {
+            "workers": self.workers,
+            "requested_trials": trials,
+            "completed_trials": len(completed),
+            "stopped_early": stopped_early,
+            "elapsed_seconds": time.perf_counter() - started,
+        }
+        if self.checkpoint is not None:
+            meta["resumed_trials"] = resumed
+        if recoveries:
+            meta["worker_recoveries"] = recoveries
         record = RunRecord(
             scenario=scenario.to_dict(),
             kind=scenario.kind,
             trials=[outcome[0] for outcome in completed],
             provider_trials=[outcome[1] for outcome in completed if outcome[1]],
-            meta={
-                "workers": self.workers,
-                "requested_trials": trials,
-                "completed_trials": len(completed),
-                "stopped_early": stopped_early,
-                "elapsed_seconds": time.perf_counter() - started,
-            },
+            meta=meta,
         )
         self._emit(
             RunCompleted(
@@ -221,39 +273,67 @@ class Session:
     # ------------------------------------------------------------------ #
     # Execution modes
     # ------------------------------------------------------------------ #
+    def _stop_requested(self) -> bool:
+        return self.stop_flag is not None and bool(self.stop_flag())
+
+    def _checkpoint_progress(self, key: Optional[str], completed: List[TrialOutcome]) -> None:
+        if self.checkpoint is not None and key is not None:
+            self.checkpoint.maybe_save(key, completed)
+
     def _run_serial(
-        self, scenario: Scenario, trials: int, completed: List[TrialOutcome]
+        self,
+        scenario: Scenario,
+        trials: int,
+        completed: List[TrialOutcome],
+        key: Optional[str] = None,
     ) -> None:
-        for trial in range(trials):
+        for trial in range(len(completed), trials):
+            if self._stop_requested():
+                return
             self._emit(TrialStarted(scenario=scenario.name, trial=trial))
             outcome = execute_trial(
                 scenario, trial, on_slot=self._live_slot_callback(scenario, trial)
             )
             completed.append(outcome)
+            self._checkpoint_progress(key, completed)
             self._emit_trial_completed(scenario, trial, outcome)
 
     def _run_parallel(
-        self, scenario: Scenario, trials: int, completed: List[TrialOutcome]
-    ) -> None:
-        with ProcessPoolExecutor(max_workers=min(self.workers, trials)) as pool:
-            futures = [
-                pool.submit(_execute_trial_for_pool, scenario, trial)
-                for trial in range(trials)
-            ]
-            try:
-                # Collect in trial order so the event stream (and any
-                # early-stop cut-off) is deterministic.
-                for trial, future in enumerate(futures):
-                    outcome = future.result()
+        self,
+        scenario: Scenario,
+        trials: int,
+        completed: List[TrialOutcome],
+        key: Optional[str] = None,
+    ) -> int:
+        first = len(completed)
+        tasks = [(scenario, trial) for trial in range(first, trials)]
+        # Unordered completion is buffered and released as a contiguous
+        # prefix, so the event stream (and any early-stop cut-off) is as
+        # deterministic as the historical in-order collection.
+        buffered: Dict[int, TrialOutcome] = {}
+        next_index = 0
+        with PoolSupervisor(
+            max_workers=min(self.workers, len(tasks)),
+            max_retries=self.max_retries,
+            timeout_s=self.worker_timeout_s,
+        ) as supervisor:
+            for index, outcome in supervisor.run_unordered(
+                _execute_trial_for_pool, tasks
+            ):
+                buffered[index] = outcome
+                while next_index in buffered:
+                    trial = first + next_index
+                    outcome = buffered.pop(next_index)
                     self._emit(TrialStarted(scenario=scenario.name, trial=trial))
                     if self.stream_slots:
                         self._replay_slots(scenario, trial, outcome)
                     completed.append(outcome)
+                    self._checkpoint_progress(key, completed)
                     self._emit_trial_completed(scenario, trial, outcome)
-            except EarlyStop:
-                for future in futures:
-                    future.cancel()
-                raise
+                    next_index += 1
+                if self._stop_requested():
+                    break
+            return supervisor.recoveries
 
     # ------------------------------------------------------------------ #
     # Event plumbing
@@ -343,6 +423,7 @@ def compare(
     workers: int = 1,
     observers: Sequence[RunObserver] = (),
     name: str = "comparison",
+    **session_options,
 ) -> RunRecord:
     """Run a multi-trial policy comparison in one call.
 
@@ -350,10 +431,14 @@ def compare(
     :func:`repro.experiments.runner.run_comparison`: every trial draws a
     fresh topology and trace, every policy runs on the identical trace.
     ``policies`` accepts anything :meth:`Scenario.with_policies` does.
+    Extra keyword arguments become :class:`Session` fields (``checkpoint``,
+    ``stop_flag``, ``max_retries``, ...).
     """
     from repro.experiments.config import ExperimentConfig
 
     config = config if config is not None else ExperimentConfig.paper()
     config = config.with_run_overrides(trials, seed)
     scenario = Scenario.from_config(config, name=name).with_policies(*policies)
-    return run_scenario(scenario, workers=workers, observers=observers)
+    return run_scenario(
+        scenario, workers=workers, observers=observers, **session_options
+    )

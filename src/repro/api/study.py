@@ -47,7 +47,7 @@ import hashlib
 import itertools
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -65,6 +65,7 @@ from typing import (
 from repro.api.records import RunRecord
 from repro.api.scenario import (
     BUDGET_FIELDS,
+    FAULT_FIELDS,
     PHYSICAL_FIELDS,
     SERVING_FIELDS,
     SOLVER_FIELDS,
@@ -77,6 +78,7 @@ from repro.api.scenario import (
 )
 from repro.api.session import execute_trial
 from repro.experiments.config import ExperimentConfig
+from repro.faults import PoolSupervisor
 from repro.network.topology import TOPOLOGY_KINDS
 from repro.simulation.engine import build_simulator
 from repro.simulation.results import SimulationResult
@@ -100,6 +102,7 @@ _AXIS_GROUPS: Dict[str, Optional[frozenset]] = {
     "physical": PHYSICAL_FIELDS,
     "timing": TIMING_FIELDS,
     "serving": SERVING_FIELDS,
+    "faults": FAULT_FIELDS,
     "config": None,
 }
 
@@ -115,8 +118,9 @@ def resolve_config_path(path: str) -> str:
     an alias for ``topology_kind``, the ``physical`` group accepts the
     short field names (``"physical.swap_success"`` →
     ``"physical_swap_success"``), the ``serving`` group likewise
-    (``"serving.arrival_rate"`` → ``"serving_arrival_rate"``), and the
-    ``timing`` group accepts the
+    (``"serving.arrival_rate"`` → ``"serving_arrival_rate"``), the
+    ``faults`` group likewise (``"faults.node_mtbf"`` →
+    ``"fault_node_mtbf"``), and the ``timing`` group accepts the
     :meth:`Scenario.with_backend` aliases (``"timing.latency"`` →
     ``"signaling_latency_s"``, ``"timing.guard_time"`` →
     ``"slot_guard_time_s"``).
@@ -134,6 +138,8 @@ def resolve_config_path(path: str) -> str:
         name = f"physical_{name}"
     if group == "serving" and not name.startswith("serving_"):
         name = f"serving_{name}"
+    if group == "faults" and not name.startswith("fault_"):
+        name = f"fault_{name}"
     if group == "timing":
         name = {
             "latency": "signaling_latency_s",
@@ -274,6 +280,11 @@ def run_study_unit(scenario: Scenario, trial: int, unit_index: int) -> Simulatio
     trace = config.build_trace(graph, seed=derive_seed(seed, "trace", trial))
     policies = scenario.build_policies()
     rngs = spawn_rngs(derive_seed(seed, "run", trial), len(policies))
+    faults = None
+    if config.fault_enabled:
+        # Same derivation as execute_trial: the schedule is shared by every
+        # policy of the trial, whichever unit runs first.
+        faults = config.build_faults(graph, derive_seed(seed, "faults", trial))
     simulator = build_simulator(
         graph,
         trace,
@@ -282,6 +293,7 @@ def run_study_unit(scenario: Scenario, trial: int, unit_index: int) -> Simulatio
         realize=config.realize,
         physical=config.physical_model(),
         timing=config.timing_model(),
+        faults=faults,
     )
     return simulator.run(policies[unit_index], seed=rngs[unit_index])
 
@@ -338,14 +350,30 @@ class ResultStore:
         return self.root / f"{self.key_for(scenario)}.json"
 
     def load(self, scenario: Scenario) -> Optional[RunRecord]:
-        """The stored record of ``scenario``, or ``None`` (miss / unreadable)."""
+        """The stored record of ``scenario``, or ``None`` (miss / corruption).
+
+        A corrupt or truncated entry (torn write, disk-full run, manual
+        tampering) is treated as a miss: it is removed with a warning so
+        the recomputed record rewrites it cleanly instead of failing every
+        future run of the grid.
+        """
         path = self.path_for(scenario)
         if not path.exists():
             return None
         try:
             return RunRecord.load(path)
-        except (ValueError, KeyError, json.JSONDecodeError):
-            return None  # treat a torn write as a miss and recompute
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError) as error:
+            warnings.warn(
+                f"result store entry {path} is corrupt ({error!r}); "
+                "discarding it and recomputing the point",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
 
     def save(self, scenario: Scenario, record: RunRecord) -> Path:
         """Persist ``record`` under ``scenario``'s content hash."""
@@ -496,6 +524,18 @@ class StudyResult:
         from repro.serving.scheduler import merge_serving_stats
 
         return merge_serving_stats(record.serving_stats() for record in self.records)
+
+    def fault_stats(self) -> Optional[Dict[str, int]]:
+        """Fault-injection statistics summed over every point of the grid.
+
+        Aggregates :meth:`RunRecord.fault_stats` across the study; points
+        run without fault injection (or served from the result store —
+        diagnostics are in-memory only) contribute nothing.  ``None`` when
+        no point carried any.
+        """
+        from repro.faults import merge_fault_stats
+
+        return merge_fault_stats(record.fault_stats() for record in self.records)
 
     def format_summary(
         self,
@@ -722,13 +762,20 @@ class Study:
         workers: int = 1,
         store: Union[None, ResultStore, PathLike] = None,
         on_progress: Optional[Callable[[str], None]] = None,
+        stop_flag: Optional[Callable[[], bool]] = None,
     ) -> StudyResult:
         """Execute the whole grid and return the :class:`StudyResult`.
 
         ``workers > 1`` drains the flattened point × policy × trial queue
         with one process pool (results byte-identical to serial).  ``store``
         enables the resumable result store; ``on_progress`` receives one
-        human-readable line per cached/completed point.
+        human-readable line per cached/completed point.  ``stop_flag`` is
+        polled between work units (e.g. an
+        :class:`~repro.faults.InterruptGuard`'s ``stop_requested``); once it
+        returns ``True`` the queue winds down, completed points stay
+        persisted in the store, and ``KeyboardInterrupt`` is raised if the
+        grid is left incomplete — re-running with the same ``store``
+        resumes from the finished points.
         """
         points = self.points()
         store_obj = ResultStore.coerce(store)
@@ -785,42 +832,56 @@ class Study:
             records[position] = record
             self._notify(on_progress, f"{point.name}: done")
 
+        recoveries = 0
         if workers > 1 and len(tasks) > 1:
-            with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-                future_map = {
-                    pool.submit(
-                        _execute_study_task, points[p].scenario, trial, unit
-                    ): (p, trial, unit)
-                    for p, trial, unit in tasks
-                }
-                for future in as_completed(future_map):
-                    key = future_map[future]
-                    outcomes[key] = future.result()
+            # The supervisor survives worker deaths (resubmitting the lost
+            # units) and every unit is a pure function of its seeds, so a
+            # supervised run remains byte-identical to a serial one.
+            with PoolSupervisor(max_workers=min(workers, len(tasks))) as supervisor:
+                for task_index, result in supervisor.run_unordered(
+                    _execute_study_task,
+                    [(points[p].scenario, trial, unit) for p, trial, unit in tasks],
+                ):
+                    key = tasks[task_index]
+                    outcomes[key] = result
                     remaining[key[0]] -= 1
                     if remaining[key[0]] == 0:
                         finish_point(key[0])
+                    if stop_flag is not None and stop_flag():
+                        break
+                recoveries = supervisor.recoveries
         else:
             for key in tasks:
+                if stop_flag is not None and stop_flag():
+                    break
                 position, trial, unit = key
                 outcomes[key] = _execute_study_task(points[position].scenario, trial, unit)
                 remaining[position] -= 1
                 if remaining[position] == 0:
                     finish_point(position)
 
+        if stop_flag is not None and any(record is None for record in records):
+            # Cooperative stop left the grid incomplete.  Every finished
+            # point was already flushed to the store (finish_point), so a
+            # re-run with the same store resumes from them.
+            raise KeyboardInterrupt
         assert all(record is not None for record in records)
+        meta = {
+            "workers": workers,
+            "points": len(points),
+            "points_cached": cached,
+            "tasks_executed": len(tasks),
+            "elapsed_seconds": time.perf_counter() - started,
+            "store": str(store_obj.root) if store_obj is not None else None,
+        }
+        if recoveries:
+            meta["worker_recoveries"] = recoveries
         return StudyResult(
             name=self.name,
             axes=[axis.describe() for axis in self._axes],
             points=points,
             records=list(records),  # type: ignore[arg-type]
-            meta={
-                "workers": workers,
-                "points": len(points),
-                "points_cached": cached,
-                "tasks_executed": len(tasks),
-                "elapsed_seconds": time.perf_counter() - started,
-                "store": str(store_obj.root) if store_obj is not None else None,
-            },
+            meta=meta,
         )
 
     @staticmethod
@@ -875,6 +936,9 @@ def run_study(
     workers: int = 1,
     store: Union[None, ResultStore, PathLike] = None,
     on_progress: Optional[Callable[[str], None]] = None,
+    stop_flag: Optional[Callable[[], bool]] = None,
 ) -> StudyResult:
     """Function-style alias of :meth:`Study.run`."""
-    return study.run(workers=workers, store=store, on_progress=on_progress)
+    return study.run(
+        workers=workers, store=store, on_progress=on_progress, stop_flag=stop_flag
+    )

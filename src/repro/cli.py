@@ -7,15 +7,21 @@ writing any Python (all built on the :mod:`repro.api` facade):
   derived quantities (per-slot budget, link success probabilities).
 * ``python -m repro figure fig3 --scale small`` — regenerate one figure
   (``fig3`` … ``fig8`` of the paper, the physical-layer ``fig9``, the
-  timing study ``fig10``, or ``ablations``) and optionally save the
-  plain-text report with ``--output``.  Every command accepts the
-  physical-layer flags (``--physical``, ``--swap-p``, ``--decoherence-t2``,
-  ``--purify-rounds``, ``--fidelity-target``, ``--fidelity-constrained``)
-  and the timing flags (``--backend``, ``--signaling-latency``).
+  timing study ``fig10``, the resilience study ``fig11``, or
+  ``ablations``) and optionally save the plain-text report with
+  ``--output``.  Every command accepts the physical-layer flags
+  (``--physical``, ``--swap-p``, ``--decoherence-t2``,
+  ``--purify-rounds``, ``--fidelity-target``, ``--fidelity-constrained``),
+  the timing flags (``--backend``, ``--signaling-latency``) and the
+  fault-injection flags (``--faults``, ``--node-mtbf``, ``--edge-mtbf``,
+  ``--mttr``, ``--fault-blind``, ``--solve-deadline``).
 * ``python -m repro compare --scale tiny`` — run a policy comparison and
   print the summary table; ``--policies`` picks any registered policies,
   ``--workers`` parallelises the trials, ``--progress`` streams progress,
   ``--json`` emits the full :class:`~repro.api.records.RunRecord` payload.
+  ``--checkpoint PATH`` makes long runs resumable, and a single
+  ``SIGINT``/``SIGTERM`` winds the run down gracefully (finish the current
+  trial, flush, exit 130) on ``compare``, ``sweep`` and ``serve``.
 * ``python -m repro sweep --axis budget.total_budget --values 3000 5000 8000``
   — run a declarative :class:`~repro.api.study.Study`: any number of
   ``--axis``/``--values`` pairs (plus ``--topologies``) expand into a grid
@@ -48,6 +54,7 @@ from repro.experiments import (
     fig8_initial_queue,
     fig9_fidelity,
     fig10_timing,
+    fig11_resilience,
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.persistence import save_text_report
@@ -66,6 +73,7 @@ FIGURE_RUNNERS = {
     "fig8": lambda config, workers: fig8_initial_queue.run(config, workers=workers),
     "fig9": lambda config, workers: fig9_fidelity.run(config, workers=workers),
     "fig10": lambda config, workers: fig10_timing.run(config, workers=workers),
+    "fig11": lambda config, workers: fig11_resilience.run(config, workers=workers),
     "ablations": lambda config, workers: ablations.run_all_report(config, workers=workers),
 }
 
@@ -107,9 +115,31 @@ def _config_from_args(arguments: argparse.Namespace) -> ExperimentConfig:
         overrides["signaling_latency_s"] = arguments.signaling_latency
         if getattr(arguments, "backend", None) is None:
             overrides["backend"] = "event"
+    # Fault-injection flags: any fault parameter implies --faults.
+    fault_overrides = {
+        field: getattr(arguments, flag)
+        for flag, field in _FAULT_FLAG_FIELDS.items()
+        if getattr(arguments, flag, None) is not None
+    }
+    if getattr(arguments, "fault_blind", False):
+        fault_overrides["fault_aware"] = False
+    if getattr(arguments, "faults", False) or fault_overrides:
+        fault_overrides["fault_enabled"] = True
+    overrides.update(fault_overrides)
+    # Degradation ladder: cap the per-slot solve work (independent of faults).
+    if getattr(arguments, "solve_deadline", None) is not None:
+        overrides["solve_deadline"] = arguments.solve_deadline
     if overrides:
         config = config.with_overrides(**overrides)
     return config
+
+
+#: Value-taking fault-injection CLI flags mapped to their config fields.
+_FAULT_FLAG_FIELDS = {
+    "node_mtbf": "fault_node_mtbf",
+    "edge_mtbf": "fault_edge_mtbf",
+    "mttr": "fault_mttr",
+}
 
 
 #: Value-taking physical CLI flags mapped to their config fields.
@@ -166,6 +196,10 @@ def command_figure(arguments: argparse.Namespace) -> int:
         )
     elif arguments.name == "fig10":
         config = fig10_timing.fig10_config(
+            config, explicit=_explicit_physical_fields(arguments)
+        )
+    elif arguments.name == "fig11":
+        config = fig11_resilience.fig11_config(
             config, explicit=_explicit_physical_fields(arguments)
         )
     started = time.time()
@@ -272,10 +306,25 @@ def _serving_stats_fragment(stats) -> Optional[str]:
     )
 
 
+def _fault_stats_fragment(stats) -> Optional[str]:
+    """The resilience fragment of the health line (outage accounting)."""
+    if not stats:
+        return None
+    availability = api.fault_availability(stats)
+    return (
+        f"faults {1.0 if availability is None else availability:.3f} availability, "
+        f"{int(stats.get('node_failures', 0))} node/"
+        f"{int(stats.get('edge_failures', 0))} edge outage(s), "
+        f"{int(stats.get('requests_unservable', 0))} unservable/"
+        f"{int(stats.get('requests_interrupted', 0))} interrupted request(s)"
+    )
+
+
 def _health_line(
-    kernel_stats, physical_stats, event_stats=None, serving_stats=None
+    kernel_stats, physical_stats, event_stats=None, serving_stats=None,
+    fault_stats=None,
 ) -> Optional[str]:
-    """One line summarising solver, physical, event and serving health."""
+    """One line summarising solver, physical, event, serving and fault health."""
     fragments = [
         fragment
         for fragment in (
@@ -283,6 +332,7 @@ def _health_line(
             _physical_stats_fragment(physical_stats),
             _eventsim_stats_fragment(event_stats),
             _serving_stats_fragment(serving_stats),
+            _fault_stats_fragment(fault_stats),
         )
         if fragment
     ]
@@ -291,18 +341,41 @@ def _health_line(
     return "[health] " + " | ".join(fragments)
 
 
+def _session_resilience_options(arguments: argparse.Namespace, guard) -> dict:
+    """``Session`` options wiring ``--checkpoint`` and the interrupt guard."""
+    options = {"stop_flag": guard.stop_requested}
+    checkpoint = getattr(arguments, "checkpoint", None)
+    if checkpoint:
+        options["checkpoint"] = api.RunCheckpoint(Path(checkpoint))
+    return options
+
+
+def _interrupt_notice(arguments: argparse.Namespace) -> int:
+    """Report a graceful wind-down (always exits with the SIGINT code)."""
+    checkpoint = getattr(arguments, "checkpoint", None)
+    where = f"checkpoint {checkpoint}" if checkpoint else "the partial record"
+    print(
+        f"[interrupted] wound down after the current trial; completed work "
+        f"flushed to {where}",
+        file=sys.stderr,
+    )
+    return 130
+
+
 def command_compare(arguments: argparse.Namespace) -> int:
     """Run a policy comparison through the facade and print the summary."""
     config = _config_from_args(arguments)
     observers = [api.ProgressObserver()] if arguments.progress else []
     try:
-        record = api.compare(
-            config,
-            policies=tuple(arguments.policies),
-            workers=arguments.workers,
-            observers=observers,
-            name=f"compare/{arguments.scale}",
-        )
+        with api.InterruptGuard() as guard:
+            record = api.compare(
+                config,
+                policies=tuple(arguments.policies),
+                workers=arguments.workers,
+                observers=observers,
+                name=f"compare/{arguments.scale}",
+                **_session_resilience_options(arguments, guard),
+            )
     except (api.UnknownPolicyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         print("hint: `python -m repro policies` lists the registry", file=sys.stderr)
@@ -313,6 +386,7 @@ def command_compare(arguments: argparse.Namespace) -> int:
             record.physical_stats(),
             record.event_stats(),
             record.serving_stats(),
+            record.fault_stats(),
         )
         if line:
             print(line, file=sys.stderr)
@@ -323,6 +397,8 @@ def command_compare(arguments: argparse.Namespace) -> int:
     if arguments.output:
         path = record.save(Path(arguments.output))
         print(f"[comparison written to {path}]", file=sys.stderr if arguments.json else sys.stdout)
+    if guard.triggered:
+        return _interrupt_notice(arguments)
     return 0
 
 
@@ -378,18 +454,33 @@ def command_sweep(arguments: argparse.Namespace) -> int:
         on_progress = None
         if arguments.progress:
             on_progress = lambda message: print(f"[sweep] {message}", file=sys.stderr)
-        result = study.run(
-            workers=arguments.workers, store=arguments.store, on_progress=on_progress
-        )
+        with api.InterruptGuard() as guard:
+            result = study.run(
+                workers=arguments.workers,
+                store=arguments.store,
+                on_progress=on_progress,
+                stop_flag=guard.stop_requested,
+            )
     except (api.UnknownPolicyError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # The guard wound the queue down after the in-flight units; every
+        # completed point is already persisted when --store is given.
+        where = (
+            f"store {arguments.store}; re-run with the same --store to resume"
+            if arguments.store
+            else "nowhere (give --store DIR to make interrupted sweeps resumable)"
+        )
+        print(f"[interrupted] completed points flushed to {where}", file=sys.stderr)
+        return 130
     if arguments.progress:
         line = _health_line(
             result.kernel_stats(),
             result.physical_stats(),
             result.event_stats(),
             result.serving_stats(),
+            result.fault_stats(),
         )
         if line:
             print(line, file=sys.stderr)
@@ -473,9 +564,13 @@ def command_serve(arguments: argparse.Namespace) -> int:
         # negative rates, ...), so it sits inside the error envelope too.
         config = _config_from_args(arguments).with_overrides(**overrides)
         scenario = api.Scenario.from_config(config, name=f"serve/{arguments.scale}")
-        record = api.run_scenario(
-            scenario, workers=arguments.workers, observers=observers
-        )
+        with api.InterruptGuard() as guard:
+            record = api.run_scenario(
+                scenario,
+                workers=arguments.workers,
+                observers=observers,
+                **_session_resilience_options(arguments, guard),
+            )
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -485,6 +580,7 @@ def command_serve(arguments: argparse.Namespace) -> int:
             record.physical_stats(),
             record.event_stats(),
             record.serving_stats(),
+            record.fault_stats(),
         )
         if line:
             print(line, file=sys.stderr)
@@ -497,6 +593,8 @@ def command_serve(arguments: argparse.Namespace) -> int:
     if arguments.output:
         path = record.save(Path(arguments.output))
         print(f"[serving record written to {path}]", file=sys.stderr if arguments.json else sys.stdout)
+    if guard.triggered:
+        return _interrupt_notice(arguments)
     return 0
 
 
@@ -568,6 +666,29 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="signaling_latency",
                          help="classical one-way signaling latency per edge "
                               "in seconds (implies --backend event)")
+        sub.add_argument("--faults", action="store_true",
+                         help="inject seeded node/edge outages (transient "
+                              "failures with MTBF/MTTR; schedules are "
+                              "byte-identical across worker layouts)")
+        sub.add_argument("--node-mtbf", type=float, default=None, dest="node_mtbf",
+                         help="mean slots between failures per node "
+                              "(0 disables node outages; implies --faults)")
+        sub.add_argument("--edge-mtbf", type=float, default=None, dest="edge_mtbf",
+                         help="mean slots between failures per edge "
+                              "(0 disables edge outages; implies --faults)")
+        sub.add_argument("--mttr", type=float, default=None, dest="mttr",
+                         help="mean slots to repair a failed element "
+                              "(implies --faults)")
+        sub.add_argument("--fault-blind", action="store_true", dest="fault_blind",
+                         help="hide outages from the policies: routes are "
+                              "chosen on the healthy topology and served "
+                              "requests crossing a down element are "
+                              "interrupted (implies --faults)")
+        sub.add_argument("--solve-deadline", type=int, default=None,
+                         dest="solve_deadline",
+                         help="per-slot solve budget in combination "
+                              "evaluations; over budget the solver degrades "
+                              "exhaustive -> gibbs -> greedy (0 = unlimited)")
 
     info = subparsers.add_parser("info", help="print the configuration and derived quantities")
     add_common(info)
@@ -594,6 +715,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream per-trial progress to stderr")
     compare.add_argument("--json", action="store_true",
                          help="print the run record as JSON instead of the summary table")
+    compare.add_argument("--checkpoint", default=None, metavar="PATH",
+                         help="checkpoint completed trials to this JSON file; "
+                              "an interrupted run re-invoked with the same "
+                              "flags resumes from it (byte-identical result)")
     add_common(compare)
     compare.set_defaults(handler=command_compare)
 
@@ -671,6 +796,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the run record as JSON instead of the tables")
     serve.add_argument("--output", default=None,
                        help="write the full run record (JSON) to this file")
+    serve.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="checkpoint completed trials to this JSON file; "
+                            "an interrupted run re-invoked with the same "
+                            "flags resumes from it (byte-identical result)")
     add_common(serve)
     serve.set_defaults(handler=command_serve)
 

@@ -51,6 +51,7 @@ class _MyopicBase(RoutingPolicy):
     use_kernel: bool = True
     dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
     kernel_cache: bool = True
+    solve_deadline: int = 0
     name: str = "myopic"
 
     _tracker: BudgetTracker = field(init=False, repr=False)
@@ -70,6 +71,7 @@ class _MyopicBase(RoutingPolicy):
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
             kernel_cache=self.kernel_cache,
+            solve_deadline=self.solve_deadline,
         )
         self._tracker = BudgetTracker(total_budget=self.total_budget, horizon=self._run_horizon)
 

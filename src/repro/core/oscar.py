@@ -71,6 +71,10 @@ class OscarPolicy(RoutingPolicy):
         horizons (carrying warm-start duals slot-to-slot) instead of
         recompiling it per slot; disable to benchmark against the
         recompile-per-slot kernel path.
+    solve_deadline:
+        Per-slot solve budget in combination evaluations (0 = unlimited);
+        see :class:`~repro.core.per_slot.PerSlotSolver`'s degradation
+        ladder.
     """
 
     total_budget: float = 5000.0
@@ -86,6 +90,7 @@ class OscarPolicy(RoutingPolicy):
     use_kernel: bool = True
     dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
     kernel_cache: bool = True
+    solve_deadline: int = 0
     name: str = "OSCAR"
 
     _queue: VirtualQueue = field(init=False, repr=False)
@@ -110,6 +115,7 @@ class OscarPolicy(RoutingPolicy):
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
             kernel_cache=self.kernel_cache,
+            solve_deadline=self.solve_deadline,
         )
         self._run_horizon = self.horizon
         self._queue = VirtualQueue.for_budget(

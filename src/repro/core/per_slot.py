@@ -24,12 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.allocation import QubitAllocator
+from repro.core.allocation import AllocationOutcome, QubitAllocator
 from repro.core.problem import SlotContext, SlotDecision
 from repro.core.route_selection import (
     ExhaustiveRouteSelector,
     GibbsRouteSelector,
     RouteSelectionResult,
+    _build_evaluator,
 )
 from repro.solvers.kernel import DEFAULT_DUAL_TOLERANCE, KernelCache
 from repro.solvers.relaxed import RelaxedSolver
@@ -41,8 +42,8 @@ from repro.workload.requests import SDPair
 class PerSlotSolution:
     """Outcome of solving P2 for one slot.
 
-    ``selector`` names the selector that actually ran (``"exhaustive"`` or
-    ``"gibbs"``); ``used_exhaustive`` is true when the route-combination
+    ``selector`` names the selector that actually ran (``"exhaustive"``,
+    ``"gibbs"`` or ``"greedy"``); ``used_exhaustive`` is true when the route-combination
     space was searched *exhaustively* — either because the exhaustive
     selector ran, or because the space contained at most one combination, in
     which case the Gibbs sampler trivially visits all of it.  Use
@@ -71,6 +72,17 @@ class PerSlotSolver:
     number of route combinations is at most ``exhaustive_limit``, Gibbs
     otherwise), ``"exhaustive"`` or ``"gibbs"``.
 
+    ``solve_deadline`` (0 = unlimited) is the degradation ladder's per-slot
+    solve budget, expressed as a *deterministic* number of combination
+    evaluations (a wall-clock deadline would make results depend on machine
+    load, which the repository's byte-identity discipline forbids).  When a
+    budget is set the selector ladder degrades gracefully: exhaustive search
+    runs only while the combination space fits the budget, the Gibbs sampler
+    runs while its nominal cost (``gibbs_iterations + 1`` evaluations) fits,
+    and beyond that a one-evaluation greedy selection (first/shortest
+    candidate route of every request) keeps the slot served.  Fallbacks are
+    counted and surfaced through :meth:`kernel_stats`.
+
     ``kernel_cache`` (default on, only meaningful with ``use_kernel``) makes
     both selectors re-bind one compiled
     :class:`~repro.solvers.kernel.CompiledStructure` per topology across the
@@ -89,12 +101,16 @@ class PerSlotSolver:
     use_kernel: bool = True
     dual_tolerance: float = DEFAULT_DUAL_TOLERANCE
     kernel_cache: bool = True
+    solve_deadline: int = 0
     _allocator: QubitAllocator = field(init=False, repr=False)
     _exhaustive: ExhaustiveRouteSelector = field(init=False, repr=False)
     _gibbs: Optional[GibbsRouteSelector] = field(init=False, repr=False)
     _cache: Optional[KernelCache] = field(init=False, repr=False)
     _exhaustive_slots: int = field(init=False, repr=False, default=0)
     _gibbs_slots: int = field(init=False, repr=False, default=0)
+    _greedy_slots: int = field(init=False, repr=False, default=0)
+    _deadline_gibbs_fallbacks: int = field(init=False, repr=False, default=0)
+    _deadline_greedy_fallbacks: int = field(init=False, repr=False, default=0)
 
     def __post_init__(self) -> None:
         if self.selector_mode not in ("auto", "exhaustive", "gibbs"):
@@ -103,6 +119,10 @@ class PerSlotSolver:
             )
         if self.exhaustive_limit < 1:
             raise ValueError("exhaustive_limit must be at least 1")
+        if self.solve_deadline < 0:
+            raise ValueError(
+                f"solve_deadline must be non-negative, got {self.solve_deadline}"
+            )
         if self.relaxed_solver is not None:
             self._allocator = QubitAllocator(solver=self.relaxed_solver)
         else:
@@ -141,6 +161,9 @@ class PerSlotSolver:
             self._cache.reset()
         self._exhaustive_slots = 0
         self._gibbs_slots = 0
+        self._greedy_slots = 0
+        self._deadline_gibbs_fallbacks = 0
+        self._deadline_greedy_fallbacks = 0
 
     def kernel_stats(self) -> Optional[Dict[str, int]]:
         """Aggregate kernel statistics since the last :meth:`reset`.
@@ -158,6 +181,12 @@ class PerSlotSolver:
         stats = self._cache.aggregate_stats()
         stats["exhaustive_slots"] = self._exhaustive_slots
         stats["gibbs_slots"] = self._gibbs_slots
+        if self.solve_deadline > 0:
+            # Ladder counters only exist when a deadline is set, so
+            # deadline-free runs keep their historical stats payload.
+            stats["greedy_slots"] = self._greedy_slots
+            stats["deadline_gibbs_fallbacks"] = self._deadline_gibbs_fallbacks
+            stats["deadline_greedy_fallbacks"] = self._deadline_greedy_fallbacks
         return stats
 
     def _gibbs_selector(self) -> GibbsRouteSelector:
@@ -173,6 +202,42 @@ class PerSlotSolver:
             )
         return self._gibbs
 
+    def _greedy_select(
+        self,
+        context: SlotContext,
+        requests: Sequence[SDPair],
+        utility_weight: float,
+        cost_weight: float,
+        budget_cap: Optional[float],
+    ) -> RouteSelectionResult:
+        """The ladder's last rung: one evaluation of the warm-start combination.
+
+        Every request takes its first (shortest) candidate route — the same
+        combination the Gibbs sampler starts from — and Algorithm 2 allocates
+        it once.  Deterministic, seed-free, and exactly one evaluation.
+        """
+        requests = [r for r in requests if len(context.routes_for(r)) > 0]
+        if not requests:
+            empty = AllocationOutcome(allocation={}, objective=0.0, feasible=True, cost=0)
+            return RouteSelectionResult(
+                selection={}, outcome=empty, objective=0.0, evaluations=0
+            )
+        candidates = [list(context.routes_for(r)) for r in requests]
+        evaluator = _build_evaluator(
+            context, requests, candidates, self._allocator,
+            utility_weight, cost_weight, budget_cap,
+            self.use_kernel, self.dual_tolerance, self._cache,
+        )
+        initial = tuple(0 for _ in candidates)
+        outcome = evaluator.outcome_for(initial)
+        objective = outcome.objective if outcome.feasible else float("-inf")
+        return RouteSelectionResult(
+            selection=evaluator.selection_for(initial),
+            outcome=outcome,
+            objective=objective,
+            evaluations=evaluator.evaluations,
+        )
+
     def _select(
         self,
         context: SlotContext,
@@ -182,24 +247,36 @@ class PerSlotSolver:
         budget_cap: Optional[float],
         seed: SeedLike,
     ) -> Tuple[RouteSelectionResult, str, bool]:
-        """Run the configured route selector.
+        """Run the configured route selector (under the solve deadline, if any).
 
         Returns ``(result, selector, exhaustive_search)`` where ``selector``
-        is the selector that ran (``"exhaustive"``/``"gibbs"``) and
-        ``exhaustive_search`` whether the combination space was covered
+        is the selector that ran (``"exhaustive"``/``"gibbs"``/``"greedy"``)
+        and ``exhaustive_search`` whether the combination space was covered
         exhaustively — true for the exhaustive selector, and also for a
-        Gibbs run over a space of at most one combination (which the sampler
-        necessarily visits in full).
+        Gibbs or greedy run over a space of at most one combination (which
+        any selector necessarily visits in full).
         """
         combinations = self._exhaustive.combination_count(context, requests)
-        use_exhaustive = self.selector_mode == "exhaustive" or (
+        budget = int(self.solve_deadline)
+        want_exhaustive = self.selector_mode == "exhaustive" or (
             self.selector_mode == "auto" and combinations <= self.exhaustive_limit
         )
-        if use_exhaustive:
+        if want_exhaustive and (budget <= 0 or combinations <= budget):
             result = self._exhaustive.select(
                 context, requests, utility_weight, cost_weight, budget_cap, seed
             )
             return result, "exhaustive", True
+        if budget > 0 and self.gibbs_iterations + 1 > budget:
+            # Even the sampler's nominal cost blows the budget: greedy rung.
+            self._deadline_greedy_fallbacks += 1
+            result = self._greedy_select(
+                context, requests, utility_weight, cost_weight, budget_cap
+            )
+            return result, "greedy", combinations <= 1
+        if want_exhaustive:
+            # Only reachable with a deadline set: the exhaustive space was
+            # too large for the budget, so the sampler takes over.
+            self._deadline_gibbs_fallbacks += 1
         result = self._gibbs_selector().select(
             context, requests, utility_weight, cost_weight, budget_cap, seed
         )
@@ -250,6 +327,8 @@ class PerSlotSolver:
 
         if used_exhaustive:
             self._exhaustive_slots += 1
+        elif selector == "greedy":
+            self._greedy_slots += 1
         else:
             self._gibbs_slots += 1
 

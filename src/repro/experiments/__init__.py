@@ -11,6 +11,7 @@ from repro.experiments import (
     fig8_initial_queue,
     fig9_fidelity,
     fig10_timing,
+    fig11_resilience,
     ablations,
 )
 
@@ -26,5 +27,6 @@ __all__ = [
     "fig8_initial_queue",
     "fig9_fidelity",
     "fig10_timing",
+    "fig11_resilience",
     "ablations",
 ]

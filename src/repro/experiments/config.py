@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (lazy import at runtime)
+    from repro.faults import FaultModel, FaultSchedule
     from repro.serving.scheduler import ServingModel
 
 from repro.core.baselines import (
@@ -85,9 +86,13 @@ class ExperimentConfig:
     # ``kernel_cache`` re-binds one compiled kernel structure across slots
     # and whole horizons (warm-start duals carried slot-to-slot); disable it
     # to benchmark the recompile-per-slot kernel path.
+    # ``solve_deadline`` caps each per-slot solve at a deterministic number
+    # of combination evaluations; past it the selector ladder degrades
+    # exhaustive → Gibbs → greedy (0 = unlimited, the historical behaviour).
     use_kernel: bool = True
     dual_tolerance: float = 1e-4
     kernel_cache: bool = True
+    solve_deadline: int = 0
 
     # --- physical layer (repro.simulation.physical) ------------------------ #
     # ``physical_enabled`` switches on the physical delivery co-simulation:
@@ -151,6 +156,27 @@ class ExperimentConfig:
     serving_shards: int = 1
     serving_merge_every: int = 1
     serving_shard_workers: int = 1
+    serving_shard_timeout_s: float = 300.0
+    serving_min_availability: float = 0.9
+
+    # --- fault injection (repro.faults) ------------------------------------ #
+    # ``fault_enabled`` switches on the deterministic fault-injection layer:
+    # nodes and edges suffer transient outages (exponential up-times with
+    # mean ``fault_node_mtbf``/``fault_edge_mtbf`` slots, down-times with
+    # mean ``fault_mttr`` slots; 0 disables that element class) plus the
+    # scripted one-shots in ``fault_outages`` (each a JSON-friendly
+    # ``[kind, element, start, duration]`` entry).  The schedule is derived
+    # from its own spawned seed, so fault-free runs consume exactly the
+    # historical random streams and stay byte-identical.  With
+    # ``fault_aware`` (default) policies see the degraded topology — routes
+    # over failed elements leave the candidate sets; blind mode keeps the
+    # full sets and loses the affected requests at realization time.
+    fault_enabled: bool = False
+    fault_node_mtbf: float = 0.0
+    fault_edge_mtbf: float = 0.0
+    fault_mttr: float = 5.0
+    fault_outages: Optional[List[List[object]]] = None
+    fault_aware: bool = True
 
     # --- experiment bookkeeping ------------------------------------------- #
     trials: int = 5
@@ -181,10 +207,18 @@ class ExperimentConfig:
         if self.edge_latency_s:
             for key, value in self.edge_latency_s.items():
                 check_non_negative(value, f"edge_latency_s[{key!r}]")
+        if self.solve_deadline < 0:
+            raise ValueError(
+                f"solve_deadline must be non-negative, got {self.solve_deadline}"
+            )
         if self.serving_enabled:
             # Building the model validates every serving field (arrival kind,
             # admission name, shard/merge counts) in one place.
             self.serving_model()
+        if self.fault_enabled:
+            # Likewise: building the fault model validates the fault fields
+            # (MTBF/MTTR signs, scripted-outage shapes) in one place.
+            self.fault_model()
 
     # ------------------------------------------------------------------ #
     # Presets
@@ -383,6 +417,47 @@ class ExperimentConfig:
             shards=self.serving_shards,
             merge_every=self.serving_merge_every,
             shard_workers=self.serving_shard_workers,
+            shard_timeout_s=self.serving_shard_timeout_s,
+            min_availability=self.serving_min_availability,
+        )
+
+    def fault_model(self) -> Optional["FaultModel"]:
+        """The configured fault model, or ``None`` when disabled.
+
+        The single place the flat ``fault_*`` fields become the
+        :class:`~repro.faults.FaultModel` the simulators consume;
+        constructing it validates every fault field.
+        """
+        if not self.fault_enabled:
+            return None
+        from repro.faults import FaultModel
+
+        return FaultModel(
+            node_mtbf=self.fault_node_mtbf,
+            edge_mtbf=self.fault_edge_mtbf,
+            mttr=self.fault_mttr,
+            outages=tuple(
+                tuple(entry) for entry in (self.fault_outages or ())
+            ),
+            aware=self.fault_aware,
+        )
+
+    def build_faults(
+        self, graph: QDNGraph, seed: SeedLike, horizon: Optional[int] = None
+    ) -> Optional["FaultSchedule"]:
+        """The precomputed fault schedule of one run (``None`` when disabled).
+
+        ``seed`` must be the run's dedicated fault seed
+        (``derive_seed(base_seed, "faults", trial)``) so schedules are
+        byte-identical across serial/parallel execution and worker layouts.
+        """
+        model = self.fault_model()
+        if model is None:
+            return None
+        from repro.faults import FaultSchedule
+
+        return FaultSchedule.build(
+            model, graph, seed, self.horizon if horizon is None else int(horizon)
         )
 
     def request_process(self) -> RequestProcess:
@@ -458,6 +533,7 @@ class ExperimentConfig:
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
             kernel_cache=self.kernel_cache,
+            solve_deadline=self.solve_deadline,
         )
         parameters.update(overrides)
         return OscarPolicy(**parameters)
@@ -473,6 +549,7 @@ class ExperimentConfig:
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
             kernel_cache=self.kernel_cache,
+            solve_deadline=self.solve_deadline,
         )
         parameters.update(overrides)
         return MyopicFixedPolicy(**parameters)
@@ -488,6 +565,7 @@ class ExperimentConfig:
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
             kernel_cache=self.kernel_cache,
+            solve_deadline=self.solve_deadline,
         )
         parameters.update(overrides)
         return MyopicAdaptivePolicy(**parameters)
@@ -503,6 +581,7 @@ class ExperimentConfig:
             use_kernel=self.use_kernel,
             dual_tolerance=self.dual_tolerance,
             kernel_cache=self.kernel_cache,
+            solve_deadline=self.solve_deadline,
         )
         parameters.update(overrides)
         return UnconstrainedPolicy(**parameters)

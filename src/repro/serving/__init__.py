@@ -8,7 +8,7 @@ turns the same simulators into a long-lived service.  Three pieces:
   seed-derived per-session RNG streams.
 * :mod:`repro.serving.admission` — pluggable admission policies gating
   joins on the Lyapunov virtual-queue backlog (always-admit,
-  backlog-threshold, token-bucket), registered by name.
+  backlog-threshold, token-bucket, availability-gate), registered by name.
 * :mod:`repro.serving.scheduler` — the sharded session scheduler:
   consistent-hash partitioning, periodic state merge, optional process-pool
   shard workers, byte-identical for any shard layout under a fixed seed.
@@ -21,6 +21,7 @@ from repro.serving.admission import (
     AdmissionPolicy,
     AdmissionState,
     AlwaysAdmit,
+    AvailabilityGate,
     BacklogThreshold,
     TokenBucket,
     UnknownAdmissionPolicyError,
@@ -54,6 +55,7 @@ __all__ = [
     "AdmissionState",
     "AlwaysAdmit",
     "ArrivalProcess",
+    "AvailabilityGate",
     "BacklogThreshold",
     "PoissonArrivals",
     "ServingModel",

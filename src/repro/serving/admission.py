@@ -38,12 +38,17 @@ class AdmissionState:
     of ``k`` slots the signals are up to ``k−1`` slots stale — admission
     sees the network the way a periodically-synchronised control plane
     would, not with shard-local omniscience.
+
+    ``availability`` is the fraction of network elements (nodes + edges)
+    currently up, ``1.0`` when no fault schedule is attached — the signal
+    the :class:`AvailabilityGate` uses to shed load during outages.
     """
 
     t: int
     backlog: float
     pending_requests: int
     active_sessions: int
+    availability: float = 1.0
 
 
 class AdmissionPolicy(ABC):
@@ -124,6 +129,35 @@ class TokenBucket(AdmissionPolicy):
         return False
 
 
+@dataclass
+class AvailabilityGate(AdmissionPolicy):
+    """Shed joins while the network is degraded below ``min_availability``.
+
+    During an outage the sessions already admitted keep whatever service
+    the surviving elements allow; refusing *new* joins until availability
+    recovers keeps the backlog from growing against capacity that is not
+    there.  Above the availability floor the gate degenerates to the
+    :class:`BacklogThreshold` rule, so fault-free runs behave like the
+    default policy.
+    """
+
+    min_availability: float = 0.9
+    threshold: float = 200.0
+    name: str = field(default="availability-gate", init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_availability <= 1.0:
+            raise ValueError(
+                f"min_availability must be in [0, 1], got {self.min_availability}"
+            )
+        check_non_negative(self.threshold, "threshold")
+
+    def admit(self, spec: SessionSpec, state: AdmissionState) -> bool:
+        if state.availability < self.min_availability:
+            return False
+        return state.backlog <= self.threshold
+
+
 class UnknownAdmissionPolicyError(KeyError):
     """Raised when an admission-policy name is not registered."""
 
@@ -195,3 +229,6 @@ register_admission_policy(
     "backlog-threshold", BacklogThreshold, aliases=("backlog", "lyapunov")
 )
 register_admission_policy("token-bucket", TokenBucket, aliases=("token", "bucket"))
+register_admission_policy(
+    "availability-gate", AvailabilityGate, aliases=("availability", "avail")
+)

@@ -29,11 +29,12 @@ simulated requests (``benchmarks/serving_bench.py``).
 from __future__ import annotations
 
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.virtual_queue import VirtualQueue
+from repro.faults.model import FaultSchedule, FaultStats
+from repro.faults.supervisor import PoolSupervisor
 from repro.network.graph import QDNGraph
 from repro.network.routes import build_candidate_routes
 from repro.serving.admission import (
@@ -70,6 +71,8 @@ class ServingModel:
     shards: int = 1
     merge_every: int = 1
     shard_workers: int = 1
+    shard_timeout_s: float = 300.0
+    min_availability: float = 0.9
 
     def __post_init__(self) -> None:
         check_non_negative(self.arrival_rate, "arrival_rate")
@@ -79,6 +82,11 @@ class ServingModel:
         check_positive(self.shards, "shards")
         check_positive(self.merge_every, "merge_every")
         check_positive(self.shard_workers, "shard_workers")
+        check_positive(self.shard_timeout_s, "shard_timeout_s")
+        if not 0.0 <= self.min_availability <= 1.0:
+            raise ValueError(
+                f"min_availability must be in [0, 1], got {self.min_availability}"
+            )
         canonical_admission_name(self.admission)  # fail fast on typos
 
     def build_arrivals(self) -> ArrivalProcess:
@@ -98,6 +106,10 @@ class ServingModel:
         parameters = {
             "backlog-threshold": {"threshold": self.admission_threshold},
             "token-bucket": {"rate": self.token_rate, "burst": self.token_burst},
+            "availability-gate": {
+                "min_availability": self.min_availability,
+                "threshold": self.admission_threshold,
+            },
         }.get(canonical, {})
         return make_admission_policy(canonical, **parameters)
 
@@ -116,20 +128,40 @@ class _SlotEntry(NamedTuple):
     backlog: int
     departed: bool
     renewed: bool
+    interrupted: int
 
+
+#: The elements a session's route occupies: (nodes, edge keys).  A shard
+#: intersects these with the slot's down elements to decide whether the
+#: session can be served at all.
+RouteElements = Tuple[FrozenSet, FrozenSet]
+
+#: A slot's failed elements as shipped to shards: (down nodes, down edges).
+DownElements = Tuple[FrozenSet, FrozenSet]
 
 #: One admitted join shipped to a shard: the spec plus its centrally
 #: resolved route economics (per-request qubit cost, per-request success
-#: probability, requests servable per slot under the session budget).
-AdmittedJoin = Tuple[SessionSpec, int, float, int]
+#: probability, requests servable per slot under the session budget) and
+#: the elements its route occupies.
+AdmittedJoin = Tuple[SessionSpec, int, float, int, RouteElements]
 
 
 class _ServingSession:
     """Runtime state of one active session inside a shard (picklable)."""
 
-    __slots__ = ("spec", "rng", "queue", "expires_at", "cost", "prob", "capacity")
+    __slots__ = (
+        "spec", "rng", "queue", "expires_at", "cost", "prob", "capacity",
+        "elements",
+    )
 
-    def __init__(self, spec: SessionSpec, cost: int, prob: float, capacity: int):
+    def __init__(
+        self,
+        spec: SessionSpec,
+        cost: int,
+        prob: float,
+        capacity: int,
+        elements: RouteElements = (frozenset(), frozenset()),
+    ):
         self.spec = spec
         self.rng = as_generator(spec.seed)
         self.queue: deque = deque()
@@ -137,6 +169,7 @@ class _ServingSession:
         self.cost = cost
         self.prob = prob
         self.capacity = capacity
+        self.elements = elements
 
     def __getstate__(self):
         return tuple(getattr(self, name) for name in self.__slots__)
@@ -145,18 +178,33 @@ class _ServingSession:
         for name, value in zip(self.__slots__, state):
             setattr(self, name, value)
 
-    def advance(self, t: int) -> _SlotEntry:
+    def blocked_by(self, down: Optional[DownElements]) -> bool:
+        """Whether a slot's failed elements cut this session's route."""
+        if down is None:
+            return False
+        nodes, edges = self.elements
+        return bool(nodes & down[0]) or bool(edges & down[1])
+
+    def advance(self, t: int, down: Optional[DownElements] = None) -> _SlotEntry:
         """One slot of this session: arrivals, service, expiry/renewal.
 
         The draw order (request count, then one batch for realisations when
         anything was served, then at most one renewal draw) is fixed, so the
         session's stream is consumed identically on every shard layout.
+        A slot whose failed elements (``down``) cut the session's route
+        serves nothing — the would-be service count is reported as
+        ``interrupted`` and the requests stay queued until repair.
         """
         spec = self.spec
         arrived = int(self.rng.poisson(spec.request_rate)) if spec.request_rate > 0 else 0
         for _ in range(arrived):
             self.queue.append(t)
-        served = min(len(self.queue), self.capacity)
+        interrupted = 0
+        if self.blocked_by(down):
+            interrupted = min(len(self.queue), self.capacity)
+            served = 0
+        else:
+            served = min(len(self.queue), self.capacity)
         sojourn = 0
         realized: Tuple[bool, ...] = ()
         if served:
@@ -188,6 +236,7 @@ class _ServingSession:
             backlog=len(self.queue),
             departed=departed,
             renewed=renewed,
+            interrupted=interrupted,
         )
 
 
@@ -199,24 +248,29 @@ class _Shard:
     sessions: Dict[int, _ServingSession] = field(default_factory=dict)
 
     def advance(
-        self, slots: Sequence[int], joins: Mapping[int, List[AdmittedJoin]]
+        self,
+        slots: Sequence[int],
+        joins: Mapping[int, List[AdmittedJoin]],
+        down: Optional[Mapping[int, DownElements]] = None,
     ) -> List[List[_SlotEntry]]:
         """Advance every session over ``slots``; returns entries per slot.
 
         ``joins`` maps a slot to the sessions admitted *at* that slot (they
-        start generating requests the slot they join).  Departed sessions
-        are removed from the shard.
+        start generating requests the slot they join).  ``down`` maps a
+        slot to its failed elements (absent slots are healthy).  Departed
+        sessions are removed from the shard.
         """
         per_slot: List[List[_SlotEntry]] = []
         for t in slots:
-            for spec, cost, prob, capacity in joins.get(t, ()):
+            for spec, cost, prob, capacity, elements in joins.get(t, ()):
                 self.sessions[spec.session_id] = _ServingSession(
-                    spec, cost=cost, prob=prob, capacity=capacity
+                    spec, cost=cost, prob=prob, capacity=capacity, elements=elements
                 )
+            slot_down = down.get(t) if down else None
             entries: List[_SlotEntry] = []
             gone: List[int] = []
             for session_id in sorted(self.sessions):
-                entry = self.sessions[session_id].advance(t)
+                entry = self.sessions[session_id].advance(t, slot_down)
                 entries.append(entry)
                 if entry.departed:
                     gone.append(session_id)
@@ -227,10 +281,13 @@ class _Shard:
 
 
 def _advance_shard_for_pool(
-    shard: _Shard, slots: Sequence[int], joins: Mapping[int, List[AdmittedJoin]]
+    shard: _Shard,
+    slots: Sequence[int],
+    joins: Mapping[int, List[AdmittedJoin]],
+    down: Optional[Mapping[int, DownElements]] = None,
 ) -> Tuple[_Shard, List[List[_SlotEntry]]]:
     """Top-level pool target: advance one shard and ship its state back."""
-    return shard, shard.advance(slots, joins)
+    return shard, shard.advance(slots, joins, down)
 
 
 def shard_for_session(session_id: int, shards: int) -> int:
@@ -259,6 +316,7 @@ class ServingSimulator:
         num_candidate_routes: int = 4,
         max_extra_hops: int = 2,
         clock: Optional[SlotClock] = None,
+        faults: Optional[FaultSchedule] = None,
     ):
         check_positive(horizon, "horizon")
         check_non_negative(total_budget, "total_budget")
@@ -272,18 +330,21 @@ class ServingSimulator:
         self.clock = clock if clock is not None else SlotClock(
             attempts_per_slot=graph.attempts_per_slot
         )
-        self._route_cache: Dict[Tuple, Tuple[int, float]] = {}
+        self.faults = faults
+        self._route_cache: Dict[Tuple, Tuple[int, float, RouteElements]] = {}
 
     # ------------------------------------------------------------------ #
     # Route economics (resolved centrally, once per endpoint pair)
     # ------------------------------------------------------------------ #
-    def _route_info(self, endpoints: Tuple) -> Tuple[int, float]:
-        """Per-request (qubit cost, success probability) for one endpoint pair.
+    _NO_ELEMENTS: RouteElements = (frozenset(), frozenset())
+
+    def _resolve_route(self, endpoints: Tuple) -> Tuple[int, float, RouteElements]:
+        """Per-request (qubit cost, success probability, route elements).
 
         Picks the candidate route with the highest single-channel success
-        product (ties: fewest hops).  A disconnected pair yields ``(0, 0.0)``
-        — its sessions are admitted but never served, and their requests
-        drop at departure.
+        product (ties: fewest hops).  A disconnected pair yields
+        ``(0, 0.0, empty)`` — its sessions are admitted but never served,
+        and their requests drop at departure.
         """
         cached = self._route_cache.get(endpoints)
         if cached is not None:
@@ -294,7 +355,7 @@ class ServingSimulator:
             num_routes=self.num_candidate_routes,
             max_extra_hops=self.max_extra_hops,
         )[endpoints]
-        best: Tuple[int, float] = (0, 0.0)
+        best: Tuple[int, float, RouteElements] = (0, 0.0, self._NO_ELEMENTS)
         best_rank = None
         for route in routes:
             probability = 1.0
@@ -303,9 +364,18 @@ class ServingSimulator:
             rank = (-probability, route.hops)
             if best_rank is None or rank < best_rank:
                 best_rank = rank
-                best = (route.hops + 1, probability)
+                best = (
+                    route.hops + 1,
+                    probability,
+                    (frozenset(route.nodes), frozenset(route.edges)),
+                )
         self._route_cache[endpoints] = best
         return best
+
+    def _route_info(self, endpoints: Tuple) -> Tuple[int, float]:
+        """Per-request (qubit cost, success probability) for one endpoint pair."""
+        cost, probability, _ = self._resolve_route(endpoints)
+        return cost, probability
 
     # ------------------------------------------------------------------ #
     # The service loop
@@ -342,11 +412,18 @@ class ServingSimulator:
         merged_backlog = 0
         active_sessions = 0
         records: List[SlotRecord] = []
+        fault_stats = FaultStats() if self.faults is not None else None
 
-        pool: Optional[ProcessPoolExecutor] = None
+        # Shard advances run under a supervisor: a dead worker rebuilds the
+        # pool and resubmits the window (shard state only mutates in the
+        # worker's copy, so a resubmission is byte-identical), and the
+        # progress deadline turns a hung worker into a retriable failure.
+        supervisor: Optional[PoolSupervisor] = None
         workers = min(model.shard_workers, model.shards)
         if workers > 1:
-            pool = ProcessPoolExecutor(max_workers=workers)
+            supervisor = PoolSupervisor(
+                max_workers=workers, timeout_s=model.shard_timeout_s
+            )
         try:
             for window_start in range(0, self.horizon, model.merge_every):
                 slots = list(
@@ -355,6 +432,16 @@ class ServingSimulator:
                 joins: List[Dict[int, List[AdmittedJoin]]] = [
                     {} for _ in range(model.shards)
                 ]
+                # The slot → failed-elements map for this window, computed
+                # centrally once so every shard sees the same outages.
+                down: Optional[Dict[int, DownElements]] = None
+                if self.faults is not None:
+                    down = {}
+                    for t in slots:
+                        fault_state = self.faults.state_at(t)
+                        fault_stats.observe_slot(self.faults, fault_state)
+                        if fault_state:
+                            down[t] = (fault_state.down_nodes, fault_state.down_edges)
                 # Admission runs centrally against the last merged state —
                 # with a merge period of k the signals are up to k−1 slots
                 # stale, like any periodically-synchronised control plane.
@@ -367,6 +454,11 @@ class ServingSimulator:
                             backlog=queue.length,
                             pending_requests=merged_backlog,
                             active_sessions=active_sessions,
+                            availability=(
+                                self.faults.availability_at(t)
+                                if self.faults is not None
+                                else 1.0
+                            ),
                         )
                         if not admission.admit(spec, state):
                             counters["sessions_rejected"] += 1
@@ -374,26 +466,26 @@ class ServingSimulator:
                         counters["sessions_admitted"] += 1
                         active_sessions += 1
                         served_by_session[spec.session_id] = 0
-                        cost, prob = self._route_info(spec.endpoints)
+                        cost, prob, elements = self._resolve_route(spec.endpoints)
                         capacity = (
                             int(model.session_budget // cost) if cost > 0 else 0
                         )
                         shard = shard_for_session(spec.session_id, model.shards)
                         joins[shard].setdefault(t, []).append(
-                            (spec, cost, prob, capacity)
+                            (spec, cost, prob, capacity, elements)
                         )
 
-                if pool is not None:
-                    futures = [
-                        pool.submit(_advance_shard_for_pool, shard, slots, joins[i])
-                        for i, shard in enumerate(shards)
-                    ]
-                    outcomes = [future.result() for future in futures]
+                if supervisor is not None:
+                    outcomes = supervisor.run(
+                        _advance_shard_for_pool,
+                        [(shard, slots, joins[i], down) for i, shard in enumerate(shards)],
+                    )
                     shards = [shard for shard, _ in outcomes]
                     reports = [entries for _, entries in outcomes]
                 else:
                     reports = [
-                        shard.advance(slots, joins[i]) for i, shard in enumerate(shards)
+                        shard.advance(slots, joins[i], down)
+                        for i, shard in enumerate(shards)
                     ]
 
                 # Merge in canonical session-id order: identical aggregation
@@ -419,6 +511,8 @@ class ServingSimulator:
                         counters["requests_dropped"] += entry.dropped
                         counters["sessions_departed"] += entry.departed
                         counters["sessions_renewed"] += entry.renewed
+                        if fault_stats is not None:
+                            fault_stats.requests_interrupted += entry.interrupted
                     counters["requests_arrived"] += arrived
                     counters["requests_served"] += served
                     counters["requests_realized"] += sum(realized)
@@ -442,8 +536,8 @@ class ServingSimulator:
                     if on_slot is not None:
                         on_slot(record)
         finally:
-            if pool is not None:
-                pool.shutdown()
+            if supervisor is not None:
+                supervisor.shutdown()
 
         stats = dict(counters)
         stats["requests_backlog"] = merged_backlog
@@ -455,12 +549,17 @@ class ServingSimulator:
         )
         stats["sim_seconds"] = self.horizon * self.clock.slot_duration
         stats["slots"] = self.horizon
+        if supervisor is not None and supervisor.recoveries:
+            stats["worker_recoveries"] = supervisor.recoveries
+        diagnostics: Dict[str, object] = {"serving": stats}
+        if fault_stats is not None:
+            diagnostics["faults"] = fault_stats.finalize(self.faults)
         return SimulationResult(
             policy_name=SERVING_LINEUP_NAME,
             horizon=self.horizon,
             total_budget=self.total_budget,
             records=tuple(records),
-            diagnostics={"serving": stats},
+            diagnostics=diagnostics,
         )
 
 

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext
+from repro.faults.model import FaultSchedule, FaultStats
 from repro.network.graph import QDNGraph
 from repro.simulation.clock import SlotClock
 from repro.simulation.link_layer import LinkLayerSimulator
@@ -66,6 +67,15 @@ class SlottedSimulator:
         ``slot_end_s``); defaults to the graph's attempt schedule with no
         guard time.  The clock never affects outcomes on this backend —
         only the timestamps.
+    faults:
+        Optional precomputed :class:`~repro.faults.FaultSchedule`: the
+        simulator consults it every slot.  In aware mode routes crossing a
+        failed element leave the candidate sets before the policy decides
+        (the policy sees the degraded topology without code changes); in
+        blind mode the policy keeps routing into outages and the affected
+        requests are forced to fail at realization time.  ``None`` (the
+        default) changes nothing — fault-free runs consume exactly the
+        historical random streams.
     """
 
     graph: QDNGraph
@@ -75,6 +85,7 @@ class SlottedSimulator:
     detailed_link_layer: bool = False
     physical: Optional[PhysicalModel] = None
     clock: Optional[SlotClock] = None
+    faults: Optional[FaultSchedule] = None
 
     def run(
         self,
@@ -103,17 +114,31 @@ class SlottedSimulator:
         clock = self.clock or SlotClock(attempts_per_slot=self.graph.attempts_per_slot)
 
         policy.reset(self.graph, self.trace.horizon)
+        fault_stats = FaultStats() if self.faults is not None else None
         records: List[SlotRecord] = []
         for slot_trace in self.trace.slots:
+            candidate_routes = {
+                request: tuple(self.trace.routes_for(request))
+                for request in slot_trace.requests
+            }
+            fault_state = None
+            if self.faults is not None:
+                fault_state = self.faults.state_at(slot_trace.t)
+                fault_stats.observe_slot(self.faults, fault_state)
+                if self.faults.aware and fault_state:
+                    filtered = self.faults.filter_routes(fault_state, candidate_routes)
+                    fault_stats.requests_unservable += sum(
+                        1
+                        for request in slot_trace.requests
+                        if candidate_routes[request] and not filtered[request]
+                    )
+                    candidate_routes = filtered
             context = SlotContext(
                 t=slot_trace.t,
                 graph=self.graph,
                 snapshot=slot_trace.snapshot,
                 requests=slot_trace.requests,
-                candidate_routes={
-                    request: tuple(self.trace.routes_for(request))
-                    for request in slot_trace.requests
-                },
+                candidate_routes=candidate_routes,
             )
             decision = policy.decide(context, seed=decision_rng)
             if not decision.respects_snapshot(slot_trace.snapshot):
@@ -151,6 +176,19 @@ class SlottedSimulator:
                 ):
                     realized.append(realization.succeeded)
                     fidelities.append(realization.fidelity)
+                if fault_state:
+                    # Requests routed across a failed element lose their
+                    # entanglement regardless of the link draw.  The batched
+                    # draw above already happened, so stream consumption is
+                    # unchanged and the schedule alone decides the outcome.
+                    # (A no-op in aware mode: filtered candidate sets mean
+                    # no chosen route crosses a failed element.)
+                    for index, request in enumerate(decision.served_requests):
+                        route = decision.route_for(request)
+                        if route is not None and fault_state.blocks_route(route):
+                            fault_stats.requests_interrupted += 1
+                            realized[index] = False
+                            fidelities[index] = 0.0
                 if engine is not None:
                     # The physical delivery chain consumes the link outcomes
                     # and its own spawned stream (shared by both engine
@@ -194,6 +232,9 @@ class SlottedSimulator:
         diagnostics = policy.diagnostics()
         if engine is not None:
             diagnostics = engine.merge_diagnostics(diagnostics)
+        if fault_stats is not None:
+            diagnostics = dict(diagnostics)
+            diagnostics["faults"] = fault_stats.finalize(self.faults)
         return SimulationResult(
             policy_name=policy.name,
             horizon=self.trace.horizon,
@@ -212,6 +253,7 @@ def build_simulator(
     detailed_link_layer: bool = False,
     physical: Optional[PhysicalModel] = None,
     timing=None,
+    faults: Optional[FaultSchedule] = None,
 ):
     """Construct the simulator for ``backend`` (``"slotted"`` or ``"event"``).
 
@@ -221,7 +263,8 @@ def build_simulator(
     ``timing`` is a :class:`~repro.simulation.eventsim.TimingModel`; its
     ``guard_time`` shapes the :class:`SlotClock` of *both* backends (the
     slotted backend only uses it for timestamps), while its latencies only
-    exist on the event backend.
+    exist on the event backend.  ``faults`` is an optional precomputed
+    :class:`~repro.faults.FaultSchedule` both backends consult per slot.
     """
     if backend not in BACKEND_KINDS:
         raise ValueError(
@@ -243,6 +286,7 @@ def build_simulator(
             physical=physical,
             timing=timing,
             clock=clock,
+            faults=faults,
         )
     return SlottedSimulator(
         graph=graph,
@@ -252,6 +296,7 @@ def build_simulator(
         detailed_link_layer=detailed_link_layer,
         physical=physical,
         clock=clock,
+        faults=faults,
     )
 
 
@@ -266,6 +311,7 @@ def simulate_policies(
     physical: Optional[PhysicalModel] = None,
     backend: str = "slotted",
     timing=None,
+    faults: Optional[FaultSchedule] = None,
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the *same* trace and collect their results.
 
@@ -275,7 +321,9 @@ def simulate_policies(
     policy's run (see :class:`SlottedSimulator`); ``physical`` switches on
     the physical delivery chain for every policy (each run gets its own
     fresh engine and spawned stream).  ``backend`` / ``timing`` select and
-    configure the simulation backend (see :func:`build_simulator`).
+    configure the simulation backend (see :func:`build_simulator`);
+    ``faults`` is shared by every policy, like the trace — outages hit the
+    whole line-up identically.
     """
     simulator = build_simulator(
         graph,
@@ -285,6 +333,7 @@ def simulate_policies(
         realize=realize,
         physical=physical,
         timing=timing,
+        faults=faults,
     )
     rngs = spawn_rngs(seed, len(list(policies)))
     results: Dict[str, SimulationResult] = {}

@@ -50,6 +50,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext
+from repro.faults.model import FaultSchedule, FaultStats
 from repro.network.graph import EdgeKey, QDNGraph
 from repro.network.routes import Route
 from repro.physics.entanglement import sample_successes
@@ -397,6 +398,7 @@ class EventDrivenSimulator:
     physical: Optional[PhysicalModel] = None
     timing: TimingModel = field(default_factory=TimingModel)
     clock: Optional[SlotClock] = None
+    faults: Optional[FaultSchedule] = None
 
     def run(
         self,
@@ -429,19 +431,37 @@ class EventDrivenSimulator:
         stats = EventStats()
 
         policy.reset(self.graph, self.trace.horizon)
+        fault_stats = FaultStats() if self.faults is not None else None
         records: List[SlotRecord] = []
         for slot_trace in self.trace.slots:
             slot_start = bridge.open_slot(slot_trace.t)
             stats.slots += 1
+            candidate_routes = {
+                request: tuple(self.trace.routes_for(request))
+                for request in slot_trace.requests
+            }
+            fault_state = None
+            if self.faults is not None:
+                # Same degradation semantics as the slotted backend: aware
+                # policies lose the routes crossing failed elements before
+                # deciding; blind policies route into the outage and the
+                # affected protocols are voided below.
+                fault_state = self.faults.state_at(slot_trace.t)
+                fault_stats.observe_slot(self.faults, fault_state)
+                if self.faults.aware and fault_state:
+                    filtered = self.faults.filter_routes(fault_state, candidate_routes)
+                    fault_stats.requests_unservable += sum(
+                        1
+                        for request in slot_trace.requests
+                        if candidate_routes[request] and not filtered[request]
+                    )
+                    candidate_routes = filtered
             context = SlotContext(
                 t=slot_trace.t,
                 graph=self.graph,
                 snapshot=slot_trace.snapshot,
                 requests=slot_trace.requests,
-                candidate_routes={
-                    request: tuple(self.trace.routes_for(request))
-                    for request in slot_trace.requests
-                },
+                candidate_routes=candidate_routes,
             )
             decision = bridge.decide(policy, context, decision_rng)
             if not decision.respects_snapshot(slot_trace.snapshot):
@@ -476,6 +496,15 @@ class EventDrivenSimulator:
                     loop, items, slot_start, clock, realization_rng, stats
                 )
                 deadline = bridge.close_slot(slot_trace.t)
+                if fault_state:
+                    # A protocol whose route crosses a failed element is
+                    # voided before accounting so delivered/physical stats
+                    # stay consistent with the interruption.
+                    for index, request in enumerate(decision.served_requests):
+                        route = decision.route_for(request)
+                        if route is not None and fault_state.blocks_route(route):
+                            fault_stats.requests_interrupted += 1
+                            protocols[index].confirm_time = None
                 for protocol in protocols:
                     protocol.cancel_pending(loop)
                     confirmed = protocol.confirm_time is not None
@@ -530,6 +559,8 @@ class EventDrivenSimulator:
         if memory is not None:
             diagnostics["physical"] = memory.stats.to_dict()
         diagnostics["eventsim"] = stats.to_dict()
+        if fault_stats is not None:
+            diagnostics["faults"] = fault_stats.finalize(self.faults)
         return SimulationResult(
             policy_name=policy.name,
             horizon=self.trace.horizon,

@@ -1,0 +1,150 @@
+"""Tests for the fault-injection CLI surface and the fig11 resilience study."""
+
+import pytest
+
+from repro.cli import (
+    _config_from_args,
+    _fault_stats_fragment,
+    _health_line,
+    build_parser,
+    main,
+)
+from repro.experiments import fig11_resilience
+from repro.experiments.config import ExperimentConfig
+
+
+def parse(*argv):
+    return build_parser().parse_args(list(argv))
+
+
+class TestFaultFlags:
+    def test_disabled_by_default(self):
+        config = _config_from_args(parse("info", "--scale", "tiny"))
+        assert not config.fault_enabled
+
+    def test_faults_flag_enables(self):
+        config = _config_from_args(parse("info", "--scale", "tiny", "--faults"))
+        assert config.fault_enabled
+        assert config.fault_aware
+
+    def test_parameters_imply_faults(self):
+        config = _config_from_args(
+            parse("info", "--scale", "tiny", "--edge-mtbf", "30", "--mttr", "4")
+        )
+        assert config.fault_enabled
+        assert config.fault_edge_mtbf == 30.0
+        assert config.fault_mttr == 4.0
+
+    def test_node_mtbf_implies_faults(self):
+        config = _config_from_args(parse("info", "--scale", "tiny", "--node-mtbf", "50"))
+        assert config.fault_enabled
+        assert config.fault_node_mtbf == 50.0
+
+    def test_fault_blind_disables_awareness(self):
+        config = _config_from_args(parse("info", "--scale", "tiny", "--fault-blind"))
+        assert config.fault_enabled
+        assert not config.fault_aware
+
+    def test_solve_deadline_is_independent_of_faults(self):
+        config = _config_from_args(
+            parse("info", "--scale", "tiny", "--solve-deadline", "12")
+        )
+        assert config.solve_deadline == 12
+        assert not config.fault_enabled
+
+    def test_checkpoint_flag_accepted(self):
+        assert parse("compare", "--checkpoint", "/tmp/c.json").checkpoint == "/tmp/c.json"
+        assert parse("serve", "--checkpoint", "/tmp/c.json").checkpoint == "/tmp/c.json"
+
+    def test_fig11_registered(self):
+        assert parse("figure", "fig11").name == "fig11"
+
+
+class TestHealthLine:
+    def test_fragment_empty_without_stats(self):
+        assert _fault_stats_fragment(None) is None
+        assert _fault_stats_fragment({}) is None
+
+    def test_fragment_content(self):
+        fragment = _fault_stats_fragment(
+            {
+                "element_slots": 200,
+                "down_element_slots": 10,
+                "node_failures": 1,
+                "edge_failures": 4,
+                "requests_unservable": 3,
+                "requests_interrupted": 2,
+            }
+        )
+        assert "0.950 availability" in fragment
+        assert "1 node/4 edge outage(s)" in fragment
+        assert "3 unservable/2 interrupted" in fragment
+
+    def test_health_line_includes_faults(self):
+        line = _health_line(None, None, fault_stats={"element_slots": 10})
+        assert line.startswith("[health] faults")
+
+
+class TestCompareWithFaults:
+    def test_end_to_end_with_health_line(self, capsys):
+        code = main(
+            [
+                "compare", "--scale", "tiny", "--trials", "1",
+                "--edge-mtbf", "25", "--mttr", "4", "--progress",
+                "--policies", "oscar",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "OSCAR" in captured.out
+        assert "faults" in captured.err
+
+
+class TestFig11:
+    def test_mtbf_for_rate(self):
+        assert fig11_resilience.mtbf_for_rate(0.0) == 0.0
+        assert fig11_resilience.mtbf_for_rate(0.02) == pytest.approx(50.0)
+
+    def test_fig11_config_enables_faults_and_physical(self):
+        config = fig11_resilience.fig11_config(ExperimentConfig.tiny())
+        assert config.fault_enabled
+        assert config.physical_enabled
+        assert config.physical_swap_success == pytest.approx(0.98)
+
+    def test_fig11_config_respects_pinned_fields(self):
+        base = ExperimentConfig.tiny().with_overrides(physical_swap_success=0.5)
+        config = fig11_resilience.fig11_config(
+            base, explicit=["physical_swap_success"]
+        )
+        assert config.physical_swap_success == pytest.approx(0.5)
+        assert config.physical_cutoff_fidelity == pytest.approx(0.25)
+
+    def test_build_study_axes(self):
+        study = fig11_resilience.build_study(
+            ExperimentConfig.tiny(), rates=[0.0, 0.02]
+        )
+        labels = [axis.label for axis in study._axes]
+        assert labels == ["aware", "edge_mtbf"]
+
+    def test_tiny_run_zero_rate_modes_coincide(self):
+        result = fig11_resilience.run(
+            ExperimentConfig.tiny(), outage_rates=[0.0, 0.05], trials=1
+        )
+        assert result.outage_rates == [0.0, 0.05]
+        throughput = result.throughput
+        assert set(throughput) == {"OSCAR (aware)", "OSCAR (blind)"}
+        # With no outages the degradation mode cannot matter.
+        assert throughput["OSCAR (aware)"][0] == throughput["OSCAR (blind)"][0]
+        fidelity = result.delivered_fidelity
+        assert fidelity["OSCAR (aware)"][0] == fidelity["OSCAR (blind)"][0]
+        payload = result.to_dict()
+        assert payload["figure"] == "fig11"
+        assert payload["fault_stats"]["slots"] > 0
+
+    def test_format_tables_mentions_both_panels(self):
+        result = fig11_resilience.run(
+            ExperimentConfig.tiny(), outage_rates=[0.0], trials=1
+        )
+        report = result.format_tables()
+        assert "Fig. 11(a)" in report
+        assert "Fig. 11(b)" in report

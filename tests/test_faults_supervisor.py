@@ -1,0 +1,184 @@
+"""Tests for repro.faults: supervised pools, checkpoints, interrupt guard."""
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.faults.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    InterruptGuard,
+    RunCheckpoint,
+    checkpoint_key,
+)
+from repro.faults.supervisor import PoolSupervisor, WorkerPoolError
+
+
+# --------------------------------------------------------------------------- #
+# Worker functions must live at module scope so the pool can pickle them.
+# --------------------------------------------------------------------------- #
+def _double(x):
+    return x * 2
+
+
+def _raise_value_error(x):
+    raise ValueError(f"boom {x}")
+
+
+def _die_unless_marker(marker, x):
+    """Kill the worker process on the first attempt, succeed on the retry."""
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(1)
+    return x * 10
+
+
+def _always_die(x):
+    os._exit(1)
+
+
+def _hang_unless_marker(marker, x):
+    """Hang the worker on the first attempt, succeed on the retry."""
+    if not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(120)
+    return x + 100
+
+
+class TestPoolSupervisor:
+    def test_run_returns_results_in_task_order(self):
+        with PoolSupervisor(max_workers=2) as supervisor:
+            results = supervisor.run(_double, [(i,) for i in range(6)])
+        assert results == [0, 2, 4, 6, 8, 10]
+        assert supervisor.recoveries == 0
+
+    def test_task_exceptions_propagate(self):
+        with PoolSupervisor(max_workers=1) as supervisor:
+            with pytest.raises(ValueError, match="boom"):
+                supervisor.run(_raise_value_error, [(1,)])
+
+    def test_recovers_from_worker_death(self, tmp_path):
+        marker = str(tmp_path / "died-once")
+        with PoolSupervisor(max_workers=1, backoff_s=0.0) as supervisor:
+            results = supervisor.run(_die_unless_marker, [(marker, 7)])
+        assert results == [70]
+        assert supervisor.recoveries >= 1
+
+    def test_gives_up_after_max_retries(self):
+        naps = []
+        with PoolSupervisor(
+            max_workers=1, max_retries=2, backoff_s=0.1, sleep=naps.append
+        ) as supervisor:
+            with pytest.raises(WorkerPoolError, match="giving up"):
+                supervisor.run(_always_die, [(1,)])
+        assert supervisor.recoveries == 2
+        # Capped exponential backoff: 0.1 then 0.2 (cap far above).
+        assert naps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_backoff_is_capped(self):
+        naps = []
+        with PoolSupervisor(
+            max_workers=1,
+            max_retries=4,
+            backoff_s=1.0,
+            backoff_cap_s=2.0,
+            sleep=naps.append,
+        ) as supervisor:
+            with pytest.raises(WorkerPoolError):
+                supervisor.run(_always_die, [(1,)])
+        assert naps == [1.0, 2.0, 2.0, 2.0]
+
+    def test_hung_worker_hits_progress_deadline(self, tmp_path):
+        marker = str(tmp_path / "hung-once")
+        with PoolSupervisor(
+            max_workers=1, timeout_s=0.5, backoff_s=0.0
+        ) as supervisor:
+            results = supervisor.run(_hang_unless_marker, [(marker, 1)])
+        assert results == [101]
+        assert supervisor.recoveries >= 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PoolSupervisor(max_workers=0)
+        with pytest.raises(ValueError):
+            PoolSupervisor(max_workers=1, max_retries=-1)
+        with pytest.raises(ValueError):
+            PoolSupervisor(max_workers=1, timeout_s=0.0)
+
+
+class TestCheckpointKey:
+    def test_name_is_excluded(self):
+        base = {"name": "a", "config": {"trials": 2}}
+        renamed = {"name": "b", "config": {"trials": 2}}
+        changed = {"name": "a", "config": {"trials": 3}}
+        assert checkpoint_key(base) == checkpoint_key(renamed)
+        assert checkpoint_key(base) != checkpoint_key(changed)
+
+
+class TestRunCheckpoint:
+    def test_load_missing_file_is_empty(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path / "absent.json")
+        assert checkpoint.load("key") == []
+
+    def test_wrong_key_is_a_miss(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(
+            json.dumps({"schema": CHECKPOINT_SCHEMA, "key": "other", "trials": []})
+        )
+        assert RunCheckpoint(path).load("mine") == []
+
+    def test_corrupt_file_warns_and_is_empty(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{truncated")
+        with pytest.warns(RuntimeWarning, match="corrupt checkpoint"):
+            assert RunCheckpoint(path).load("key") == []
+
+    def test_maybe_save_respects_cadence(self, tmp_path, monkeypatch):
+        checkpoint = RunCheckpoint(tmp_path / "ckpt.json", every=2)
+        saves = []
+        monkeypatch.setattr(
+            checkpoint, "save", lambda key, completed: saves.append(len(completed))
+        )
+        assert not checkpoint.maybe_save("k", [1])
+        assert checkpoint.maybe_save("k", [1, 2])
+
+    def test_rejects_nonpositive_cadence(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunCheckpoint(tmp_path / "ckpt.json", every=0)
+
+    def test_clear_removes_file(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{}")
+        checkpoint = RunCheckpoint(path)
+        checkpoint.clear()
+        assert not path.exists()
+        checkpoint.clear()  # idempotent
+
+
+class TestInterruptGuard:
+    def test_first_signal_sets_flag_only(self):
+        with InterruptGuard(signals=(signal.SIGUSR1,)) as guard:
+            assert not guard.stop_requested()
+            signal.raise_signal(signal.SIGUSR1)
+            assert guard.triggered
+            assert guard.stop_requested()
+
+    def test_second_signal_raises(self):
+        with InterruptGuard(signals=(signal.SIGUSR1,)) as guard:
+            signal.raise_signal(signal.SIGUSR1)
+            with pytest.raises(KeyboardInterrupt):
+                signal.raise_signal(signal.SIGUSR1)
+        assert guard.triggered
+
+    def test_handlers_restored_on_exit(self):
+        before = signal.getsignal(signal.SIGUSR1)
+        with InterruptGuard(signals=(signal.SIGUSR1,)):
+            assert signal.getsignal(signal.SIGUSR1) != before
+        assert signal.getsignal(signal.SIGUSR1) == before
+
+    def test_sigterm_is_cooperative(self):
+        with InterruptGuard() as guard:
+            signal.raise_signal(signal.SIGTERM)
+            assert guard.stop_requested()

@@ -84,7 +84,12 @@ class TestPolicies:
 class TestRegistry:
     def test_builtins_registered(self):
         names = available_admission_policies()
-        assert names == ("always", "backlog-threshold", "token-bucket")
+        assert names == (
+            "always",
+            "availability-gate",
+            "backlog-threshold",
+            "token-bucket",
+        )
 
     def test_aliases_resolve(self):
         assert canonical_admission_name("always-admit") == "always"
