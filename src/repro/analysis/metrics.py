@@ -18,6 +18,16 @@ import numpy as np
 from repro.simulation.results import SimulationResult
 
 
+def _require_finite(array: np.ndarray, what: str) -> None:
+    """Reject NaN/inf inputs instead of letting them poison a ratio silently.
+
+    ``NaN < 0`` is false, so a NaN entry used to sail past the sign check and
+    surface only as a NaN fairness index several tables downstream.
+    """
+    if array.size and not np.all(np.isfinite(array)):
+        raise ValueError(f"{what} requires finite values (got NaN or inf)")
+
+
 def jain_fairness_index(values: Sequence[float]) -> float:
     """Jain's fairness index ``(Σ x)² / (n · Σ x²)`` in ``(0, 1]``.
 
@@ -28,6 +38,7 @@ def jain_fairness_index(values: Sequence[float]) -> float:
     array = np.asarray(list(values), dtype=float)
     if array.size == 0:
         raise ValueError("fairness of an empty set is undefined")
+    _require_finite(array, "fairness")
     if np.any(array < 0):
         raise ValueError("fairness requires non-negative values")
     total_square = float(np.sum(array) ** 2)
@@ -50,6 +61,9 @@ def success_rate_histogram(
     if bins <= 0:
         raise ValueError(f"bins must be positive, got {bins}")
     array = np.asarray(list(probabilities), dtype=float)
+    # A NaN probability falls outside every bin, so the fractions would
+    # quietly sum to less than 1 — reject it instead.
+    _require_finite(array, "success-rate histogram")
     counts, edges = np.histogram(array, bins=bins, range=value_range)
     total = counts.sum()
     fractions = counts / total if total > 0 else np.zeros_like(counts, dtype=float)
@@ -64,6 +78,7 @@ def success_rate_quantiles(
     array = np.asarray(list(probabilities), dtype=float)
     if array.size == 0:
         return {float(q): 0.0 for q in quantiles}
+    _require_finite(array, "success-rate quantiles")
     return {float(q): float(np.quantile(array, q)) for q in quantiles}
 
 

@@ -97,6 +97,19 @@ from repro.api.study import (
     StudyResult,
     run_study,
 )
+from repro.experiments.config import ConfigError
+from repro.guard import (
+    GUARD_LEVELS,
+    DiffReport,
+    FlightRecorder,
+    InvariantGuard,
+    InvariantViolation,
+    ReplayResult,
+    dump_bundle,
+    load_bundle,
+    replay_bundle,
+)
+from repro.guard import run_all as diff_all_pairs
 from repro.serving import (
     AdmissionPolicy,
     AlwaysAdmit,
@@ -144,6 +157,18 @@ __all__ = [
     "run_study",
     # records
     "RunRecord",
+    # guard / replay / differential
+    "ConfigError",
+    "DiffReport",
+    "FlightRecorder",
+    "GUARD_LEVELS",
+    "InvariantGuard",
+    "InvariantViolation",
+    "ReplayResult",
+    "diff_all_pairs",
+    "dump_bundle",
+    "load_bundle",
+    "replay_bundle",
     # faults / resilience
     "FaultModel",
     "FaultSchedule",

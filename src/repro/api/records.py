@@ -251,6 +251,24 @@ class RunRecord:
             for result in trial.values()
         )
 
+    def guard_stats(self) -> Optional[Dict[str, int]]:
+        """Aggregate invariant-guard check counters across trials and line-up.
+
+        Sums the per-run ``diagnostics["guard"]`` counters an armed
+        :class:`repro.guard.InvariantGuard` produced (slots observed, checks
+        executed per layer pack, breaches).  Returns ``None`` when no result
+        carries guard diagnostics: ``guard_level="off"`` runs, or records
+        loaded from JSON (diagnostics are in-memory only, exactly like
+        :meth:`kernel_stats`).
+        """
+        from repro.guard.invariants import merge_guard_stats
+
+        return merge_guard_stats(
+            result.diagnostics.get("guard")
+            for trial in self.trials
+            for result in trial.values()
+        )
+
     def wall_time_s(self) -> Optional[float]:
         """Total simulated wall-clock seconds across trials.
 

@@ -99,6 +99,7 @@ FAULT_FIELDS = frozenset(
         "fault_outages", "fault_aware",
     }
 )
+GUARD_FIELDS = frozenset({"guard_level"})
 
 
 def unsupported_backend_error(backend: str, feature: str, remedy: str) -> ValueError:
@@ -491,6 +492,21 @@ class Scenario:
             mapped[name] = value
         return self._with_fields(FAULT_FIELDS, "with_faults", mapped)
 
+    def with_guard(self, level: str = "cheap") -> "Scenario":
+        """Arm the runtime invariant guard (:mod:`repro.guard`).
+
+        ``level`` is one of ``"off"``/``"cheap"``/``"strict"``: ``cheap``
+        runs O(1) per-slot accounting checks, ``strict`` additionally
+        recomputes constraint rows, the virtual-queue recursion, kernel
+        dual bounds and fault-schedule accounting.  The guard is purely
+        observational — results are byte-identical at every level; a breach
+        raises :class:`~repro.guard.InvariantViolation` and drops a
+        content-addressed repro bundle (see ``repro replay``).  The
+        ``REPRO_GUARD`` environment variable overrides the level at run
+        time without changing the scenario's identity.
+        """
+        return self._with_fields(GUARD_FIELDS, "with_guard", {"guard_level": str(level)})
+
     def with_trials(self, trials: int) -> "Scenario":
         """Number of independent trials (fresh topology + trace each)."""
         return self.with_config(trials=int(trials))
@@ -607,6 +623,10 @@ class Scenario:
 
     def validate(self) -> "Scenario":
         """Fail fast on inconsistent scenarios; returns self for chaining."""
+        # Field-level validation first (raises ConfigError): a scenario
+        # rebuilt from a dictionary or mutated via dataclasses.replace gets
+        # the same checks as a freshly constructed config.
+        self.config.validate()
         if self.is_multiuser:
             names = [user.name for user in self.users]
             if len(set(names)) != len(names):

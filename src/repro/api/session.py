@@ -17,6 +17,7 @@ deterministic in both modes.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
@@ -37,7 +38,9 @@ from repro.api.events import (
 from repro.api.records import RunRecord
 from repro.api.scenario import Scenario, unsupported_backend_error
 from repro.core.multiuser import MultiUserSimulator, ProviderSlotRecord
-from repro.faults import PoolSupervisor, RunCheckpoint, checkpoint_key
+from repro.faults import PoolSupervisor, RunCheckpoint, WorkerPoolError, checkpoint_key
+from repro.guard.invariants import InvariantViolation, effective_guard_level
+from repro.guard.recorder import FlightRecorder, dump_bundle
 from repro.serving.scheduler import SERVING_LINEUP_NAME
 from repro.simulation.engine import simulate_policies
 from repro.simulation.results import SimulationResult
@@ -58,7 +61,57 @@ def execute_trial(
     ``derive_seed(base, "graph"|"trace"|"run", trial)`` for comparisons and
     ``derive_seed(base, "graph"|"multiuser", trial)`` for multi-user runs —
     results therefore do not depend on which process executes the trial.
+
+    With the invariant guard armed (``guard_level`` or ``REPRO_GUARD`` not
+    ``"off"``), a flight recorder shadows the trial and any invariant breach
+    or unhandled exception dumps a content-addressed repro bundle before
+    re-raising — ``repro replay <bundle>`` re-executes the trial
+    deterministically (:mod:`repro.guard.replay`).  Guard off runs the
+    historical path with zero extra work.
     """
+    level = effective_guard_level(scenario.config.guard_level)
+    if level == "off":
+        return _execute_trial_inner(scenario, trial, on_slot)
+    recorder = FlightRecorder()
+
+    def recording_slot(name: str, record: object) -> Optional[bool]:
+        recorder.record(name, record)
+        return on_slot(name, record) if on_slot is not None else None
+
+    try:
+        return _execute_trial_inner(scenario, trial, recording_slot)
+    except EarlyStop:
+        # An observer-requested stop is a clean wind-down, not a failure.
+        raise
+    except BaseException as exc:
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            raise
+        # The recorder is best-effort: a failure while snapshotting the
+        # scenario or writing the bundle must never mask the real error.
+        try:
+            path = dump_bundle(
+                scenario.to_dict(), trial, level, recorder=recorder, error=exc
+            )
+        except Exception as dump_error:
+            # Not a warning: under ``-W error`` a warning raised here would
+            # mask the original exception all over again.
+            print(
+                f"[guard] could not dump a repro bundle for {exc!r}: "
+                f"{dump_error!r}",
+                file=sys.stderr,
+            )
+        else:
+            if isinstance(exc, InvariantViolation):
+                exc.bundle_path = path
+                exc.details["bundle_path"] = path
+        raise
+
+
+def _execute_trial_inner(
+    scenario: Scenario,
+    trial: int,
+    on_slot: Optional[Callable[[str, object], Optional[bool]]] = None,
+) -> TrialOutcome:
     config = scenario.config
     seed = config.base_seed
     physical = config.physical_model()
@@ -97,6 +150,7 @@ def execute_trial(
                 guard_time=config.slot_guard_time_s,
             ),
             faults=faults,
+            guard_level=config.guard_level,
         )
         serving_cb = None
         if on_slot is not None:
@@ -147,6 +201,7 @@ def execute_trial(
         backend=config.backend,
         timing=config.timing_model(),
         faults=faults,
+        guard_level=config.guard_level,
     )
     return results, ()
 
@@ -312,28 +367,40 @@ class Session:
         # deterministic as the historical in-order collection.
         buffered: Dict[int, TrialOutcome] = {}
         next_index = 0
-        with PoolSupervisor(
-            max_workers=min(self.workers, len(tasks)),
-            max_retries=self.max_retries,
-            timeout_s=self.worker_timeout_s,
-        ) as supervisor:
-            for index, outcome in supervisor.run_unordered(
-                _execute_trial_for_pool, tasks
-            ):
-                buffered[index] = outcome
-                while next_index in buffered:
-                    trial = first + next_index
-                    outcome = buffered.pop(next_index)
-                    self._emit(TrialStarted(scenario=scenario.name, trial=trial))
-                    if self.stream_slots:
-                        self._replay_slots(scenario, trial, outcome)
-                    completed.append(outcome)
-                    self._checkpoint_progress(key, completed)
-                    self._emit_trial_completed(scenario, trial, outcome)
-                    next_index += 1
-                if self._stop_requested():
-                    break
-            return supervisor.recoveries
+        try:
+            with PoolSupervisor(
+                max_workers=min(self.workers, len(tasks)),
+                max_retries=self.max_retries,
+                timeout_s=self.worker_timeout_s,
+            ) as supervisor:
+                for index, outcome in supervisor.run_unordered(
+                    _execute_trial_for_pool, tasks
+                ):
+                    buffered[index] = outcome
+                    while next_index in buffered:
+                        trial = first + next_index
+                        outcome = buffered.pop(next_index)
+                        self._emit(TrialStarted(scenario=scenario.name, trial=trial))
+                        if self.stream_slots:
+                            self._replay_slots(scenario, trial, outcome)
+                        completed.append(outcome)
+                        self._checkpoint_progress(key, completed)
+                        self._emit_trial_completed(scenario, trial, outcome)
+                        next_index += 1
+                    if self._stop_requested():
+                        break
+                return supervisor.recoveries
+        except WorkerPoolError as exc:
+            # Supervisor-retry exhaustion: the workers are gone, so no
+            # recorder tail exists here — dump a meta-only bundle (scenario,
+            # first unfinished trial, error) so the failure is still
+            # replayable deterministically.
+            level = effective_guard_level(scenario.config.guard_level)
+            if level != "off":
+                dump_bundle(
+                    scenario.to_dict(), first + next_index, level, error=exc
+                )
+            raise
 
     # ------------------------------------------------------------------ #
     # Event plumbing

@@ -66,6 +66,7 @@ from repro.api.records import RunRecord
 from repro.api.scenario import (
     BUDGET_FIELDS,
     FAULT_FIELDS,
+    GUARD_FIELDS,
     PHYSICAL_FIELDS,
     SERVING_FIELDS,
     SOLVER_FIELDS,
@@ -103,6 +104,7 @@ _AXIS_GROUPS: Dict[str, Optional[frozenset]] = {
     "timing": TIMING_FIELDS,
     "serving": SERVING_FIELDS,
     "faults": FAULT_FIELDS,
+    "guard": GUARD_FIELDS,
     "config": None,
 }
 
@@ -294,6 +296,7 @@ def run_study_unit(scenario: Scenario, trial: int, unit_index: int) -> Simulatio
         physical=config.physical_model(),
         timing=config.timing_model(),
         faults=faults,
+        guard_level=config.guard_level,
     )
     return simulator.run(policies[unit_index], seed=rngs[unit_index])
 
@@ -536,6 +539,18 @@ class StudyResult:
         from repro.faults import merge_fault_stats
 
         return merge_fault_stats(record.fault_stats() for record in self.records)
+
+    def guard_stats(self) -> Optional[Dict[str, int]]:
+        """Invariant-guard check counters summed over every point of the grid.
+
+        Aggregates :meth:`RunRecord.guard_stats` across the study; points
+        run with ``guard_level="off"`` (or served from the result store —
+        diagnostics are in-memory only) contribute nothing.  ``None`` when
+        no point carried any.
+        """
+        from repro.guard.invariants import merge_guard_stats
+
+        return merge_guard_stats(record.guard_stats() for record in self.records)
 
     def format_summary(
         self,

@@ -129,6 +129,9 @@ def _config_from_args(arguments: argparse.Namespace) -> ExperimentConfig:
     # Degradation ladder: cap the per-slot solve work (independent of faults).
     if getattr(arguments, "solve_deadline", None) is not None:
         overrides["solve_deadline"] = arguments.solve_deadline
+    # Runtime invariant guard level (off compiles to no-ops).
+    if getattr(arguments, "guard", None) is not None:
+        overrides["guard_level"] = arguments.guard
     if overrides:
         config = config.with_overrides(**overrides)
     return config
@@ -320,9 +323,20 @@ def _fault_stats_fragment(stats) -> Optional[str]:
     )
 
 
+def _guard_stats_fragment(stats) -> Optional[str]:
+    """The invariant-guard fragment of the health line (check accounting)."""
+    if not stats:
+        return None
+    return (
+        f"guard {int(stats.get('checks', 0))} check(s) over "
+        f"{int(stats.get('slots', 0))} slot(s), "
+        f"{int(stats.get('breaches', 0))} breach(es)"
+    )
+
+
 def _health_line(
     kernel_stats, physical_stats, event_stats=None, serving_stats=None,
-    fault_stats=None,
+    fault_stats=None, guard_stats=None,
 ) -> Optional[str]:
     """One line summarising solver, physical, event, serving and fault health."""
     fragments = [
@@ -333,6 +347,7 @@ def _health_line(
             _eventsim_stats_fragment(event_stats),
             _serving_stats_fragment(serving_stats),
             _fault_stats_fragment(fault_stats),
+            _guard_stats_fragment(guard_stats),
         )
         if fragment
     ]
@@ -387,6 +402,7 @@ def command_compare(arguments: argparse.Namespace) -> int:
             record.event_stats(),
             record.serving_stats(),
             record.fault_stats(),
+            record.guard_stats(),
         )
         if line:
             print(line, file=sys.stderr)
@@ -481,6 +497,7 @@ def command_sweep(arguments: argparse.Namespace) -> int:
             result.event_stats(),
             result.serving_stats(),
             result.fault_stats(),
+            result.guard_stats(),
         )
         if line:
             print(line, file=sys.stderr)
@@ -581,6 +598,7 @@ def command_serve(arguments: argparse.Namespace) -> int:
             record.event_stats(),
             record.serving_stats(),
             record.fault_stats(),
+            record.guard_stats(),
         )
         if line:
             print(line, file=sys.stderr)
@@ -602,6 +620,42 @@ def command_policies(arguments: argparse.Namespace) -> int:
     """List every policy registered in the facade's registry."""
     rows = [[name, text] for name, text in api.default_registry.describe().items()]
     print(format_table(["name", "description"], rows, title="Registered policies"))
+    return 0
+
+
+def command_replay(arguments: argparse.Namespace) -> int:
+    """Re-execute the trial captured in a repro bundle and re-assert the failure."""
+    from repro.guard.replay import replay_bundle
+
+    try:
+        result = replay_bundle(arguments.bundle)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    return 0 if result.matched else 1
+
+
+def command_diff_check(arguments: argparse.Namespace) -> int:
+    """Run the lockstep differential pairs and report the first divergence."""
+    from repro.guard.differential import run_all
+
+    config = _config_from_args(arguments)
+    if getattr(arguments, "horizon", None) is not None:
+        config = config.with_overrides(horizon=arguments.horizon)
+    try:
+        reports = run_all(config=config, trial=arguments.trial)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for report in reports:
+        print(report.describe())
+    diverged = [report for report in reports if not report.identical]
+    if diverged:
+        print(f"[diff-check] {len(diverged)}/{len(reports)} pair(s) diverged",
+              file=sys.stderr)
+        return 1
+    print(f"[diff-check] {len(reports)} pair(s) identical")
     return 0
 
 
@@ -689,6 +743,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-slot solve budget in combination "
                               "evaluations; over budget the solver degrades "
                               "exhaustive -> gibbs -> greedy (0 = unlimited)")
+        sub.add_argument("--guard", default=None,
+                         choices=["off", "cheap", "strict"],
+                         help="runtime invariant guard: off compiles to "
+                              "no-ops, cheap checks per-slot accounting, "
+                              "strict replays constraint rows and queue "
+                              "recursions (results are byte-identical at "
+                              "every level)")
 
     info = subparsers.add_parser("info", help="print the configuration and derived quantities")
     add_common(info)
@@ -805,6 +866,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     policies = subparsers.add_parser("policies", help="list the policy registry")
     policies.set_defaults(handler=command_policies)
+
+    replay = subparsers.add_parser(
+        "replay", help="re-execute the trial captured in a repro bundle"
+    )
+    replay.add_argument("bundle", help="path to a repro bundle (JSON) dumped on failure")
+    replay.set_defaults(handler=command_replay)
+
+    diff_check = subparsers.add_parser(
+        "diff-check",
+        help="run lockstep implementation pairs and report the first divergence",
+    )
+    diff_check.add_argument("--horizon", type=int, default=None,
+                            help="override the number of simulated slots")
+    diff_check.add_argument("--trial", type=int, default=0,
+                            help="trial index to compare (default: 0)")
+    add_common(diff_check)
+    diff_check.set_defaults(handler=command_diff_check)
 
     return parser
 

@@ -12,8 +12,10 @@ full pipeline can run inside unit tests and CI benchmarks.
 from __future__ import annotations
 
 import dataclasses
+import difflib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (lazy import at runtime)
     from repro.faults import FaultModel, FaultSchedule
@@ -39,6 +41,33 @@ from repro.utils.rng import SeedLike, derive_seed
 from repro.utils.validation import check_non_negative, check_positive
 from repro.workload.requests import RequestProcess, UniformRequestProcess
 from repro.workload.traces import WorkloadTrace, generate_trace
+from repro.guard.invariants import GUARD_LEVELS
+
+
+class ConfigError(ValueError):
+    """One invalid :class:`ExperimentConfig` field.
+
+    Subclasses :class:`ValueError` so historical ``except ValueError``
+    call sites (and tests) keep working, and keeps its message as the sole
+    constructor argument so it pickles across worker-pool boundaries.
+    """
+
+
+def _did_you_mean(value: str, options: Sequence[str]) -> str:
+    """A ``"; did you mean 'x'?"`` suffix, or empty when nothing is close."""
+    matches = difflib.get_close_matches(str(value), list(options), n=1)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+@contextmanager
+def _config_errors() -> Iterator[None]:
+    """Re-type any ValueError raised in the block as :class:`ConfigError`."""
+    try:
+        yield
+    except ConfigError:
+        raise
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from None
 
 
 @dataclass
@@ -178,47 +207,101 @@ class ExperimentConfig:
     fault_outages: Optional[List[List[object]]] = None
     fault_aware: bool = True
 
+    # --- runtime invariant guard (repro.guard) ----------------------------- #
+    # ``guard_level`` arms the runtime invariant guard: "off" (the default)
+    # builds no guard at all and keeps every table and benchmark
+    # byte-identical to the unguarded build; "cheap" runs O(1) per-slot
+    # accounting checks; "strict" additionally recomputes constraint rows,
+    # the virtual-queue recursion, kernel dual bounds and fault-schedule
+    # accounting.  The guard is observational — any level produces identical
+    # results or raises.  ``REPRO_GUARD`` overrides the level at run time.
+    guard_level: str = "off"
+
     # --- experiment bookkeeping ------------------------------------------- #
     trials: int = 5
     base_seed: int = 2024
     realize: bool = True
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "ExperimentConfig":
+        """Check every field; raises :class:`ConfigError` on the first problem.
+
+        Also invoked by ``__post_init__`` so an ``ExperimentConfig`` can
+        never exist in an invalid state, and re-invoked (idempotent, cheap)
+        by the Scenario/Study/CLI entry points so configurations rebuilt
+        from dictionaries or mutated by hand fail early with one exception
+        type.  :class:`ConfigError` subclasses :class:`ValueError` and is
+        picklable, so it crosses worker-pool boundaries intact.
+        """
         if self.topology_kind not in TOPOLOGY_KINDS:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown topology kind {self.topology_kind!r}; "
                 f"choose from {', '.join(TOPOLOGY_KINDS)}"
+                f"{_did_you_mean(self.topology_kind, TOPOLOGY_KINDS)}"
             )
-        check_positive(self.num_nodes, "num_nodes")
-        check_positive(self.horizon, "horizon")
-        check_positive(self.trials, "trials")
+        with _config_errors():
+            check_positive(self.num_nodes, "num_nodes")
+            check_positive(self.horizon, "horizon")
+            check_positive(self.trials, "trials")
+            check_positive(self.total_budget, "total_budget")
+            check_positive(self.attempts_per_slot, "attempts_per_slot")
+            check_positive(self.attempt_success, "attempt_success")
+            check_positive(self.num_candidate_routes, "num_candidate_routes")
+            check_non_negative(self.max_extra_hops, "max_extra_hops")
+        if self.min_pairs < 1 or self.max_pairs < self.min_pairs:
+            raise ConfigError(
+                f"request-pair range [{self.min_pairs}, {self.max_pairs}] is "
+                "empty; need 1 <= min_pairs <= max_pairs"
+            )
         if self.physical_engine not in ENGINE_KINDS:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown physical engine {self.physical_engine!r}; "
                 f"choose from {', '.join(ENGINE_KINDS)}"
+                f"{_did_you_mean(self.physical_engine, ENGINE_KINDS)}"
             )
         if self.backend not in BACKEND_KINDS:
-            raise ValueError(
+            raise ConfigError(
                 f"unknown simulation backend {self.backend!r}; "
                 f"choose from {', '.join(BACKEND_KINDS)}"
+                f"{_did_you_mean(self.backend, BACKEND_KINDS)}"
             )
-        check_non_negative(self.signaling_latency_s, "signaling_latency_s")
-        check_non_negative(self.slot_guard_time_s, "slot_guard_time_s")
-        if self.edge_latency_s:
-            for key, value in self.edge_latency_s.items():
-                check_non_negative(value, f"edge_latency_s[{key!r}]")
+        if self.guard_level not in GUARD_LEVELS:
+            raise ConfigError(
+                f"unknown guard level {self.guard_level!r}; "
+                f"choose from {', '.join(GUARD_LEVELS)}"
+                f"{_did_you_mean(self.guard_level, GUARD_LEVELS)}"
+            )
+        with _config_errors():
+            check_non_negative(self.signaling_latency_s, "signaling_latency_s")
+            check_non_negative(self.slot_guard_time_s, "slot_guard_time_s")
+            if self.edge_latency_s:
+                for key, value in self.edge_latency_s.items():
+                    check_non_negative(value, f"edge_latency_s[{key!r}]")
         if self.solve_deadline < 0:
-            raise ValueError(
+            raise ConfigError(
                 f"solve_deadline must be non-negative, got {self.solve_deadline}"
             )
-        if self.serving_enabled:
-            # Building the model validates every serving field (arrival kind,
-            # admission name, shard/merge counts) in one place.
-            self.serving_model()
-        if self.fault_enabled:
-            # Likewise: building the fault model validates the fault fields
-            # (MTBF/MTTR signs, scripted-outage shapes) in one place.
-            self.fault_model()
+        if self.serving_enabled and self.serving_arrival_rate < 0:
+            raise ConfigError(
+                "serving_arrival_rate must be non-negative, got "
+                f"{self.serving_arrival_rate}"
+            )
+        if self.fault_enabled and self.fault_mttr <= 0:
+            raise ConfigError(
+                f"fault_mttr must be positive, got {self.fault_mttr}"
+            )
+        with _config_errors():
+            if self.serving_enabled:
+                # Building the model validates every serving field (arrival
+                # kind, admission name, shard/merge counts) in one place.
+                self.serving_model()
+            if self.fault_enabled:
+                # Likewise: building the fault model validates the fault
+                # fields (MTBF/MTTR signs, scripted-outage shapes).
+                self.fault_model()
+        return self
 
     # ------------------------------------------------------------------ #
     # Presets

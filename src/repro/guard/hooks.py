@@ -1,0 +1,44 @@
+"""Ambient guard hook: lets deep layers reach the active guard.
+
+The solver kernel sits several call frames below the simulation loop and
+its public signatures are shared by every policy; threading a guard handle
+through them would churn every call site for a purely observational check.
+Instead the simulation loop *activates* its guard for the duration of one
+run and the kernel asks :func:`get` for it — a module-level global, set and
+cleared by the :func:`activate` context manager.
+
+Runs are single-threaded per process (parallelism is process-based through
+the supervisor pool), so a plain global is safe; each worker process
+activates its own guard.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.guard.invariants import InvariantGuard
+
+_ACTIVE: Optional[InvariantGuard] = None
+
+
+def get() -> Optional[InvariantGuard]:
+    """The guard active in this process, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(guard: Optional[InvariantGuard]) -> Iterator[Optional[InvariantGuard]]:
+    """Make ``guard`` the ambient guard while the block runs.
+
+    Passing ``None`` is allowed and leaves the ambient slot empty, so call
+    sites can wrap their loop unconditionally.  Nested activations restore
+    the previous guard on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = guard
+    try:
+        yield guard
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,210 @@
+"""Flight recorder: a bounded ring of slot snapshots and repro bundles.
+
+The recorder shadows a running trial with a ``deque(maxlen=...)`` of the
+most recent slot records.  When the trial dies — invariant breach,
+unhandled exception, or supervisor-retry exhaustion — :func:`dump_bundle`
+writes a content-addressed **repro bundle**: a single JSON file holding
+everything needed to re-execute the failing trial deterministically
+(scenario dictionary, trial index, seed-derivation labels, effective guard
+level, forced-breach spec, the guard verdict, and the last-N slot records)
+plus environment info for the human reading it.
+
+The content key is a SHA-256 over the *deterministic* part of the bundle
+only — environment info and the wall-clock timestamp are excluded — so a
+successful ``repro replay`` that re-dumps the same failure produces the
+identical key: the round-trip check is an equality on file names.
+
+Writes go through the same atomic pattern as the PR 8 checkpoints
+(temp file in the target directory + ``os.replace``), so a bundle is never
+observed half-written.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+from repro.guard.invariants import (
+    FORCE_BREACH_ENV_VAR,
+    GUARD_ENV_VAR,
+    InvariantViolation,
+)
+
+#: Environment override of the bundle output directory.
+BUNDLE_DIR_ENV_VAR = "REPRO_BUNDLE_DIR"
+
+#: Default bundle directory, relative to the working directory.
+DEFAULT_BUNDLE_DIR = "repro-bundles"
+
+#: Bundle format version, bumped on incompatible layout changes.
+BUNDLE_VERSION = 1
+
+#: Seed-derivation labels used by ``execute_trial`` — recorded so a bundle
+#: is self-describing about how the trial's RNG streams were derived.
+RNG_STREAM_LABELS = ("graph", "trace", "run", "faults", "serving", "multiuser")
+
+
+def bundle_dir() -> str:
+    """The directory bundles are written to (``REPRO_BUNDLE_DIR`` override)."""
+    return os.environ.get(BUNDLE_DIR_ENV_VAR, "").strip() or DEFAULT_BUNDLE_DIR
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of a slot record to plain JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = dataclasses.asdict(value)
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # JSON has no inf/nan literals; keep them readable and round-trippable.
+        if value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        return value
+    try:
+        return _jsonable(dataclasses.asdict(value))
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class FlightRecorder:
+    """Ring buffer of the most recent per-slot records of one trial.
+
+    Purely passive: :meth:`record` appends, old entries fall off the far
+    end, and nothing is written unless :func:`dump_bundle` is called with
+    this recorder after a failure.
+    """
+
+    __slots__ = ("capacity", "_ring", "slots_seen")
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"recorder capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=self.capacity)
+        self.slots_seen = 0
+
+    def record(self, lineup: str, record: Any) -> None:
+        """Append one slot record (any dataclass/mapping) for ``lineup``."""
+        self.slots_seen += 1
+        self._ring.append({"lineup": str(lineup), "record": _jsonable(record)})
+
+    def tail(self) -> List[Dict[str, Any]]:
+        """The buffered records, oldest first."""
+        return list(self._ring)
+
+
+def _content_key(payload: Mapping[str, Any]) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def build_bundle(
+    scenario: Mapping[str, Any],
+    trial: int,
+    guard_level: str,
+    recorder: Optional[FlightRecorder] = None,
+    error: Optional[BaseException] = None,
+) -> Dict[str, Any]:
+    """The bundle dictionary for a failed trial (not yet written).
+
+    The ``content`` sub-dict is the deterministic replay payload the
+    content key is computed over; ``environment`` is advisory context for
+    the human and excluded from the key.
+    """
+    if isinstance(error, InvariantViolation):
+        verdict: Optional[Dict[str, Any]] = error.verdict()
+        kind = "invariant-breach"
+    elif error is not None:
+        verdict = None
+        kind = "exception"
+    else:
+        verdict = None
+        kind = "manual"
+    content: Dict[str, Any] = {
+        "version": BUNDLE_VERSION,
+        "kind": kind,
+        "scenario": _jsonable(scenario),
+        "trial": int(trial),
+        "guard_level": guard_level,
+        "forced_breach": os.environ.get(FORCE_BREACH_ENV_VAR, "").strip() or None,
+        "rng_stream_labels": list(RNG_STREAM_LABELS),
+        "verdict": verdict,
+        "error": None
+        if error is None
+        else {"type": type(error).__name__, "message": str(error)},
+        "records": recorder.tail() if recorder is not None else [],
+        "slots_seen": recorder.slots_seen if recorder is not None else 0,
+    }
+    return {
+        "content": content,
+        "key": _content_key(content),
+        "environment": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            GUARD_ENV_VAR: os.environ.get(GUARD_ENV_VAR, "") or None,
+        },
+    }
+
+
+def dump_bundle(
+    scenario: Mapping[str, Any],
+    trial: int,
+    guard_level: str,
+    recorder: Optional[FlightRecorder] = None,
+    error: Optional[BaseException] = None,
+    directory: Optional[str] = None,
+) -> str:
+    """Write a repro bundle atomically; returns the bundle path.
+
+    The file name is the content key, so re-dumping the same failure
+    overwrites (atomically) rather than accumulating duplicates.
+    """
+    bundle = build_bundle(scenario, trial, guard_level, recorder=recorder, error=error)
+    target_dir = directory or bundle_dir()
+    os.makedirs(target_dir, exist_ok=True)
+    path = os.path.join(target_dir, f"{bundle['key']}.json")
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(bundle, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_bundle(path: str) -> Dict[str, Any]:
+    """Read a bundle back, validating the content key and version."""
+    with open(path, "r", encoding="utf-8") as handle:
+        bundle = json.load(handle)
+    content = bundle.get("content")
+    if not isinstance(content, dict):
+        raise ValueError(f"{path} is not a repro bundle (no content block)")
+    version = content.get("version")
+    if version != BUNDLE_VERSION:
+        raise ValueError(
+            f"{path} has bundle version {version!r}; this build reads "
+            f"version {BUNDLE_VERSION}"
+        )
+    expected = _content_key(content)
+    recorded = bundle.get("key")
+    if recorded != expected:
+        raise ValueError(
+            f"{path} failed its content check (recorded key {recorded!r}, "
+            f"recomputed {expected!r}); the bundle is corrupt"
+        )
+    return bundle

@@ -35,6 +35,7 @@ from typing import Callable, Dict, FrozenSet, List, Mapping, NamedTuple, Optiona
 from repro.core.virtual_queue import VirtualQueue
 from repro.faults.model import FaultSchedule, FaultStats
 from repro.faults.supervisor import PoolSupervisor
+from repro.guard.invariants import InvariantGuard
 from repro.network.graph import QDNGraph
 from repro.network.routes import build_candidate_routes
 from repro.serving.admission import (
@@ -317,9 +318,11 @@ class ServingSimulator:
         max_extra_hops: int = 2,
         clock: Optional[SlotClock] = None,
         faults: Optional[FaultSchedule] = None,
+        guard_level: str = "off",
     ):
         check_positive(horizon, "horizon")
         check_non_negative(total_budget, "total_budget")
+        self.guard_level = str(guard_level)
         self.graph = graph
         self.model = model
         self.horizon = int(horizon)
@@ -386,6 +389,9 @@ class ServingSimulator:
         on_slot: Optional[Callable[[SlotRecord], Optional[bool]]] = None,
     ) -> SimulationResult:
         """Execute the serving loop over the horizon."""
+        # Same guard discipline as the simulation backends: fresh per run,
+        # purely observational, None when the effective level is off.
+        guard = InvariantGuard.build(self.guard_level)
         model = self.model
         base_seed = seed if isinstance(seed, int) else derive_seed(None, "serving")
         arrivals = model.build_arrivals()
@@ -491,6 +497,8 @@ class ServingSimulator:
                 # Merge in canonical session-id order: identical aggregation
                 # (including float summation order) for every shard layout.
                 for offset, t in enumerate(slots):
+                    if guard is not None:
+                        guard.begin_slot(t)
                     entries = sorted(
                         (entry for report in reports for entry in report[offset]),
                         key=lambda entry: entry.session_id,
@@ -520,6 +528,10 @@ class ServingSimulator:
                     active_sessions -= sum(entry.departed for entry in entries)
                     merged_backlog = sum(entry.backlog for entry in entries)
                     queue_length = queue.update(float(slot_cost))
+                    if guard is not None:
+                        guard.check_serving_slot(
+                            t, entries, merged_backlog, queue_length
+                        )
                     record = SlotRecord(
                         t=t,
                         num_requests=arrived,
@@ -554,6 +566,12 @@ class ServingSimulator:
         diagnostics: Dict[str, object] = {"serving": stats}
         if fault_stats is not None:
             diagnostics["faults"] = fault_stats.finalize(self.faults)
+        if guard is not None:
+            guard.check_serving_totals(counters)
+            guard.check_queue_history(queue.history)
+            if fault_stats is not None:
+                guard.check_fault_stats(self.faults, diagnostics["faults"])
+            diagnostics["guard"] = guard.stats()
         return SimulationResult(
             policy_name=SERVING_LINEUP_NAME,
             horizon=self.horizon,

@@ -16,6 +16,8 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext
 from repro.faults.model import FaultSchedule, FaultStats
+from repro.guard import hooks as guard_hooks
+from repro.guard.invariants import InvariantGuard
 from repro.network.graph import QDNGraph
 from repro.simulation.clock import SlotClock
 from repro.simulation.link_layer import LinkLayerSimulator
@@ -86,6 +88,7 @@ class SlottedSimulator:
     physical: Optional[PhysicalModel] = None
     clock: Optional[SlotClock] = None
     faults: Optional[FaultSchedule] = None
+    guard_level: str = "off"
 
     def run(
         self,
@@ -98,6 +101,21 @@ class SlottedSimulator:
         ``on_slot`` receives every :class:`SlotRecord` as it is produced;
         returning ``False`` from the callback stops the simulation early.
         """
+        # Built fresh per run so guard counters are per-run; the ambient
+        # activation lets the solver kernel reach the guard without new
+        # plumbing.  ``None`` (level "off" after the REPRO_GUARD override)
+        # keeps this method byte-for-byte on its historical path.
+        guard = InvariantGuard.build(self.guard_level)
+        with guard_hooks.activate(guard):
+            return self._run_guarded(policy, seed, on_slot, guard)
+
+    def _run_guarded(
+        self,
+        policy: RoutingPolicy,
+        seed: SeedLike,
+        on_slot: Optional[SlotCallback],
+        guard: Optional[InvariantGuard],
+    ) -> SimulationResult:
         rng = as_generator(seed)
         engine = None
         if self.physical is not None:
@@ -117,6 +135,8 @@ class SlottedSimulator:
         fault_stats = FaultStats() if self.faults is not None else None
         records: List[SlotRecord] = []
         for slot_trace in self.trace.slots:
+            if guard is not None:
+                guard.begin_slot(slot_trace.t)
             candidate_routes = {
                 request: tuple(self.trace.routes_for(request))
                 for request in slot_trace.requests
@@ -209,6 +229,17 @@ class SlottedSimulator:
             if isinstance(history, list) and history:
                 queue_length = float(history[-1])
 
+            if guard is not None:
+                guard.check_decision(context, decision, queue_length)
+                guard.check_objective(decision.utility(self.graph), slot=slot_trace.t)
+                guard.check_fidelities(
+                    fidelities, slot=slot_trace.t, model=self.physical
+                )
+                if delivered_fidelities:
+                    guard.check_fidelities(
+                        delivered_fidelities, slot=slot_trace.t, model=self.physical
+                    )
+
             record = SlotRecord(
                 t=slot_trace.t,
                 num_requests=slot_trace.num_requests,
@@ -235,6 +266,13 @@ class SlottedSimulator:
         if fault_stats is not None:
             diagnostics = dict(diagnostics)
             diagnostics["faults"] = fault_stats.finalize(self.faults)
+        if guard is not None:
+            guard.check_policy_final(policy)
+            guard.check_physical_stats(diagnostics.get("physical"))
+            if fault_stats is not None:
+                guard.check_fault_stats(self.faults, diagnostics["faults"])
+            diagnostics = dict(diagnostics)
+            diagnostics["guard"] = guard.stats()
         return SimulationResult(
             policy_name=policy.name,
             horizon=self.trace.horizon,
@@ -254,6 +292,7 @@ def build_simulator(
     physical: Optional[PhysicalModel] = None,
     timing=None,
     faults: Optional[FaultSchedule] = None,
+    guard_level: str = "off",
 ):
     """Construct the simulator for ``backend`` (``"slotted"`` or ``"event"``).
 
@@ -287,6 +326,7 @@ def build_simulator(
             timing=timing,
             clock=clock,
             faults=faults,
+            guard_level=guard_level,
         )
     return SlottedSimulator(
         graph=graph,
@@ -297,6 +337,7 @@ def build_simulator(
         physical=physical,
         clock=clock,
         faults=faults,
+        guard_level=guard_level,
     )
 
 
@@ -312,6 +353,7 @@ def simulate_policies(
     backend: str = "slotted",
     timing=None,
     faults: Optional[FaultSchedule] = None,
+    guard_level: str = "off",
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the *same* trace and collect their results.
 
@@ -334,6 +376,7 @@ def simulate_policies(
         physical=physical,
         timing=timing,
         faults=faults,
+        guard_level=guard_level,
     )
     rngs = spawn_rngs(seed, len(list(policies)))
     results: Dict[str, SimulationResult] = {}

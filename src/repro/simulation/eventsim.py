@@ -51,6 +51,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.core.policy import RoutingPolicy
 from repro.core.problem import SlotContext
 from repro.faults.model import FaultSchedule, FaultStats
+from repro.guard import hooks as guard_hooks
+from repro.guard.invariants import InvariantGuard
 from repro.network.graph import EdgeKey, QDNGraph
 from repro.network.routes import Route
 from repro.physics.entanglement import sample_successes
@@ -399,6 +401,7 @@ class EventDrivenSimulator:
     timing: TimingModel = field(default_factory=TimingModel)
     clock: Optional[SlotClock] = None
     faults: Optional[FaultSchedule] = None
+    guard_level: str = "off"
 
     def run(
         self,
@@ -407,6 +410,19 @@ class EventDrivenSimulator:
         on_slot=None,
     ) -> SimulationResult:
         """Simulate ``policy`` over the whole trace and return its result."""
+        # Same guard discipline as the slotted backend: fresh per run,
+        # ambient for the solver kernel, ``None`` when off.
+        guard = InvariantGuard.build(self.guard_level)
+        with guard_hooks.activate(guard):
+            return self._run_guarded(policy, seed, on_slot, guard)
+
+    def _run_guarded(
+        self,
+        policy: RoutingPolicy,
+        seed: SeedLike,
+        on_slot,
+        guard: Optional[InvariantGuard],
+    ) -> SimulationResult:
         rng = as_generator(seed)
         memory: Optional[MemoryAgent] = None
         if self.physical is not None:
@@ -434,6 +450,8 @@ class EventDrivenSimulator:
         fault_stats = FaultStats() if self.faults is not None else None
         records: List[SlotRecord] = []
         for slot_trace in self.trace.slots:
+            if guard is not None:
+                guard.begin_slot(slot_trace.t)
             slot_start = bridge.open_slot(slot_trace.t)
             stats.slots += 1
             candidate_routes = {
@@ -534,6 +552,17 @@ class EventDrivenSimulator:
             if isinstance(history, list) and history:
                 queue_length = float(history[-1])
 
+            if guard is not None:
+                guard.check_decision(context, decision, queue_length)
+                guard.check_objective(decision.utility(self.graph), slot=slot_trace.t)
+                guard.check_fidelities(
+                    fidelities, slot=slot_trace.t, model=self.physical
+                )
+                if delivered_fidelities:
+                    guard.check_fidelities(
+                        delivered_fidelities, slot=slot_trace.t, model=self.physical
+                    )
+
             record = SlotRecord(
                 t=slot_trace.t,
                 num_requests=slot_trace.num_requests,
@@ -561,6 +590,12 @@ class EventDrivenSimulator:
         diagnostics["eventsim"] = stats.to_dict()
         if fault_stats is not None:
             diagnostics["faults"] = fault_stats.finalize(self.faults)
+        if guard is not None:
+            guard.check_policy_final(policy)
+            guard.check_physical_stats(diagnostics.get("physical"))
+            if fault_stats is not None:
+                guard.check_fault_stats(self.faults, diagnostics["faults"])
+            diagnostics["guard"] = guard.stats()
         return SimulationResult(
             policy_name=policy.name,
             horizon=self.trace.horizon,

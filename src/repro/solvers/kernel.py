@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.guard import hooks as guard_hooks
 from repro.network.channels import log_multi_channel_success
 from repro.solvers.allocation_problem import ContinuousSolution, IntegerSolution
 from repro.solvers.relaxed import (
@@ -1218,6 +1219,20 @@ class SlotKernel:
             best_x = polish(best_x, rounds=max(options.polish_rounds - 1, 0))
         else:
             best_x = polish(best_x)
+        guard = guard_hooks.get()
+        if guard is not None:
+            # Strict-level dual certificates: multipliers stay finite and
+            # non-negative, and the best dual value bounds the best feasible
+            # primal value (weak duality).  Observational only — the solve
+            # itself is untouched.
+            guard.check_kernel_dual(
+                best_dual,
+                best_objective,
+                multipliers=direct_mult
+                if direct
+                else (best_mult if best_mult is not None else mult),
+                gap_tolerance=gap_tolerance,
+            )
         return self._finalise(
             combo, memo_key, keys, capacities, upper, best_x, used
         )
@@ -1311,6 +1326,9 @@ class SlotKernel:
         store: bool = True,
     ) -> "AllocationOutcome":
         """The single point where solved pairs enter the memo and become outcomes."""
+        guard = guard_hooks.get()
+        if guard is not None:
+            guard.check_kernel_solution(relaxed, rounded)
         if store:
             structure = self._structure
             structure.solve_memo[memo_key] = (relaxed, rounded)

@@ -22,6 +22,19 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(autouse=True)
+def _bundle_dir_in_tmp(tmp_path, monkeypatch):
+    """Keep repro bundles out of the working tree.
+
+    Tests that exercise failure paths (or the whole suite under
+    ``REPRO_GUARD=strict``) dump repro bundles on any exception inside
+    ``execute_trial``; redirecting the bundle directory into the per-test
+    tmp dir keeps the checkout clean.  Tests asserting on bundle contents
+    read the same variable, so they keep working.
+    """
+    monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path / "repro-bundles"))
+
+
 def make_line_graph(
     num_nodes: int = 4,
     qubits: int = 12,

@@ -224,7 +224,8 @@ class TestResultStore:
         study.run(store=tmp_path)
         (path,) = tmp_path.glob("*.json")
         path.write_text("{ torn write")
-        rerun = study.run(store=tmp_path)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            rerun = study.run(store=tmp_path)
         assert rerun.meta["points_cached"] == 0
         assert rerun.num_points == 1
 

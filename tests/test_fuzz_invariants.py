@@ -1,0 +1,88 @@
+"""Invariant fuzzing: randomized small scenarios must run breach-free.
+
+Fifty seeded random combinations of topology family, policy, backend and
+physical/fault layers execute one trial each under ``guard_level="strict"``.
+Every check pack runs on every slot; any invariant breach raises and fails
+the test.  A couple of the configurations additionally verify that the
+guarded run is byte-identical between serial and parallel execution.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro import api
+from repro.experiments.config import ExperimentConfig
+
+FUZZ_CASES = 50
+
+TOPOLOGIES = ("waxman", "grid", "ring", "star", "line", "complete")
+POLICIES = ("oscar", "ma", "mf")
+BACKENDS = ("slotted", "event")
+
+
+def _fuzz_config(seed: int) -> ExperimentConfig:
+    rng = random.Random(seed)
+    overrides = {
+        "topology_kind": rng.choice(TOPOLOGIES),
+        "backend": rng.choice(BACKENDS),
+        "num_nodes": rng.randint(6, 9),
+        "horizon": rng.randint(3, 6),
+        "max_pairs": rng.randint(1, 3),
+        "total_budget": float(rng.randint(80, 300)),
+        "base_seed": 1000 + seed,
+        "trials": 1,
+        "guard_level": "strict",
+    }
+    if rng.random() < 0.4:
+        overrides["physical_enabled"] = True
+        overrides["physical_swap_success"] = rng.choice([1.0, 0.9, 0.75])
+        overrides["physical_purify_rounds"] = rng.randint(0, 1)
+        overrides["physical_engine"] = rng.choice(["vectorized", "reference"])
+    if rng.random() < 0.4:
+        overrides["fault_enabled"] = True
+        overrides["fault_node_mtbf"] = float(rng.choice([0, 20, 40]))
+        overrides["fault_edge_mtbf"] = float(rng.choice([0, 20, 40]))
+        overrides["fault_mttr"] = float(rng.randint(2, 6))
+    if overrides["backend"] == "event" and rng.random() < 0.5:
+        overrides["signaling_latency_s"] = rng.choice([0.0, 1e-4, 5e-4])
+    if rng.random() < 0.3:
+        overrides["use_kernel"] = False
+    return ExperimentConfig.tiny().with_overrides(**overrides)
+
+
+def _policy_for(seed: int) -> str:
+    return random.Random(seed ^ 0xA5A5).choice(POLICIES)
+
+
+@pytest.mark.parametrize("seed", range(FUZZ_CASES))
+def test_randomized_scenario_runs_breach_free(seed):
+    config = _fuzz_config(seed)
+    scenario = api.Scenario.from_config(
+        config, name=f"fuzz/{seed}"
+    ).with_policies(_policy_for(seed))
+    results, _ = api.execute_trial(scenario, 0)  # raises InvariantViolation on breach
+    (result,) = results.values()
+    stats = result.diagnostics.get("guard")
+    assert stats is not None
+    assert stats["breaches"] == 0
+    assert stats["slots"] >= config.horizon
+    assert stats["checks"] > 0
+
+
+@pytest.mark.parametrize("seed", [3, 17, 29])
+def test_guarded_parallel_matches_serial(seed):
+    config = _fuzz_config(seed).with_overrides(trials=2)
+    scenario = api.Scenario.from_config(
+        config, name=f"fuzz-par/{seed}"
+    ).with_policies(_policy_for(seed))
+    serial = api.run_scenario(scenario, workers=1)
+    parallel = api.run_scenario(scenario, workers=2)
+    serial_trials = json.dumps(serial.to_dict()["trials"], sort_keys=True)
+    parallel_trials = json.dumps(parallel.to_dict()["trials"], sort_keys=True)
+    assert serial_trials == parallel_trials
+    assert serial.guard_stats() == parallel.guard_stats()
+    assert serial.guard_stats()["breaches"] == 0
