@@ -110,6 +110,17 @@ from repro.guard import (
     replay_bundle,
 )
 from repro.guard import run_all as diff_all_pairs
+from repro.telemetry import (
+    TELEMETRY_LEVELS,
+    TelemetryModel,
+    Tracer,
+    effective_telemetry_level,
+    merge_telemetry_stats,
+    render_prometheus,
+    spans_to_chrome_trace,
+    summarize_spans,
+    write_chrome_trace,
+)
 from repro.serving import (
     AdmissionPolicy,
     AlwaysAdmit,
@@ -169,6 +180,16 @@ __all__ = [
     "dump_bundle",
     "load_bundle",
     "replay_bundle",
+    # telemetry / observability
+    "TELEMETRY_LEVELS",
+    "TelemetryModel",
+    "Tracer",
+    "effective_telemetry_level",
+    "merge_telemetry_stats",
+    "render_prometheus",
+    "spans_to_chrome_trace",
+    "summarize_spans",
+    "write_chrome_trace",
     # faults / resilience
     "FaultModel",
     "FaultSchedule",

@@ -146,7 +146,13 @@ class EventLog(RunObserver):
 
 @dataclass
 class ProgressObserver(RunObserver):
-    """Prints one line per trial (and optionally per slot) to ``stream``."""
+    """Prints one line per trial (and optionally per slot) to ``stream``.
+
+    Every line is flushed immediately: when the stream is a pipe (CI log
+    collector, ``repro run … 2> progress.log``, ``tail -f``) stdio is
+    block-buffered, and without the flush a long run shows nothing until
+    the buffer fills — progress that cannot be watched is no progress.
+    """
 
     stream: TextIO = field(default_factory=lambda: sys.stderr)
     per_slot: bool = False
@@ -159,6 +165,7 @@ class ProgressObserver(RunObserver):
             f"[{event.scenario}] {event.trials} trial(s), "
             f"workers={event.workers}, line-up: {lineup}",
             file=self.stream,
+            flush=True,
         )
 
     def on_slot(self, event: SlotCompleted) -> None:
@@ -167,6 +174,7 @@ class ProgressObserver(RunObserver):
             print(
                 f"[{event.scenario}] trial {event.trial} {event.policy} slot {t}",
                 file=self.stream,
+                flush=True,
             )
 
     def on_trial_completed(self, event: TrialCompleted) -> None:
@@ -174,6 +182,7 @@ class ProgressObserver(RunObserver):
         print(
             f"[{event.scenario}] trial {event.trial} done ({elapsed:.1f} s elapsed)",
             file=self.stream,
+            flush=True,
         )
 
     def on_run_completed(self, event: RunCompleted) -> None:
@@ -182,6 +191,7 @@ class ProgressObserver(RunObserver):
             f"[{event.scenario}] {state}: {event.trials_completed} trial(s) "
             f"in {event.elapsed_seconds:.1f} s",
             file=self.stream,
+            flush=True,
         )
 
 

@@ -89,6 +89,13 @@ class RunRecord:
     meta:
         Free-form run metadata (workers used, wall-clock, early stop, …).
         Never included in equality-sensitive summaries.
+    telemetry:
+        The persisted telemetry section (``{"stats": ..., "spans": ...}``)
+        restored from JSON.  Freshly-run records carry telemetry inside
+        the per-result diagnostics instead; the accessors below prefer the
+        live diagnostics and fall back to this section, and
+        :meth:`to_dict` persists whichever is present — the one
+        diagnostics family that survives a save/load round-trip.
     """
 
     scenario: Dict[str, object]
@@ -96,6 +103,7 @@ class RunRecord:
     trials: List[Dict[str, SimulationResult]] = field(default_factory=list)
     provider_trials: List[Tuple[ProviderSlotRecord, ...]] = field(default_factory=list)
     meta: Dict[str, object] = field(default_factory=dict)
+    telemetry: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -269,6 +277,60 @@ class RunRecord:
             for result in trial.values()
         )
 
+    def telemetry_stats(self) -> Optional[Dict[str, float]]:
+        """Aggregate telemetry statistics across trials and line-up.
+
+        Sums the per-run ``diagnostics["telemetry"]`` mappings an armed
+        :class:`repro.telemetry.Tracer` produced (per-span wall/CPU
+        profiles, counters, gauges, latency histograms) with the
+        deterministic sorted-key merge.  Unlike the other diagnostics
+        families, telemetry survives persistence: when no live
+        diagnostics are present (records loaded from JSON) the accessor
+        falls back to the stored ``telemetry`` section.  ``None`` for
+        untraced runs and legacy payloads.
+        """
+        from repro.telemetry.tracer import merge_telemetry_stats
+
+        merged = merge_telemetry_stats(
+            result.diagnostics.get("telemetry")
+            for trial in self.trials
+            for result in trial.values()
+        )
+        if merged is not None:
+            return merged
+        if self.telemetry:
+            stored = self.telemetry.get("stats")
+            if isinstance(stored, Mapping):
+                return dict(stored)
+        return None
+
+    def telemetry_spans(self) -> List[Dict[str, object]]:
+        """All span events of the run, stamped with line-up and trial.
+
+        Collects the bounded per-run event rings
+        (``diagnostics["telemetry_spans"]``, present only at the ``full``
+        telemetry level), annotating each event with the line-up name and
+        trial index it came from so a merged Chrome trace stays
+        attributable.  Falls back to the persisted ``telemetry`` section
+        for records loaded from JSON; empty for untraced or ``light``
+        runs.
+        """
+        spans: List[Dict[str, object]] = []
+        for index, trial in enumerate(self.trials):
+            for name, result in trial.items():
+                for event in result.diagnostics.get("telemetry_spans") or ():
+                    span = dict(event)
+                    span.setdefault("lineup", name)
+                    span.setdefault("trial", index)
+                    spans.append(span)
+        if spans:
+            return spans
+        if self.telemetry:
+            stored = self.telemetry.get("spans")
+            if isinstance(stored, list):
+                return [dict(event) for event in stored]
+        return []
+
     def wall_time_s(self) -> Optional[float]:
         """Total simulated wall-clock seconds across trials.
 
@@ -319,7 +381,7 @@ class RunRecord:
         """A JSON-serialisable representation of the whole record."""
         from repro.experiments.persistence import result_to_dict
 
-        return {
+        payload: Dict[str, object] = {
             "schema_version": SCHEMA_VERSION,
             "kind": self.kind,
             "scenario": self.scenario,
@@ -333,6 +395,16 @@ class RunRecord:
             ],
             "meta": dict(self.meta),
         }
+        stats = self.telemetry_stats()
+        spans = self.telemetry_spans()
+        if stats is not None or spans:
+            section: Dict[str, object] = {}
+            if stats is not None:
+                section["stats"] = stats
+            if spans:
+                section["spans"] = spans
+            payload["telemetry"] = section
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "RunRecord":
@@ -351,6 +423,9 @@ class RunRecord:
                 for trial in payload.get("provider_trials", [])
             ],
             meta=dict(payload.get("meta", {})),
+            telemetry=dict(payload["telemetry"])
+            if isinstance(payload.get("telemetry"), Mapping)
+            else None,
         )
 
     def save(self, path: PathLike) -> Path:

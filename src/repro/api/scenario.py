@@ -100,6 +100,7 @@ FAULT_FIELDS = frozenset(
     }
 )
 GUARD_FIELDS = frozenset({"guard_level"})
+TELEMETRY_FIELDS = frozenset({"telemetry_level", "telemetry_span_ring"})
 
 
 def unsupported_backend_error(backend: str, feature: str, remedy: str) -> ValueError:
@@ -506,6 +507,27 @@ class Scenario:
         time without changing the scenario's identity.
         """
         return self._with_fields(GUARD_FIELDS, "with_guard", {"guard_level": str(level)})
+
+    def with_telemetry(self, level: str = "light", **overrides) -> "Scenario":
+        """Arm the observability layer (:mod:`repro.telemetry`).
+
+        ``level`` is one of ``"off"``/``"light"``/``"full"``: ``light``
+        aggregates per-span wall/CPU profiles and the metrics registry
+        (constant memory, the always-on default), ``full`` additionally
+        keeps a bounded ring of span events for Chrome-trace/Perfetto
+        export and crash-bundle attachment.  Keyword arguments accept the
+        short names of the ``telemetry_*`` fields (the prefix is added
+        automatically), e.g. ``with_telemetry("full", span_ring=4096)``.
+        Telemetry is purely observational and draws no randomness —
+        results are byte-identical at every level; the ``REPRO_TELEMETRY``
+        environment variable overrides the level at run time without
+        changing the scenario's identity.
+        """
+        mapped: Dict[str, object] = {"telemetry_level": str(level)}
+        for key, value in overrides.items():
+            name = key if key.startswith("telemetry_") else f"telemetry_{key}"
+            mapped[name] = value
+        return self._with_fields(TELEMETRY_FIELDS, "with_telemetry", mapped)
 
     def with_trials(self, trials: int) -> "Scenario":
         """Number of independent trials (fresh topology + trace each)."""

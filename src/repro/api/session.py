@@ -43,6 +43,7 @@ from repro.guard.invariants import InvariantViolation, effective_guard_level
 from repro.guard.recorder import FlightRecorder, dump_bundle
 from repro.serving.scheduler import SERVING_LINEUP_NAME
 from repro.simulation.engine import simulate_policies
+from repro.telemetry import hooks as telemetry_hooks
 from repro.simulation.results import SimulationResult
 from repro.utils.rng import derive_seed
 
@@ -73,6 +74,9 @@ def execute_trial(
     if level == "off":
         return _execute_trial_inner(scenario, trial, on_slot)
     recorder = FlightRecorder()
+    # Forget any previous trial's tracer in this worker process, so a crash
+    # bundle only ever attaches the span ring of the trial that crashed.
+    telemetry_hooks.reset()
 
     def recording_slot(name: str, record: object) -> Optional[bool]:
         recorder.record(name, record)
@@ -89,8 +93,19 @@ def execute_trial(
         # The recorder is best-effort: a failure while snapshotting the
         # scenario or writing the bundle must never mask the real error.
         try:
+            # The simulator's activation has already unwound by now; the
+            # hooks keep the crashed trial's tracer reachable so its span
+            # ring rides the bundle (outside the content key — span
+            # timings are wall-clock and must not perturb replay identity).
+            tracer = telemetry_hooks.last()
+            spans = tracer.tail() if tracer is not None else None
             path = dump_bundle(
-                scenario.to_dict(), trial, level, recorder=recorder, error=exc
+                scenario.to_dict(),
+                trial,
+                level,
+                recorder=recorder,
+                error=exc,
+                telemetry=spans,
             )
         except Exception as dump_error:
             # Not a warning: under ``-W error`` a warning raised here would
@@ -151,6 +166,7 @@ def _execute_trial_inner(
             ),
             faults=faults,
             guard_level=config.guard_level,
+            telemetry=config.telemetry_model(),
         )
         serving_cb = None
         if on_slot is not None:
@@ -202,6 +218,7 @@ def _execute_trial_inner(
         timing=config.timing_model(),
         faults=faults,
         guard_level=config.guard_level,
+        telemetry=config.telemetry_model(),
     )
     return results, ()
 

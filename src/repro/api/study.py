@@ -70,6 +70,7 @@ from repro.api.scenario import (
     PHYSICAL_FIELDS,
     SERVING_FIELDS,
     SOLVER_FIELDS,
+    TELEMETRY_FIELDS,
     TIMING_FIELDS,
     TOPOLOGY_FIELDS,
     WORKLOAD_FIELDS,
@@ -105,6 +106,7 @@ _AXIS_GROUPS: Dict[str, Optional[frozenset]] = {
     "serving": SERVING_FIELDS,
     "faults": FAULT_FIELDS,
     "guard": GUARD_FIELDS,
+    "telemetry": TELEMETRY_FIELDS,
     "config": None,
 }
 
@@ -122,7 +124,9 @@ def resolve_config_path(path: str) -> str:
     ``"physical_swap_success"``), the ``serving`` group likewise
     (``"serving.arrival_rate"`` → ``"serving_arrival_rate"``), the
     ``faults`` group likewise (``"faults.node_mtbf"`` →
-    ``"fault_node_mtbf"``), and the ``timing`` group accepts the
+    ``"fault_node_mtbf"``), the ``telemetry`` group likewise
+    (``"telemetry.level"`` → ``"telemetry_level"``), and the ``timing``
+    group accepts the
     :meth:`Scenario.with_backend` aliases (``"timing.latency"`` →
     ``"signaling_latency_s"``, ``"timing.guard_time"`` →
     ``"slot_guard_time_s"``).
@@ -142,6 +146,8 @@ def resolve_config_path(path: str) -> str:
         name = f"serving_{name}"
     if group == "faults" and not name.startswith("fault_"):
         name = f"fault_{name}"
+    if group == "telemetry" and not name.startswith("telemetry_"):
+        name = f"telemetry_{name}"
     if group == "timing":
         name = {
             "latency": "signaling_latency_s",
@@ -297,6 +303,7 @@ def run_study_unit(scenario: Scenario, trial: int, unit_index: int) -> Simulatio
         timing=config.timing_model(),
         faults=faults,
         guard_level=config.guard_level,
+        telemetry=config.telemetry_model(),
     )
     return simulator.run(policies[unit_index], seed=rngs[unit_index])
 
@@ -551,6 +558,36 @@ class StudyResult:
         from repro.guard.invariants import merge_guard_stats
 
         return merge_guard_stats(record.guard_stats() for record in self.records)
+
+    def telemetry_stats(self) -> Optional[Dict[str, float]]:
+        """Telemetry statistics summed over every point of the grid.
+
+        Aggregates :meth:`RunRecord.telemetry_stats` across the study with
+        the deterministic sorted-key merge.  Telemetry is the one
+        diagnostics family that survives persistence, so store-served and
+        JSON-loaded points contribute too.  ``None`` when no point was
+        traced.
+        """
+        from repro.telemetry.tracer import merge_telemetry_stats
+
+        return merge_telemetry_stats(
+            record.telemetry_stats() for record in self.records
+        )
+
+    def telemetry_spans(self) -> List[Dict[str, object]]:
+        """Every point's span events, stamped with the point name.
+
+        Concatenates :meth:`RunRecord.telemetry_spans` in grid order,
+        annotating each event with its point name — the feed behind
+        ``repro trace`` on a study result, where spans from the worker
+        pool's distinct pids form the cross-process Chrome trace.
+        """
+        spans: List[Dict[str, object]] = []
+        for point, record in zip(self.points, self.records):
+            for event in record.telemetry_spans():
+                event.setdefault("point", point.name)
+                spans.append(event)
+        return spans
 
     def format_summary(
         self,

@@ -32,16 +32,25 @@ writing any Python (all built on the :mod:`repro.api` facade):
   sharded scheduling) and print the serving metrics table; ``--shards`` and
   ``--shard-workers`` change only the execution layout, never the results.
 * ``python -m repro policies`` — list the policy registry.
+* ``python -m repro trace run.json -o trace.json`` — export a saved run or
+  study's span events (recorded with ``--telemetry full``) as a Chrome
+  trace-event file loadable in Perfetto; ``python -m repro top run.json``
+  prints the hottest spans instead.  Every command accepts ``--telemetry
+  {off,light,full}``; ``compare`` and ``serve`` accept ``--metrics-out``
+  (Prometheus text exposition), and ``serve`` additionally
+  ``--metrics-every N`` (periodic JSONL snapshots while streaming).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, Iterator, List, Mapping, Optional, Tuple
 
 from repro import api
 from repro.experiments import (
@@ -132,6 +141,9 @@ def _config_from_args(arguments: argparse.Namespace) -> ExperimentConfig:
     # Runtime invariant guard level (off compiles to no-ops).
     if getattr(arguments, "guard", None) is not None:
         overrides["guard_level"] = arguments.guard
+    # Telemetry level (off builds no tracer; results byte-identical anyway).
+    if getattr(arguments, "telemetry", None) is not None:
+        overrides["telemetry_level"] = arguments.telemetry
     if overrides:
         config = config.with_overrides(**overrides)
     return config
@@ -334,26 +346,112 @@ def _guard_stats_fragment(stats) -> Optional[str]:
     )
 
 
-def _health_line(
-    kernel_stats, physical_stats, event_stats=None, serving_stats=None,
-    fault_stats=None, guard_stats=None,
-) -> Optional[str]:
-    """One line summarising solver, physical, event, serving and fault health."""
-    fragments = [
-        fragment
-        for fragment in (
-            _kernel_stats_fragment(kernel_stats),
-            _physical_stats_fragment(physical_stats),
-            _eventsim_stats_fragment(event_stats),
-            _serving_stats_fragment(serving_stats),
-            _fault_stats_fragment(fault_stats),
-            _guard_stats_fragment(guard_stats),
-        )
-        if fragment
-    ]
+def _telemetry_stats_fragment(stats) -> Optional[str]:
+    """The telemetry fragment of the health line (span/profile accounting)."""
+    if not stats:
+        return None
+    spans = int(stats.get("spans", 0))
+    tracers = int(stats.get("tracers", 0))
+    wall = sum(
+        float(value)
+        for key, value in stats.items()
+        if key.startswith("span.") and key.endswith(".wall_s")
+    )
+    return (
+        f"telemetry {spans} span(s) from {tracers} tracer(s), "
+        f"{wall:.2f} s traced wall"
+    )
+
+
+#: The health-line registry: one entry per diagnostics family, in render
+#: order.  ``key`` names the family, ``accessor`` is the stats method looked
+#: up on any result object (:class:`~repro.api.records.RunRecord` and
+#: :class:`~repro.api.study.StudyResult` both expose the full set), and
+#: ``renderer`` turns the merged mapping into a fragment (``None`` when the
+#: family has nothing to report).  Adding a family is one registry entry —
+#: telemetry rides the same path as the six original layers.
+_HEALTH_REGISTRY: Tuple[Tuple[str, str, Callable], ...] = (
+    ("kernel", "kernel_stats", _kernel_stats_fragment),
+    ("physical", "physical_stats", _physical_stats_fragment),
+    ("eventsim", "event_stats", _eventsim_stats_fragment),
+    ("serving", "serving_stats", _serving_stats_fragment),
+    ("faults", "fault_stats", _fault_stats_fragment),
+    ("guard", "guard_stats", _guard_stats_fragment),
+    ("telemetry", "telemetry_stats", _telemetry_stats_fragment),
+)
+
+
+def _render_health_line(stats_by_key: Mapping[str, Optional[Mapping]]) -> Optional[str]:
+    """Render the [health] line from per-family stats mappings (registry order)."""
+    fragments = []
+    for key, _accessor, renderer in _HEALTH_REGISTRY:
+        fragment = renderer(stats_by_key.get(key))
+        if fragment:
+            fragments.append(fragment)
     if not fragments:
         return None
     return "[health] " + " | ".join(fragments)
+
+
+def _health_line(source) -> Optional[str]:
+    """One line summarising every layer's health, from any result object.
+
+    Walks the registry's accessors on ``source`` — works identically for a
+    :class:`~repro.api.records.RunRecord` and a
+    :class:`~repro.api.study.StudyResult`, so every command shares one
+    renderer.
+    """
+    stats_by_key = {}
+    for key, accessor, _renderer in _HEALTH_REGISTRY:
+        method = getattr(source, accessor, None)
+        stats_by_key[key] = method() if callable(method) else None
+    return _render_health_line(stats_by_key)
+
+
+def _write_metrics_out(arguments: argparse.Namespace, source) -> None:
+    """Write the final Prometheus exposition when ``--metrics-out`` is given."""
+    path = getattr(arguments, "metrics_out", None)
+    if not path:
+        return
+    from repro.telemetry import render_prometheus
+
+    stats = source.telemetry_stats()
+    Path(path).write_text(render_prometheus(stats or {}))
+    print(f"[metrics written to {path}]", file=sys.stderr, flush=True)
+
+
+@contextmanager
+def _metrics_flush_env(arguments: argparse.Namespace) -> Iterator[None]:
+    """Arm the periodic JSONL metrics flush for the duration of a run.
+
+    ``--metrics-out X --metrics-every N`` makes every tracer (including the
+    ones inside serving-shard and trial workers, which inherit the
+    environment) append a snapshot line to ``X.jsonl`` every N merged
+    slots.  The variables are restored afterwards so nothing leaks into
+    subsequent in-process runs.
+    """
+    from repro.telemetry import METRICS_EVERY_ENV_VAR, METRICS_JSONL_ENV_VAR
+
+    path = getattr(arguments, "metrics_out", None)
+    every = getattr(arguments, "metrics_every", None)
+    if not path or not every:
+        yield
+        return
+    jsonl = str(Path(path).with_suffix(Path(path).suffix + ".jsonl"))
+    saved = {
+        key: os.environ.get(key)
+        for key in (METRICS_JSONL_ENV_VAR, METRICS_EVERY_ENV_VAR)
+    }
+    os.environ[METRICS_JSONL_ENV_VAR] = jsonl
+    os.environ[METRICS_EVERY_ENV_VAR] = str(every)
+    try:
+        yield
+    finally:
+        for key, previous in saved.items():
+            if previous is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = previous
 
 
 def _session_resilience_options(arguments: argparse.Namespace, guard) -> dict:
@@ -396,16 +494,10 @@ def command_compare(arguments: argparse.Namespace) -> int:
         print("hint: `python -m repro policies` lists the registry", file=sys.stderr)
         return 2
     if arguments.progress:
-        line = _health_line(
-            record.kernel_stats(),
-            record.physical_stats(),
-            record.event_stats(),
-            record.serving_stats(),
-            record.fault_stats(),
-            record.guard_stats(),
-        )
+        line = _health_line(record)
         if line:
-            print(line, file=sys.stderr)
+            print(line, file=sys.stderr, flush=True)
+    _write_metrics_out(arguments, record)
     if arguments.json:
         print(json.dumps(record.to_dict(), indent=2))
     else:
@@ -469,7 +561,9 @@ def command_sweep(arguments: argparse.Namespace) -> int:
             study.over_topology(*arguments.topologies)
         on_progress = None
         if arguments.progress:
-            on_progress = lambda message: print(f"[sweep] {message}", file=sys.stderr)
+            on_progress = lambda message: print(
+                f"[sweep] {message}", file=sys.stderr, flush=True
+            )
         with api.InterruptGuard() as guard:
             result = study.run(
                 workers=arguments.workers,
@@ -491,16 +585,9 @@ def command_sweep(arguments: argparse.Namespace) -> int:
         print(f"[interrupted] completed points flushed to {where}", file=sys.stderr)
         return 130
     if arguments.progress:
-        line = _health_line(
-            result.kernel_stats(),
-            result.physical_stats(),
-            result.event_stats(),
-            result.serving_stats(),
-            result.fault_stats(),
-            result.guard_stats(),
-        )
+        line = _health_line(result)
         if line:
-            print(line, file=sys.stderr)
+            print(line, file=sys.stderr, flush=True)
     if arguments.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -581,7 +668,7 @@ def command_serve(arguments: argparse.Namespace) -> int:
         # negative rates, ...), so it sits inside the error envelope too.
         config = _config_from_args(arguments).with_overrides(**overrides)
         scenario = api.Scenario.from_config(config, name=f"serve/{arguments.scale}")
-        with api.InterruptGuard() as guard:
+        with api.InterruptGuard() as guard, _metrics_flush_env(arguments):
             record = api.run_scenario(
                 scenario,
                 workers=arguments.workers,
@@ -592,16 +679,10 @@ def command_serve(arguments: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if arguments.progress:
-        line = _health_line(
-            record.kernel_stats(),
-            record.physical_stats(),
-            record.event_stats(),
-            record.serving_stats(),
-            record.fault_stats(),
-            record.guard_stats(),
-        )
+        line = _health_line(record)
         if line:
-            print(line, file=sys.stderr)
+            print(line, file=sys.stderr, flush=True)
+    _write_metrics_out(arguments, record)
     if arguments.json:
         print(json.dumps(record.to_dict(), indent=2))
     else:
@@ -634,6 +715,93 @@ def command_replay(arguments: argparse.Namespace) -> int:
         return 2
     print(result.describe())
     return 0 if result.matched else 1
+
+
+def _load_result_source(path: str):
+    """Load a saved RunRecord or StudyResult JSON file, detecting the schema."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} is not a repro result payload")
+    if "points" in payload and "axes" in payload:
+        return api.StudyResult.from_dict(payload)
+    return api.RunRecord.from_dict(payload)
+
+
+def _result_label(source) -> str:
+    """A human-readable label for a loaded result (trace/metadata naming)."""
+    name = getattr(source, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    scenario = getattr(source, "scenario", None)
+    if isinstance(scenario, Mapping):
+        return str(scenario.get("name", "run"))
+    return "run"
+
+
+def command_trace(arguments: argparse.Namespace) -> int:
+    """Export a saved run/study's span events as a Chrome trace-event file."""
+    from repro.telemetry import write_chrome_trace
+
+    try:
+        source = _load_result_source(arguments.result)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    spans = source.telemetry_spans()
+    if not spans:
+        print(
+            f"error: {arguments.result} carries no span events; re-run the "
+            "scenario with --telemetry full (or REPRO_TELEMETRY=full) and "
+            "save it again",
+            file=sys.stderr,
+        )
+        return 1
+    count = write_chrome_trace(spans, arguments.output, label=_result_label(source))
+    pids = {span.get("pid") for span in spans if span.get("pid") is not None}
+    print(
+        f"[trace] {count} span(s) from {len(pids)} process(es) written to "
+        f"{arguments.output} (load in Perfetto / chrome://tracing)"
+    )
+    return 0
+
+
+def command_top(arguments: argparse.Namespace) -> int:
+    """Print the hottest spans of a saved run/study, by total wall time."""
+    from repro.telemetry import summarize_spans
+
+    try:
+        source = _load_result_source(arguments.result)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = summarize_spans(source.telemetry_stats())
+    if not rows:
+        print(
+            f"error: {arguments.result} carries no telemetry; re-run the "
+            "scenario with --telemetry light or full",
+            file=sys.stderr,
+        )
+        return 1
+    limit = arguments.limit if arguments.limit and arguments.limit > 0 else len(rows)
+    table = [
+        [
+            row["name"],
+            f"{row['count']:g}",
+            f"{row['wall_s']:.4f}",
+            f"{row['cpu_s']:.4f}",
+            f"{row['mean_us']:.1f}",
+            f"{row['share'] * 100:.1f}%",
+        ]
+        for row in rows[:limit]
+    ]
+    print(
+        format_table(
+            ["span", "count", "wall s", "cpu s", "mean µs", "share"],
+            table,
+            title=f"Hottest spans — {_result_label(source)}",
+        )
+    )
+    return 0
 
 
 def command_diff_check(arguments: argparse.Namespace) -> int:
@@ -750,6 +918,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "strict replays constraint rows and queue "
                               "recursions (results are byte-identical at "
                               "every level)")
+        sub.add_argument("--telemetry", default=None,
+                         choices=["off", "light", "full"],
+                         help="observability level: off builds no tracer, "
+                              "light aggregates per-span profiles and "
+                              "metrics, full adds the span-event ring for "
+                              "Chrome-trace export (results are "
+                              "byte-identical at every level)")
 
     info = subparsers.add_parser("info", help="print the configuration and derived quantities")
     add_common(info)
@@ -780,6 +955,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint completed trials to this JSON file; "
                               "an interrupted run re-invoked with the same "
                               "flags resumes from it (byte-identical result)")
+    compare.add_argument("--metrics-out", default=None, metavar="PATH",
+                         dest="metrics_out",
+                         help="write the run's merged metrics as Prometheus "
+                              "text exposition to this file (needs "
+                              "--telemetry light or full)")
     add_common(compare)
     compare.set_defaults(handler=command_compare)
 
@@ -861,6 +1041,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint completed trials to this JSON file; "
                             "an interrupted run re-invoked with the same "
                             "flags resumes from it (byte-identical result)")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       dest="metrics_out",
+                       help="write the run's merged metrics as Prometheus "
+                            "text exposition to this file (needs "
+                            "--telemetry light or full)")
+    serve.add_argument("--metrics-every", type=int, default=None,
+                       dest="metrics_every", metavar="N",
+                       help="additionally append a JSONL metrics snapshot to "
+                            "<metrics-out>.jsonl every N merged slots while "
+                            "the run streams (needs --metrics-out)")
     add_common(serve)
     serve.set_defaults(handler=command_serve)
 
@@ -872,6 +1062,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("bundle", help="path to a repro bundle (JSON) dumped on failure")
     replay.set_defaults(handler=command_replay)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="export a saved run/study's spans as a Chrome trace-event file",
+    )
+    trace.add_argument("result", help="a RunRecord or StudyResult JSON file "
+                                      "(saved with --output / .save())")
+    trace.add_argument("-o", "--output", default="trace.json",
+                       help="Chrome trace-event JSON output path "
+                            "(default: trace.json)")
+    trace.set_defaults(handler=command_trace)
+
+    top = subparsers.add_parser(
+        "top", help="print the hottest spans of a saved run/study result"
+    )
+    top.add_argument("result", help="a RunRecord or StudyResult JSON file "
+                                    "(saved with --output / .save())")
+    top.add_argument("-n", "--limit", type=int, default=15,
+                     help="rows to print (default: 15; 0 = all)")
+    top.set_defaults(handler=command_top)
 
     diff_check = subparsers.add_parser(
         "diff-check",
@@ -891,7 +1101,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    try:
+        return arguments.handler(arguments)
+    except BrokenPipeError:
+        # ``repro top run.json | head`` closes stdout early; that is not
+        # an error.  Detach so the interpreter-exit flush cannot re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -42,6 +42,7 @@ from repro.utils.validation import check_non_negative, check_positive
 from repro.workload.requests import RequestProcess, UniformRequestProcess
 from repro.workload.traces import WorkloadTrace, generate_trace
 from repro.guard.invariants import GUARD_LEVELS
+from repro.telemetry.tracer import TELEMETRY_LEVELS, TelemetryModel
 
 
 class ConfigError(ValueError):
@@ -217,6 +218,19 @@ class ExperimentConfig:
     # results or raises.  ``REPRO_GUARD`` overrides the level at run time.
     guard_level: str = "off"
 
+    # --- telemetry (repro.telemetry) ---------------------------------------- #
+    # ``telemetry_level`` arms the observability layer: "off" (the default)
+    # builds no tracer at all and keeps every table and benchmark
+    # byte-identical to the uninstrumented build; "light" aggregates
+    # per-span wall/CPU profiles and the metrics registry; "full"
+    # additionally keeps a bounded ring of ``telemetry_span_ring`` span
+    # events (pid/tid stamped) for Chrome-trace export and crash-bundle
+    # attachment.  Telemetry is observational and draws no randomness —
+    # any level produces identical results.  ``REPRO_TELEMETRY`` overrides
+    # the level at run time, exactly like ``REPRO_GUARD``.
+    telemetry_level: str = "off"
+    telemetry_span_ring: int = 2048
+
     # --- experiment bookkeeping ------------------------------------------- #
     trials: int = 5
     base_seed: int = 2024
@@ -272,6 +286,16 @@ class ExperimentConfig:
                 f"unknown guard level {self.guard_level!r}; "
                 f"choose from {', '.join(GUARD_LEVELS)}"
                 f"{_did_you_mean(self.guard_level, GUARD_LEVELS)}"
+            )
+        if self.telemetry_level not in TELEMETRY_LEVELS:
+            raise ConfigError(
+                f"unknown telemetry level {self.telemetry_level!r}; "
+                f"choose from {', '.join(TELEMETRY_LEVELS)}"
+                f"{_did_you_mean(self.telemetry_level, TELEMETRY_LEVELS)}"
+            )
+        if int(self.telemetry_span_ring) <= 0:
+            raise ConfigError(
+                f"telemetry_span_ring must be positive, got {self.telemetry_span_ring}"
             )
         with _config_errors():
             check_non_negative(self.signaling_latency_s, "signaling_latency_s")
@@ -523,6 +547,23 @@ class ExperimentConfig:
                 tuple(entry) for entry in (self.fault_outages or ())
             ),
             aware=self.fault_aware,
+        )
+
+    def telemetry_model(self) -> Optional[TelemetryModel]:
+        """The configured telemetry model, or ``None`` when configured off.
+
+        The single place the flat ``telemetry_*`` fields become the
+        :class:`~repro.telemetry.TelemetryModel` the simulators consume.
+        The ``REPRO_TELEMETRY`` override is deliberately *not* applied
+        here — it takes effect at :meth:`repro.telemetry.Tracer.build`
+        time (which also arms a ``None`` model), so scenario dictionaries
+        and content-addressed store keys never depend on the variable.
+        """
+        if self.telemetry_level == "off":
+            return None
+        return TelemetryModel(
+            level=self.telemetry_level,
+            span_ring=int(self.telemetry_span_ring),
         )
 
     def build_faults(

@@ -119,12 +119,16 @@ def build_bundle(
     guard_level: str,
     recorder: Optional[FlightRecorder] = None,
     error: Optional[BaseException] = None,
+    telemetry: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """The bundle dictionary for a failed trial (not yet written).
 
     The ``content`` sub-dict is the deterministic replay payload the
     content key is computed over; ``environment`` is advisory context for
-    the human and excluded from the key.
+    the human and excluded from the key.  ``telemetry`` (the crashed
+    trial's last-N span events, when a tracer was armed) is likewise
+    advisory: span timings are wall-clock, so the section lives outside
+    ``content`` and never perturbs the replay key.
     """
     if isinstance(error, InvariantViolation):
         verdict: Optional[Dict[str, Any]] = error.verdict()
@@ -150,7 +154,7 @@ def build_bundle(
         "records": recorder.tail() if recorder is not None else [],
         "slots_seen": recorder.slots_seen if recorder is not None else 0,
     }
-    return {
+    bundle: Dict[str, Any] = {
         "content": content,
         "key": _content_key(content),
         "environment": {
@@ -160,6 +164,9 @@ def build_bundle(
             GUARD_ENV_VAR: os.environ.get(GUARD_ENV_VAR, "") or None,
         },
     }
+    if telemetry:
+        bundle["telemetry"] = {"spans": [_jsonable(span) for span in telemetry]}
+    return bundle
 
 
 def dump_bundle(
@@ -169,13 +176,17 @@ def dump_bundle(
     recorder: Optional[FlightRecorder] = None,
     error: Optional[BaseException] = None,
     directory: Optional[str] = None,
+    telemetry: Optional[List[Dict[str, Any]]] = None,
 ) -> str:
     """Write a repro bundle atomically; returns the bundle path.
 
     The file name is the content key, so re-dumping the same failure
     overwrites (atomically) rather than accumulating duplicates.
     """
-    bundle = build_bundle(scenario, trial, guard_level, recorder=recorder, error=error)
+    bundle = build_bundle(
+        scenario, trial, guard_level, recorder=recorder, error=error,
+        telemetry=telemetry,
+    )
     target_dir = directory or bundle_dir()
     os.makedirs(target_dir, exist_ok=True)
     path = os.path.join(target_dir, f"{bundle['key']}.json")

@@ -23,6 +23,8 @@ from repro.guard.invariants import (
     InvariantViolation,
 )
 from repro.guard.recorder import FlightRecorder, build_bundle, load_bundle
+from repro.telemetry import hooks as telemetry_hooks
+from repro.telemetry.tracer import events_to_stats, summarize_spans
 
 
 @dataclass
@@ -60,6 +62,17 @@ class ReplayResult:
             lines.append(f"  content key: {verdict}")
         if self.detail:
             lines.append(f"  {self.detail}")
+        summary = self.extra.get("trace_summary") or []
+        if self.matched and summary:
+            lines.append(
+                f"  trace: {self.extra.get('trace_spans', 0)} spans replayed "
+                f"(source: {self.extra.get('trace_source', 'replay')}), hottest:"
+            )
+            for row in summary[:3]:
+                lines.append(
+                    f"    {row['name']}: {row['count']:g}x, "
+                    f"{row['wall_s'] * 1e3:.2f} ms wall"
+                )
         return "\n".join(lines)
 
 
@@ -129,6 +142,20 @@ def replay_bundle(path: str) -> ReplayResult:
                 error=observed_exc,
             )["key"]
 
+    # The replayed trial's trace, if a tracer was armed (scenario config
+    # or REPRO_TELEMETRY): the simulator's ``activate`` left it in
+    # ``telemetry_hooks.last()`` even though the run died mid-flight.
+    # Fall back to the spans the source bundle attached at crash time.
+    tracer = telemetry_hooks.last()
+    replay_spans = tracer.tail() if tracer is not None else []
+    bundle_spans = (bundle.get("telemetry") or {}).get("spans") or []
+    trace_spans = replay_spans or bundle_spans
+    extra: Dict[str, Any] = {}
+    if trace_spans:
+        extra["trace_spans"] = len(trace_spans)
+        extra["trace_source"] = "replay" if replay_spans else "bundle"
+        extra["trace_summary"] = summarize_spans(events_to_stats(trace_spans))
+
     source_key = bundle.get("key")
     if observed_exc is None:
         return ReplayResult(
@@ -138,6 +165,7 @@ def replay_bundle(path: str) -> ReplayResult:
             expected=expected,
             detail="the replayed trial completed without failing",
             records_replayed=recorder.slots_seen,
+            extra=extra,
         )
     if isinstance(observed_exc, InvariantViolation):
         observed = observed_exc.verdict()
@@ -171,4 +199,5 @@ def replay_bundle(path: str) -> ReplayResult:
         source_key=source_key,
         detail=detail,
         records_replayed=recorder.slots_seen,
+        extra=extra,
     )

@@ -47,6 +47,8 @@ from repro.serving.admission import (
 from repro.serving.arrivals import ArrivalProcess, SessionSpec, build_arrivals
 from repro.simulation.clock import SlotClock
 from repro.simulation.results import SimulationResult, SlotRecord
+from repro.telemetry import hooks as telemetry_hooks
+from repro.telemetry.tracer import TelemetryModel, Tracer, maybe_span
 from repro.utils.rng import SeedLike, as_generator, derive_seed, hash_string
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -319,10 +321,12 @@ class ServingSimulator:
         clock: Optional[SlotClock] = None,
         faults: Optional[FaultSchedule] = None,
         guard_level: str = "off",
+        telemetry: Optional[TelemetryModel] = None,
     ):
         check_positive(horizon, "horizon")
         check_non_negative(total_budget, "total_budget")
         self.guard_level = str(guard_level)
+        self.telemetry = telemetry
         self.graph = graph
         self.model = model
         self.horizon = int(horizon)
@@ -390,8 +394,20 @@ class ServingSimulator:
     ) -> SimulationResult:
         """Execute the serving loop over the horizon."""
         # Same guard discipline as the simulation backends: fresh per run,
-        # purely observational, None when the effective level is off.
+        # purely observational, None when the effective level is off.  The
+        # tracer follows the identical discipline under REPRO_TELEMETRY.
         guard = InvariantGuard.build(self.guard_level)
+        tracer = Tracer.build(self.telemetry)
+        with telemetry_hooks.activate(tracer):
+            return self._run_inner(guard, tracer, seed, on_slot)
+
+    def _run_inner(
+        self,
+        guard: Optional[InvariantGuard],
+        tracer: Optional[Tracer],
+        seed: SeedLike,
+        on_slot: Optional[Callable[[SlotRecord], Optional[bool]]],
+    ) -> SimulationResult:
         model = self.model
         base_seed = seed if isinstance(seed, int) else derive_seed(None, "serving")
         arrivals = model.build_arrivals()
@@ -451,102 +467,118 @@ class ServingSimulator:
                 # Admission runs centrally against the last merged state —
                 # with a merge period of k the signals are up to k−1 slots
                 # stale, like any periodically-synchronised control plane.
-                for t in slots:
-                    admission.on_slot(t)
-                    for spec in arrivals.joins(t):
-                        counters["sessions_arrived"] += 1
-                        state = AdmissionState(
-                            t=t,
-                            backlog=queue.length,
-                            pending_requests=merged_backlog,
-                            active_sessions=active_sessions,
-                            availability=(
-                                self.faults.availability_at(t)
-                                if self.faults is not None
-                                else 1.0
-                            ),
-                        )
-                        if not admission.admit(spec, state):
-                            counters["sessions_rejected"] += 1
-                            continue
-                        counters["sessions_admitted"] += 1
-                        active_sessions += 1
-                        served_by_session[spec.session_id] = 0
-                        cost, prob, elements = self._resolve_route(spec.endpoints)
-                        capacity = (
-                            int(model.session_budget // cost) if cost > 0 else 0
-                        )
-                        shard = shard_for_session(spec.session_id, model.shards)
-                        joins[shard].setdefault(t, []).append(
-                            (spec, cost, prob, capacity, elements)
-                        )
+                with maybe_span(tracer, "serving.admission", slot=window_start):
+                    for t in slots:
+                        admission.on_slot(t)
+                        for spec in arrivals.joins(t):
+                            counters["sessions_arrived"] += 1
+                            state = AdmissionState(
+                                t=t,
+                                backlog=queue.length,
+                                pending_requests=merged_backlog,
+                                active_sessions=active_sessions,
+                                availability=(
+                                    self.faults.availability_at(t)
+                                    if self.faults is not None
+                                    else 1.0
+                                ),
+                            )
+                            if not admission.admit(spec, state):
+                                counters["sessions_rejected"] += 1
+                                continue
+                            counters["sessions_admitted"] += 1
+                            active_sessions += 1
+                            served_by_session[spec.session_id] = 0
+                            cost, prob, elements = self._resolve_route(spec.endpoints)
+                            capacity = (
+                                int(model.session_budget // cost) if cost > 0 else 0
+                            )
+                            shard = shard_for_session(spec.session_id, model.shards)
+                            joins[shard].setdefault(t, []).append(
+                                (spec, cost, prob, capacity, elements)
+                            )
 
-                if supervisor is not None:
-                    outcomes = supervisor.run(
-                        _advance_shard_for_pool,
-                        [(shard, slots, joins[i], down) for i, shard in enumerate(shards)],
+                with maybe_span(tracer, "serving.shards", slot=window_start):
+                    if supervisor is not None:
+                        outcomes = supervisor.run(
+                            _advance_shard_for_pool,
+                            [
+                                (shard, slots, joins[i], down)
+                                for i, shard in enumerate(shards)
+                            ],
+                        )
+                        shards = [shard for shard, _ in outcomes]
+                        reports = [entries for _, entries in outcomes]
+                    else:
+                        reports = [
+                            shard.advance(slots, joins[i], down)
+                            for i, shard in enumerate(shards)
+                        ]
+
+                if tracer is not None:
+                    # The merge lag: how stale each merged slot's signals
+                    # are relative to the window's central admission state.
+                    lag_hist = tracer.metrics.histogram(
+                        "serving.merge_lag_slots", bounds=(0, 1, 2, 4, 8, 16, 32)
                     )
-                    shards = [shard for shard, _ in outcomes]
-                    reports = [entries for _, entries in outcomes]
-                else:
-                    reports = [
-                        shard.advance(slots, joins[i], down)
-                        for i, shard in enumerate(shards)
-                    ]
-
+                    for offset in range(len(slots)):
+                        lag_hist.observe(offset)
                 # Merge in canonical session-id order: identical aggregation
                 # (including float summation order) for every shard layout.
-                for offset, t in enumerate(slots):
-                    if guard is not None:
-                        guard.begin_slot(t)
-                    entries = sorted(
-                        (entry for report in reports for entry in report[offset]),
-                        key=lambda entry: entry.session_id,
-                    )
-                    arrived = sum(entry.arrived for entry in entries)
-                    served = sum(entry.served for entry in entries)
-                    slot_cost = sum(entry.cost for entry in entries)
-                    utility = 0.0
-                    probabilities: List[float] = []
-                    realized: List[bool] = []
-                    for entry in entries:
-                        if entry.served:
-                            utility += entry.served * entry.prob
-                            probabilities.extend([entry.prob] * entry.served)
-                            realized.extend(entry.realized)
-                            served_by_session[entry.session_id] += entry.served
-                        sojourn_slots += entry.sojourn
-                        counters["requests_dropped"] += entry.dropped
-                        counters["sessions_departed"] += entry.departed
-                        counters["sessions_renewed"] += entry.renewed
-                        if fault_stats is not None:
-                            fault_stats.requests_interrupted += entry.interrupted
-                    counters["requests_arrived"] += arrived
-                    counters["requests_served"] += served
-                    counters["requests_realized"] += sum(realized)
-                    cost_spent += slot_cost
-                    active_sessions -= sum(entry.departed for entry in entries)
-                    merged_backlog = sum(entry.backlog for entry in entries)
-                    queue_length = queue.update(float(slot_cost))
-                    if guard is not None:
-                        guard.check_serving_slot(
-                            t, entries, merged_backlog, queue_length
+                with maybe_span(tracer, "serving.merge", slot=window_start):
+                    for offset, t in enumerate(slots):
+                        if guard is not None:
+                            guard.begin_slot(t)
+                        entries = sorted(
+                            (entry for report in reports for entry in report[offset]),
+                            key=lambda entry: entry.session_id,
                         )
-                    record = SlotRecord(
-                        t=t,
-                        num_requests=arrived,
-                        num_served=served,
-                        cost=slot_cost,
-                        utility=utility,
-                        success_probabilities=tuple(probabilities),
-                        realized_successes=tuple(realized),
-                        queue_length=queue_length,
-                        slot_start_s=self.clock.slot_start(t),
-                        slot_end_s=self.clock.slot_end(t),
-                    )
-                    records.append(record)
-                    if on_slot is not None:
-                        on_slot(record)
+                        arrived = sum(entry.arrived for entry in entries)
+                        served = sum(entry.served for entry in entries)
+                        slot_cost = sum(entry.cost for entry in entries)
+                        utility = 0.0
+                        probabilities: List[float] = []
+                        realized: List[bool] = []
+                        for entry in entries:
+                            if entry.served:
+                                utility += entry.served * entry.prob
+                                probabilities.extend([entry.prob] * entry.served)
+                                realized.extend(entry.realized)
+                                served_by_session[entry.session_id] += entry.served
+                            sojourn_slots += entry.sojourn
+                            counters["requests_dropped"] += entry.dropped
+                            counters["sessions_departed"] += entry.departed
+                            counters["sessions_renewed"] += entry.renewed
+                            if fault_stats is not None:
+                                fault_stats.requests_interrupted += entry.interrupted
+                        counters["requests_arrived"] += arrived
+                        counters["requests_served"] += served
+                        counters["requests_realized"] += sum(realized)
+                        cost_spent += slot_cost
+                        active_sessions -= sum(entry.departed for entry in entries)
+                        merged_backlog = sum(entry.backlog for entry in entries)
+                        queue_length = queue.update(float(slot_cost))
+                        if guard is not None:
+                            guard.check_serving_slot(
+                                t, entries, merged_backlog, queue_length
+                            )
+                        record = SlotRecord(
+                            t=t,
+                            num_requests=arrived,
+                            num_served=served,
+                            cost=slot_cost,
+                            utility=utility,
+                            success_probabilities=tuple(probabilities),
+                            realized_successes=tuple(realized),
+                            queue_length=queue_length,
+                            slot_start_s=self.clock.slot_start(t),
+                            slot_end_s=self.clock.slot_end(t),
+                        )
+                        records.append(record)
+                        if on_slot is not None:
+                            on_slot(record)
+                        if tracer is not None:
+                            tracer.maybe_flush(t)
         finally:
             if supervisor is not None:
                 supervisor.shutdown()
@@ -572,6 +604,17 @@ class ServingSimulator:
             if fault_stats is not None:
                 guard.check_fault_stats(self.faults, diagnostics["faults"])
             diagnostics["guard"] = guard.stats()
+        if tracer is not None:
+            # Fold the serving counters (admission decisions, request flow),
+            # fault downtime and guard checks into the metrics feed, then
+            # ship the telemetry payload through the diagnostics.
+            tracer.absorb("serving", stats)
+            tracer.absorb("faults", diagnostics.get("faults"))
+            tracer.absorb("guard", diagnostics.get("guard"))
+            diagnostics["telemetry"] = tracer.stats()
+            spans = tracer.span_events()
+            if spans:
+                diagnostics["telemetry_spans"] = spans
         return SimulationResult(
             policy_name=SERVING_LINEUP_NAME,
             horizon=self.horizon,

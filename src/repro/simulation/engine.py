@@ -23,6 +23,8 @@ from repro.simulation.clock import SlotClock
 from repro.simulation.link_layer import LinkLayerSimulator
 from repro.simulation.physical import PhysicalModel
 from repro.simulation.results import SimulationResult, SlotRecord
+from repro.telemetry import hooks as telemetry_hooks
+from repro.telemetry.tracer import TelemetryModel, Tracer, maybe_span
 from repro.utils.rng import SeedLike, as_generator, spawn_rngs
 from repro.workload.traces import WorkloadTrace
 
@@ -89,6 +91,7 @@ class SlottedSimulator:
     clock: Optional[SlotClock] = None
     faults: Optional[FaultSchedule] = None
     guard_level: str = "off"
+    telemetry: Optional[TelemetryModel] = None
 
     def run(
         self,
@@ -104,10 +107,12 @@ class SlottedSimulator:
         # Built fresh per run so guard counters are per-run; the ambient
         # activation lets the solver kernel reach the guard without new
         # plumbing.  ``None`` (level "off" after the REPRO_GUARD override)
-        # keeps this method byte-for-byte on its historical path.
+        # keeps this method byte-for-byte on its historical path.  The
+        # tracer follows the identical discipline under REPRO_TELEMETRY.
         guard = InvariantGuard.build(self.guard_level)
-        with guard_hooks.activate(guard):
-            return self._run_guarded(policy, seed, on_slot, guard)
+        tracer = Tracer.build(self.telemetry)
+        with guard_hooks.activate(guard), telemetry_hooks.activate(tracer):
+            return self._run_guarded(policy, seed, on_slot, guard, tracer)
 
     def _run_guarded(
         self,
@@ -115,6 +120,7 @@ class SlottedSimulator:
         seed: SeedLike,
         on_slot: Optional[SlotCallback],
         guard: Optional[InvariantGuard],
+        tracer: Optional[Tracer],
     ) -> SimulationResult:
         rng = as_generator(seed)
         engine = None
@@ -137,22 +143,24 @@ class SlottedSimulator:
         for slot_trace in self.trace.slots:
             if guard is not None:
                 guard.begin_slot(slot_trace.t)
-            candidate_routes = {
-                request: tuple(self.trace.routes_for(request))
-                for request in slot_trace.requests
-            }
+            with maybe_span(tracer, "workload.candidates", slot=slot_trace.t):
+                candidate_routes = {
+                    request: tuple(self.trace.routes_for(request))
+                    for request in slot_trace.requests
+                }
             fault_state = None
             if self.faults is not None:
-                fault_state = self.faults.state_at(slot_trace.t)
-                fault_stats.observe_slot(self.faults, fault_state)
-                if self.faults.aware and fault_state:
-                    filtered = self.faults.filter_routes(fault_state, candidate_routes)
-                    fault_stats.requests_unservable += sum(
-                        1
-                        for request in slot_trace.requests
-                        if candidate_routes[request] and not filtered[request]
-                    )
-                    candidate_routes = filtered
+                with maybe_span(tracer, "faults.schedule", slot=slot_trace.t):
+                    fault_state = self.faults.state_at(slot_trace.t)
+                    fault_stats.observe_slot(self.faults, fault_state)
+                    if self.faults.aware and fault_state:
+                        filtered = self.faults.filter_routes(fault_state, candidate_routes)
+                        fault_stats.requests_unservable += sum(
+                            1
+                            for request in slot_trace.requests
+                            if candidate_routes[request] and not filtered[request]
+                        )
+                        candidate_routes = filtered
             context = SlotContext(
                 t=slot_trace.t,
                 graph=self.graph,
@@ -160,7 +168,10 @@ class SlottedSimulator:
                 requests=slot_trace.requests,
                 candidate_routes=candidate_routes,
             )
-            decision = policy.decide(context, seed=decision_rng)
+            with maybe_span(
+                tracer, "kernel.solve", slot=slot_trace.t, hist="kernel.solve_s"
+            ):
+                decision = policy.decide(context, seed=decision_rng)
             if not decision.respects_snapshot(slot_trace.snapshot):
                 raise RuntimeError(
                     f"policy {policy.name!r} violated capacity constraints in slot {slot_trace.t}"
@@ -191,11 +202,12 @@ class SlottedSimulator:
                             },
                         )
                     )
-                for realization in link_layer.realize_routes(
-                    items, slot=slot_trace.t, seed=realization_rng
-                ):
-                    realized.append(realization.succeeded)
-                    fidelities.append(realization.fidelity)
+                with maybe_span(tracer, "link.realize", slot=slot_trace.t):
+                    for realization in link_layer.realize_routes(
+                        items, slot=slot_trace.t, seed=realization_rng
+                    ):
+                        realized.append(realization.succeeded)
+                        fidelities.append(realization.fidelity)
                 if fault_state:
                     # Requests routed across a failed element lose their
                     # entanglement regardless of the link draw.  The batched
@@ -213,12 +225,13 @@ class SlottedSimulator:
                     # The physical delivery chain consumes the link outcomes
                     # and its own spawned stream (shared by both engine
                     # implementations, which draw identically from it).
-                    delivered, delivered_fidelities, fidelity_served = (
-                        engine.realize_decision(
-                            items, realized, len(decision.unserved),
-                            seed=physical_rng,
+                    with maybe_span(tracer, "physical.chain", slot=slot_trace.t):
+                        delivered, delivered_fidelities, fidelity_served = (
+                            engine.realize_decision(
+                                items, realized, len(decision.unserved),
+                                seed=physical_rng,
+                            )
                         )
-                    )
                 # Unserved requests trivially fail.
                 realized.extend([False] * len(decision.unserved))
                 fidelities.extend([0.0] * len(decision.unserved))
@@ -230,15 +243,20 @@ class SlottedSimulator:
                 queue_length = float(history[-1])
 
             if guard is not None:
-                guard.check_decision(context, decision, queue_length)
-                guard.check_objective(decision.utility(self.graph), slot=slot_trace.t)
-                guard.check_fidelities(
-                    fidelities, slot=slot_trace.t, model=self.physical
-                )
-                if delivered_fidelities:
-                    guard.check_fidelities(
-                        delivered_fidelities, slot=slot_trace.t, model=self.physical
+                with maybe_span(tracer, "guard.check", slot=slot_trace.t):
+                    guard.check_decision(context, decision, queue_length)
+                    guard.check_objective(
+                        decision.utility(self.graph), slot=slot_trace.t
                     )
+                    guard.check_fidelities(
+                        fidelities, slot=slot_trace.t, model=self.physical
+                    )
+                    if delivered_fidelities:
+                        guard.check_fidelities(
+                            delivered_fidelities,
+                            slot=slot_trace.t,
+                            model=self.physical,
+                        )
 
             record = SlotRecord(
                 t=slot_trace.t,
@@ -256,8 +274,12 @@ class SlottedSimulator:
                 slot_start_s=clock.slot_start(slot_trace.t),
                 slot_end_s=clock.slot_end(slot_trace.t),
             )
-            records.append(record)
-            if on_slot is not None and on_slot(policy.name, record) is False:
+            with maybe_span(tracer, "records.emit", slot=slot_trace.t):
+                records.append(record)
+                stop = on_slot is not None and on_slot(policy.name, record) is False
+            if tracer is not None:
+                tracer.slots_seen = max(tracer.slots_seen, slot_trace.t + 1)
+            if stop:
                 break
 
         diagnostics = policy.diagnostics()
@@ -273,6 +295,18 @@ class SlottedSimulator:
                 guard.check_fault_stats(self.faults, diagnostics["faults"])
             diagnostics = dict(diagnostics)
             diagnostics["guard"] = guard.stats()
+        if tracer is not None:
+            # Fold layer-internal tallies into the metrics feed, then ship
+            # the whole telemetry payload through diagnostics — the only
+            # channel that crosses worker-pool process boundaries.
+            tracer.absorb("kernel", diagnostics.get("kernel"))
+            tracer.absorb("faults", diagnostics.get("faults"))
+            tracer.absorb("guard", diagnostics.get("guard"))
+            diagnostics = dict(diagnostics)
+            diagnostics["telemetry"] = tracer.stats()
+            spans = tracer.span_events()
+            if spans:
+                diagnostics["telemetry_spans"] = spans
         return SimulationResult(
             policy_name=policy.name,
             horizon=self.trace.horizon,
@@ -293,6 +327,7 @@ def build_simulator(
     timing=None,
     faults: Optional[FaultSchedule] = None,
     guard_level: str = "off",
+    telemetry: Optional[TelemetryModel] = None,
 ):
     """Construct the simulator for ``backend`` (``"slotted"`` or ``"event"``).
 
@@ -327,6 +362,7 @@ def build_simulator(
             clock=clock,
             faults=faults,
             guard_level=guard_level,
+            telemetry=telemetry,
         )
     return SlottedSimulator(
         graph=graph,
@@ -338,6 +374,7 @@ def build_simulator(
         clock=clock,
         faults=faults,
         guard_level=guard_level,
+        telemetry=telemetry,
     )
 
 
@@ -354,6 +391,7 @@ def simulate_policies(
     timing=None,
     faults: Optional[FaultSchedule] = None,
     guard_level: str = "off",
+    telemetry: Optional[TelemetryModel] = None,
 ) -> Dict[str, SimulationResult]:
     """Run several policies over the *same* trace and collect their results.
 
@@ -377,6 +415,7 @@ def simulate_policies(
         timing=timing,
         faults=faults,
         guard_level=guard_level,
+        telemetry=telemetry,
     )
     rngs = spawn_rngs(seed, len(list(policies)))
     results: Dict[str, SimulationResult] = {}

@@ -63,6 +63,8 @@ from repro.simulation.events import Event, EventLoop
 from repro.simulation.link_layer import LinkLayerSimulator
 from repro.simulation.physical import PhysicalModel, PhysicalStats
 from repro.simulation.results import SimulationResult, SlotRecord
+from repro.telemetry import hooks as telemetry_hooks
+from repro.telemetry.tracer import TelemetryModel, Tracer, maybe_span
 from repro.utils.rng import SeedLike, as_generator, spawn_rngs
 from repro.utils.validation import check_non_negative
 from repro.workload.traces import WorkloadTrace
@@ -402,6 +404,7 @@ class EventDrivenSimulator:
     clock: Optional[SlotClock] = None
     faults: Optional[FaultSchedule] = None
     guard_level: str = "off"
+    telemetry: Optional[TelemetryModel] = None
 
     def run(
         self,
@@ -411,10 +414,12 @@ class EventDrivenSimulator:
     ) -> SimulationResult:
         """Simulate ``policy`` over the whole trace and return its result."""
         # Same guard discipline as the slotted backend: fresh per run,
-        # ambient for the solver kernel, ``None`` when off.
+        # ambient for the solver kernel, ``None`` when off.  The tracer
+        # follows the identical discipline under REPRO_TELEMETRY.
         guard = InvariantGuard.build(self.guard_level)
-        with guard_hooks.activate(guard):
-            return self._run_guarded(policy, seed, on_slot, guard)
+        tracer = Tracer.build(self.telemetry)
+        with guard_hooks.activate(guard), telemetry_hooks.activate(tracer):
+            return self._run_guarded(policy, seed, on_slot, guard, tracer)
 
     def _run_guarded(
         self,
@@ -422,6 +427,7 @@ class EventDrivenSimulator:
         seed: SeedLike,
         on_slot,
         guard: Optional[InvariantGuard],
+        tracer: Optional[Tracer],
     ) -> SimulationResult:
         rng = as_generator(seed)
         memory: Optional[MemoryAgent] = None
@@ -454,10 +460,11 @@ class EventDrivenSimulator:
                 guard.begin_slot(slot_trace.t)
             slot_start = bridge.open_slot(slot_trace.t)
             stats.slots += 1
-            candidate_routes = {
-                request: tuple(self.trace.routes_for(request))
-                for request in slot_trace.requests
-            }
+            with maybe_span(tracer, "workload.candidates", slot=slot_trace.t):
+                candidate_routes = {
+                    request: tuple(self.trace.routes_for(request))
+                    for request in slot_trace.requests
+                }
             fault_state = None
             if self.faults is not None:
                 # Same degradation semantics as the slotted backend: aware
@@ -481,7 +488,10 @@ class EventDrivenSimulator:
                 requests=slot_trace.requests,
                 candidate_routes=candidate_routes,
             )
-            decision = bridge.decide(policy, context, decision_rng)
+            with maybe_span(
+                tracer, "kernel.solve", slot=slot_trace.t, hist="kernel.solve_s"
+            ):
+                decision = bridge.decide(policy, context, decision_rng)
             if not decision.respects_snapshot(slot_trace.snapshot):
                 raise RuntimeError(
                     f"policy {policy.name!r} violated capacity constraints in slot {slot_trace.t}"
@@ -510,10 +520,11 @@ class EventDrivenSimulator:
                             },
                         )
                     )
-                protocols = self._launch_protocols(
-                    loop, items, slot_start, clock, realization_rng, stats
-                )
-                deadline = bridge.close_slot(slot_trace.t)
+                with maybe_span(tracer, "event.protocols", slot=slot_trace.t):
+                    protocols = self._launch_protocols(
+                        loop, items, slot_start, clock, realization_rng, stats
+                    )
+                    deadline = bridge.close_slot(slot_trace.t)
                 if fault_state:
                     # A protocol whose route crosses a failed element is
                     # voided before accounting so delivered/physical stats
@@ -534,9 +545,12 @@ class EventDrivenSimulator:
                     realized.append(confirmed)
                     fidelities.append(link_layer.base_fidelity if confirmed else 0.0)
                 if memory is not None:
-                    delivered, delivered_fidelities, fidelity_served = (
-                        self._realize_physical(items, protocols, memory, physical_rng, stats)
-                    )
+                    with maybe_span(tracer, "physical.chain", slot=slot_trace.t):
+                        delivered, delivered_fidelities, fidelity_served = (
+                            self._realize_physical(
+                                items, protocols, memory, physical_rng, stats
+                            )
+                        )
                     delivered.extend([False] * len(decision.unserved))
                     delivered_fidelities.extend([0.0] * len(decision.unserved))
                     fidelity_served.extend([False] * len(decision.unserved))
@@ -553,15 +567,20 @@ class EventDrivenSimulator:
                 queue_length = float(history[-1])
 
             if guard is not None:
-                guard.check_decision(context, decision, queue_length)
-                guard.check_objective(decision.utility(self.graph), slot=slot_trace.t)
-                guard.check_fidelities(
-                    fidelities, slot=slot_trace.t, model=self.physical
-                )
-                if delivered_fidelities:
-                    guard.check_fidelities(
-                        delivered_fidelities, slot=slot_trace.t, model=self.physical
+                with maybe_span(tracer, "guard.check", slot=slot_trace.t):
+                    guard.check_decision(context, decision, queue_length)
+                    guard.check_objective(
+                        decision.utility(self.graph), slot=slot_trace.t
                     )
+                    guard.check_fidelities(
+                        fidelities, slot=slot_trace.t, model=self.physical
+                    )
+                    if delivered_fidelities:
+                        guard.check_fidelities(
+                            delivered_fidelities,
+                            slot=slot_trace.t,
+                            model=self.physical,
+                        )
 
             record = SlotRecord(
                 t=slot_trace.t,
@@ -579,8 +598,12 @@ class EventDrivenSimulator:
                 slot_start_s=slot_start,
                 slot_end_s=deadline,
             )
-            records.append(record)
-            if on_slot is not None and on_slot(policy.name, record) is False:
+            with maybe_span(tracer, "records.emit", slot=slot_trace.t):
+                records.append(record)
+                stop = on_slot is not None and on_slot(policy.name, record) is False
+            if tracer is not None:
+                tracer.slots_seen = max(tracer.slots_seen, slot_trace.t + 1)
+            if stop:
                 break
 
         stats.events = loop.events_processed
@@ -596,6 +619,17 @@ class EventDrivenSimulator:
             if fault_stats is not None:
                 guard.check_fault_stats(self.faults, diagnostics["faults"])
             diagnostics["guard"] = guard.stats()
+        if tracer is not None:
+            # Same shipping channel as the slotted backend: the telemetry
+            # payload rides the diagnostics across worker-pool boundaries.
+            tracer.absorb("kernel", diagnostics.get("kernel"))
+            tracer.absorb("eventsim", diagnostics.get("eventsim"))
+            tracer.absorb("faults", diagnostics.get("faults"))
+            tracer.absorb("guard", diagnostics.get("guard"))
+            diagnostics["telemetry"] = tracer.stats()
+            spans = tracer.span_events()
+            if spans:
+                diagnostics["telemetry_spans"] = spans
         return SimulationResult(
             policy_name=policy.name,
             horizon=self.trace.horizon,

@@ -1,0 +1,206 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text exposition, JSONL.
+
+All three are dependency-free renderings of the tracer's two outputs —
+the span-event list (``diagnostics["telemetry_spans"]``) and the flat
+summable stats mapping (``diagnostics["telemetry"]``):
+
+* :func:`spans_to_chrome_trace` emits the Trace Event Format that both
+  ``chrome://tracing`` and Perfetto load: complete (``ph: "X"``) events
+  with microsecond ``ts``/``dur`` plus ``ph: "M"`` process/thread name
+  metadata.  Spans from different worker processes keep their own
+  ``pid``/``tid`` lanes, so a parallel Study renders as one timeline
+  with one track per worker.
+* :func:`render_prometheus` maps the dotted stats keys onto a small set
+  of metric families (`# TYPE`-annotated, label-escaped) for scrape-style
+  consumption.
+* :func:`append_jsonl_snapshot` appends one JSON object per line — the
+  periodic in-run metrics feed (``repro serve --metrics-out``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "spans_to_chrome_trace",
+    "write_chrome_trace",
+    "render_prometheus",
+    "append_jsonl_snapshot",
+]
+
+#: Span-event keys surfaced as Chrome trace ``args`` when present.
+_ARG_KEYS = ("slot", "trial", "lineup", "point", "depth")
+
+
+def spans_to_chrome_trace(
+    spans: Iterable[Mapping[str, Any]], label: Optional[str] = None
+) -> Dict[str, Any]:
+    """The Trace Event Format document for a span-event list.
+
+    ``label`` names the trace in ``otherData`` (e.g. the source run
+    file).  Timestamps are per-process monotonic offsets — lanes are
+    internally consistent; cross-process alignment is cosmetic only.
+    """
+    events: List[Dict[str, Any]] = []
+    lanes = set()
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        tid = int(span.get("tid", 0))
+        lanes.add((pid, tid))
+        args = {key: span[key] for key in _ARG_KEYS if key in span}
+        events.append(
+            {
+                "name": str(span.get("name", "span")),
+                "cat": "repro",
+                "ph": "X",
+                "ts": float(span.get("ts_us", 0.0)),
+                "dur": float(span.get("dur_us", 0.0)),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    metadata: List[Dict[str, Any]] = []
+    for pid in sorted({pid for pid, _ in lanes}):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro worker {pid}"},
+            }
+        )
+    for pid, tid in sorted(lanes):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": f"run thread {tid}"},
+            }
+        )
+    other: Dict[str, Any] = {"generator": "repro.telemetry"}
+    if label:
+        other["label"] = str(label)
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    spans: Iterable[Mapping[str, Any]], path: str, label: Optional[str] = None
+) -> int:
+    """Write the Chrome trace JSON for ``spans``; returns the event count."""
+    document = spans_to_chrome_trace(spans, label=label)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return sum(1 for event in document["traceEvents"] if event["ph"] == "X")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _sanitize_metric(name: str) -> str:
+    return "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+
+
+def render_prometheus(
+    stats: Optional[Mapping[str, float]], prefix: str = "repro"
+) -> str:
+    """Prometheus text exposition (format 0.0.4) of a flat stats mapping.
+
+    Dotted keys map onto families: ``span.<name>.{count,wall_s,cpu_s}``
+    become ``<prefix>_span_count`` / ``_span_wall_seconds`` /
+    ``_span_cpu_seconds`` with a ``span`` label; ``counter.<n>`` becomes
+    ``<prefix>_events_total``; ``gauge.<n>`` becomes ``<prefix>_gauge``;
+    ``hist.<n>.le_<b>`` / ``.sum`` / ``.count`` become the conventional
+    ``_bucket`` / ``_sum`` / ``_count`` histogram series.  Remaining
+    scalar keys render as sanitized gauges.
+    """
+    if not stats:
+        return f"# no telemetry stats ({prefix})\n"
+    families: Dict[str, List[tuple]] = {}
+    types: Dict[str, str] = {}
+    order = 0
+
+    def emit(family: str, kind: str, line: str, sort_key: tuple = ()) -> None:
+        nonlocal order
+        types[family] = kind
+        # The appended counter keeps sorted() stable (never compares lines).
+        families.setdefault(family, []).append((sort_key, order, line))
+        order += 1
+
+    for key in sorted(stats):
+        value = stats[key]
+        parts = key.split(".")
+        if parts[0] == "span" and len(parts) >= 3:
+            name = ".".join(parts[1:-1])
+            leaf = parts[-1]
+            family = {
+                "count": f"{prefix}_span_count",
+                "wall_s": f"{prefix}_span_wall_seconds",
+                "cpu_s": f"{prefix}_span_cpu_seconds",
+            }.get(leaf)
+            if family:
+                emit(family, "counter", f'{family}{{span="{_escape_label(name)}"}} {value:g}')
+                continue
+        if parts[0] == "counter" and len(parts) >= 2:
+            family = f"{prefix}_events_total"
+            name = ".".join(parts[1:])
+            emit(family, "counter", f'{family}{{name="{_escape_label(name)}"}} {value:g}')
+            continue
+        if parts[0] == "gauge" and len(parts) >= 2:
+            family = f"{prefix}_gauge"
+            name = ".".join(parts[1:])
+            emit(family, "gauge", f'{family}{{name="{_escape_label(name)}"}} {value:g}')
+            continue
+        if parts[0] == "hist" and len(parts) >= 3:
+            # Bucket bounds carry decimal points ("hist.x.le_0.001"), so the
+            # histogram leaves are parsed by suffix, not by dot position.
+            rest = key[len("hist."):]
+            base = f"{prefix}_latency_seconds"
+            marker = rest.rfind(".le_")
+            if rest.endswith(".sum") or rest.endswith(".count"):
+                name, leaf = rest.rsplit(".", 1)
+                emit(
+                    base,
+                    "histogram",
+                    f'{base}_{leaf}{{name="{_escape_label(name)}"}} {value:g}',
+                    sort_key=(name, float("inf"), 1 if leaf == "sum" else 2),
+                )
+                continue
+            if marker != -1:
+                name = rest[:marker]
+                bound = rest[marker + len(".le_"):]
+                le = "+Inf" if bound == "inf" else bound
+                emit(
+                    base,
+                    "histogram",
+                    f'{base}_bucket{{name="{_escape_label(name)}",le="{le}"}} {value:g}',
+                    sort_key=(name, float("inf") if bound == "inf" else float(bound), 0),
+                )
+                continue
+        family = f"{prefix}_{_sanitize_metric(key)}"
+        emit(family, "gauge", f"{family} {value:g}")
+
+    lines: List[str] = []
+    for family in sorted(families):
+        lines.append(f"# TYPE {family} {types[family]}")
+        # Histogram buckets sort numerically by bound (sum/count last per
+        # metric); other families keep insertion (sorted-key) order.
+        lines.extend(line for _, _, line in sorted(families[family]))
+    return "\n".join(lines) + "\n"
+
+
+def append_jsonl_snapshot(path: str, payload: Mapping[str, Any]) -> None:
+    """Append one JSON line to ``path`` (single write — atomic on POSIX)."""
+    line = json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)

@@ -1,0 +1,61 @@
+"""Ambient tracer access for call sites that cannot be threaded a handle.
+
+Same shape as :mod:`repro.guard.hooks`: runs are single-threaded within a
+process (parallelism is process-based, and each worker builds its own
+tracer), so one module-level slot per process is race-free.  ``get()``
+returns ``None`` whenever telemetry is off — call sites must treat that
+as "no tracer, take the plain path".
+
+Unlike the guard hook, the *last* tracer installed in this process stays
+reachable via :func:`last` after its ``activate`` block exits.  Crash
+bundles need that: by the time the flight recorder dumps, the simulator's
+``with activate(...)`` has already unwound, but the trial's span ring is
+exactly what the bundle should attach.  :func:`reset` clears the handle
+at the start of each trial so a bundle never carries a stale ring.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.telemetry.tracer import Tracer
+
+__all__ = ["activate", "get", "last", "reset"]
+
+_ACTIVE: Optional[Tracer] = None
+_LAST: Optional[Tracer] = None
+
+
+def get() -> Optional[Tracer]:
+    """The tracer active in this process, or ``None`` when telemetry is off."""
+    return _ACTIVE
+
+
+def last() -> Optional[Tracer]:
+    """The most recent tracer of this process (survives ``activate`` exit)."""
+    return _LAST
+
+
+def reset() -> None:
+    """Forget the last tracer (called at trial start; prevents stale rings)."""
+    global _LAST
+    _LAST = None
+
+
+@contextmanager
+def activate(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Install ``tracer`` as the ambient tracer for the duration of a run.
+
+    Nestable and exception-safe: the previous tracer (usually ``None``)
+    is restored on exit no matter how the block terminates.
+    """
+    global _ACTIVE, _LAST
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    if tracer is not None:
+        _LAST = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

@@ -333,18 +333,18 @@ class TestCli:
         assert config.signaling_latency_s == pytest.approx(0.25)
 
     def test_health_line_includes_event_fragment(self):
-        from repro.cli import _health_line
+        from repro.cli import _render_health_line
 
-        line = _health_line(
-            None,
-            None,
+        line = _render_health_line(
             {
-                "events": 10,
-                "delivered": 4,
-                "messages": 8,
-                "deadline_misses": 1,
-                "cutoff_expired_pairs": 0,
-            },
+                "eventsim": {
+                    "events": 10,
+                    "delivered": 4,
+                    "messages": 8,
+                    "deadline_misses": 1,
+                    "cutoff_expired_pairs": 0,
+                }
+            }
         )
         assert "eventsim 10 event(s)" in line
         assert "2.00 msg(s)/delivery" in line

@@ -5,7 +5,7 @@ import pytest
 from repro.cli import (
     _config_from_args,
     _fault_stats_fragment,
-    _health_line,
+    _render_health_line,
     build_parser,
     main,
 )
@@ -81,7 +81,7 @@ class TestHealthLine:
         assert "3 unservable/2 interrupted" in fragment
 
     def test_health_line_includes_faults(self):
-        line = _health_line(None, None, fault_stats={"element_slots": 10})
+        line = _render_health_line({"faults": {"element_slots": 10}})
         assert line.startswith("[health] faults")
 
 

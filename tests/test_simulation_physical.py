@@ -490,7 +490,7 @@ class TestCliIntegration:
         assert "exhaustive" in captured.err
 
     def test_health_line_formats_both_fragments(self):
-        from repro.cli import _health_line
+        from repro.cli import _render_health_line
 
         kernel = {
             "solves": 10, "binds": 5, "structure_compiles": 1,
@@ -501,13 +501,15 @@ class TestCliIntegration:
             requests=6, attempts=5, delivered=4, fidelity_served=3,
             fidelity_sum=3.2, pairs_consumed=12,
         ).to_dict()
-        line = _health_line(kernel, physical)
+        line = _render_health_line({"kernel": kernel, "physical": physical})
         assert line.startswith("[health] kernel")
         assert "8 exhaustive / 2 gibbs slot(s)" in line
         assert "physical 4/5 delivered (mean F 0.800)" in line
-        assert _health_line(None, None) is None
-        assert _health_line(kernel, None).startswith("[health] kernel")
-        assert _health_line(None, physical).startswith("[health] physical")
+        assert _render_health_line({}) is None
+        assert _render_health_line({"kernel": kernel}).startswith("[health] kernel")
+        assert _render_health_line({"physical": physical}).startswith(
+            "[health] physical"
+        )
 
 
 class TestFig9:

@@ -1,0 +1,391 @@
+"""End-to-end telemetry: runs, studies, persistence, bundles, CLI."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.experiments.config import ConfigError, ExperimentConfig
+from repro.guard.invariants import FORCE_BREACH_ENV_VAR, InvariantViolation
+from repro.guard.recorder import build_bundle, load_bundle
+from repro.guard.replay import replay_bundle
+from repro.telemetry import TELEMETRY_ENV_VAR
+
+
+def _scenario(level="off", **overrides):
+    config = api.Scenario.tiny().config.with_overrides(
+        horizon=6, trials=1, telemetry_level=level, **overrides
+    )
+    return api.Scenario.from_config(config, name="telemetry").with_policies("oscar")
+
+
+# --------------------------------------------------------------------- #
+# Config and scenario wiring
+# --------------------------------------------------------------------- #
+class TestConfig:
+    def test_defaults_off(self):
+        config = ExperimentConfig.tiny()
+        assert config.telemetry_level == "off"
+        assert config.telemetry_span_ring == 2048
+        assert config.telemetry_model() is None
+
+    def test_level_validates(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig.tiny().with_overrides(telemetry_level="loud").validate()
+        with pytest.raises(ConfigError):
+            ExperimentConfig.tiny().with_overrides(telemetry_span_ring=0).validate()
+
+    def test_model_reflects_config(self):
+        config = ExperimentConfig.tiny().with_overrides(
+            telemetry_level="full", telemetry_span_ring=128
+        )
+        model = config.telemetry_model()
+        assert model.level == "full"
+        assert model.span_ring == 128
+
+    def test_scenario_with_telemetry(self):
+        scenario = api.Scenario.tiny().with_telemetry("full", span_ring=4096)
+        assert scenario.config.telemetry_level == "full"
+        assert scenario.config.telemetry_span_ring == 4096
+
+    def test_with_telemetry_default_level(self):
+        assert api.Scenario.tiny().with_telemetry().config.telemetry_level == "light"
+
+
+# --------------------------------------------------------------------- #
+# The determinism contract: telemetry never changes results
+# --------------------------------------------------------------------- #
+class TestByteIdentity:
+    def test_results_identical_across_levels(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        summaries = {}
+        for level in ("off", "light", "full"):
+            record = api.run_scenario(_scenario(level))
+            summaries[level] = record.format_summary()
+        assert summaries["off"] == summaries["light"] == summaries["full"]
+
+    def test_off_is_a_true_noop(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        record = api.run_scenario(_scenario("off"))
+        assert record.telemetry_stats() is None
+        assert record.telemetry_spans() == []
+        for trial in record.trials:
+            for result in trial.values():
+                assert "telemetry" not in result.diagnostics
+                assert "telemetry_spans" not in result.diagnostics
+
+    def test_light_collects_stats_but_no_events(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        record = api.run_scenario(_scenario("light"))
+        stats = record.telemetry_stats()
+        assert stats is not None
+        assert stats["span.kernel.solve.count"] > 0
+        assert stats["hist.kernel.solve_s.count"] > 0
+        assert record.telemetry_spans() == []
+
+    def test_full_collects_span_events(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        record = api.run_scenario(_scenario("full"))
+        spans = record.telemetry_spans()
+        assert spans
+        names = {span["name"] for span in spans}
+        assert "kernel.solve" in names
+        assert all("lineup" in span and "trial" in span for span in spans)
+
+    def test_env_override_arms_off_config(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "full")
+        record = api.run_scenario(_scenario("off"))
+        assert record.telemetry_spans()
+
+    def test_env_override_silences_full_config(self, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_ENV_VAR, "off")
+        record = api.run_scenario(_scenario("full"))
+        assert record.telemetry_stats() is None
+        assert record.telemetry_spans() == []
+
+
+# --------------------------------------------------------------------- #
+# Persistence: the one diagnostics family that survives JSON
+# --------------------------------------------------------------------- #
+class TestPersistence:
+    def test_record_round_trip_keeps_telemetry(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        record = api.run_scenario(_scenario("full"))
+        path = record.save(tmp_path / "run.json")
+        loaded = api.RunRecord.load(path)
+        assert loaded.telemetry_stats() == pytest.approx(record.telemetry_stats())
+        assert len(loaded.telemetry_spans()) == len(record.telemetry_spans())
+
+    def test_untraced_record_has_no_telemetry_section(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        record = api.run_scenario(_scenario("off"))
+        payload = record.to_dict()
+        assert "telemetry" not in payload
+
+
+# --------------------------------------------------------------------- #
+# Studies
+# --------------------------------------------------------------------- #
+class TestStudy:
+    def test_telemetry_axis_resolves(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        config = api.Scenario.tiny().config.with_overrides(horizon=5, trials=1)
+        result = (
+            api.Study("telemetry-axis")
+            .base(api.Scenario.from_config(config, name="t").with_policies("oscar"))
+            .over("telemetry.level", ["off", "light"])
+            .run()
+        )
+        assert len(result.points) == 2
+        stats = result.telemetry_stats()
+        assert stats is not None  # the light point contributed
+        assert stats["spans"] > 0
+
+    def test_study_spans_stamped_with_point(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        config = api.Scenario.tiny().config.with_overrides(
+            horizon=5, trials=1, telemetry_level="full"
+        )
+        result = (
+            api.Study("spans")
+            .base(api.Scenario.from_config(config, name="t").with_policies("oscar"))
+            .over("budget.total_budget", [600.0, 1000.0])
+            .run()
+        )
+        spans = result.telemetry_spans()
+        assert spans
+        assert {span["point"] for span in spans} == {
+            point.name for point in result.points
+        }
+
+
+# --------------------------------------------------------------------- #
+# Crash bundles and replay
+# --------------------------------------------------------------------- #
+class TestBundles:
+    SCENARIO = {"config": {"horizon": 5}, "policies": ["oscar"]}
+    SPANS = [{"name": "kernel.solve", "dur_us": 1200.0, "cpu_us": 800.0, "ts_us": 1.0}]
+
+    def test_telemetry_never_perturbs_the_replay_key(self):
+        bare = build_bundle(self.SCENARIO, 0, "strict")
+        traced = build_bundle(self.SCENARIO, 0, "strict", telemetry=self.SPANS)
+        assert traced["key"] == bare["key"]
+        assert traced["telemetry"]["spans"][0]["name"] == "kernel.solve"
+        assert "telemetry" not in bare
+
+    def test_breach_bundle_carries_the_active_trace(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path / "bundles"))
+        monkeypatch.setenv(FORCE_BREACH_ENV_VAR, "2")
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        scenario = _scenario("full", guard_level="strict")
+        with pytest.raises(InvariantViolation) as info:
+            api.execute_trial(scenario, 0)
+        path = info.value.bundle_path
+        bundle = load_bundle(path)
+        spans = bundle["telemetry"]["spans"]
+        assert spans and all("name" in span for span in spans)
+
+        # Replay re-runs the traced trial and reports the replayed trace.
+        monkeypatch.delenv(FORCE_BREACH_ENV_VAR, raising=False)
+        result = replay_bundle(path)
+        assert result.matched, result.describe()
+        assert result.extra.get("trace_spans", 0) > 0
+        assert result.extra["trace_source"] == "replay"
+        report = result.describe()
+        assert "spans replayed" in report
+        assert "hottest" in report
+
+    def test_untraced_breach_bundle_has_no_telemetry(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BUNDLE_DIR", str(tmp_path / "bundles"))
+        monkeypatch.setenv(FORCE_BREACH_ENV_VAR, "2")
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        scenario = _scenario("off", guard_level="strict")
+        with pytest.raises(InvariantViolation) as info:
+            api.execute_trial(scenario, 0)
+        bundle = load_bundle(info.value.bundle_path)
+        assert "telemetry" not in bundle
+
+
+# --------------------------------------------------------------------- #
+# Satellite: diagnostics merge paths on legacy / empty payloads
+# --------------------------------------------------------------------- #
+class TestDiagnosticsMergeEdges:
+    def test_empty_record_accessors(self):
+        record = api.RunRecord(scenario={"config": {}}, trials=[])
+        assert record.kernel_stats() is None
+        assert record.physical_stats() is None
+        assert record.event_stats() is None
+        assert record.serving_stats() is None
+        assert record.fault_stats() is None
+        assert record.guard_stats() is None
+        assert record.telemetry_stats() is None
+        assert record.telemetry_spans() == []
+
+    def test_legacy_payload_without_telemetry_key(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        record = api.run_scenario(_scenario("off"))
+        payload = record.to_dict()
+        payload.pop("telemetry", None)  # simulate a pre-PR-10 file
+        loaded = api.RunRecord.from_dict(payload)
+        assert loaded.telemetry is None
+        assert loaded.telemetry_stats() is None
+        assert loaded.telemetry_spans() == []
+
+    def test_partial_telemetry_sections_tolerated(self):
+        record = api.RunRecord(
+            scenario={"config": {}}, trials=[], telemetry={"stats": {"spans": 2}}
+        )
+        assert record.telemetry_stats() == {"spans": 2}
+        assert record.telemetry_spans() == []
+        record = api.RunRecord(
+            scenario={"config": {}}, trials=[],
+            telemetry={"spans": [{"name": "a"}]},
+        )
+        assert record.telemetry_stats() is None
+        assert record.telemetry_spans() == [{"name": "a"}]
+
+    def test_malformed_telemetry_section_is_ignored(self):
+        record = api.RunRecord(
+            scenario={"config": {}}, trials=[],
+            telemetry={"stats": "broken", "spans": "broken"},
+        )
+        assert record.telemetry_stats() is None
+        assert record.telemetry_spans() == []
+
+    def test_non_telemetry_merges_round_trip_as_none(self, tmp_path, monkeypatch):
+        # The in-memory-only families stay None after save/load — the JSON
+        # round trip must not invent diagnostics.
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        record = api.run_scenario(_scenario("light"))
+        assert record.kernel_stats() is not None
+        loaded = api.RunRecord.load(record.save(tmp_path / "r.json"))
+        assert loaded.kernel_stats() is None
+        assert loaded.telemetry_stats() is not None
+
+
+# --------------------------------------------------------------------- #
+# Satellite: progress output stays watchable through a pipe
+# --------------------------------------------------------------------- #
+class _PipeLikeStream(io.StringIO):
+    """Block-buffered stand-in: remembers what was visible at each flush."""
+
+    def __init__(self):
+        super().__init__()
+        self.flushed_snapshots = []
+
+    def flush(self):
+        super().flush()
+        self.flushed_snapshots.append(self.getvalue())
+
+
+class TestProgressFlush:
+    def test_every_progress_line_is_flushed(self, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        stream = _PipeLikeStream()
+        api.run_scenario(_scenario("off"), observers=[api.ProgressObserver(stream=stream)])
+        lines = stream.getvalue().splitlines()
+        assert len(lines) >= 3  # started, trial done, completed
+        # Each written line became visible by the immediately-following
+        # flush — mid-run, not only when the run (or buffer) ended.
+        seen_at_flush = [snap.count("\n") for snap in stream.flushed_snapshots]
+        assert seen_at_flush[0] >= 1
+        assert any(0 < n < len(lines) for n in seen_at_flush)
+        assert seen_at_flush[-1] == len(lines)
+
+
+# --------------------------------------------------------------------- #
+# CLI: flags, trace export, hottest-span table, metrics
+# --------------------------------------------------------------------- #
+class TestCli:
+    def _run_traced(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        out = tmp_path / "run.json"
+        code = main([
+            "compare", "--scale", "tiny", "--trials", "1",
+            "--policies", "oscar", "--telemetry", "full",
+            "--output", str(out),
+        ])
+        assert code == 0
+        return out
+
+    def test_compare_health_line_mentions_telemetry(self, capsys, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        code = main([
+            "compare", "--scale", "tiny", "--trials", "1",
+            "--policies", "oscar", "--telemetry", "light", "--progress",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[health]" in err and "telemetry" in err
+
+    def test_trace_command_writes_chrome_json(self, tmp_path, capsys, monkeypatch):
+        run = self._run_traced(tmp_path, monkeypatch)
+        trace = tmp_path / "trace.json"
+        assert main(["trace", str(run), "-o", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events
+        assert all({"ts", "dur", "pid", "tid"} <= set(e) for e in events)
+        assert "span(s)" in capsys.readouterr().out
+
+    def test_trace_command_rejects_untraced_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        out = tmp_path / "plain.json"
+        main(["compare", "--scale", "tiny", "--trials", "1",
+              "--policies", "oscar", "--output", str(out)])
+        assert main(["trace", str(out), "-o", str(tmp_path / "t.json")]) == 1
+        assert "--telemetry full" in capsys.readouterr().err
+
+    def test_trace_command_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 2
+
+    def test_top_command_prints_hottest_spans(self, tmp_path, capsys, monkeypatch):
+        run = self._run_traced(tmp_path, monkeypatch)
+        assert main(["top", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "Hottest spans" in out
+        assert "kernel.solve" in out
+        assert "%" in out
+
+    def test_top_command_rejects_untraced_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        out = tmp_path / "plain.json"
+        main(["compare", "--scale", "tiny", "--trials", "1",
+              "--policies", "oscar", "--output", str(out)])
+        assert main(["top", str(out)]) == 1
+
+    def test_metrics_out_writes_prometheus(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        metrics = tmp_path / "metrics.prom"
+        code = main([
+            "compare", "--scale", "tiny", "--trials", "1",
+            "--policies", "oscar", "--telemetry", "light",
+            "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_span_count counter" in text
+        assert 'repro_span_count{span="kernel.solve"}' in text
+
+    def test_serve_periodic_metrics_flush(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TELEMETRY_ENV_VAR, raising=False)
+        metrics = tmp_path / "serve.prom"
+        code = main([
+            "serve", "--scale", "tiny", "--trials", "1",
+            "--arrival-rate", "1.0", "--telemetry", "light",
+            "--metrics-out", str(metrics), "--metrics-every", "2",
+        ])
+        assert code == 0
+        assert metrics.exists()
+        jsonl = tmp_path / "serve.prom.jsonl"
+        assert jsonl.exists()
+        entries = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert entries
+        assert all("slot" in entry and "stats" in entry for entry in entries)
+        # The env override is cleaned up after the serve command.
+        assert "REPRO_METRICS_JSONL" not in os.environ
